@@ -1,0 +1,70 @@
+// fleet-experiments regenerates the tables and figures of the FLeet paper.
+//
+// Usage:
+//
+//	fleet-experiments -list
+//	fleet-experiments -exp fig8              # one experiment, CI scale
+//	fleet-experiments -exp fig8 -scale full  # paper-sized run
+//	fleet-experiments -all                   # every experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fleet/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		expID   = flag.String("exp", "", "experiment id to run (see -list)")
+		scale   = flag.String("scale", "ci", `"ci" (seconds) or "full" (paper-sized)`)
+		listAll = flag.Bool("list", false, "list experiment ids and exit")
+		runAll  = flag.Bool("all", false, "run every experiment")
+	)
+	flag.Parse()
+
+	if *listAll {
+		fmt.Println(strings.Join(experiments.All(), "\n"))
+		return 0
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "ci":
+		sc = experiments.ScaleCI
+	case "full":
+		sc = experiments.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want ci or full)\n", *scale)
+		return 2
+	}
+
+	ids := []string{*expID}
+	if *runAll {
+		ids = experiments.All()
+	} else if *expID == "" {
+		fmt.Fprintln(os.Stderr, "need -exp <id>, -all or -list")
+		flag.Usage()
+		return 2
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := experiments.Run(id, sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Print(rep.String())
+		fmt.Printf("  (%.1fs)\n\n", time.Since(start).Seconds())
+	}
+	return 0
+}

@@ -1,0 +1,115 @@
+// fleet-server runs a standalone FLeet parameter server speaking the
+// Figure-2 protocol over HTTP.
+//
+// Usage:
+//
+//	fleet-server -addr :8080 -arch tiny-mnist -lr 0.05 -time-slo 3
+//
+// Workers (cmd/fleet-worker) connect with matching -arch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"fleet/internal/device"
+	"fleet/internal/iprof"
+	"fleet/internal/learning"
+	"fleet/internal/nn"
+	"fleet/internal/server"
+	"fleet/internal/simrand"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func archByName(name string) (nn.Arch, error) {
+	for _, a := range []nn.Arch{
+		nn.ArchMNIST, nn.ArchEMNIST, nn.ArchCIFAR100,
+		nn.ArchTinyMNIST, nn.ArchSoftmaxMNIST, nn.ArchTinyCIFAR,
+	} {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown architecture %q", name)
+}
+
+func run() int {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		archName  = flag.String("arch", "tiny-mnist", "model architecture")
+		lr        = flag.Float64("lr", 0.03, "learning rate")
+		k         = flag.Int("k", 1, "gradients aggregated per model update")
+		sPct      = flag.Float64("s-pct", 99.7, "AdaSGD non-straggler percentage")
+		timeSLO   = flag.Float64("time-slo", 3.0, "computation-time SLO in seconds (0 disables)")
+		energySLO = flag.Float64("energy-slo", 0, "energy SLO in %battery (0 disables)")
+		minBatch  = flag.Int("min-batch", 0, "controller mini-batch size threshold (0 disables)")
+		maxSim    = flag.Float64("max-similarity", 0, "controller similarity threshold (0 disables)")
+		seed      = flag.Int64("seed", 1, "model initialization seed")
+	)
+	flag.Parse()
+
+	arch, err := archByName(*archName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	cfg := server.Config{
+		Arch:          arch,
+		Algorithm:     learning.NewAdaSGD(learning.AdaSGDConfig{NonStragglerPct: *sPct, BootstrapSteps: 50}),
+		LearningRate:  *lr,
+		K:             *k,
+		TimeSLOSec:    *timeSLO,
+		EnergySLOPct:  *energySLO,
+		MinBatchSize:  *minBatch,
+		MaxSimilarity: *maxSim,
+		Seed:          *seed,
+	}
+
+	// Pre-train I-Prof on the simulated training fleet (§3.3).
+	rng := simrand.New(*seed)
+	trainers := device.Catalogue()[:8]
+	if *timeSLO > 0 {
+		data := iprof.Collect(rng, trainers, iprof.KindTime, *timeSLO)
+		prof, err := iprof.New(iprof.Config{Epsilon: 2e-4, RetrainEvery: 100}, data.Observations)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		cfg.TimeProfiler = prof
+	}
+	if *energySLO > 0 {
+		data := iprof.Collect(rng, trainers, iprof.KindEnergy, *energySLO)
+		prof, err := iprof.New(iprof.Config{Epsilon: 6e-5, RetrainEvery: 100}, data.Observations)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		cfg.EnergyProfiler = prof
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("FLeet server listening on %s (arch=%s, lr=%g, K=%d)", *addr, arch, *lr, *k)
+	if err := httpSrv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,83 @@
+// fleet-worker runs one simulated FLeet worker against a remote server: it
+// instantiates a phone from the device catalogue, generates a local
+// (non-IID) dataset, and repeatedly executes the Figure-2 protocol.
+//
+// Usage:
+//
+//	fleet-worker -server http://localhost:8080 -device "Galaxy S7" -rounds 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"fleet/internal/data"
+	"fleet/internal/device"
+	"fleet/internal/nn"
+	"fleet/internal/simrand"
+	"fleet/internal/worker"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		serverURL  = flag.String("server", "http://localhost:8080", "FLeet server base URL")
+		deviceName = flag.String("device", "Galaxy S7", "device model from the catalogue")
+		workerID   = flag.Int("id", 0, "worker id")
+		rounds     = flag.Int("rounds", 50, "learning-task rounds to run")
+		interval   = flag.Duration("interval", 200*time.Millisecond, "pause between rounds")
+		seed       = flag.Int64("seed", 7, "local data + sampling seed")
+	)
+	flag.Parse()
+
+	model, err := device.ModelByName(*deviceName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	// Local data: two non-IID shards of a synthetic dataset, as in §3.2.
+	ds := data.TinyMNIST(*seed, 40, 1)
+	parts := data.PartitionNonIID(simrand.New(*seed), ds.Train, 10, 2)
+	local := parts[*workerID%len(parts)]
+
+	w, err := worker.New(worker.Config{
+		ID:     *workerID,
+		Arch:   nn.ArchTinyMNIST,
+		Local:  local,
+		Device: device.New(model, simrand.New(*seed+1)),
+		Rng:    simrand.New(*seed + 2),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	client := &worker.Client{BaseURL: *serverURL}
+	for i := 0; i < *rounds; i++ {
+		ack, err := w.Step(client)
+		if err != nil {
+			log.Printf("round %d: %v", i, err)
+			time.Sleep(*interval)
+			continue
+		}
+		if ack.Applied {
+			log.Printf("round %d: staleness=%d scale=%.3f model=v%d", i, ack.Staleness, ack.Scale, ack.NewVersion)
+		} else {
+			log.Printf("round %d: task rejected by controller", i)
+		}
+		time.Sleep(*interval)
+	}
+	stats, err := client.Stats()
+	if err == nil {
+		log.Printf("server stats: %+v", stats)
+	}
+	log.Printf("worker done: %d tasks, %d rejections", w.Tasks, w.Rejections)
+	return 0
+}

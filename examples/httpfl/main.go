@@ -1,0 +1,99 @@
+// HTTP federated learning: the full middleware over a real network stack.
+//
+// Starts a FLeet server (with I-Prof bounding each device's workload to a
+// computation-time SLO) on a loopback listener and drives eight workers on
+// heterogeneous simulated phones through the Figure-2 protocol via
+// gob+gzip HTTP streams.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"fleet"
+	"fleet/internal/simrand"
+)
+
+func main() {
+	// Pre-train I-Prof offline on a training fleet (§3.3).
+	rng := simrand.New(1)
+	catalogue := fleet.DeviceCatalogue()
+	pretrain := fleet.CollectProfilerData(rng, catalogue[:8], fleet.KindTime, 3.0)
+	prof, err := fleet.NewProfiler(fleet.ProfilerConfig{Epsilon: 2e-4, RetrainEvery: 100},
+		pretrain.Observations)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := fleet.NewServer(fleet.ServerConfig{
+		Arch:         fleet.ArchTinyMNIST,
+		Algorithm:    fleet.NewAdaSGD(fleet.AdaSGDConfig{NonStragglerPct: 99.7, BootstrapSteps: 20}),
+		LearningRate: 0.03,
+		TimeSLOSec:   3.0,
+		TimeProfiler: prof,
+		MinBatchSize: 5,
+		Seed:         2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if serveErr := httpSrv.Serve(ln); serveErr != http.ErrServerClosed {
+			log.Print(serveErr)
+		}
+	}()
+	defer func() { _ = httpSrv.Close() }()
+	baseURL := "http://" + ln.Addr().String()
+	fmt.Printf("FLeet server on %s\n", baseURL)
+
+	ds := fleet.TinyMNIST(3, 40, 10)
+	parts := fleet.PartitionNonIID(simrand.New(4), ds.Train, 8, 2)
+	client := &fleet.Client{BaseURL: baseURL}
+
+	var workers []*fleet.Worker
+	for i, local := range parts {
+		w, err := fleet.NewWorker(fleet.WorkerConfig{
+			ID:     i,
+			Arch:   fleet.ArchTinyMNIST,
+			Local:  local,
+			Device: fleet.NewDevice(catalogue[8+i%8], simrand.New(int64(50+i))),
+			Rng:    simrand.New(int64(90 + i)),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		workers = append(workers, w)
+	}
+
+	eval := fleet.ArchTinyMNIST.Build(simrand.New(5))
+	for round := 0; round < 40; round++ {
+		for _, w := range workers {
+			if _, err := w.Step(client); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if (round+1)%10 == 0 {
+			stats, err := client.Stats()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("round %2d: accuracy %.3f, model v%d, mean staleness %.2f\n",
+				round+1, srv.Evaluate(eval, ds.Test), stats.ModelVersion, stats.MeanStaleness)
+		}
+	}
+	stats, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done over HTTP: %d gradients in, %d tasks rejected\n",
+		stats.GradientsIn, stats.TasksRejected)
+}

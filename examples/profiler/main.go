@@ -1,0 +1,66 @@
+// Profiler demo: I-Prof sizing workloads to a computation-time SLO across
+// heterogeneous phones (§2.2, Figure 12).
+//
+// I-Prof is pre-trained offline on a training fleet, then meets five
+// unseen phones: the first request uses the cold-start linear model, every
+// subsequent request the personalized Passive-Aggressive model, which
+// converges within a few observations even as the device heats up.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fleet"
+	"fleet/internal/simrand"
+)
+
+func main() {
+	const sloSec = 3.0
+	rng := simrand.New(1)
+	catalogue := fleet.DeviceCatalogue()
+
+	// Offline pre-training sweep on 8 training devices (§3.3).
+	pretrain := fleet.CollectProfilerData(rng, catalogue[:8], fleet.KindTime, sloSec)
+	prof, err := fleet.NewProfiler(fleet.ProfilerConfig{Epsilon: 2e-4, RetrainEvery: 100},
+		pretrain.Observations)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold-start model trained on %d observations from 8 device models\n\n",
+		len(pretrain.Observations))
+
+	for _, name := range []string{"Galaxy S7", "Honor 10", "Xperia E3", "Galaxy S8", "Galaxy S4 mini"} {
+		model, err := fleet.DeviceByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dev := fleet.NewDevice(model, simrand.New(2))
+		fmt.Printf("%s (true slope %.4f s/sample):\n", name, model.AlphaTime)
+		for req := 1; req <= 5; req++ {
+			features := dev.Features()
+			batch := prof.BatchSize(name, features, sloSec)
+			res := dev.Execute(batch)
+			kind := "personalized"
+			if req == 1 {
+				kind = "cold-start"
+			}
+			fmt.Printf("  request %d (%-12s): batch %5d -> %.2fs (SLO %.1fs, |dev| %.2fs)\n",
+				req, kind, batch, res.LatencySec, sloSec, abs(res.LatencySec-sloSec))
+			prof.Observe(fleet.ProfilerObservation{
+				DeviceModel: name,
+				Features:    dev.Features(),
+				Alpha:       res.LatencySec / float64(batch),
+			})
+			dev.Idle(45)
+		}
+		fmt.Println()
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

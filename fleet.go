@@ -1,0 +1,362 @@
+// Package fleet is an open-source reproduction of "FLeet: Online Federated
+// Learning via Staleness Awareness and Performance Prediction"
+// (Damaskinos et al., MIDDLEWARE 2020): a middleware for Online Federated
+// Learning that combines
+//
+//   - AdaSGD — an asynchronous, staleness-aware aggregation rule that
+//     dampens stale gradients exponentially and boosts gradients carrying
+//     novel label information, and
+//   - I-Prof — a lightweight profiler that predicts, per device, the
+//     largest mini-batch size fitting a computation-time or energy SLO.
+//
+// The package exposes three layers:
+//
+//  1. The middleware itself: NewServer/NewWorker speak the paper's
+//     learning-task protocol (Figure 2) in-process or over HTTP.
+//  2. The simulation engine: RunAsync reproduces the paper's controlled-
+//     staleness experiments; the device simulator stands in for the
+//     heterogeneous Android fleet.
+//  3. The experiment drivers: RunExperiment regenerates every table and
+//     figure of the paper's evaluation.
+//
+// See the examples/ directory for runnable end-to-end programs and
+// EXPERIMENTS.md for the paper-vs-measured record.
+package fleet
+
+import (
+	"math/rand"
+
+	"fleet/internal/core"
+	"fleet/internal/data"
+	"fleet/internal/device"
+	"fleet/internal/dp"
+	"fleet/internal/experiments"
+	"fleet/internal/hashtag"
+	"fleet/internal/iprof"
+	"fleet/internal/learning"
+	"fleet/internal/metrics"
+	"fleet/internal/nn"
+	"fleet/internal/protocol"
+	"fleet/internal/robust"
+	"fleet/internal/server"
+	"fleet/internal/worker"
+)
+
+// ---------------------------------------------------------------------------
+// Middleware: server and worker (Figure 2).
+
+// Server is the FLeet parameter server hosting the global model, AdaSGD,
+// I-Prof and the controller.
+type Server = server.Server
+
+// ServerConfig parameterizes a Server.
+type ServerConfig = server.Config
+
+// NewServer builds a parameter server.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// Worker is the client library executing learning tasks on (simulated)
+// mobile devices.
+type Worker = worker.Worker
+
+// WorkerConfig parameterizes a Worker.
+type WorkerConfig = worker.Config
+
+// NewWorker builds a worker.
+func NewWorker(cfg WorkerConfig) (*Worker, error) { return worker.New(cfg) }
+
+// Client adapts a remote FLeet server to the worker's TaskServer interface
+// over HTTP (gob+gzip streams).
+type Client = worker.Client
+
+// TaskServer is the server interface a worker drives: a *Server in-process
+// or a *Client over HTTP.
+type TaskServer = worker.TaskServer
+
+// Protocol message types (Figure 2).
+type (
+	// TaskRequest is the worker's learning-task request.
+	TaskRequest = protocol.TaskRequest
+	// TaskResponse carries the model and the I-Prof-bounded batch size.
+	TaskResponse = protocol.TaskResponse
+	// GradientPush is the worker's result upload.
+	GradientPush = protocol.GradientPush
+	// PushAck acknowledges a gradient with its staleness and applied scale.
+	PushAck = protocol.PushAck
+	// Stats is the server's diagnostic snapshot.
+	Stats = protocol.Stats
+)
+
+// ---------------------------------------------------------------------------
+// Learning algorithms (§2.3).
+
+// Algorithm scales gradients in the server update (Equation 3).
+type Algorithm = learning.Algorithm
+
+// GradientMeta is the per-gradient metadata an Algorithm sees.
+type GradientMeta = learning.GradientMeta
+
+// AdaSGD is the paper's staleness-aware, similarity-boosting update rule.
+type AdaSGD = learning.AdaSGD
+
+// AdaSGDConfig parameterizes AdaSGD.
+type AdaSGDConfig = learning.AdaSGDConfig
+
+// NewAdaSGD builds an AdaSGD instance.
+func NewAdaSGD(cfg AdaSGDConfig) *AdaSGD { return learning.NewAdaSGD(cfg) }
+
+// Baseline algorithms used throughout the paper's evaluation.
+type (
+	// DynSGD is the inverse-dampening staleness-aware baseline.
+	DynSGD = learning.DynSGD
+	// FedAvg is the staleness-unaware baseline.
+	FedAvg = learning.FedAvg
+	// SSGD is synchronous (staleness-free) SGD.
+	SSGD = learning.SSGD
+)
+
+// Bhattacharyya returns the Bhattacharyya coefficient between two discrete
+// distributions (raw counts accepted), the similarity measure of §2.3.
+func Bhattacharyya(p, q []float64) float64 { return learning.Bhattacharyya(p, q) }
+
+// LRSchedule maps the server's logical clock to the learning rate γt.
+type LRSchedule = learning.LRSchedule
+
+// Learning-rate schedules for long-running Online-FL deployments.
+var (
+	// ConstantLR returns γt = lr.
+	ConstantLR = learning.ConstantLR
+	// StepDecayLR multiplies the rate by factor every `every` steps.
+	StepDecayLR = learning.StepDecayLR
+	// InverseTimeLR decays as lr/(1+decay·t).
+	InverseTimeLR = learning.InverseTimeLR
+	// WarmupLR ramps linearly before delegating to an inner schedule.
+	WarmupLR = learning.WarmupLR
+)
+
+// RobustAggregator combines the K gradients of an aggregation window with
+// a (possibly Byzantine-resilient) rule — the §4 "pluggable robustness"
+// hook.
+type RobustAggregator = robust.Aggregator
+
+// Byzantine-resilient aggregation rules for AsyncConfig.Aggregator.
+type (
+	// MeanAggregator is plain averaging (not resilient).
+	MeanAggregator = robust.Mean
+	// MedianAggregator is the per-coordinate median.
+	MedianAggregator = robust.CoordinateMedian
+	// TrimmedMeanAggregator drops the Trim extremes per coordinate.
+	TrimmedMeanAggregator = robust.TrimmedMean
+	// KrumAggregator selects the most central gradient (Blanchard et al.).
+	KrumAggregator = robust.Krum
+)
+
+// ---------------------------------------------------------------------------
+// Profiler (§2.2).
+
+// Profiler is I-Prof: cold-start OLS plus per-device-model online
+// Passive-Aggressive predictors.
+type Profiler = iprof.IProf
+
+// ProfilerConfig parameterizes I-Prof.
+type ProfilerConfig = iprof.Config
+
+// ProfilerObservation is one (device features → cost slope) data point.
+type ProfilerObservation = iprof.Observation
+
+// NewProfiler builds an I-Prof instance pre-trained on offline
+// observations.
+func NewProfiler(cfg ProfilerConfig, pretrain []ProfilerObservation) (*Profiler, error) {
+	return iprof.New(cfg, pretrain)
+}
+
+// Profiler kinds.
+const (
+	// KindTime targets a computation-time SLO.
+	KindTime = iprof.KindTime
+	// KindEnergy targets an energy SLO.
+	KindEnergy = iprof.KindEnergy
+)
+
+// CollectProfilerData reproduces the paper's offline pre-training sweep on
+// a set of simulated training devices.
+func CollectProfilerData(rng *rand.Rand, models []DeviceModel, kind iprof.Kind, slo float64) iprof.PretrainingData {
+	return iprof.Collect(rng, models, kind, slo)
+}
+
+// ---------------------------------------------------------------------------
+// Device simulation.
+
+// Device is a simulated mobile phone with thermal and memory state.
+type Device = device.Device
+
+// DeviceModel is a phone model's static characteristics.
+type DeviceModel = device.Model
+
+// NewDevice instantiates a device of the given model.
+func NewDevice(model DeviceModel, rng *rand.Rand) *Device { return device.New(model, rng) }
+
+// DeviceCatalogue returns the simulated phone-model catalogue (the paper's
+// 40-device population).
+func DeviceCatalogue() []DeviceModel { return device.Catalogue() }
+
+// DeviceByName looks a phone model up in the catalogue.
+func DeviceByName(name string) (DeviceModel, error) { return device.ModelByName(name) }
+
+// ---------------------------------------------------------------------------
+// Models and data.
+
+// Arch identifies a neural-network architecture (the paper's Table-1 CNNs
+// plus fast variants).
+type Arch = nn.Arch
+
+// Architectures.
+const (
+	// ArchMNIST is the Table-1 MNIST CNN.
+	ArchMNIST = nn.ArchMNIST
+	// ArchEMNIST is the Table-1 E-MNIST CNN.
+	ArchEMNIST = nn.ArchEMNIST
+	// ArchCIFAR100 is the Table-1 CIFAR-100 CNN.
+	ArchCIFAR100 = nn.ArchCIFAR100
+	// ArchTinyMNIST is a fast 14×14 CNN for tests and demos.
+	ArchTinyMNIST = nn.ArchTinyMNIST
+	// ArchSoftmaxMNIST is softmax regression on 14×14 inputs.
+	ArchSoftmaxMNIST = nn.ArchSoftmaxMNIST
+	// ArchTinyCIFAR is a fast 16×16×3 CNN.
+	ArchTinyCIFAR = nn.ArchTinyCIFAR
+)
+
+// Sample is one labelled training example.
+type Sample = nn.Sample
+
+// Dataset is a labelled train/test split.
+type Dataset = data.Dataset
+
+// SyntheticMNIST builds the synthetic 10-class 28×28 dataset standing in
+// for MNIST (scale 1 ≈ 7,000 examples).
+func SyntheticMNIST(seed int64, scale float64) *Dataset { return data.SyntheticMNIST(seed, scale) }
+
+// SyntheticEMNIST builds the synthetic 62-class dataset standing in for
+// E-MNIST.
+func SyntheticEMNIST(seed int64, scale float64) *Dataset { return data.SyntheticEMNIST(seed, scale) }
+
+// SyntheticCIFAR100 builds the synthetic 100-class 32×32×3 dataset.
+func SyntheticCIFAR100(seed int64, scale float64) *Dataset {
+	return data.SyntheticCIFAR100(seed, scale)
+}
+
+// TinyMNIST builds the fast 14×14 dataset used by examples and tests.
+func TinyMNIST(seed int64, trainPerClass, testPerClass int) *Dataset {
+	return data.TinyMNIST(seed, trainPerClass, testPerClass)
+}
+
+// PartitionIID splits samples into random equal local datasets.
+func PartitionIID(rng *rand.Rand, samples []Sample, numUsers int) [][]Sample {
+	return data.PartitionIID(rng, samples, numUsers)
+}
+
+// PartitionNonIID applies the paper's sort-by-label shard scheme.
+func PartitionNonIID(rng *rand.Rand, samples []Sample, numUsers, shardsPerUser int) [][]Sample {
+	return data.PartitionNonIID(rng, samples, numUsers, shardsPerUser)
+}
+
+// ---------------------------------------------------------------------------
+// Simulation engine (§3.2-style controlled-staleness experiments).
+
+// AsyncConfig parameterizes an asynchronous training run.
+type AsyncConfig = core.AsyncConfig
+
+// AsyncResult is the output of an asynchronous training run.
+type AsyncResult = core.AsyncResult
+
+// Controller is the task-admission controller (size/similarity thresholds).
+type Controller = core.Controller
+
+// StalenessSampler draws per-task staleness.
+type StalenessSampler = core.StalenessSampler
+
+// RunAsync executes one asynchronous training run.
+func RunAsync(cfg AsyncConfig, users [][]Sample, test []Sample) *AsyncResult {
+	return core.RunAsync(cfg, users, test)
+}
+
+// GaussianStaleness returns the paper's controlled staleness sampler
+// (D1 = N(6,2), D2 = N(12,4)).
+func GaussianStaleness(mu, sigma float64) StalenessSampler {
+	return core.GaussianStaleness(mu, sigma)
+}
+
+// TraceConfig parameterizes the event-driven simulation where staleness
+// emerges from device computation, network latency and think time.
+type TraceConfig = core.TraceConfig
+
+// TraceResult is the output of an event-driven run.
+type TraceResult = core.TraceResult
+
+// RunTrace executes an event-driven training run.
+func RunTrace(cfg TraceConfig, users [][]Sample, test []Sample) *TraceResult {
+	return core.RunTrace(cfg, users, test)
+}
+
+// DPConfig enables differentially private gradient perturbation (clipping
+// plus Gaussian noise).
+type DPConfig = dp.Config
+
+// DPEpsilon converts (q, σ, T, δ) into ε via the moments accountant.
+func DPEpsilon(q, sigma float64, steps int, delta float64) (float64, error) {
+	return dp.Epsilon(q, sigma, steps, delta)
+}
+
+// DPSigmaFor inverts DPEpsilon: the noise multiplier achieving a target ε.
+func DPSigmaFor(q, targetEps float64, steps int, delta float64) (float64, error) {
+	return dp.SigmaFor(q, targetEps, steps, delta)
+}
+
+// ---------------------------------------------------------------------------
+// Online-FL workload (§3.1).
+
+// TweetStream is the synthetic temporal tweet workload.
+type TweetStream = hashtag.Stream
+
+// TweetStreamConfig parameterizes the generator.
+type TweetStreamConfig = hashtag.StreamConfig
+
+// DefaultTweetStreamConfig returns the Figure-6 configuration.
+func DefaultTweetStreamConfig() TweetStreamConfig { return hashtag.DefaultStreamConfig() }
+
+// GenerateTweetStream builds a deterministic synthetic stream.
+func GenerateTweetStream(cfg TweetStreamConfig) *TweetStream { return hashtag.Generate(cfg) }
+
+// CompareOnlineVsStandard runs the Figure-6 Online-vs-Standard-FL pipeline.
+func CompareOnlineVsStandard(s *TweetStream, lr float64, seed int64, shardDays int) hashtag.CompareResult {
+	return hashtag.CompareOnlineVsStandard(s, lr, seed, shardDays)
+}
+
+// Series is a named (x, y) result curve.
+type Series = metrics.Series
+
+// ---------------------------------------------------------------------------
+// Experiment drivers.
+
+// ExperimentScale selects CI-fast or paper-sized experiment runs.
+type ExperimentScale = experiments.Scale
+
+// Experiment scales.
+const (
+	// ScaleCI finishes in seconds.
+	ScaleCI = experiments.ScaleCI
+	// ScaleFull approximates the paper's workload sizes.
+	ScaleFull = experiments.ScaleFull
+)
+
+// ExperimentReport is the output of one experiment driver.
+type ExperimentReport = experiments.Report
+
+// RunExperiment regenerates one table or figure of the paper by id (e.g.
+// "fig8", "table2"); Experiments lists the known ids.
+func RunExperiment(id string, scale ExperimentScale) (*ExperimentReport, error) {
+	return experiments.Run(id, scale)
+}
+
+// Experiments lists the registered experiment ids.
+func Experiments() []string { return experiments.All() }

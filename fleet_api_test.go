@@ -1,0 +1,135 @@
+package fleet_test
+
+import (
+	"testing"
+
+	"fleet"
+	"fleet/internal/simrand"
+)
+
+// TestPublicAPIRoundTrip exercises the documented public surface end to
+// end: server construction, worker construction, the protocol round trip,
+// and evaluation — the quickstart example as a test.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	srv, err := fleet.NewServer(fleet.ServerConfig{
+		Arch:             fleet.ArchSoftmaxMNIST,
+		Algorithm:        fleet.NewAdaSGD(fleet.AdaSGDConfig{NonStragglerPct: 99.7, BootstrapSteps: 10}),
+		LearningRate:     0.3,
+		DefaultBatchSize: 16,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ds := fleet.TinyMNIST(2, 24, 8)
+	parts := fleet.PartitionNonIID(simrand.New(3), ds.Train, 6, 2)
+	catalogue := fleet.DeviceCatalogue()
+
+	var workers []*fleet.Worker
+	for i, local := range parts {
+		w, err := fleet.NewWorker(fleet.WorkerConfig{
+			ID:     i,
+			Arch:   fleet.ArchSoftmaxMNIST,
+			Local:  local,
+			Device: fleet.NewDevice(catalogue[i], simrand.New(int64(10+i))),
+			Rng:    simrand.New(int64(20 + i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+	}
+
+	eval := fleet.ArchSoftmaxMNIST.Build(simrand.New(4))
+	before := srv.Evaluate(eval, ds.Test)
+	for round := 0; round < 25; round++ {
+		for _, w := range workers {
+			if _, err := w.Step(srv); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	after := srv.Evaluate(eval, ds.Test)
+	if after <= before || after < 0.4 {
+		t.Fatalf("public-API training did not learn: %v -> %v", before, after)
+	}
+
+	stats := srv.Stats()
+	if stats.GradientsIn != 6*25 {
+		t.Fatalf("stats.GradientsIn = %d, want %d", stats.GradientsIn, 6*25)
+	}
+}
+
+func TestPublicAPISimulation(t *testing.T) {
+	ds := fleet.TinyMNIST(5, 24, 8)
+	users := fleet.PartitionIID(simrand.New(6), ds.Train, 8)
+	res := fleet.RunAsync(fleet.AsyncConfig{
+		Arch:         fleet.ArchSoftmaxMNIST,
+		Algorithm:    fleet.DynSGD{},
+		LearningRate: 0.3,
+		BatchSize:    16,
+		Steps:        120,
+		EvalEvery:    60,
+		Staleness:    fleet.GaussianStaleness(6, 2),
+		Seed:         7,
+	}, users, ds.Test)
+	if res.FinalAccuracy < 0.3 {
+		t.Fatalf("simulation accuracy %v", res.FinalAccuracy)
+	}
+	if res.TasksExecuted != 120 {
+		t.Fatalf("tasks %d", res.TasksExecuted)
+	}
+}
+
+func TestPublicAPIDP(t *testing.T) {
+	eps, err := fleet.DPEpsilon(0.01, 2.0, 100, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps <= 0 {
+		t.Fatalf("epsilon %v", eps)
+	}
+	sigma, err := fleet.DPSigmaFor(0.01, eps, 100, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sigma <= 0 {
+		t.Fatalf("sigma %v", sigma)
+	}
+}
+
+func TestPublicAPIExperimentsRegistry(t *testing.T) {
+	ids := fleet.Experiments()
+	if len(ids) < 15 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	rep, err := fleet.RunExperiment("fig5", fleet.ScaleCI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "fig5" || len(rep.Lines) == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestPublicAPIDeviceCatalogue(t *testing.T) {
+	if len(fleet.DeviceCatalogue()) < 20 {
+		t.Fatal("catalogue too small")
+	}
+	m, err := fleet.DeviceByName("Galaxy S7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := fleet.NewDevice(m, simrand.New(1))
+	res := d.Execute(100)
+	if res.LatencySec <= 0 || res.EnergyPct <= 0 {
+		t.Fatal("device execution produced no cost")
+	}
+}
+
+func TestPublicAPIBhattacharyya(t *testing.T) {
+	if got := fleet.Bhattacharyya([]float64{1, 1}, []float64{1, 1}); got < 0.999 {
+		t.Fatalf("BC = %v", got)
+	}
+}

@@ -1,0 +1,242 @@
+// Package caloree implements the CALOREE-style resource manager (Mishra et
+// al., ASPLOS'18) that the paper compares FLeet's static allocation scheme
+// against (§3.4, Table 2, Figure 14).
+//
+// CALOREE profiles a device under every core configuration, keeps only the
+// energy-optimal configurations (the lower convex hull in the
+// speedup × power plane) in a performance hash table (PHT), and at runtime
+// drives the workload through a window-based control loop: each window it
+// re-estimates the workload's base speed from observed progress and picks
+// the minimum-energy configuration (or mixture of two hull neighbours)
+// whose *predicted* speed meets the remaining deadline.
+//
+// The control loop corrects the base-speed estimate but necessarily trusts
+// the PHT's relative speedups — so when the PHT was built on a different
+// device model whose big/LITTLE speed ratios differ (e.g. another vendor),
+// the mixtures it schedules are persistently wrong. That is the effect
+// Table 2 quantifies.
+package caloree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fleet/internal/device"
+)
+
+// PHT is CALOREE's performance hash table: the lower convex hull of
+// configuration profiles in the (speedup, power) plane, plus the base speed
+// measured on the profiled device.
+type PHT struct {
+	// SourceModel is the device model the PHT was collected on.
+	SourceModel string
+	// Hull is sorted by ascending speedup; only energy-optimal
+	// configurations survive.
+	Hull []device.ConfigProfile
+	// BaseAlpha is the measured seconds-per-sample of the profiled device
+	// on its default configuration.
+	BaseAlpha float64
+}
+
+// BuildPHT profiles a model: it measures the default-configuration slope on
+// a probe workload and computes the lower convex hull of all configuration
+// profiles.
+func BuildPHT(m device.Model, rng *rand.Rand) *PHT {
+	d := device.New(m, rng)
+	const probe = 400
+	// Median of several probe runs to de-noise the base slope.
+	lat := make([]float64, 0, 5)
+	for i := 0; i < 5; i++ {
+		lat = append(lat, d.Execute(probe).LatencySec)
+		d.Idle(120)
+	}
+	sort.Float64s(lat)
+	baseAlpha := lat[len(lat)/2] / probe
+
+	return &PHT{
+		SourceModel: m.Name,
+		Hull:        lowerHull(m.Profile()),
+		BaseAlpha:   baseAlpha,
+	}
+}
+
+// lowerHull keeps the configurations on the lower convex hull of power as a
+// function of speedup: for every achievable speed, the minimum-power way to
+// reach it (possibly as a mixture of two hull points).
+func lowerHull(profiles []device.ConfigProfile) []device.ConfigProfile {
+	if len(profiles) == 0 {
+		return nil
+	}
+	sorted := make([]device.ConfigProfile, len(profiles))
+	copy(sorted, profiles)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Speedup != sorted[j].Speedup {
+			return sorted[i].Speedup < sorted[j].Speedup
+		}
+		return sorted[i].PowerW < sorted[j].PowerW
+	})
+	// Deduplicate equal speedups keeping the cheapest.
+	dedup := sorted[:0]
+	for _, p := range sorted {
+		if len(dedup) > 0 && dedup[len(dedup)-1].Speedup == p.Speedup {
+			continue
+		}
+		dedup = append(dedup, p)
+	}
+	// Andrew's monotone chain, lower hull in (speedup, power).
+	var hull []device.ConfigProfile
+	for _, p := range dedup {
+		for len(hull) >= 2 && cross(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull
+}
+
+func cross(o, a, b device.ConfigProfile) float64 {
+	return (a.Speedup-o.Speedup)*(b.PowerW-o.PowerW) - (a.PowerW-o.PowerW)*(b.Speedup-o.Speedup)
+}
+
+// RunResult is the outcome of one CALOREE-controlled workload execution.
+type RunResult struct {
+	// LatencySec is the total execution time including switch overheads.
+	LatencySec float64
+	// EnergyPct is the total battery percentage consumed.
+	EnergyPct float64
+	// DeadlineErrPct is |latency − deadline| / deadline × 100 (Table 2's
+	// metric).
+	DeadlineErrPct float64
+	// Switches counts configuration changes.
+	Switches int
+}
+
+// Controller drives workloads under a PHT. Configuration-switch penalties
+// are charged by the device itself (they are a property of the vendor's
+// scheduler, not of the controller).
+type Controller struct {
+	PHT *PHT
+	// Windows is the number of control windows per run (default 5).
+	Windows int
+}
+
+// NewController builds a controller with the paper-calibrated defaults.
+func NewController(pht *PHT) *Controller {
+	return &Controller{PHT: pht, Windows: 5}
+}
+
+// Run executes a gradient computation of batchSize samples on d, steering
+// core configurations so the run completes as close to deadlineSec as
+// possible while minimizing energy.
+func (c *Controller) Run(d *device.Device, batchSize int, deadlineSec float64) RunResult {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	windows := c.Windows
+	if windows <= 0 {
+		windows = 1
+	}
+	hull := c.PHT.Hull
+	if len(hull) == 0 {
+		panic("caloree: empty PHT hull")
+	}
+
+	alphaEst := c.PHT.BaseAlpha // believed sec/sample at speedup 1
+	remaining := batchSize
+	elapsed := 0.0
+	energy := 0.0
+	switchesBefore := d.Switches()
+
+	for w := 0; w < windows && remaining > 0; w++ {
+		windowsLeft := windows - w
+		work := remaining / windowsLeft
+		if work < 1 {
+			work = 1
+		}
+		timeLeft := deadlineSec - elapsed
+		if timeLeft < 1e-3 {
+			timeLeft = 1e-3
+		}
+		// Required speedup so the remaining work meets the deadline.
+		required := float64(remaining) * alphaEst / timeLeft
+		lo, hi, frac := c.pick(required)
+
+		// Execute the window, possibly split between two hull neighbours.
+		workLo := int(float64(work) * frac)
+		workHi := work - workLo
+		for _, part := range []struct {
+			n   int
+			cfg device.CoreConfig
+			sp  float64
+		}{{workLo, hull[lo].Config, hull[lo].Speedup}, {workHi, hull[hi].Config, hull[hi].Speedup}} {
+			if part.n <= 0 {
+				continue
+			}
+			res := d.ExecuteWithConfig(part.n, part.cfg)
+			elapsed += res.LatencySec
+			energy += res.EnergyPct
+			// Feedback: re-estimate the base slope from observed progress,
+			// mapped through the PHT's *assumed* speedup for this config.
+			observedAlpha := res.LatencySec * part.sp / float64(part.n)
+			alphaEst = 0.5*alphaEst + 0.5*observedAlpha
+		}
+		remaining -= work
+	}
+	switches := d.Switches() - switchesBefore
+	errPct := (elapsed - deadlineSec) / deadlineSec * 100
+	if errPct < 0 {
+		errPct = -errPct
+	}
+	return RunResult{
+		LatencySec:     elapsed,
+		EnergyPct:      energy,
+		DeadlineErrPct: errPct,
+		Switches:       switches,
+	}
+}
+
+// pick selects the hull segment for a required speedup: the indices of the
+// two neighbouring hull points bracketing it and the fraction of work to
+// run on the slower one. required below the hull minimum pins to the
+// cheapest point; above the maximum pins to the fastest.
+func (c *Controller) pick(required float64) (lo, hi int, fracLo float64) {
+	hull := c.PHT.Hull
+	if required <= hull[0].Speedup {
+		return 0, 0, 1
+	}
+	last := len(hull) - 1
+	if required >= hull[last].Speedup {
+		return last, last, 0
+	}
+	for i := 0; i < last; i++ {
+		s1, s2 := hull[i].Speedup, hull[i+1].Speedup
+		if required >= s1 && required <= s2 {
+			// Time-weighted mixture achieving the required average rate:
+			// run fraction f of the *work* at s1 so that total time matches
+			// the deadline segment: f/s1 + (1-f)/s2 = 1/required.
+			f := (1/required - 1/s2) / (1/s1 - 1/s2)
+			if f < 0 {
+				f = 0
+			}
+			if f > 1 {
+				f = 1
+			}
+			return i, i + 1, f
+		}
+	}
+	return last, last, 0
+}
+
+// FLeetRun is FLeet's static scheme (§2.4) on the same workload: one run on
+// the default configuration (big cores on big.LITTLE, all cores otherwise).
+func FLeetRun(d *device.Device, batchSize int) RunResult {
+	res := d.Execute(batchSize)
+	return RunResult{LatencySec: res.LatencySec, EnergyPct: res.EnergyPct}
+}
+
+// String renders a result row.
+func (r RunResult) String() string {
+	return fmt.Sprintf("latency=%.2fs energy=%.4f%% deadlineErr=%.1f%% switches=%d",
+		r.LatencySec, r.EnergyPct, r.DeadlineErrPct, r.Switches)
+}

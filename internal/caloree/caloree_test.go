@@ -1,0 +1,189 @@
+package caloree
+
+import (
+	"testing"
+
+	"fleet/internal/device"
+	"fleet/internal/metrics"
+	"fleet/internal/simrand"
+)
+
+func model(t *testing.T, name string) device.Model {
+	t.Helper()
+	m, err := device.ModelByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBuildPHTBasics(t *testing.T) {
+	m := model(t, "Galaxy S7")
+	pht := BuildPHT(m, simrand.New(1))
+	if pht.SourceModel != "Galaxy S7" {
+		t.Fatal("source model")
+	}
+	if len(pht.Hull) == 0 {
+		t.Fatal("empty hull")
+	}
+	// BaseAlpha should be near the true slope (median of probes).
+	if pht.BaseAlpha < 0.004 || pht.BaseAlpha > 0.009 {
+		t.Fatalf("BaseAlpha %v, want ≈0.006", pht.BaseAlpha)
+	}
+}
+
+func TestHullIsMonotoneAndConvex(t *testing.T) {
+	m := model(t, "Galaxy S7")
+	pht := BuildPHT(m, simrand.New(2))
+	for i := 1; i < len(pht.Hull); i++ {
+		if pht.Hull[i].Speedup <= pht.Hull[i-1].Speedup {
+			t.Fatal("hull speedups not strictly increasing")
+		}
+		if pht.Hull[i].PowerW <= pht.Hull[i-1].PowerW {
+			t.Fatal("hull power must increase with speedup (lower hull)")
+		}
+	}
+	// Every profile point must lie on or above the hull.
+	for _, p := range m.Profile() {
+		h := hullPowerAt(pht.Hull, p.Speedup)
+		if p.PowerW < h-1e-9 {
+			t.Fatalf("profile %+v below hull (%v)", p, h)
+		}
+	}
+}
+
+func hullPowerAt(hull []device.ConfigProfile, speedup float64) float64 {
+	if speedup <= hull[0].Speedup {
+		return hull[0].PowerW
+	}
+	for i := 0; i+1 < len(hull); i++ {
+		s1, s2 := hull[i].Speedup, hull[i+1].Speedup
+		if speedup >= s1 && speedup <= s2 {
+			f := (speedup - s1) / (s2 - s1)
+			return hull[i].PowerW + f*(hull[i+1].PowerW-hull[i].PowerW)
+		}
+	}
+	return hull[len(hull)-1].PowerW
+}
+
+func TestSameDeviceMeetsDeadline(t *testing.T) {
+	// Table 2 row 1: trained and run on Galaxy S7 -> small deadline error.
+	m := model(t, "Galaxy S7")
+	pht := BuildPHT(m, simrand.New(3))
+	var errs []float64
+	for i := 0; i < 20; i++ {
+		d := device.New(m, simrand.New(int64(10+i)))
+		ctrl := NewController(pht)
+		// Deadline: the expected default-config latency (always feasible).
+		deadline := pht.BaseAlpha * 2000 * 1.1
+		res := ctrl.Run(d, 2000, deadline)
+		errs = append(errs, res.DeadlineErrPct)
+	}
+	if med := metrics.Median(errs); med > 12 {
+		t.Fatalf("same-device median deadline error %v%%, want small", med)
+	}
+}
+
+func TestForeignVendorErrorEscalates(t *testing.T) {
+	// Table 2: PHT from Galaxy S7 run on Honor devices (different vendor,
+	// different big/LITTLE ratios) must have much larger error than on the
+	// same device.
+	s7 := model(t, "Galaxy S7")
+	pht := BuildPHT(s7, simrand.New(4))
+	run := func(name string) float64 {
+		m := model(t, name)
+		var errs []float64
+		for i := 0; i < 20; i++ {
+			d := device.New(m, simrand.New(int64(100+i)))
+			ctrl := NewController(pht)
+			deadline := pht.BaseAlpha * 2000 * 1.1
+			errs = append(errs, ctrl.Run(d, 2000, deadline).DeadlineErrPct)
+		}
+		return metrics.Median(errs)
+	}
+	same := run("Galaxy S7")
+	honor10 := run("Honor 10")
+	if honor10 < 4*same {
+		t.Fatalf("Honor 10 error %v%% should dwarf same-device error %v%%", honor10, same)
+	}
+}
+
+func TestMixtureMeetsIntermediateSpeedups(t *testing.T) {
+	m := model(t, "Galaxy S7")
+	pht := BuildPHT(m, simrand.New(5))
+	ctrl := NewController(pht)
+	// A required speedup strictly between two hull points must produce a
+	// valid mixture.
+	if len(pht.Hull) < 2 {
+		t.Skip("hull too small")
+	}
+	mid := (pht.Hull[0].Speedup + pht.Hull[1].Speedup) / 2
+	lo, hi, f := ctrl.pick(mid)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("pick(%v) = %d,%d", mid, lo, hi)
+	}
+	if f <= 0 || f >= 1 {
+		t.Fatalf("mixture fraction %v, want in (0,1)", f)
+	}
+	// Mixture must achieve the required average rate: f/s1+(1-f)/s2 = 1/mid.
+	s1, s2 := pht.Hull[0].Speedup, pht.Hull[1].Speedup
+	got := f/s1 + (1-f)/s2
+	want := 1 / mid
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("mixture rate %v, want %v", got, want)
+	}
+}
+
+func TestPickClamps(t *testing.T) {
+	m := model(t, "Galaxy S7")
+	pht := BuildPHT(m, simrand.New(6))
+	ctrl := NewController(pht)
+	lo, hi, f := ctrl.pick(0.0001)
+	if lo != 0 || hi != 0 || f != 1 {
+		t.Fatalf("below-min pick = %d,%d,%v", lo, hi, f)
+	}
+	last := len(pht.Hull) - 1
+	lo, hi, f = ctrl.pick(1e9)
+	if lo != last || hi != last || f != 0 {
+		t.Fatalf("above-max pick = %d,%d,%v", lo, hi, f)
+	}
+}
+
+func TestFLeetRunUsesDefaultConfig(t *testing.T) {
+	m := model(t, "Galaxy S7")
+	d1 := device.New(m, simrand.New(7))
+	d2 := device.New(m, simrand.New(7))
+	r := FLeetRun(d1, 500)
+	e := d2.Execute(500)
+	if r.LatencySec != e.LatencySec || r.EnergyPct != e.EnergyPct {
+		t.Fatal("FLeetRun must match plain Execute")
+	}
+}
+
+func TestFLeetEnergyComparableToCaloree(t *testing.T) {
+	// Figure 14: even in CALOREE's ideal setting (trained and run on the
+	// same device), FLeet's static big-core allocation has comparable
+	// energy.
+	m := model(t, "Galaxy S7")
+	pht := BuildPHT(m, simrand.New(8))
+	var fleetE, calE []float64
+	for i := 0; i < 20; i++ {
+		df := device.New(m, simrand.New(int64(200+i)))
+		fleetE = append(fleetE, FLeetRun(df, 2000).EnergyPct)
+		dc := device.New(m, simrand.New(int64(200+i)))
+		ctrl := NewController(pht)
+		deadline := pht.BaseAlpha * 2000 * 2 // double budget, like the paper
+		calE = append(calE, ctrl.Run(dc, 2000, deadline).EnergyPct)
+	}
+	fm, cm := metrics.Median(fleetE), metrics.Median(calE)
+	if fm > cm*1.3 {
+		t.Fatalf("FLeet energy %v should be within 1.3x of CALOREE %v", fm, cm)
+	}
+}
+
+func TestRunResultString(t *testing.T) {
+	r := RunResult{LatencySec: 1, EnergyPct: 0.1, DeadlineErrPct: 5, Switches: 2}
+	if r.String() == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,190 @@
+// Package compress implements gradient compression for FLeet's uplink. The
+// paper notes (§4) that communication-reduction techniques are orthogonal
+// to Online FL and can be plugged into the middleware; this package makes
+// that concrete with the two standard schemes:
+//
+//   - top-k sparsification: transmit only the k largest-magnitude
+//     coordinates (with client-side error feedback so the dropped mass is
+//     not lost, merely delayed);
+//   - stochastic uniform quantization: map each value to one of 2^bits
+//     levels with unbiased rounding.
+//
+// Both produce a compact wire form (Sparse / Quantized) that the server
+// decodes back into a dense gradient before Equation 3.
+package compress
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Sparse is a top-k sparsified gradient: parallel index/value arrays plus
+// the dense length.
+type Sparse struct {
+	Len     int       `json:"len"`
+	Indices []int32   `json:"indices"`
+	Values  []float64 `json:"values"`
+}
+
+// TopK keeps the k largest-magnitude coordinates of grad. k is clamped to
+// [1, len(grad)]. The input is not modified.
+func TopK(grad []float64, k int) Sparse {
+	n := len(grad)
+	if n == 0 {
+		return Sparse{}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	// Partial selection: full sort is fine at these sizes and keeps the
+	// output deterministic (ties broken by index).
+	sort.SliceStable(idx, func(a, b int) bool {
+		return math.Abs(grad[idx[a]]) > math.Abs(grad[idx[b]])
+	})
+	out := Sparse{Len: n, Indices: make([]int32, k), Values: make([]float64, k)}
+	copy(out.Indices, idx[:k])
+	sort.Slice(out.Indices, func(a, b int) bool { return out.Indices[a] < out.Indices[b] })
+	for i, id := range out.Indices {
+		out.Values[i] = grad[id]
+	}
+	return out
+}
+
+// Dense reconstructs the dense gradient (zeros elsewhere).
+func (s Sparse) Dense() []float64 {
+	out := make([]float64, s.Len)
+	for i, id := range s.Indices {
+		out[id] = s.Values[i]
+	}
+	return out
+}
+
+// CompressionRatio returns dense/compressed size (coordinate count based).
+func (s Sparse) CompressionRatio() float64 {
+	if len(s.Indices) == 0 {
+		return 0
+	}
+	return float64(s.Len) / float64(len(s.Indices))
+}
+
+// ErrorFeedback accumulates the compression residual on the worker: the
+// next gradient is corrected by what previous transmissions dropped
+// (memory-augmented SGD). One instance per worker.
+type ErrorFeedback struct {
+	residual []float64
+	k        int
+}
+
+// NewErrorFeedback builds an error-feedback compressor keeping k
+// coordinates per transmission for gradients of the given length.
+func NewErrorFeedback(length, k int) *ErrorFeedback {
+	if length <= 0 || k <= 0 {
+		panic(fmt.Sprintf("compress: invalid error feedback (length=%d k=%d)", length, k))
+	}
+	return &ErrorFeedback{residual: make([]float64, length), k: k}
+}
+
+// Compress adds the carried residual to grad, transmits top-k of the sum,
+// and retains the rest as the new residual. The input is not modified.
+func (e *ErrorFeedback) Compress(grad []float64) Sparse {
+	if len(grad) != len(e.residual) {
+		panic(fmt.Sprintf("compress: gradient length %d, feedback expects %d", len(grad), len(e.residual)))
+	}
+	corrected := make([]float64, len(grad))
+	for i, g := range grad {
+		corrected[i] = g + e.residual[i]
+	}
+	sparse := TopK(corrected, e.k)
+	copy(e.residual, corrected)
+	for _, id := range sparse.Indices {
+		e.residual[id] = 0
+	}
+	return sparse
+}
+
+// ResidualNorm returns the L2 norm of the carried residual (diagnostics).
+func (e *ErrorFeedback) ResidualNorm() float64 {
+	s := 0.0
+	for _, v := range e.residual {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Quantized is a stochastically quantized gradient: per-tensor min/max and
+// one level index per coordinate.
+type Quantized struct {
+	Min    float64  `json:"min"`
+	Max    float64  `json:"max"`
+	Bits   uint8    `json:"bits"`
+	Levels []uint16 `json:"levels"`
+}
+
+// Quantize maps grad onto 2^bits uniform levels over [min, max] with
+// unbiased stochastic rounding. bits must be in [1, 16].
+func Quantize(rng *rand.Rand, grad []float64, bits uint8) Quantized {
+	if bits < 1 || bits > 16 {
+		panic(fmt.Sprintf("compress: bits=%d outside [1, 16]", bits))
+	}
+	q := Quantized{Bits: bits, Levels: make([]uint16, len(grad))}
+	if len(grad) == 0 {
+		return q
+	}
+	q.Min, q.Max = grad[0], grad[0]
+	for _, v := range grad {
+		if v < q.Min {
+			q.Min = v
+		}
+		if v > q.Max {
+			q.Max = v
+		}
+	}
+	if q.Max == q.Min {
+		return q // all levels zero; Dense restores the constant
+	}
+	levels := float64(uint32(1)<<bits - 1)
+	scale := levels / (q.Max - q.Min)
+	for i, v := range grad {
+		exact := (v - q.Min) * scale
+		lo := math.Floor(exact)
+		frac := exact - lo
+		level := lo
+		if rng.Float64() < frac {
+			level = lo + 1
+		}
+		if level > levels {
+			level = levels
+		}
+		q.Levels[i] = uint16(level)
+	}
+	return q
+}
+
+// Dense reconstructs the (approximate) gradient.
+func (q Quantized) Dense() []float64 {
+	out := make([]float64, len(q.Levels))
+	if q.Max == q.Min {
+		for i := range out {
+			out[i] = q.Min
+		}
+		return out
+	}
+	levels := float64(uint32(1)<<q.Bits - 1)
+	step := (q.Max - q.Min) / levels
+	for i, l := range q.Levels {
+		out[i] = q.Min + float64(l)*step
+	}
+	return out
+}
+
+// BitsPerCoordinate returns the wire cost per coordinate (vs 64 dense).
+func (q Quantized) BitsPerCoordinate() float64 { return float64(q.Bits) }

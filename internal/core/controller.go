@@ -1,0 +1,67 @@
+package core
+
+import (
+	"sync"
+
+	"fleet/internal/metrics"
+)
+
+// Controller implements FLeet's learning-task admission control (§2.4,
+// §3.5): it rejects tasks whose mini-batch size is too small (noisy, low
+// utility) or whose label similarity is too high (redundant information),
+// before the gradient is computed and energy is spent.
+//
+// Thresholds are percentile-based over the history of past values, exactly
+// like the Figure-15 experiment: a task is rejected when its mini-batch
+// size falls below the SizePercentile of past sizes, or when its similarity
+// exceeds the (100−SimilarityPercentile) of past similarities (dropping the
+// *most similar* gradients).
+type Controller struct {
+	// SizePercentile in [0, 100); 0 disables size pruning.
+	SizePercentile float64
+	// SimilarityPercentile in [0, 100); 0 disables similarity pruning.
+	SimilarityPercentile float64
+	// MinHistory is how many admissions must be observed before pruning
+	// kicks in (default 20).
+	MinHistory int
+
+	mu    sync.Mutex
+	sizes []float64
+	sims  []float64
+}
+
+// Admit decides whether a learning task should execute, and records the
+// task's values in the history either way.
+func (c *Controller) Admit(batchSize int, similarity float64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	minHist := c.MinHistory
+	if minHist <= 0 {
+		minHist = 20
+	}
+	admit := true
+	if len(c.sizes) >= minHist {
+		if c.SizePercentile > 0 {
+			thr := metrics.Percentile(c.sizes, c.SizePercentile)
+			if float64(batchSize) < thr {
+				admit = false
+			}
+		}
+		if admit && c.SimilarityPercentile > 0 {
+			thr := metrics.Percentile(c.sims, 100-c.SimilarityPercentile)
+			if similarity > thr {
+				admit = false
+			}
+		}
+	}
+	c.sizes = append(c.sizes, float64(batchSize))
+	c.sims = append(c.sims, similarity)
+	return admit
+}
+
+// HistoryLen returns how many tasks the controller has seen.
+func (c *Controller) HistoryLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sizes)
+}

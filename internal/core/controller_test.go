@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestControllerNoThresholdsAdmitsAll(t *testing.T) {
+	var c Controller
+	for i := 0; i < 100; i++ {
+		if !c.Admit(i%7+1, float64(i%10)/10) {
+			t.Fatal("threshold-free controller must admit everything")
+		}
+	}
+	if c.HistoryLen() != 100 {
+		t.Fatalf("history %d, want 100", c.HistoryLen())
+	}
+}
+
+func TestControllerWarmupAdmitsAll(t *testing.T) {
+	c := Controller{SizePercentile: 90, MinHistory: 50}
+	for i := 0; i < 50; i++ {
+		if !c.Admit(1, 1) { // tiny batches, maximal similarity
+			t.Fatalf("request %d rejected during warmup", i)
+		}
+	}
+}
+
+func TestControllerSizeThreshold(t *testing.T) {
+	c := Controller{SizePercentile: 50, MinHistory: 10}
+	// History: batches 1..20.
+	for i := 1; i <= 20; i++ {
+		c.Admit(i, 0.5)
+	}
+	if c.Admit(2, 0.5) {
+		t.Fatal("batch 2 is below the median of history; must be rejected")
+	}
+	if !c.Admit(100, 0.5) {
+		t.Fatal("large batch must pass")
+	}
+}
+
+func TestControllerSimilarityThreshold(t *testing.T) {
+	c := Controller{SimilarityPercentile: 50, MinHistory: 10}
+	// History: similarities 0.0 .. 0.95.
+	for i := 0; i < 20; i++ {
+		c.Admit(10, float64(i)*0.05)
+	}
+	if c.Admit(10, 0.99) {
+		t.Fatal("most-similar task must be rejected")
+	}
+	if !c.Admit(10, 0.01) {
+		t.Fatal("novel task must pass")
+	}
+}
+
+func TestControllerRejectedStillRecorded(t *testing.T) {
+	c := Controller{SizePercentile: 50, MinHistory: 5}
+	for i := 1; i <= 10; i++ {
+		c.Admit(i*10, 0.5)
+	}
+	before := c.HistoryLen()
+	c.Admit(1, 0.5) // rejected
+	if c.HistoryLen() != before+1 {
+		t.Fatal("rejected tasks must still enter the history")
+	}
+}

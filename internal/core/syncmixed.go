@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"fleet/internal/data"
+	"fleet/internal/metrics"
+	"fleet/internal/nn"
+	"fleet/internal/simrand"
+)
+
+// SyncMixedConfig parameterizes the Figure-3 experiment: synchronous
+// distributed SGD where each step aggregates one gradient from every
+// worker, and workers differ only in mini-batch size ("strong" n=128 vs
+// "weak" n=1). Weak workers inject high-variance gradients that can cancel
+// the benefit of distributed learning — the motivation for lower-bounding
+// the mini-batch size (§2.2).
+type SyncMixedConfig struct {
+	Arch nn.Arch
+	// StrongWorkers and WeakWorkers are the population counts.
+	StrongWorkers int
+	WeakWorkers   int
+	// StrongBatch and WeakBatch are the respective mini-batch sizes
+	// (paper: 128 and 1).
+	StrongBatch  int
+	WeakBatch    int
+	LearningRate float64
+	Steps        int
+	EvalEvery    int
+	Seed         int64
+}
+
+// RunSyncMixed trains with equal-weight gradient averaging across all
+// workers (each drawing IID batches from the shared training set) and
+// returns test accuracy vs. step.
+func RunSyncMixed(cfg SyncMixedConfig, train, test []nn.Sample) *metrics.Series {
+	if cfg.StrongWorkers+cfg.WeakWorkers == 0 {
+		panic("core: RunSyncMixed needs at least one worker")
+	}
+	rng := simrand.New(cfg.Seed)
+	global := cfg.Arch.Build(simrand.New(cfg.Seed + 1))
+	worker := cfg.Arch.Build(simrand.New(cfg.Seed + 1))
+
+	series := &metrics.Series{Name: fmt.Sprintf("%d strong + %d weak", cfg.StrongWorkers, cfg.WeakWorkers)}
+	params := global.ParamCount()
+	accum := make([]float64, params)
+	workers := cfg.StrongWorkers + cfg.WeakWorkers
+
+	for t := 1; t <= cfg.Steps; t++ {
+		for i := range accum {
+			accum[i] = 0
+		}
+		snapshot := global.ParamVector()
+		for w := 0; w < workers; w++ {
+			batchSize := cfg.StrongBatch
+			if w >= cfg.StrongWorkers {
+				batchSize = cfg.WeakBatch
+			}
+			worker.SetParams(snapshot)
+			batch := data.SampleBatch(rng, train, batchSize)
+			grad, _ := worker.Gradient(batch)
+			for i, g := range grad {
+				accum[i] += g
+			}
+		}
+		inv := 1.0 / float64(workers)
+		for i := range accum {
+			accum[i] *= inv
+		}
+		global.ApplyGradient(accum, cfg.LearningRate)
+		if cfg.EvalEvery > 0 && t%cfg.EvalEvery == 0 {
+			series.Add(float64(t), global.Accuracy(test))
+		}
+	}
+	if cfg.EvalEvery <= 0 || cfg.Steps%cfg.EvalEvery != 0 {
+		series.Add(float64(cfg.Steps), global.Accuracy(test))
+	}
+	return series
+}

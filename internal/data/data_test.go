@@ -1,0 +1,212 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fleet/internal/nn"
+	"fleet/internal/simrand"
+	"fleet/internal/tensor"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := TinyMNIST(7, 3, 1)
+	b := TinyMNIST(7, 3, 1)
+	if len(a.Train) != len(b.Train) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Train {
+		if a.Train[i].Label != b.Train[i].Label {
+			t.Fatal("labels differ for same seed")
+		}
+		ad, bd := a.Train[i].X.Data(), b.Train[i].X.Data()
+		for j := range ad {
+			if ad[j] != bd[j] {
+				t.Fatal("pixels differ for same seed")
+			}
+		}
+	}
+}
+
+func TestGenerateShapesAndScaling(t *testing.T) {
+	ds := TinyMNIST(1, 5, 2)
+	if len(ds.Train) != 50 || len(ds.Test) != 20 {
+		t.Fatalf("split sizes %d/%d, want 50/20", len(ds.Train), len(ds.Test))
+	}
+	for _, s := range ds.Train {
+		sh := s.X.Shape()
+		if sh[0] != 1 || sh[1] != 14 || sh[2] != 14 {
+			t.Fatalf("shape %v", sh)
+		}
+		for _, v := range s.X.Data() {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %v outside [0,1]", v)
+			}
+		}
+	}
+}
+
+func TestGenerateAllClassesPresent(t *testing.T) {
+	ds := TinyMNIST(2, 4, 2)
+	counts := LabelCounts(ds.Train, ds.Classes)
+	for k, c := range counts {
+		if c != 4 {
+			t.Fatalf("class %d has %d train samples, want 4", k, c)
+		}
+	}
+}
+
+func TestDatasetIsLearnable(t *testing.T) {
+	// The synthetic generator must produce a dataset a linear model can
+	// separate well above chance; otherwise every downstream experiment is
+	// meaningless.
+	ds := TinyMNIST(3, 20, 10)
+	rng := simrand.New(4)
+	net := nn.ArchSoftmaxMNIST.Build(rng)
+	for step := 0; step < 150; step++ {
+		batch := SampleBatch(rng, ds.Train, 32)
+		grad, _ := net.Gradient(batch)
+		net.ApplyGradient(grad, 0.5)
+	}
+	if acc := net.Accuracy(ds.Test); acc < 0.5 {
+		t.Fatalf("test accuracy %v after training, want >= 0.5 (chance is 0.1)", acc)
+	}
+}
+
+func TestSyntheticVariantsBuild(t *testing.T) {
+	m := SyntheticMNIST(1, 0.01)
+	if m.Classes != 10 {
+		t.Errorf("mnist classes %d", m.Classes)
+	}
+	e := SyntheticEMNIST(1, 0.01)
+	if e.Classes != 62 {
+		t.Errorf("emnist classes %d", e.Classes)
+	}
+	c := SyntheticCIFAR100(1, 0.01)
+	if c.Classes != 100 {
+		t.Errorf("cifar100 classes %d", c.Classes)
+	}
+	if sh := c.Train[0].X.Shape(); sh[0] != 3 || sh[1] != 32 || sh[2] != 32 {
+		t.Errorf("cifar shape %v", sh)
+	}
+	tc := TinyCIFAR(1, 2, 1)
+	if sh := tc.Train[0].X.Shape(); sh[0] != 3 || sh[1] != 16 || sh[2] != 16 {
+		t.Errorf("tiny-cifar shape %v", sh)
+	}
+}
+
+func TestPartitionIIDCoversAll(t *testing.T) {
+	ds := TinyMNIST(5, 6, 1)
+	rng := simrand.New(6)
+	parts := PartitionIID(rng, ds.Train, 7)
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != len(ds.Train) {
+		t.Fatalf("partition covers %d of %d", total, len(ds.Train))
+	}
+	// IID partitions should contain several distinct labels.
+	for u, p := range parts {
+		distinct := 0
+		for _, c := range LabelCounts(p, ds.Classes) {
+			if c > 0 {
+				distinct++
+			}
+		}
+		if distinct < 3 {
+			t.Errorf("user %d has only %d distinct labels, expected IID spread", u, distinct)
+		}
+	}
+}
+
+func TestPartitionNonIIDIsSkewed(t *testing.T) {
+	ds := TinyMNIST(7, 20, 1)
+	rng := simrand.New(8)
+	parts := PartitionNonIID(rng, ds.Train, 10, 2)
+	total := 0
+	for u, p := range parts {
+		total += len(p)
+		distinct := 0
+		for _, c := range LabelCounts(p, ds.Classes) {
+			if c > 0 {
+				distinct++
+			}
+		}
+		// Two shards -> at most ~3 labels per user (shard may straddle a
+		// label boundary).
+		if distinct > 4 {
+			t.Errorf("user %d has %d distinct labels; non-IID skew lost", u, distinct)
+		}
+	}
+	if total != len(ds.Train) {
+		t.Fatalf("partition covers %d of %d", total, len(ds.Train))
+	}
+}
+
+func TestPartitionNonIIDPanicsWhenTooSparse(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ds := TinyMNIST(9, 1, 1)
+	PartitionNonIID(simrand.New(1), ds.Train[:3], 10, 2)
+}
+
+func TestSampleBatchWithoutReplacement(t *testing.T) {
+	ds := TinyMNIST(10, 3, 1)
+	rng := simrand.New(11)
+	local := ds.Train[:10]
+	batch := SampleBatch(rng, local, 10)
+	seen := map[*tensor.Tensor]int{}
+	for _, s := range batch {
+		seen[s.X]++
+	}
+	for _, c := range seen {
+		if c > 1 {
+			t.Fatal("duplicate sample when n <= len(local)")
+		}
+	}
+}
+
+func TestSampleBatchWithReplacement(t *testing.T) {
+	ds := TinyMNIST(12, 1, 1)
+	rng := simrand.New(13)
+	local := ds.Train[:2]
+	batch := SampleBatch(rng, local, 50)
+	if len(batch) != 50 {
+		t.Fatalf("batch size %d, want 50", len(batch))
+	}
+}
+
+func TestSampleBatchProperty(t *testing.T) {
+	ds := TinyMNIST(14, 5, 1)
+	rng := simrand.New(15)
+	err := quick.Check(func(n uint8) bool {
+		size := int(n%60) + 1
+		b := SampleBatch(rng, ds.Train, size)
+		return len(b) == size
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabelCounts(t *testing.T) {
+	samples := []nn.Sample{{Label: 0}, {Label: 2}, {Label: 2}}
+	got := LabelCounts(samples, 3)
+	if got[0] != 1 || got[1] != 0 || got[2] != 2 {
+		t.Fatalf("LabelCounts = %v", got)
+	}
+}
+
+func TestMinMaxScaleConstantInput(t *testing.T) {
+	v := []float64{3, 3, 3}
+	minMaxScale(v)
+	for _, x := range v {
+		if x != 0 {
+			t.Fatalf("constant input should scale to zeros, got %v", v)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package device
+
+import "fmt"
+
+// CoreConfig is a resource-allocation choice: how many big and little cores
+// execute the gradient computation. On non-rooted Android this is the only
+// knob FLeet can turn (§2.4).
+type CoreConfig struct {
+	Big    int
+	Little int
+}
+
+// String implements fmt.Stringer.
+func (c CoreConfig) String() string { return fmt.Sprintf("%db%dL", c.Big, c.Little) }
+
+// Relative per-core characteristics of big vs LITTLE cores for
+// embarrassingly parallel compute (gradient computation): big cores are
+// ~2.8× faster and draw ~2.2× the power, which makes them more
+// energy-efficient per unit of work (§2.4, [32]).
+const (
+	bigCoreSpeed           = 1.0
+	defaultLittleCoreSpeed = 0.35
+	bigCorePowerW          = 1.0
+	littleCorePowerW       = 0.45
+	basePowerW             = 0.30
+)
+
+// littleSpeed returns the model's per-core LITTLE throughput.
+func (m Model) littleSpeed() float64 {
+	if m.LittleSpeed > 0 {
+		return m.LittleSpeed
+	}
+	return defaultLittleCoreSpeed
+}
+
+// Configs enumerates the valid core allocations of a model: every non-empty
+// combination of big and little core counts.
+func (m Model) Configs() []CoreConfig {
+	var out []CoreConfig
+	for b := 0; b <= m.BigCores; b++ {
+		for l := 0; l <= m.LittleCores; l++ {
+			if b == 0 && l == 0 {
+				continue
+			}
+			out = append(out, CoreConfig{Big: b, Little: l})
+		}
+	}
+	return out
+}
+
+// DefaultConfig is FLeet's static allocation scheme (§2.4): only the big
+// cores on big.LITTLE parts, all cores on symmetric parts.
+func (m Model) DefaultConfig() CoreConfig {
+	if m.BigCores > 0 {
+		return CoreConfig{Big: m.BigCores}
+	}
+	return CoreConfig{Little: m.LittleCores}
+}
+
+// speedFactor returns the throughput of cfg relative to the model's default
+// configuration (1.0 = default speed).
+func (m Model) speedFactor(cfg CoreConfig) float64 {
+	def := m.DefaultConfig()
+	defSpeed := float64(def.Big)*bigCoreSpeed + float64(def.Little)*m.littleSpeed()
+	cfgSpeed := float64(cfg.Big)*bigCoreSpeed + float64(cfg.Little)*m.littleSpeed()
+	if cfgSpeed <= 0 {
+		return 0
+	}
+	return cfgSpeed / defSpeed
+}
+
+// powerW returns the active power draw of a configuration.
+func (m Model) powerW(cfg CoreConfig) float64 {
+	return basePowerW + float64(cfg.Big)*bigCorePowerW + float64(cfg.Little)*littleCorePowerW
+}
+
+// ConfigProfile is the noise-free latency/energy of a workload under one
+// configuration, used by CALOREE's profiling phase.
+type ConfigProfile struct {
+	Config CoreConfig
+	// Speedup is throughput relative to the default configuration.
+	Speedup float64
+	// PowerW is the active power draw.
+	PowerW float64
+	// EnergyPerWork is energy (power × time) per unit of work; lower is
+	// better.
+	EnergyPerWork float64
+}
+
+// Profile returns the configuration profiles of a model.
+func (m Model) Profile() []ConfigProfile {
+	var out []ConfigProfile
+	for _, cfg := range m.Configs() {
+		sp := m.speedFactor(cfg)
+		if sp <= 0 {
+			continue
+		}
+		p := m.powerW(cfg)
+		out = append(out, ConfigProfile{
+			Config:        cfg,
+			Speedup:       sp,
+			PowerW:        p,
+			EnergyPerWork: p / sp,
+		})
+	}
+	return out
+}
+
+// ExecuteWithConfig runs one learning task restricted to the given core
+// configuration. The default configuration matches Execute. A zero-speed
+// configuration panics.
+func (d *Device) ExecuteWithConfig(batchSize int, cfg CoreConfig) ExecResult {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	sp := d.Model.speedFactor(cfg)
+	if sp <= 0 {
+		panic(fmt.Sprintf("device: config %v has no cores", cfg))
+	}
+	n := float64(batchSize)
+	latency := d.effectiveAlpha(d.Model.AlphaTime) * n / sp * d.noise()
+	// A core-set change between consecutive tasks pays the vendor-specific
+	// scheduler/DVFS migration penalty.
+	if d.lastCfg != nil && *d.lastCfg != cfg {
+		latency += d.Model.switchCost()
+		d.switches++
+	}
+	d.lastCfg = &cfg
+	// Energy scales with power × time relative to the default config.
+	defPower := d.Model.powerW(d.Model.DefaultConfig())
+	energyScale := (d.Model.powerW(cfg) * (1 / sp)) / defPower
+	energy := d.effectiveAlpha(d.Model.AlphaEnergy) * n * energyScale * d.noise()
+	d.tempC += d.Model.ThermalRatePerSec * latency * (0.5 + 0.5*sp)
+	if d.tempC > 60 {
+		d.tempC = 60
+	}
+	return ExecResult{LatencySec: latency, EnergyPct: energy, TempC: d.tempC}
+}

@@ -1,0 +1,164 @@
+package dp
+
+import (
+	"math"
+	"testing"
+
+	"fleet/internal/simrand"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{ClipNorm: 1, NoiseMultiplier: 1, BatchSize: 100}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{ClipNorm: 0, NoiseMultiplier: 1, BatchSize: 1},
+		{ClipNorm: 1, NoiseMultiplier: -1, BatchSize: 1},
+		{ClipNorm: 1, NoiseMultiplier: 1, BatchSize: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestPerturbClipsLargeGradients(t *testing.T) {
+	cfg := Config{ClipNorm: 1, NoiseMultiplier: 0, BatchSize: 1}
+	rng := simrand.New(1)
+	grad := []float64{3, 4} // norm 5
+	factor := Perturb(cfg, rng, grad)
+	if math.Abs(factor-0.2) > 1e-12 {
+		t.Fatalf("clip factor %v, want 0.2", factor)
+	}
+	norm := math.Hypot(grad[0], grad[1])
+	if math.Abs(norm-1) > 1e-9 {
+		t.Fatalf("post-clip norm %v, want 1", norm)
+	}
+}
+
+func TestPerturbLeavesSmallGradients(t *testing.T) {
+	cfg := Config{ClipNorm: 10, NoiseMultiplier: 0, BatchSize: 1}
+	rng := simrand.New(2)
+	grad := []float64{0.3, 0.4}
+	if factor := Perturb(cfg, rng, grad); factor != 1 {
+		t.Fatalf("factor %v, want 1 (no clipping)", factor)
+	}
+	if grad[0] != 0.3 || grad[1] != 0.4 {
+		t.Fatal("gradient must be unchanged without noise")
+	}
+}
+
+func TestPerturbNoiseScale(t *testing.T) {
+	cfg := Config{ClipNorm: 1, NoiseMultiplier: 2, BatchSize: 10}
+	rng := simrand.New(3)
+	// Noise std should be σC/B = 0.2. Estimate from many perturbations of a
+	// zero gradient.
+	const n = 20000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		g := []float64{0}
+		Perturb(cfg, rng, g)
+		sum += g[0]
+		sumSq += g[0] * g[0]
+	}
+	std := math.Sqrt(sumSq/n - (sum/n)*(sum/n))
+	if math.Abs(std-0.2) > 0.01 {
+		t.Fatalf("noise std %v, want 0.2", std)
+	}
+}
+
+func TestEpsilonMonotoneInSigma(t *testing.T) {
+	// More noise ⇒ stronger privacy (smaller ε).
+	q := 100.0 / 60000
+	e1, err := Epsilon(q, 1, 1000, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Epsilon(q, 4, 1000, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 >= e1 {
+		t.Fatalf("ε(σ=4)=%v must be below ε(σ=1)=%v", e2, e1)
+	}
+}
+
+func TestEpsilonMonotoneInSteps(t *testing.T) {
+	q := 100.0 / 60000
+	e1, err := Epsilon(q, 2, 1000, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Epsilon(q, 2, 10000, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 <= e1 {
+		t.Fatalf("ε must grow with steps: %v -> %v", e1, e2)
+	}
+}
+
+func TestEpsilonPaperRegime(t *testing.T) {
+	// Paper Figure 11: MNIST, q = 100/60000, δ = 1/60000², 4000 steps.
+	// The moments accountant must produce finite single-digit-to-double-
+	// digit ε for moderate noise.
+	q := 100.0 / 60000
+	delta := 1.0 / (60000.0 * 60000.0)
+	eps, err := Epsilon(q, 1.0, 4000, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps <= 0 || eps > 50 || math.IsInf(eps, 0) {
+		t.Fatalf("ε = %v, want a sane finite value", eps)
+	}
+}
+
+func TestEpsilonInputValidation(t *testing.T) {
+	if _, err := Epsilon(0, 1, 10, 1e-5); err == nil {
+		t.Error("q=0")
+	}
+	if _, err := Epsilon(0.5, 0, 10, 1e-5); err == nil {
+		t.Error("sigma=0")
+	}
+	if _, err := Epsilon(0.5, 1, 0, 1e-5); err == nil {
+		t.Error("steps=0")
+	}
+	if _, err := Epsilon(0.5, 1, 10, 0); err == nil {
+		t.Error("delta=0")
+	}
+	if _, err := Epsilon(0.5, 1, 10, 1); err == nil {
+		t.Error("delta=1")
+	}
+}
+
+func TestSigmaForInvertsEpsilon(t *testing.T) {
+	q := 100.0 / 60000
+	delta := 1.0 / (60000.0 * 60000.0)
+	for _, target := range []float64{13.66, 1.75} {
+		sigma, err := SigmaFor(q, target, 4000, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Epsilon(q, sigma, 4000, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > target*1.05 {
+			t.Fatalf("σ=%v gives ε=%v, exceeds target %v", sigma, got, target)
+		}
+	}
+	// Stronger privacy requires more noise.
+	s1, _ := SigmaFor(q, 13.66, 4000, delta)
+	s2, _ := SigmaFor(q, 1.75, 4000, delta)
+	if s2 <= s1 {
+		t.Fatalf("σ(ε=1.75)=%v must exceed σ(ε=13.66)=%v", s2, s1)
+	}
+}
+
+func TestSigmaForRejectsNonPositiveTarget(t *testing.T) {
+	if _, err := SigmaFor(0.01, 0, 100, 1e-5); err == nil {
+		t.Fatal("want error")
+	}
+}

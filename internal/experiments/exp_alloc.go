@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fleet/internal/caloree"
+	"fleet/internal/device"
+	"fleet/internal/metrics"
+	"fleet/internal/simrand"
+)
+
+// fig14Batches are the I-Prof-chosen mini-batch sizes of Figure 14, per
+// device in fig13TestDevices order (§3.4).
+var fig14Batches = map[string]int{
+	"Honor 10":       280,
+	"Galaxy S8":      4320,
+	"Galaxy S7":      6720,
+	"Galaxy S4 mini": 5280,
+	"Xperia E3":      1200,
+}
+
+func fig14(scale Scale) *Report {
+	rep := &Report{}
+	reps := 10
+	if scale == ScaleCI {
+		reps = 5
+	}
+	rep.addLine("FLeet static allocation vs CALOREE (ideal: trained and run on the same device):")
+	rep.addLine("%-16s %14s %14s %14s", "device", "FLeet", "CALOREE", "CALOREE 2xDL")
+	for _, name := range fig13TestDevices {
+		m, err := device.ModelByName(name)
+		if err != nil {
+			rep.addLine("%s: %v", name, err)
+			continue
+		}
+		batch := fig14Batches[name]
+		pht := caloree.BuildPHT(m, simrand.New(141))
+		var fleetE, calE, cal2E []float64
+		for i := 0; i < reps; i++ {
+			seed := int64(1410 + i)
+			df := device.New(m, simrand.New(seed))
+			fleetRes := caloree.FLeetRun(df, batch)
+			fleetE = append(fleetE, fleetRes.EnergyPct)
+
+			deadline := pht.BaseAlpha * float64(batch)
+			dc := device.New(m, simrand.New(seed))
+			calE = append(calE, caloree.NewController(pht).Run(dc, batch, deadline).EnergyPct)
+			dc2 := device.New(m, simrand.New(seed))
+			cal2E = append(cal2E, caloree.NewController(pht).Run(dc2, batch, 2*deadline).EnergyPct)
+		}
+		rep.addLine("%-16s %13.4f%% %13.4f%% %13.4f%%", name,
+			metrics.Median(fleetE), metrics.Median(calE), metrics.Median(cal2E))
+		rep.setValue("fleet-"+name, metrics.Median(fleetE))
+		rep.setValue("caloree-"+name, metrics.Median(calE))
+	}
+	rep.addLine("expected shape: FLeet's static big-core allocation is comparable to CALOREE,")
+	rep.addLine("because config switches hurt cache-local gradient computation (§3.4)")
+	return rep
+}
+
+func table2(scale Scale) *Report {
+	rep := &Report{}
+	reps := 20
+	if scale == ScaleCI {
+		reps = 10
+	}
+	s7, err := device.ModelByName("Galaxy S7")
+	if err != nil {
+		rep.addLine("%v", err)
+		return rep
+	}
+	pht := caloree.BuildPHT(s7, simrand.New(142))
+	const batch = 2000
+	deadline := pht.BaseAlpha * batch * 1.1
+
+	rep.addLine("CALOREE PHT trained on Galaxy S7, workload run on new devices:")
+	rep.addLine("%-16s %18s   (paper)", "running device", "deadline error %")
+	paperRows := map[string]string{
+		"Galaxy S7": "1.4", "Galaxy S8": "9", "Honor 9": "46", "Honor 10": "255",
+	}
+	for _, name := range []string{"Galaxy S7", "Galaxy S8", "Honor 9", "Honor 10"} {
+		m, err := device.ModelByName(name)
+		if err != nil {
+			rep.addLine("%s: %v", name, err)
+			continue
+		}
+		var errs []float64
+		for i := 0; i < reps; i++ {
+			d := device.New(m, simrand.New(int64(1420+i)))
+			ctrl := caloree.NewController(pht)
+			errs = append(errs, ctrl.Run(d, batch, deadline).DeadlineErrPct)
+		}
+		med := metrics.Median(errs)
+		rep.addLine("%-16s %17.1f%%   (%s%%)", name, med, paperRows[name])
+		rep.setValue(name, med)
+	}
+	rep.addLine("expected shape: error escalates on unseen devices, worst across vendors")
+	return rep
+}

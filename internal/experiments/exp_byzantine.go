@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fleet/internal/core"
+	"fleet/internal/data"
+	"fleet/internal/learning"
+	"fleet/internal/nn"
+	"fleet/internal/robust"
+	"fleet/internal/simrand"
+)
+
+// byzantine evaluates the §4 claim that robust aggregation is pluggable
+// into FLeet: 20% of the workers are adversarial (they send sign-flipped,
+// amplified gradients) while updates aggregate K=5 gradients per window
+// under D1 staleness.
+func byzantine(scale Scale) *Report {
+	rep := &Report{}
+	users, test, arch, lr, batch, steps, evalEvery := mnistNonIID(scale, 18)
+	// Robust aggregation is evaluated on IID users (as in the Byzantine-SGD
+	// literature the paper cites): per-coordinate medians of non-IID
+	// gradients are biased toward zero and would confound the attack.
+	rng := simrand.New(19)
+	var flat []nn.Sample
+	for _, u := range users {
+		flat = append(flat, u...)
+	}
+	users = data.PartitionIID(rng, flat, len(users))
+
+	// Every 5th user is Byzantine: sign-flip with 5x amplification, the
+	// classic model-poisoning attack.
+	attack := func(workerID int, grad []float64) []float64 {
+		if workerID%5 != 0 {
+			return grad
+		}
+		out := make([]float64, len(grad))
+		for i, g := range grad {
+			out[i] = -5 * g
+		}
+		return out
+	}
+
+	run := func(agg robust.Aggregator, attacked bool) float64 {
+		cfg := core.AsyncConfig{
+			Arch: arch, Algorithm: learning.NewAdaSGD(adaConfig()),
+			// The aggregator emits one mean-scale direction per window, so
+			// the K-sum semantics of Equation 3 correspond to γ·K.
+			LearningRate: lr * 5,
+			BatchSize:    batch, Steps: steps / 2, K: 5, Aggregator: agg,
+			EvalEvery: evalEvery, Seed: 54,
+			Staleness: core.GaussianStaleness(d1.mu, d1.sigma),
+		}
+		if attacked {
+			cfg.GradientTransform = attack
+		}
+		return core.RunAsync(cfg, users, test).FinalAccuracy
+	}
+
+	rep.addLine("20%% Byzantine workers (sign-flip ×5), K=5 windows, D1 staleness:")
+	for _, agg := range []robust.Aggregator{
+		robust.Mean{},
+		robust.CoordinateMedian{},
+		robust.TrimmedMean{Trim: 1},
+		robust.Krum{F: 1},
+	} {
+		clean := run(agg, false)
+		dirty := run(agg, true)
+		rep.addLine("%-18s clean %.3f | under attack %.3f", agg.Name(), clean, dirty)
+		rep.setValue("clean-"+agg.Name(), clean)
+		rep.setValue("attacked-"+agg.Name(), dirty)
+	}
+	rep.addLine("expected shape: Mean collapses under attack; robust rules hold")
+	return rep
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fleet/internal/hashtag"
+	"fleet/internal/metrics"
+	"fleet/internal/simrand"
+)
+
+func streamConfig(scale Scale) hashtag.StreamConfig {
+	cfg := hashtag.DefaultStreamConfig()
+	if scale == ScaleCI {
+		cfg.Days = 6
+		cfg.TweetsPerHour = 30
+		cfg.Vocab = 400
+		cfg.MaxHashtags = 100
+		cfg.InitialHashtags = 20
+	}
+	return cfg
+}
+
+func fig6(scale Scale) *Report {
+	rep := &Report{}
+	s := hashtag.Generate(streamConfig(scale))
+	res := hashtag.CompareOnlineVsStandard(s, 2.0, 61, 2)
+	rep.addLine("Twitter-style hashtag recommendation, F1@top-5 per 1-hour chunk:")
+	rep.addLine("Online FL   mean F1 %.3f over %d chunks", res.Online.MeanY(), len(res.Online.Y))
+	rep.addLine("Standard FL mean F1 %.3f", res.Standard.MeanY())
+	rep.addLine("Baseline    mean F1 %.3f (most-popular)", res.Baseline.MeanY())
+	rep.addLine("quality boost Online/Standard = %.2fx (paper: 2.3x)", res.Boost)
+	rep.addLine("gradient parity: online %d vs standard %d computations", res.OnlineUpdates, res.StandardUpdates)
+	rep.setValue("boost", res.Boost)
+	rep.setValue("online", res.Online.MeanY())
+	rep.setValue("standard", res.Standard.MeanY())
+	rep.setValue("baseline", res.Baseline.MeanY())
+	return rep
+}
+
+func fig7(scale Scale) *Report {
+	rep := &Report{}
+	// The staleness analysis needs the paper's crawl volume (~2.6M tweets
+	// over 13 days ≈ 8,300/hour); only timestamps are generated.
+	days, perHour := 13, 8300
+	if scale == ScaleCI {
+		days, perHour = 4, 8300
+	}
+	starts := hashtag.Timestamps(days, perHour, 6, 71)
+	rng := simrand.New(72)
+	// Round-trip latency: shifted exponential, min 7.1 s, mean 8.45 s (§3.1).
+	trace := hashtag.StalenessOfTimestamps(starts, rng, 7.1, 8.45)
+	vals := make([]float64, len(trace))
+	for i, v := range trace {
+		vals[i] = float64(v)
+	}
+	mean := metrics.Mean(vals)
+	med := metrics.Median(vals)
+	p99 := metrics.Percentile(vals, 99)
+	max := metrics.Max(vals)
+	rep.addLine("staleness of %d learning tasks (exp. round-trip latency 7.1s min / 8.45s mean):", len(trace))
+	rep.addLine("mean %.2f | median %.2f | p99 %.2f | max %.2f", mean, med, p99, max)
+	tail := 0
+	for _, v := range vals {
+		if v > med*4 {
+			tail++
+		}
+	}
+	rep.addLine("long tail: %.2f%% of tasks exceed 4x the median (peak-hour bursts)",
+		float64(tail)/float64(len(vals))*100)
+	rep.setValue("mean", mean)
+	rep.setValue("p99", p99)
+	rep.setValue("max", max)
+	// Histogram of the bulk (Gaussian-looking part).
+	hist := metrics.Histogram(vals, 8, 0, med*3)
+	for i, h := range hist {
+		rep.addLine("bin [%5.1f, %5.1f): %.3f", med*3/8*float64(i), med*3/8*float64(i+1), h)
+	}
+	return rep
+}
+
+func energy(scale Scale) *Report {
+	rep := &Report{}
+	s := hashtag.Generate(streamConfig(scale))
+	stats := hashtag.MeasureEnergy(s, 81)
+	rep.addLine("per-user daily energy of Online FL updates (paper: 4 / 3.3 / 13.4 / 44 mWh):")
+	rep.addLine("mean %.1f mWh | median %.1f | p99 %.1f | max %.1f", stats.MeanMWh, stats.MedianMWh, stats.P99MWh, stats.MaxMWh)
+	rep.addLine("mean battery drain %.4f%%/day of an 11,000 mWh battery (paper: 0.036%%)", stats.PctOfBattery)
+	rep.setValue("mean-mwh", stats.MeanMWh)
+	rep.setValue("pct-battery", stats.PctOfBattery)
+	return rep
+}

@@ -1,0 +1,75 @@
+package iprof
+
+import (
+	"math/rand"
+
+	"fleet/internal/device"
+)
+
+// PretrainingData is the offline dataset used to bootstrap both profilers:
+// I-Prof's cold-start model consumes Observations (features → α); MAUI's
+// linear model consumes the raw (batch size → cost) pairs.
+type PretrainingData struct {
+	Observations []Observation
+	BatchSizes   []int
+	Costs        []float64
+}
+
+// Collect reproduces the paper's offline collection protocol (§3.3): each
+// training device executes learning tasks with mini-batch size increasing
+// from 1 until the computation cost reaches twice the SLO, recording device
+// features and measured slopes along the way.
+func Collect(rng *rand.Rand, models []device.Model, kind Kind, slo float64) PretrainingData {
+	var out PretrainingData
+	for _, m := range models {
+		d := device.New(m, rand.New(rand.NewSource(rng.Int63())))
+		for n := 1; ; n = nextBatch(n) {
+			res := d.Execute(n)
+			cost := costOf(res, kind)
+			features := featuresOf(d, kind)
+			out.Observations = append(out.Observations, Observation{
+				DeviceModel: m.Name,
+				Features:    features,
+				Alpha:       cost / float64(n),
+			})
+			out.BatchSizes = append(out.BatchSizes, n)
+			out.Costs = append(out.Costs, cost)
+			d.Idle(30) // requests are spaced out; devices cool in between
+			if cost >= 2*slo || n > 1<<20 {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// nextBatch grows the sweep geometrically with a small linear start,
+// mirroring "increasing from 1 till the computation time reaches twice the
+// SLO" without executing thousands of tasks.
+func nextBatch(n int) int {
+	if n < 8 {
+		return n + 1
+	}
+	return n + n/2
+}
+
+func costOf(res device.ExecResult, kind Kind) float64 {
+	if kind == KindEnergy {
+		return res.EnergyPct
+	}
+	return res.LatencySec
+}
+
+func featuresOf(d *device.Device, kind Kind) []float64 {
+	if kind == KindEnergy {
+		return d.EnergyFeatures()
+	}
+	return d.Features()
+}
+
+// FeaturesOf exposes the kind-appropriate feature vector of a device (used
+// by experiment drivers when issuing requests).
+func FeaturesOf(d *device.Device, kind Kind) []float64 { return featuresOf(d, kind) }
+
+// CostOf exposes the kind-appropriate cost of an execution result.
+func CostOf(res device.ExecResult, kind Kind) float64 { return costOf(res, kind) }

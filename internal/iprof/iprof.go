@@ -1,0 +1,288 @@
+// Package iprof implements I-Prof (§2.2), FLeet's lightweight profiler that
+// predicts the largest mini-batch size a device can process within a
+// computation-time or energy SLO, together with the MAUI-style baseline
+// profiler the paper compares against (§3.3).
+//
+// I-Prof models the per-sample cost slope α (t = α·n) from device features
+// with two estimators:
+//
+//   - a cold-start linear-regression model pre-trained offline with OLS and
+//     periodically re-trained as new device data arrives, used for the first
+//     request of every device model;
+//   - a personalized Passive-Aggressive model per device model (e.g.
+//     "Galaxy S7"), bootstrapped from the cold-start prediction and updated
+//     online with every (features, α) observation.
+//
+// Given a target SLO the predicted batch size is n̂ = max(1, SLO/α̂)
+// (Equation 1).
+package iprof
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"fleet/internal/regression"
+)
+
+// Kind selects which SLO a predictor targets.
+type Kind int
+
+// Predictor kinds.
+const (
+	// KindTime predicts the computation-time slope (seconds per example).
+	KindTime Kind = iota + 1
+	// KindEnergy predicts the energy slope (battery %% per example).
+	KindEnergy
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindTime:
+		return "time"
+	case KindEnergy:
+		return "energy"
+	default:
+		return "unknown"
+	}
+}
+
+// Observation is one profiling data point: the device feature vector and
+// the measured per-sample slope α = cost/batchSize.
+type Observation struct {
+	DeviceModel string
+	Features    []float64
+	Alpha       float64
+}
+
+// Config parameterizes I-Prof.
+type Config struct {
+	// Epsilon is the PA sensitivity ε of Equation 2. The paper uses 0.1 for
+	// time and 6e-5 for energy (the energy slope is orders of magnitude
+	// smaller).
+	Epsilon float64
+	// RetrainEvery re-fits the cold-start OLS model after this many new
+	// observations (0 disables periodic retraining).
+	RetrainEvery int
+	// MinBatch and MaxBatch clamp predictions to sane bounds. MaxBatch 0
+	// means no upper clamp.
+	MinBatch int
+	MaxBatch int
+}
+
+// IProf is the profiler. It is safe for concurrent use.
+type IProf struct {
+	cfg Config
+
+	mu       sync.Mutex
+	global   []float64 // cold-start OLS weights
+	personal map[string]*regression.PassiveAggressive
+	obsX     [][]float64
+	obsY     []float64
+	sinceFit int
+	// minAlpha/maxAlpha bound predictions to the plausible range observed
+	// during pre-training; linear extrapolation to unseen devices can
+	// otherwise go negative (and Equation 1 would explode the batch size).
+	minAlpha float64
+	maxAlpha float64
+}
+
+// New builds an I-Prof instance whose cold-start model is pre-trained on
+// the given offline observations (§2.2: data collected from a set of
+// training devices). It returns an error when the OLS fit fails.
+func New(cfg Config, pretrain []Observation) (*IProf, error) {
+	if cfg.Epsilon < 0 {
+		return nil, fmt.Errorf("iprof: negative epsilon %v", cfg.Epsilon)
+	}
+	if len(pretrain) == 0 {
+		return nil, fmt.Errorf("iprof: cold-start model needs pretraining observations")
+	}
+	if cfg.MinBatch <= 0 {
+		cfg.MinBatch = 1
+	}
+	p := &IProf{
+		cfg:      cfg,
+		personal: make(map[string]*regression.PassiveAggressive),
+		minAlpha: math.Inf(1),
+	}
+	for _, o := range pretrain {
+		p.obsX = append(p.obsX, o.Features)
+		p.obsY = append(p.obsY, o.Alpha)
+		if o.Alpha < p.minAlpha {
+			p.minAlpha = o.Alpha
+		}
+		if o.Alpha > p.maxAlpha {
+			p.maxAlpha = o.Alpha
+		}
+	}
+	theta, err := regression.OLS(p.obsX, p.obsY)
+	if err != nil {
+		return nil, fmt.Errorf("iprof: cold-start fit: %w", err)
+	}
+	p.global = theta
+	return p, nil
+}
+
+// PredictAlpha estimates the per-sample slope α̂ for a device model given
+// its feature vector: personalized PA model when one exists, cold-start OLS
+// otherwise. Predictions are clamped to the plausible range learned during
+// pre-training (within a generous margin) so Equation 1 stays finite even
+// when the linear model extrapolates badly on an unseen device.
+func (p *IProf) PredictAlpha(deviceModel string, features []float64) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var alpha float64
+	if pa, ok := p.personal[deviceModel]; ok {
+		alpha = pa.Predict(features)
+	} else {
+		alpha = dot(p.global, features)
+	}
+	if lo := p.minAlpha * 0.5; alpha < lo {
+		alpha = lo
+	}
+	if hi := p.maxAlpha * 5; alpha > hi {
+		alpha = hi
+	}
+	if alpha < 1e-12 {
+		alpha = 1e-12
+	}
+	return alpha
+}
+
+// BatchSize applies Equation 1: n̂ = max(1, SLO/α̂), clamped to the
+// configured bounds.
+func (p *IProf) BatchSize(deviceModel string, features []float64, slo float64) int {
+	alpha := p.PredictAlpha(deviceModel, features)
+	n := int(slo / alpha)
+	if n < p.cfg.MinBatch {
+		n = p.cfg.MinBatch
+	}
+	if p.cfg.MaxBatch > 0 && n > p.cfg.MaxBatch {
+		n = p.cfg.MaxBatch
+	}
+	return n
+}
+
+// Observe folds one measured (features, α) pair into the profiler: the
+// device model's personalized PA model is bootstrapped from the cold-start
+// weights on first sight and updated otherwise; the observation is also
+// appended to the cold-start training set for periodic re-training (§2.2).
+func (p *IProf) Observe(o Observation) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pa, ok := p.personal[o.DeviceModel]
+	if !ok {
+		pa = regression.NewPassiveAggressive(p.global, p.cfg.Epsilon)
+		p.personal[o.DeviceModel] = pa
+	}
+	pa.Update(o.Features, o.Alpha)
+	if o.Alpha > 0 && o.Alpha < p.minAlpha {
+		p.minAlpha = o.Alpha
+	}
+	if o.Alpha > p.maxAlpha {
+		p.maxAlpha = o.Alpha
+	}
+
+	p.obsX = append(p.obsX, o.Features)
+	p.obsY = append(p.obsY, o.Alpha)
+	p.sinceFit++
+	if p.cfg.RetrainEvery > 0 && p.sinceFit >= p.cfg.RetrainEvery {
+		if theta, err := regression.OLS(p.obsX, p.obsY); err == nil {
+			p.global = theta
+		}
+		p.sinceFit = 0
+	}
+}
+
+// PersonalModels returns the names of device models that have personalized
+// predictors (diagnostics).
+func (p *IProf) PersonalModels() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.personal))
+	for k := range p.personal {
+		out = append(out, k)
+	}
+	return out
+}
+
+func dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("iprof: feature length %d does not match model %d", len(b), len(a)))
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// MAUI is the baseline profiler adapted from MAUI (MobiSys'10) exactly as
+// the paper does (§3.3): a single global linear model cost = θ₀·n on the
+// mini-batch size, pre-trained offline and updated online with running
+// least squares. It ignores device features entirely, which is what makes
+// it inaccurate across heterogeneous devices.
+type MAUI struct {
+	mu    sync.Mutex
+	sumNN float64 // Σ n²
+	sumNC float64 // Σ n·cost
+}
+
+// NewMAUI pre-trains the baseline on (batchSize, cost) pairs.
+func NewMAUI(batchSizes []int, costs []float64) (*MAUI, error) {
+	if len(batchSizes) != len(costs) || len(batchSizes) == 0 {
+		return nil, fmt.Errorf("maui: need equal, non-empty training slices")
+	}
+	m := &MAUI{}
+	for i, n := range batchSizes {
+		m.sumNN += float64(n) * float64(n)
+		m.sumNC += float64(n) * costs[i]
+	}
+	if m.sumNN == 0 {
+		return nil, fmt.Errorf("maui: degenerate training data")
+	}
+	return m, nil
+}
+
+// Theta returns the current slope θ₀.
+func (m *MAUI) Theta() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.theta()
+}
+
+func (m *MAUI) theta() float64 {
+	if m.sumNN == 0 {
+		return 1e-9
+	}
+	t := m.sumNC / m.sumNN
+	if t < 1e-9 {
+		t = 1e-9
+	}
+	return t
+}
+
+// BatchSize predicts n̂ = max(1, SLO/θ₀).
+func (m *MAUI) BatchSize(slo float64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := int(slo / m.theta())
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Observe folds one (batchSize, cost) measurement into the running fit.
+func (m *MAUI) Observe(batchSize int, cost float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sumNN += float64(batchSize) * float64(batchSize)
+	m.sumNC += float64(batchSize) * cost
+}
+
+// SLODeviation is |measured − SLO|: the evaluation metric of Figures 12–13.
+func SLODeviation(measured, slo float64) float64 {
+	return math.Abs(measured - slo)
+}

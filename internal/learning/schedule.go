@@ -1,0 +1,66 @@
+package learning
+
+import (
+	"fmt"
+	"math"
+)
+
+// LRSchedule maps the server's logical clock t to the learning rate γt of
+// Equation 3. The paper uses fixed rates per dataset; schedules are the
+// natural extension for longer Online-FL deployments where the model never
+// stops training.
+type LRSchedule func(step int) float64
+
+// ConstantLR returns γt = lr.
+func ConstantLR(lr float64) LRSchedule {
+	if lr <= 0 {
+		panic(fmt.Sprintf("learning: non-positive learning rate %v", lr))
+	}
+	return func(int) float64 { return lr }
+}
+
+// StepDecayLR halves (×factor) the rate every `every` steps:
+// γt = lr·factor^⌊t/every⌋.
+func StepDecayLR(lr float64, every int, factor float64) LRSchedule {
+	if lr <= 0 || every <= 0 || factor <= 0 || factor > 1 {
+		panic(fmt.Sprintf("learning: invalid step decay (lr=%v every=%d factor=%v)", lr, every, factor))
+	}
+	return func(step int) float64 {
+		if step < 0 {
+			step = 0
+		}
+		return lr * math.Pow(factor, float64(step/every))
+	}
+}
+
+// InverseTimeLR decays as γt = lr / (1 + decay·t), the classical
+// Robbins-Monro-compatible schedule.
+func InverseTimeLR(lr, decay float64) LRSchedule {
+	if lr <= 0 || decay < 0 {
+		panic(fmt.Sprintf("learning: invalid inverse-time schedule (lr=%v decay=%v)", lr, decay))
+	}
+	return func(step int) float64 {
+		if step < 0 {
+			step = 0
+		}
+		return lr / (1 + decay*float64(step))
+	}
+}
+
+// WarmupLR ramps linearly from lr/warmup to lr over the first `warmup`
+// steps, then delegates to the inner schedule. Useful under staleness: the
+// first gradients arrive against a fast-moving young model.
+func WarmupLR(warmup int, inner LRSchedule) LRSchedule {
+	if warmup <= 0 {
+		panic("learning: warmup must be positive")
+	}
+	if inner == nil {
+		panic("learning: warmup needs an inner schedule")
+	}
+	return func(step int) float64 {
+		if step < warmup {
+			return inner(step) * float64(step+1) / float64(warmup)
+		}
+		return inner(step)
+	}
+}

@@ -1,0 +1,116 @@
+package learning
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantLR(t *testing.T) {
+	s := ConstantLR(0.1)
+	for _, step := range []int{0, 1, 1000} {
+		if s(step) != 0.1 {
+			t.Fatalf("constant schedule changed at step %d", step)
+		}
+	}
+}
+
+func TestConstantLRPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ConstantLR(0)
+}
+
+func TestStepDecayLR(t *testing.T) {
+	s := StepDecayLR(1.0, 100, 0.5)
+	cases := []struct {
+		step int
+		want float64
+	}{{0, 1}, {99, 1}, {100, 0.5}, {199, 0.5}, {200, 0.25}, {-5, 1}}
+	for _, c := range cases {
+		if got := s(c.step); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("step %d: γ=%v, want %v", c.step, got, c.want)
+		}
+	}
+}
+
+func TestStepDecayLRPanics(t *testing.T) {
+	cases := []func(){
+		func() { StepDecayLR(0, 10, 0.5) },
+		func() { StepDecayLR(1, 0, 0.5) },
+		func() { StepDecayLR(1, 10, 0) },
+		func() { StepDecayLR(1, 10, 1.5) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestInverseTimeLR(t *testing.T) {
+	s := InverseTimeLR(1.0, 0.01)
+	if s(0) != 1 {
+		t.Fatalf("γ(0) = %v", s(0))
+	}
+	if got := s(100); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("γ(100) = %v, want 0.5", got)
+	}
+	// Monotone non-increasing.
+	err := quick.Check(func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return s(x) >= s(y)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWarmupLR(t *testing.T) {
+	s := WarmupLR(10, ConstantLR(1.0))
+	if got := s(0); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("γ(0) = %v, want 0.1", got)
+	}
+	if got := s(9); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("γ(9) = %v, want 1.0", got)
+	}
+	if got := s(100); got != 1.0 {
+		t.Fatalf("γ(100) = %v, want 1.0", got)
+	}
+	// Never exceeds the inner schedule.
+	for step := 0; step < 50; step++ {
+		if s(step) > 1.0+1e-12 {
+			t.Fatalf("warmup overshoot at %d: %v", step, s(step))
+		}
+	}
+}
+
+func TestWarmupLRPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero warmup: expected panic")
+			}
+		}()
+		WarmupLR(0, ConstantLR(1))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil inner: expected panic")
+			}
+		}()
+		WarmupLR(5, nil)
+	}()
+}

@@ -1,0 +1,121 @@
+package learning
+
+import (
+	"math"
+	"sync"
+)
+
+// Bhattacharyya returns the Bhattacharyya coefficient BC(p, q) = Σ √(pᵢqᵢ)
+// between two discrete distributions, in [0, 1]. Inputs are normalized
+// internally, so raw counts are accepted. Mismatched lengths panic.
+func Bhattacharyya(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("learning: Bhattacharyya length mismatch")
+	}
+	sp, sq := 0.0, 0.0
+	for i := range p {
+		if p[i] > 0 {
+			sp += p[i]
+		}
+		if q[i] > 0 {
+			sq += q[i]
+		}
+	}
+	if sp == 0 || sq == 0 {
+		return 0
+	}
+	bc := 0.0
+	for i := range p {
+		if p[i] > 0 && q[i] > 0 {
+			bc += math.Sqrt(p[i] / sp * q[i] / sq)
+		}
+	}
+	if bc > 1 {
+		bc = 1 // guard against rounding
+	}
+	return bc
+}
+
+// LabelTracker maintains the global label distribution LD_global: the
+// aggregate counts of previously used training samples per label (§2.3).
+// The server only ever sees label *indices*, never semantic label values.
+type LabelTracker struct {
+	mu     sync.Mutex
+	counts []float64
+}
+
+// NewLabelTracker builds a tracker over `classes` labels (or histogram bins
+// for regression tasks).
+func NewLabelTracker(classes int) *LabelTracker {
+	if classes <= 0 {
+		panic("learning: LabelTracker needs classes > 0")
+	}
+	return &LabelTracker{counts: make([]float64, classes)}
+}
+
+// Similarity returns sim(x) = BC(LD(x), LD_global) for a local dataset with
+// the given per-label counts. Before any global observations exist it
+// returns 1 (no basis to boost).
+func (l *LabelTracker) Similarity(localCounts []int) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	total := 0.0
+	for _, c := range l.counts {
+		total += c
+	}
+	if total == 0 {
+		return 1
+	}
+	local := make([]float64, len(l.counts))
+	for i, c := range localCounts {
+		if i >= len(local) {
+			break
+		}
+		local[i] = float64(c)
+	}
+	return Bhattacharyya(local, l.counts)
+}
+
+// Record folds the label counts of a consumed mini-batch into LD_global.
+func (l *LabelTracker) Record(localCounts []int) {
+	l.RecordWeighted(localCounts, 1)
+}
+
+// RecordWeighted folds label counts scaled by the weight the gradient was
+// actually applied with. LD_global then reflects the knowledge the model
+// effectively incorporated: samples whose gradient was dampened to ~0 do
+// not count as "used", so their labels keep boosting future gradients
+// (§2.3's similarity-based boosting remains effective for straggler-only
+// labels).
+func (l *LabelTracker) RecordWeighted(localCounts []int, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, c := range localCounts {
+		if i >= len(l.counts) {
+			break
+		}
+		l.counts[i] += float64(c) * weight
+	}
+}
+
+// Distribution returns a copy of the normalized global label distribution,
+// or a zero vector when nothing has been recorded.
+func (l *LabelTracker) Distribution() []float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]float64, len(l.counts))
+	total := 0.0
+	for _, c := range l.counts {
+		total += c
+	}
+	if total == 0 {
+		return out
+	}
+	for i, c := range l.counts {
+		out[i] = c / total
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package nn
+
+import (
+	"math/rand"
+)
+
+// Arch identifies one of the paper's Table-1 CNN architectures (or the small
+// test networks used to keep CI fast).
+type Arch int
+
+// Architectures from Table 1 of the paper plus fast variants for testing.
+const (
+	// ArchMNIST is the Table-1 MNIST CNN:
+	// 28×28×1 → Conv 5×5×8 (s1) → MaxPool 3×3 (s3) → Conv 5×5×48 (s1) →
+	// MaxPool 2×2 (s2) → FC 10.
+	ArchMNIST Arch = iota + 1
+	// ArchEMNIST is the Table-1 E-MNIST CNN:
+	// 28×28×1 → Conv 5×5×10 (s1) → MaxPool 2×2 (s2) → Conv 5×5×10 (s1) →
+	// MaxPool 2×2 (s2) → FC 15 → FC 62.
+	ArchEMNIST
+	// ArchCIFAR100 is the Table-1 CIFAR-100 CNN:
+	// 32×32×3 → Conv 3×3×16 (s1) → MaxPool 3×3 (s2) → Conv 3×3×64 (s1) →
+	// MaxPool 4×4 (s4) → FC 384 → FC 192 → FC 100.
+	ArchCIFAR100
+	// ArchTinyMNIST is a scaled-down MNIST net (14×14 inputs) for fast tests
+	// and CI-speed experiment runs.
+	ArchTinyMNIST
+	// ArchSoftmaxMNIST is plain softmax regression on 14×14 inputs; the
+	// cheapest trainable model, used where only relative algorithm ordering
+	// matters.
+	ArchSoftmaxMNIST
+	// ArchTinyCIFAR is a scaled-down CIFAR CNN (16×16×3, 10 classes) used by
+	// the Figure-3 weak/strong worker experiment.
+	ArchTinyCIFAR
+)
+
+// String implements fmt.Stringer.
+func (a Arch) String() string {
+	switch a {
+	case ArchMNIST:
+		return "mnist"
+	case ArchEMNIST:
+		return "emnist"
+	case ArchCIFAR100:
+		return "cifar100"
+	case ArchTinyMNIST:
+		return "tiny-mnist"
+	case ArchSoftmaxMNIST:
+		return "softmax-mnist"
+	case ArchTinyCIFAR:
+		return "tiny-cifar"
+	default:
+		return "unknown"
+	}
+}
+
+// InputShape returns the CHW input shape the architecture expects.
+func (a Arch) InputShape() (c, h, w int) {
+	switch a {
+	case ArchMNIST, ArchEMNIST:
+		return 1, 28, 28
+	case ArchCIFAR100:
+		return 3, 32, 32
+	case ArchTinyMNIST, ArchSoftmaxMNIST:
+		return 1, 14, 14
+	case ArchTinyCIFAR:
+		return 3, 16, 16
+	default:
+		panic("nn: unknown architecture")
+	}
+}
+
+// Classes returns the number of output classes.
+func (a Arch) Classes() int {
+	switch a {
+	case ArchMNIST, ArchTinyMNIST, ArchSoftmaxMNIST, ArchTinyCIFAR:
+		return 10
+	case ArchEMNIST:
+		return 62
+	case ArchCIFAR100:
+		return 100
+	default:
+		panic("nn: unknown architecture")
+	}
+}
+
+// Build constructs a freshly initialized network of this architecture.
+// Networks built with the same seed are identical.
+func (a Arch) Build(rng *rand.Rand) *Network {
+	switch a {
+	case ArchMNIST:
+		return buildMNIST(rng)
+	case ArchEMNIST:
+		return buildEMNIST(rng)
+	case ArchCIFAR100:
+		return buildCIFAR100(rng)
+	case ArchTinyMNIST:
+		return buildTinyMNIST(rng)
+	case ArchSoftmaxMNIST:
+		return NewNetwork(10, NewDense(rng, 14*14, 10))
+	case ArchTinyCIFAR:
+		return buildTinyCIFAR(rng)
+	default:
+		panic("nn: unknown architecture")
+	}
+}
+
+func buildMNIST(rng *rand.Rand) *Network {
+	conv1 := NewConv2D(rng, 1, 28, 28, 8, 5, 5, 1, 1, 0, 0) // -> 8×24×24
+	pool1 := NewMaxPool2D(8, 24, 24, 3, 3, 3, 3)            // -> 8×8×8
+	conv2 := NewConv2D(rng, 8, 8, 8, 48, 5, 5, 1, 1, 0, 0)  // -> 48×4×4
+	pool2 := NewMaxPool2D(48, 4, 4, 2, 2, 2, 2)             // -> 48×2×2
+	fc := NewDense(rng, 48*2*2, 10)
+	return NewNetwork(10, conv1, NewReLU(), pool1, conv2, NewReLU(), pool2, fc)
+}
+
+func buildEMNIST(rng *rand.Rand) *Network {
+	conv1 := NewConv2D(rng, 1, 28, 28, 10, 5, 5, 1, 1, 0, 0)  // -> 10×24×24
+	pool1 := NewMaxPool2D(10, 24, 24, 2, 2, 2, 2)             // -> 10×12×12
+	conv2 := NewConv2D(rng, 10, 12, 12, 10, 5, 5, 1, 1, 0, 0) // -> 10×8×8
+	pool2 := NewMaxPool2D(10, 8, 8, 2, 2, 2, 2)               // -> 10×4×4
+	fc1 := NewDense(rng, 10*4*4, 15)
+	fc2 := NewDense(rng, 15, 62)
+	return NewNetwork(62, conv1, NewReLU(), pool1, conv2, NewReLU(), pool2, fc1, NewReLU(), fc2)
+}
+
+func buildCIFAR100(rng *rand.Rand) *Network {
+	conv1 := NewConv2D(rng, 3, 32, 32, 16, 3, 3, 1, 1, 0, 0)  // -> 16×30×30
+	pool1 := NewMaxPool2D(16, 30, 30, 3, 3, 2, 2)             // -> 16×14×14
+	conv2 := NewConv2D(rng, 16, 14, 14, 64, 3, 3, 1, 1, 0, 0) // -> 64×12×12
+	pool2 := NewMaxPool2D(64, 12, 12, 4, 4, 4, 4)             // -> 64×3×3
+	fc1 := NewDense(rng, 64*3*3, 384)
+	fc2 := NewDense(rng, 384, 192)
+	fc3 := NewDense(rng, 192, 100)
+	return NewNetwork(100, conv1, NewReLU(), pool1, conv2, NewReLU(), pool2,
+		fc1, NewReLU(), fc2, NewReLU(), fc3)
+}
+
+func buildTinyMNIST(rng *rand.Rand) *Network {
+	conv := NewConv2D(rng, 1, 14, 14, 4, 3, 3, 1, 1, 0, 0) // -> 4×12×12
+	pool := NewMaxPool2D(4, 12, 12, 2, 2, 2, 2)            // -> 4×6×6
+	fc := NewDense(rng, 4*6*6, 10)
+	return NewNetwork(10, conv, NewReLU(), pool, fc)
+}
+
+func buildTinyCIFAR(rng *rand.Rand) *Network {
+	conv := NewConv2D(rng, 3, 16, 16, 8, 3, 3, 1, 1, 0, 0) // -> 8×14×14
+	pool := NewMaxPool2D(8, 14, 14, 2, 2, 2, 2)            // -> 8×7×7
+	fc := NewDense(rng, 8*7*7, 10)
+	return NewNetwork(10, conv, NewReLU(), pool, fc)
+}

@@ -1,0 +1,201 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fleet/internal/tensor"
+)
+
+// Sample is one labelled training example. X is the input tensor (e.g. CHW
+// image) and Label the class index.
+type Sample struct {
+	X     *tensor.Tensor
+	Label int
+}
+
+// Network is a feed-forward stack of layers terminated by an implicit
+// softmax/cross-entropy head.
+type Network struct {
+	Layers  []Layer
+	Classes int
+}
+
+// NewNetwork assembles a network. classes is the size of the final layer
+// output (used by the softmax/cross-entropy head).
+func NewNetwork(classes int, layers ...Layer) *Network {
+	return &Network{Layers: layers, Classes: classes}
+}
+
+// Forward runs the network and returns the raw logits for one sample.
+func (n *Network) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := x
+	for _, l := range n.Layers {
+		out = l.Forward(out)
+	}
+	return out
+}
+
+// Predict returns the argmax class for one input.
+func (n *Network) Predict(x *tensor.Tensor) int {
+	return n.Forward(x).ArgMax()
+}
+
+// Softmax converts logits to a probability vector.
+func Softmax(logits *tensor.Tensor) []float64 {
+	maxV := math.Inf(-1)
+	for _, v := range logits.Data() {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	probs := make([]float64, logits.Len())
+	sum := 0.0
+	for i, v := range logits.Data() {
+		e := math.Exp(v - maxV)
+		probs[i] = e
+		sum += e
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	return probs
+}
+
+// LossAndBackward runs one sample forward, computes cross-entropy loss
+// against the label, and backpropagates, accumulating parameter gradients in
+// the layers. It returns the sample loss.
+func (n *Network) LossAndBackward(s Sample) float64 {
+	logits := n.Forward(s.X)
+	probs := Softmax(logits)
+	if s.Label < 0 || s.Label >= len(probs) {
+		panic(fmt.Sprintf("nn: label %d out of range for %d classes", s.Label, len(probs)))
+	}
+	loss := -math.Log(math.Max(probs[s.Label], 1e-12))
+	grad := tensor.New(logits.Len())
+	for i, p := range probs {
+		grad.Data()[i] = p
+	}
+	grad.Data()[s.Label] -= 1
+	g := grad
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		g = n.Layers[i].Backward(g)
+	}
+	return loss
+}
+
+// Gradient computes the average gradient over a mini-batch, returned as a
+// flat vector aligned with ParamVector. It also returns the mean loss.
+func (n *Network) Gradient(batch []Sample) ([]float64, float64) {
+	if len(batch) == 0 {
+		panic("nn: Gradient on empty batch")
+	}
+	n.ZeroGrads()
+	totalLoss := 0.0
+	for _, s := range batch {
+		totalLoss += n.LossAndBackward(s)
+	}
+	inv := 1.0 / float64(len(batch))
+	grad := make([]float64, 0, n.ParamCount())
+	for _, l := range n.Layers {
+		for _, g := range l.Grads() {
+			for _, v := range g.Data() {
+				grad = append(grad, v*inv)
+			}
+		}
+	}
+	return grad, totalLoss * inv
+}
+
+// ZeroGrads clears accumulated gradients in all layers.
+func (n *Network) ZeroGrads() {
+	for _, l := range n.Layers {
+		l.ZeroGrads()
+	}
+}
+
+// ParamCount returns the total number of trainable parameters.
+func (n *Network) ParamCount() int {
+	c := 0
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			c += p.Len()
+		}
+	}
+	return c
+}
+
+// ParamVector returns a flat copy of all parameters.
+func (n *Network) ParamVector() []float64 {
+	out := make([]float64, 0, n.ParamCount())
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			out = append(out, p.Data()...)
+		}
+	}
+	return out
+}
+
+// SetParams loads a flat parameter vector produced by ParamVector.
+func (n *Network) SetParams(v []float64) {
+	if len(v) != n.ParamCount() {
+		panic(fmt.Sprintf("nn: SetParams got %d values, want %d", len(v), n.ParamCount()))
+	}
+	off := 0
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			copy(p.Data(), v[off:off+p.Len()])
+			off += p.Len()
+		}
+	}
+}
+
+// ApplyGradient performs an in-place SGD step: params -= lr * grad.
+func (n *Network) ApplyGradient(grad []float64, lr float64) {
+	if len(grad) != n.ParamCount() {
+		panic(fmt.Sprintf("nn: ApplyGradient got %d values, want %d", len(grad), n.ParamCount()))
+	}
+	off := 0
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			d := p.Data()
+			for i := range d {
+				d[i] -= lr * grad[off+i]
+			}
+			off += p.Len()
+		}
+	}
+}
+
+// Accuracy evaluates top-1 accuracy over a sample set.
+func (n *Network) Accuracy(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range samples {
+		if n.Predict(s.X) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}
+
+// ClassAccuracy evaluates top-1 accuracy restricted to samples of one class.
+// It returns 0 when the class is absent from the set.
+func (n *Network) ClassAccuracy(samples []Sample, class int) float64 {
+	correct, total := 0, 0
+	for _, s := range samples {
+		if s.Label != class {
+			continue
+		}
+		total++
+		if n.Predict(s.X) == s.Label {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

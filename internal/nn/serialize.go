@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// Checkpoint is the serialized form of a network: its architecture id plus
+// the flat parameter vector. The architecture is rebuilt on load, so
+// checkpoints stay valid across code changes that do not alter layer
+// geometry.
+type Checkpoint struct {
+	Arch    Arch      `json:"arch"`
+	Version int       `json:"version"`
+	Params  []float64 `json:"params"`
+}
+
+// Save writes the network as a gzip-compressed gob checkpoint. version is
+// the server's logical clock at save time (informational).
+func Save(w io.Writer, arch Arch, net *Network, version int) error {
+	cp := Checkpoint{Arch: arch, Version: version, Params: net.ParamVector()}
+	zw := gzip.NewWriter(w)
+	if err := gob.NewEncoder(zw).Encode(cp); err != nil {
+		return fmt.Errorf("nn: save checkpoint: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("nn: save checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads a checkpoint and reconstructs the network (with a zeroed RNG;
+// all parameters come from the checkpoint).
+func Load(r io.Reader) (*Network, Checkpoint, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, Checkpoint{}, fmt.Errorf("nn: load checkpoint: %w", err)
+	}
+	defer func() { _ = zr.Close() }()
+	var cp Checkpoint
+	if err := gob.NewDecoder(zr).Decode(&cp); err != nil {
+		return nil, Checkpoint{}, fmt.Errorf("nn: load checkpoint: %w", err)
+	}
+	net, err := buildForLoad(cp)
+	if err != nil {
+		return nil, Checkpoint{}, err
+	}
+	return net, cp, nil
+}
+
+func buildForLoad(cp Checkpoint) (*Network, error) {
+	net, err := safeBuild(cp.Arch)
+	if err != nil {
+		return nil, err
+	}
+	if net.ParamCount() != len(cp.Params) {
+		return nil, fmt.Errorf("nn: checkpoint has %d params, architecture %v needs %d",
+			len(cp.Params), cp.Arch, net.ParamCount())
+	}
+	net.SetParams(cp.Params)
+	return net, nil
+}
+
+// safeBuild converts the architecture panic on unknown ids into an error.
+// The RNG is irrelevant: every weight is overwritten by the checkpoint.
+func safeBuild(arch Arch) (net *Network, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("nn: checkpoint architecture: %v", r)
+		}
+	}()
+	return arch.Build(rand.New(rand.NewSource(0))), nil
+}

@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"fleet/internal/simrand"
+	"fleet/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	net := ArchTinyMNIST.Build(simrand.New(1))
+	var buf bytes.Buffer
+	if err := Save(&buf, ArchTinyMNIST, net, 42); err != nil {
+		t.Fatal(err)
+	}
+	loaded, cp, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Arch != ArchTinyMNIST || cp.Version != 42 {
+		t.Fatalf("checkpoint metadata %+v", cp)
+	}
+	a, b := net.ParamVector(), loaded.ParamVector()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("parameters corrupted by round trip")
+		}
+	}
+	// The loaded network must behave identically.
+	x := tensor.New(1, 14, 14)
+	for i := range x.Data() {
+		x.Data()[i] = float64(i%7) / 7
+	}
+	if net.Predict(x) != loaded.Predict(x) {
+		t.Fatal("loaded network predicts differently")
+	}
+}
+
+func TestCheckpointCompresses(t *testing.T) {
+	// Random weights are incompressible, but structured (e.g. sparse)
+	// parameters must compress — that is the point of the gzip layer.
+	net := ArchMNIST.Build(simrand.New(2))
+	net.SetParams(make([]float64, net.ParamCount()))
+	var buf bytes.Buffer
+	if err := Save(&buf, ArchMNIST, net, 0); err != nil {
+		t.Fatal(err)
+	}
+	raw := net.ParamCount() * 8
+	if buf.Len() >= raw/10 {
+		t.Fatalf("zeroed checkpoint %d bytes, raw %d; expected >10x compression", buf.Len(), raw)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, _, err := Load(bytes.NewBufferString("garbage")); err == nil {
+		t.Fatal("want error on garbage input")
+	}
+}
+
+func TestLoadRejectsUnknownArch(t *testing.T) {
+	net := ArchTinyMNIST.Build(simrand.New(3))
+	var buf bytes.Buffer
+	if err := Save(&buf, Arch(99), net, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(&buf); err == nil {
+		t.Fatal("want error on unknown architecture")
+	}
+}
+
+func TestLoadRejectsParamMismatch(t *testing.T) {
+	net := ArchTinyMNIST.Build(simrand.New(4))
+	var buf bytes.Buffer
+	// Claim a different architecture than the parameters belong to.
+	if err := Save(&buf, ArchMNIST, net, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(&buf); err == nil {
+		t.Fatal("want error on parameter-count mismatch")
+	}
+}

@@ -1,0 +1,105 @@
+// Package protocol defines the wire messages of FLeet's learning-task
+// protocol (Figure 2) and the gob+gzip stream codec used to exchange them —
+// the Go analogue of the paper's Kryo+Gzip Java streams (§2.4).
+package protocol
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// TaskRequest is step (1) of the protocol: the worker announces itself with
+// its device information (for I-Prof) and the label distribution of its
+// local data (for AdaSGD's similarity). Only label *indices* are ever
+// transmitted, never semantic label values.
+type TaskRequest struct {
+	WorkerID    int    `json:"worker_id"`
+	DeviceModel string `json:"device_model"`
+	// TimeFeatures is the I-Prof feature vector for the computation-time
+	// predictor; EnergyFeatures for the energy predictor.
+	TimeFeatures   []float64 `json:"time_features"`
+	EnergyFeatures []float64 `json:"energy_features"`
+	// LabelCounts is the per-label sample count of the worker's local data.
+	LabelCounts []int `json:"label_counts"`
+}
+
+// TaskResponse is steps (2)–(4): either a rejection by the controller, or
+// the model parameters plus the I-Prof-bounded mini-batch size.
+type TaskResponse struct {
+	Accepted bool   `json:"accepted"`
+	Reason   string `json:"reason,omitempty"`
+	// ModelVersion is the server's logical clock t at model pull.
+	ModelVersion int       `json:"model_version"`
+	Params       []float64 `json:"params,omitempty"`
+	BatchSize    int       `json:"batch_size"`
+}
+
+// GradientPush is step (5): the computed gradient plus the measured task
+// cost, which feeds I-Prof's online observation stream. Exactly one of
+// Gradient (dense) or SparseIndices/SparseValues (top-k compressed, see
+// internal/compress) is populated.
+type GradientPush struct {
+	WorkerID     int       `json:"worker_id"`
+	DeviceModel  string    `json:"device_model"`
+	ModelVersion int       `json:"model_version"`
+	Gradient     []float64 `json:"gradient,omitempty"`
+	// Sparse form: GradientLen is the dense length, SparseIndices the kept
+	// coordinates, SparseValues their values.
+	GradientLen   int       `json:"gradient_len,omitempty"`
+	SparseIndices []int32   `json:"sparse_indices,omitempty"`
+	SparseValues  []float64 `json:"sparse_values,omitempty"`
+	BatchSize     int       `json:"batch_size"`
+	LabelCounts   []int     `json:"label_counts"`
+	// Measured execution cost of the learning task.
+	CompTimeSec    float64   `json:"comp_time_sec"`
+	EnergyPct      float64   `json:"energy_pct"`
+	TimeFeatures   []float64 `json:"time_features"`
+	EnergyFeatures []float64 `json:"energy_features"`
+}
+
+// PushAck acknowledges a gradient push.
+type PushAck struct {
+	Applied bool `json:"applied"`
+	// Staleness is the τ the server computed for this gradient.
+	Staleness int `json:"staleness"`
+	// Scale is the Equation-3 factor the gradient was applied with.
+	Scale float64 `json:"scale"`
+	// NewVersion is the server's logical clock after the push.
+	NewVersion int `json:"new_version"`
+}
+
+// Stats is the server's diagnostic snapshot.
+type Stats struct {
+	ModelVersion  int     `json:"model_version"`
+	TasksServed   int     `json:"tasks_served"`
+	TasksRejected int     `json:"tasks_rejected"`
+	GradientsIn   int     `json:"gradients_in"`
+	MeanStaleness float64 `json:"mean_staleness"`
+}
+
+// Encode writes v to w as a gzip-compressed gob stream.
+func Encode(w io.Writer, v interface{}) error {
+	zw := gzip.NewWriter(w)
+	if err := gob.NewEncoder(zw).Encode(v); err != nil {
+		return fmt.Errorf("protocol: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("protocol: gzip close: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a gzip-compressed gob value from r into v (a pointer).
+func Decode(r io.Reader, v interface{}) error {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return fmt.Errorf("protocol: gzip open: %w", err)
+	}
+	defer func() { _ = zr.Close() }()
+	if err := gob.NewDecoder(zr).Decode(v); err != nil {
+		return fmt.Errorf("protocol: decode: %w", err)
+	}
+	return nil
+}

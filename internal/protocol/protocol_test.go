@@ -1,0 +1,109 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := GradientPush{
+		WorkerID:     7,
+		DeviceModel:  "Galaxy S7",
+		ModelVersion: 42,
+		Gradient:     []float64{0.1, -0.2, 0.3},
+		BatchSize:    100,
+		LabelCounts:  []int{1, 0, 2},
+		CompTimeSec:  2.5,
+		EnergyPct:    0.05,
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out GradientPush
+	if err := Decode(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.WorkerID != 7 || out.DeviceModel != "Galaxy S7" || out.ModelVersion != 42 {
+		t.Fatalf("metadata mismatch: %+v", out)
+	}
+	for i, v := range in.Gradient {
+		if out.Gradient[i] != v {
+			t.Fatal("gradient corrupted")
+		}
+	}
+	for i, v := range in.LabelCounts {
+		if out.LabelCounts[i] != v {
+			t.Fatal("label counts corrupted")
+		}
+	}
+}
+
+func TestEncodeCompresses(t *testing.T) {
+	// A large zero gradient must compress far below its raw 8-byte/param
+	// size — that is the point of the gzip stream.
+	in := TaskResponse{Accepted: true, Params: make([]float64, 10000), BatchSize: 10}
+	var buf bytes.Buffer
+	if err := Encode(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() >= 40000 {
+		t.Fatalf("encoded size %d, expected compression below 40000", buf.Len())
+	}
+}
+
+func TestDecodeGarbageFails(t *testing.T) {
+	var out TaskRequest
+	if err := Decode(bytes.NewBufferString("not gzip"), &out); err == nil {
+		t.Fatal("want error on garbage input")
+	}
+}
+
+func TestRoundTripAllMessageTypes(t *testing.T) {
+	cases := []interface{}{
+		TaskRequest{WorkerID: 1, DeviceModel: "Pixel", TimeFeatures: []float64{1, 2}, LabelCounts: []int{3}},
+		TaskResponse{Accepted: false, Reason: "similarity above threshold"},
+		PushAck{Applied: true, Staleness: 3, Scale: 0.5, NewVersion: 9},
+		Stats{ModelVersion: 5, TasksServed: 10, GradientsIn: 8, MeanStaleness: 1.5},
+	}
+	for i, in := range cases {
+		var buf bytes.Buffer
+		if err := Encode(&buf, in); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		switch want := in.(type) {
+		case TaskRequest:
+			var got TaskRequest
+			if err := Decode(&buf, &got); err != nil {
+				t.Fatal(err)
+			}
+			if got.DeviceModel != want.DeviceModel {
+				t.Fatalf("case %d mismatch", i)
+			}
+		case TaskResponse:
+			var got TaskResponse
+			if err := Decode(&buf, &got); err != nil {
+				t.Fatal(err)
+			}
+			if got.Reason != want.Reason {
+				t.Fatalf("case %d mismatch", i)
+			}
+		case PushAck:
+			var got PushAck
+			if err := Decode(&buf, &got); err != nil {
+				t.Fatal(err)
+			}
+			if got.Scale != want.Scale || got.Staleness != want.Staleness {
+				t.Fatalf("case %d mismatch", i)
+			}
+		case Stats:
+			var got Stats
+			if err := Decode(&buf, &got); err != nil {
+				t.Fatal(err)
+			}
+			if got.MeanStaleness != want.MeanStaleness {
+				t.Fatalf("case %d mismatch", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package regression implements the two estimators I-Prof is built from
+// (§2.2): ordinary least squares for the pre-trained cold-start model, and
+// the online Passive-Aggressive regressor of Crammer et al. (JMLR'06) for
+// the per-device-model personalized models.
+//
+// Everything is stdlib-only: the normal equations are solved with Gaussian
+// elimination with partial pivoting plus a small ridge term for stability.
+package regression
+
+import (
+	"fmt"
+	"math"
+)
+
+// OLS fits y ≈ Xθ by ordinary least squares and returns θ. X is row-major
+// (one row per observation). A tiny ridge (1e-9) keeps near-singular
+// systems solvable, matching the offline pre-training of I-Prof's
+// cold-start model.
+func OLS(x [][]float64, y []float64) ([]float64, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("regression: OLS with no observations")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("regression: OLS has %d rows but %d targets", len(x), len(y))
+	}
+	d := len(x[0])
+	if d == 0 {
+		return nil, fmt.Errorf("regression: OLS with empty feature vectors")
+	}
+	// Normal equations: (XᵀX + λI) θ = Xᵀy.
+	xtx := make([][]float64, d)
+	for i := range xtx {
+		xtx[i] = make([]float64, d)
+	}
+	xty := make([]float64, d)
+	for r, row := range x {
+		if len(row) != d {
+			return nil, fmt.Errorf("regression: OLS row %d has %d features, want %d", r, len(row), d)
+		}
+		for i := 0; i < d; i++ {
+			for j := i; j < d; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+			xty[i] += row[i] * y[r]
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+		xtx[i][i] += 1e-9
+	}
+	theta, err := solve(xtx, xty)
+	if err != nil {
+		return nil, fmt.Errorf("regression: OLS solve: %w", err)
+	}
+	return theta, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on a (mutated
+// in place) square system a·x = b.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-15 {
+			return nil, fmt.Errorf("singular system at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}
+
+// PassiveAggressive is the ε-insensitive online regressor used for I-Prof's
+// personalized per-device-model predictors:
+//
+//	θ(k+1) = θ(k) + f(k)/‖x(k)‖² · v(k),  v(k) = sign(α(k) − xᵀθ(k))·x(k)
+//
+// with the ε-insensitive hinge loss f of Equation 2. Smaller ε means more
+// aggressive updates.
+type PassiveAggressive struct {
+	theta   []float64
+	epsilon float64
+}
+
+// NewPassiveAggressive builds a PA regressor with the given initial weights
+// (copied) and sensitivity ε ≥ 0.
+func NewPassiveAggressive(init []float64, epsilon float64) *PassiveAggressive {
+	if epsilon < 0 {
+		panic("regression: PassiveAggressive needs epsilon >= 0")
+	}
+	theta := make([]float64, len(init))
+	copy(theta, init)
+	return &PassiveAggressive{theta: theta, epsilon: epsilon}
+}
+
+// Predict returns xᵀθ.
+func (p *PassiveAggressive) Predict(x []float64) float64 {
+	if len(x) != len(p.theta) {
+		panic(fmt.Sprintf("regression: PA predict with %d features, model has %d", len(x), len(p.theta)))
+	}
+	s := 0.0
+	for i, v := range x {
+		s += v * p.theta[i]
+	}
+	return s
+}
+
+// Loss returns the ε-insensitive loss |xᵀθ − α| − ε clamped at 0
+// (Equation 2 of the paper).
+func (p *PassiveAggressive) Loss(x []float64, alpha float64) float64 {
+	resid := math.Abs(p.Predict(x) - alpha)
+	if resid <= p.epsilon {
+		return 0
+	}
+	return resid - p.epsilon
+}
+
+// Update performs one PA step toward target alpha.
+func (p *PassiveAggressive) Update(x []float64, alpha float64) {
+	loss := p.Loss(x, alpha)
+	if loss == 0 {
+		return
+	}
+	norm2 := 0.0
+	for _, v := range x {
+		norm2 += v * v
+	}
+	if norm2 == 0 {
+		return
+	}
+	dir := 1.0
+	if alpha < p.Predict(x) {
+		dir = -1
+	}
+	step := loss / norm2
+	for i, v := range x {
+		p.theta[i] += step * dir * v
+	}
+}
+
+// Theta returns a copy of the current weights.
+func (p *PassiveAggressive) Theta() []float64 {
+	out := make([]float64, len(p.theta))
+	copy(out, p.theta)
+	return out
+}

@@ -1,0 +1,184 @@
+package regression
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fleet/internal/simrand"
+)
+
+func TestOLSExactFit(t *testing.T) {
+	// y = 2 + 3a - b is exactly recoverable from noise-free data.
+	x := [][]float64{
+		{1, 0, 0}, {1, 1, 0}, {1, 0, 1}, {1, 2, 1}, {1, 3, 5},
+	}
+	var y []float64
+	for _, row := range x {
+		y = append(y, 2*row[0]+3*row[1]-1*row[2])
+	}
+	theta, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(theta[i]-want[i]) > 1e-6 {
+			t.Fatalf("theta = %v, want %v", theta, want)
+		}
+	}
+}
+
+func TestOLSNoisyFitCloseToTruth(t *testing.T) {
+	rng := simrand.New(1)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 500; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		x = append(x, []float64{1, a, b})
+		y = append(y, 5+0.7*a-0.2*b+rng.NormFloat64()*0.1)
+	}
+	theta, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 0.7, -0.2}
+	for i := range want {
+		if math.Abs(theta[i]-want[i]) > 0.05 {
+			t.Fatalf("theta = %v, want ~%v", theta, want)
+		}
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	if _, err := OLS(nil, nil); err == nil {
+		t.Error("want error on no observations")
+	}
+	if _, err := OLS([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("want error on row/target mismatch")
+	}
+	if _, err := OLS([][]float64{{}}, []float64{1}); err == nil {
+		t.Error("want error on empty features")
+	}
+	if _, err := OLS([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("want error on ragged rows")
+	}
+}
+
+func TestOLSCollinearDoesNotExplode(t *testing.T) {
+	// Perfectly collinear features: ridge keeps the system solvable.
+	x := [][]float64{{1, 2}, {2, 4}, {3, 6}}
+	y := []float64{1, 2, 3}
+	theta, err := OLS(x, y)
+	if err != nil {
+		t.Fatalf("collinear OLS failed: %v", err)
+	}
+	for _, v := range theta {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("theta = %v", theta)
+		}
+	}
+}
+
+func TestPAConvergesToLinearTarget(t *testing.T) {
+	rng := simrand.New(2)
+	pa := NewPassiveAggressive(make([]float64, 3), 0.001)
+	truth := []float64{0.5, 2, -1}
+	for i := 0; i < 3000; i++ {
+		x := []float64{1, rng.Float64(), rng.Float64()}
+		alpha := truth[0]*x[0] + truth[1]*x[1] + truth[2]*x[2]
+		pa.Update(x, alpha)
+	}
+	// Predictions should now be close for new points.
+	for i := 0; i < 20; i++ {
+		x := []float64{1, rng.Float64(), rng.Float64()}
+		want := truth[0]*x[0] + truth[1]*x[1] + truth[2]*x[2]
+		if math.Abs(pa.Predict(x)-want) > 0.05 {
+			t.Fatalf("PA prediction %v, want %v", pa.Predict(x), want)
+		}
+	}
+}
+
+func TestPANoUpdateWithinEpsilon(t *testing.T) {
+	pa := NewPassiveAggressive([]float64{1}, 0.5)
+	before := pa.Theta()
+	pa.Update([]float64{1}, 1.3) // |1 - 1.3| = 0.3 <= ε
+	after := pa.Theta()
+	if before[0] != after[0] {
+		t.Fatal("PA must not update within the ε-insensitive zone")
+	}
+}
+
+func TestPAUpdateReducesLoss(t *testing.T) {
+	pa := NewPassiveAggressive([]float64{0, 0}, 0.01)
+	x := []float64{1, 2}
+	lossBefore := pa.Loss(x, 5)
+	pa.Update(x, 5)
+	lossAfter := pa.Loss(x, 5)
+	if lossAfter >= lossBefore {
+		t.Fatalf("loss %v -> %v, must decrease", lossBefore, lossAfter)
+	}
+	// The PA-1 update drives the point exactly onto the ε-tube boundary.
+	if lossAfter > 1e-9 {
+		t.Fatalf("PA should zero the loss on the updating point, got %v", lossAfter)
+	}
+}
+
+func TestPAUpdateDirection(t *testing.T) {
+	// Underprediction must raise θ; overprediction must lower it.
+	pa := NewPassiveAggressive([]float64{0}, 0)
+	pa.Update([]float64{1}, 10)
+	if pa.Theta()[0] <= 0 {
+		t.Fatal("underprediction should increase θ")
+	}
+	pa2 := NewPassiveAggressive([]float64{5}, 0)
+	pa2.Update([]float64{1}, 1)
+	if pa2.Theta()[0] >= 5 {
+		t.Fatal("overprediction should decrease θ")
+	}
+}
+
+func TestPAZeroFeatureVectorSafe(t *testing.T) {
+	pa := NewPassiveAggressive([]float64{1, 1}, 0)
+	pa.Update([]float64{0, 0}, 10)
+	for _, v := range pa.Theta() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("zero feature vector must not produce NaN")
+		}
+	}
+}
+
+func TestPAPanicsOnDimensionMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPassiveAggressive([]float64{1}, 0).Predict([]float64{1, 2})
+}
+
+func TestPAPanicsOnNegativeEpsilon(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPassiveAggressive([]float64{1}, -0.1)
+}
+
+func TestPAPropertyLossNeverNegative(t *testing.T) {
+	pa := NewPassiveAggressive([]float64{0.3, -0.2}, 0.1)
+	err := quick.Check(func(a, b, target float64) bool {
+		x := []float64{math.Mod(a, 5), math.Mod(b, 5)}
+		alpha := math.Mod(target, 100)
+		if math.IsNaN(x[0]) || math.IsNaN(x[1]) || math.IsNaN(alpha) {
+			return true
+		}
+		l := pa.Loss(x, alpha)
+		pa.Update(x, alpha)
+		return l >= 0
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package robust implements Byzantine-resilient gradient aggregation. The
+// paper (§4) notes that robustness against adversarial users — e.g.
+// AggregaThor's robust aggregation [20] or asynchronous Byzantine SGD [21],
+// both by the same authors — is orthogonal to Online FL and can be plugged
+// into FLeet; this package makes that concrete for the K-aggregation path
+// of Equation 3.
+//
+// All aggregators consume the K scaled gradients of one update window and
+// emit a single update direction:
+//
+//   - Mean: the paper's default (not Byzantine-resilient);
+//   - CoordinateMedian: per-coordinate median, tolerant to < K/2 outliers;
+//   - TrimmedMean: per-coordinate mean after dropping the β largest and
+//     smallest values;
+//   - Krum: selects the gradient minimizing the summed distance to its
+//     K−f−2 nearest neighbours (Blanchard et al., NeurIPS'17).
+package robust
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Aggregator combines the gradients of one aggregation window.
+type Aggregator interface {
+	// Name returns the aggregator's display name.
+	Name() string
+	// Aggregate combines gradients (all the same length) into one update
+	// direction. It must not modify its inputs. Empty input panics.
+	Aggregate(grads [][]float64) []float64
+}
+
+func checkInput(grads [][]float64) {
+	if len(grads) == 0 {
+		panic("robust: Aggregate on empty window")
+	}
+	n := len(grads[0])
+	for _, g := range grads[1:] {
+		if len(g) != n {
+			panic(fmt.Sprintf("robust: ragged gradients (%d vs %d)", len(g), n))
+		}
+	}
+}
+
+// Mean is plain averaging — the baseline without Byzantine resilience.
+type Mean struct{}
+
+// Name implements Aggregator.
+func (Mean) Name() string { return "Mean" }
+
+// Aggregate implements Aggregator.
+func (Mean) Aggregate(grads [][]float64) []float64 {
+	checkInput(grads)
+	out := make([]float64, len(grads[0]))
+	for _, g := range grads {
+		for i, v := range g {
+			out[i] += v
+		}
+	}
+	inv := 1 / float64(len(grads))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// CoordinateMedian takes the per-coordinate median; resilient to fewer
+// than half the window being Byzantine.
+type CoordinateMedian struct{}
+
+// Name implements Aggregator.
+func (CoordinateMedian) Name() string { return "CoordinateMedian" }
+
+// Aggregate implements Aggregator.
+func (CoordinateMedian) Aggregate(grads [][]float64) []float64 {
+	checkInput(grads)
+	n := len(grads[0])
+	out := make([]float64, n)
+	col := make([]float64, len(grads))
+	for i := 0; i < n; i++ {
+		for j, g := range grads {
+			col[j] = g[i]
+		}
+		sort.Float64s(col)
+		m := len(col)
+		if m%2 == 1 {
+			out[i] = col[m/2]
+		} else {
+			out[i] = (col[m/2-1] + col[m/2]) / 2
+		}
+	}
+	return out
+}
+
+// TrimmedMean drops the Trim largest and Trim smallest values per
+// coordinate before averaging. Trim is clamped so at least one value
+// survives.
+type TrimmedMean struct {
+	// Trim is the number of values removed from each tail.
+	Trim int
+}
+
+// Name implements Aggregator.
+func (t TrimmedMean) Name() string { return fmt.Sprintf("TrimmedMean(%d)", t.Trim) }
+
+// Aggregate implements Aggregator.
+func (t TrimmedMean) Aggregate(grads [][]float64) []float64 {
+	checkInput(grads)
+	trim := t.Trim
+	if trim < 0 {
+		trim = 0
+	}
+	for 2*trim >= len(grads) {
+		trim--
+	}
+	n := len(grads[0])
+	out := make([]float64, n)
+	col := make([]float64, len(grads))
+	for i := 0; i < n; i++ {
+		for j, g := range grads {
+			col[j] = g[i]
+		}
+		sort.Float64s(col)
+		kept := col[trim : len(col)-trim]
+		s := 0.0
+		for _, v := range kept {
+			s += v
+		}
+		out[i] = s / float64(len(kept))
+	}
+	return out
+}
+
+// Krum selects the single gradient with the minimum summed squared
+// distance to its K−F−2 nearest neighbours, tolerating up to F Byzantine
+// gradients per window (requires K ≥ 2F+3 for its guarantee; smaller
+// windows degrade gracefully to nearest-neighbour selection).
+type Krum struct {
+	// F is the assumed number of Byzantine gradients per window.
+	F int
+}
+
+// Name implements Aggregator.
+func (k Krum) Name() string { return fmt.Sprintf("Krum(f=%d)", k.F) }
+
+// Aggregate implements Aggregator.
+func (k Krum) Aggregate(grads [][]float64) []float64 {
+	checkInput(grads)
+	m := len(grads)
+	if m == 1 {
+		out := make([]float64, len(grads[0]))
+		copy(out, grads[0])
+		return out
+	}
+	neighbours := m - k.F - 2
+	if neighbours < 1 {
+		neighbours = 1
+	}
+	if neighbours > m-1 {
+		neighbours = m - 1
+	}
+	// Pairwise squared distances.
+	dist := make([][]float64, m)
+	for i := range dist {
+		dist[i] = make([]float64, m)
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			d := sqDist(grads[i], grads[j])
+			dist[i][j], dist[j][i] = d, d
+		}
+	}
+	bestScore := math.Inf(1)
+	bestIdx := 0
+	row := make([]float64, 0, m-1)
+	for i := 0; i < m; i++ {
+		row = row[:0]
+		for j := 0; j < m; j++ {
+			if j != i {
+				row = append(row, dist[i][j])
+			}
+		}
+		sort.Float64s(row)
+		score := 0.0
+		for _, d := range row[:neighbours] {
+			score += d
+		}
+		if score < bestScore {
+			bestScore, bestIdx = score, i
+		}
+	}
+	out := make([]float64, len(grads[bestIdx]))
+	copy(out, grads[bestIdx])
+	return out
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,160 @@
+package robust
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fleet/internal/simrand"
+)
+
+func TestMeanBasic(t *testing.T) {
+	var m Mean
+	got := m.Aggregate([][]float64{{1, 2}, {3, 4}})
+	if got[0] != 2 || got[1] != 3 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestMeanVulnerableToOutlier(t *testing.T) {
+	// Sanity: the baseline is NOT resilient — one attacker shifts it
+	// arbitrarily. This is the behaviour the robust aggregators fix.
+	var m Mean
+	got := m.Aggregate([][]float64{{1}, {1}, {1000}})
+	if got[0] < 100 {
+		t.Fatalf("mean should be dragged by the outlier, got %v", got[0])
+	}
+}
+
+func TestCoordinateMedianResistsOutliers(t *testing.T) {
+	var m CoordinateMedian
+	got := m.Aggregate([][]float64{
+		{1, -1}, {1.2, -0.8}, {0.9, -1.1}, {1e6, 1e6}, {-1e6, 1e6},
+	})
+	if math.Abs(got[0]-1) > 0.5 || math.Abs(got[1]+0.8) > 0.5 {
+		t.Fatalf("median = %v, should ignore the two attackers", got)
+	}
+}
+
+func TestCoordinateMedianEvenWindow(t *testing.T) {
+	var m CoordinateMedian
+	got := m.Aggregate([][]float64{{1}, {3}})
+	if got[0] != 2 {
+		t.Fatalf("even-window median = %v, want 2", got[0])
+	}
+}
+
+func TestTrimmedMeanResistsOutliers(t *testing.T) {
+	m := TrimmedMean{Trim: 1}
+	got := m.Aggregate([][]float64{{1}, {1.1}, {0.9}, {1e9}, {-1e9}})
+	if math.Abs(got[0]-1) > 0.1 {
+		t.Fatalf("trimmed mean = %v, want ~1", got[0])
+	}
+}
+
+func TestTrimmedMeanClampsOverTrim(t *testing.T) {
+	m := TrimmedMean{Trim: 5}
+	got := m.Aggregate([][]float64{{1}, {3}})
+	// Trim clamped so at least one value survives.
+	if math.IsNaN(got[0]) {
+		t.Fatal("over-trimming produced NaN")
+	}
+}
+
+func TestKrumPicksHonestGradient(t *testing.T) {
+	// Five honest gradients clustered at (1, 1); two attackers far away.
+	k := Krum{F: 2}
+	rng := simrand.New(1)
+	var grads [][]float64
+	for i := 0; i < 5; i++ {
+		grads = append(grads, []float64{1 + rng.NormFloat64()*0.05, 1 + rng.NormFloat64()*0.05})
+	}
+	grads = append(grads, []float64{-50, 80}, []float64{90, -30})
+	got := k.Aggregate(grads)
+	if math.Abs(got[0]-1) > 0.3 || math.Abs(got[1]-1) > 0.3 {
+		t.Fatalf("Krum selected %v, want a member of the honest cluster", got)
+	}
+}
+
+func TestKrumReturnsExactMember(t *testing.T) {
+	k := Krum{F: 0}
+	grads := [][]float64{{1, 2}, {1.1, 2.1}, {0.9, 1.9}}
+	got := k.Aggregate(grads)
+	member := false
+	for _, g := range grads {
+		if g[0] == got[0] && g[1] == got[1] {
+			member = true
+		}
+	}
+	if !member {
+		t.Fatalf("Krum output %v is not one of the inputs", got)
+	}
+}
+
+func TestKrumSingleGradient(t *testing.T) {
+	k := Krum{F: 1}
+	got := k.Aggregate([][]float64{{7, 8}})
+	if got[0] != 7 || got[1] != 8 {
+		t.Fatalf("single-gradient Krum = %v", got)
+	}
+}
+
+func TestAggregatorsDoNotMutateInputs(t *testing.T) {
+	aggs := []Aggregator{Mean{}, CoordinateMedian{}, TrimmedMean{Trim: 1}, Krum{F: 1}}
+	for _, a := range aggs {
+		grads := [][]float64{{3, 1}, {2, 5}, {9, 4}, {0, 2}}
+		a.Aggregate(grads)
+		if grads[0][0] != 3 || grads[1][1] != 5 || grads[2][0] != 9 || grads[3][1] != 2 {
+			t.Fatalf("%s mutated its inputs", a.Name())
+		}
+	}
+}
+
+func TestAggregatorsPanicOnEmptyOrRagged(t *testing.T) {
+	aggs := []Aggregator{Mean{}, CoordinateMedian{}, TrimmedMean{Trim: 1}, Krum{F: 1}}
+	for _, a := range aggs {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: empty window should panic", a.Name())
+				}
+			}()
+			a.Aggregate(nil)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: ragged window should panic", a.Name())
+				}
+			}()
+			a.Aggregate([][]float64{{1, 2}, {1}})
+		}()
+	}
+}
+
+func TestMedianEqualsMeanOnSymmetricInput(t *testing.T) {
+	// Property: for windows symmetric around a center, median == mean.
+	err := quick.Check(func(center float64, spread uint8) bool {
+		c := math.Mod(center, 100)
+		d := float64(spread%50) + 1
+		grads := [][]float64{{c - d}, {c}, {c + d}}
+		med := (CoordinateMedian{}).Aggregate(grads)[0]
+		mean := (Mean{}).Aggregate(grads)[0]
+		return math.Abs(med-mean) < 1e-9
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (Mean{}).Name() == "" || (CoordinateMedian{}).Name() == "" {
+		t.Fatal("empty names")
+	}
+	if (TrimmedMean{Trim: 2}).Name() != "TrimmedMean(2)" {
+		t.Fatal("trimmed mean name")
+	}
+	if (Krum{F: 1}).Name() != "Krum(f=1)" {
+		t.Fatal("krum name")
+	}
+}

@@ -1,0 +1,296 @@
+// Package server implements FLeet's parameter server: the HTTP web
+// application hosting the global model, I-Prof, AdaSGD and the controller
+// (Figure 2). Workers interact through two endpoints:
+//
+//	POST /task     — step (1): request a learning task
+//	POST /gradient — step (5): push a computed gradient
+//	GET  /stats    — diagnostics
+//
+// Payloads are gzip-compressed gob streams (see internal/protocol).
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"fleet/internal/compress"
+	"fleet/internal/iprof"
+	"fleet/internal/learning"
+	"fleet/internal/nn"
+	"fleet/internal/protocol"
+	"fleet/internal/simrand"
+)
+
+// Config parameterizes a FLeet server.
+type Config struct {
+	// Arch is the global model architecture.
+	Arch nn.Arch
+	// Algorithm is the aggregation rule (typically AdaSGD).
+	Algorithm learning.Algorithm
+	// LearningRate is γ of Equation 3.
+	LearningRate float64
+	// K is the number of gradients aggregated per model update (default 1).
+	K int
+	// TimeSLOSec and EnergySLOPct are the provider's SLOs; the controller
+	// sends each worker the largest batch meeting both (0 disables one).
+	TimeSLOSec   float64
+	EnergySLOPct float64
+	// TimeProfiler and EnergyProfiler are the I-Prof instances. A nil
+	// profiler disables that bound and DefaultBatchSize is used instead.
+	TimeProfiler   *iprof.IProf
+	EnergyProfiler *iprof.IProf
+	// DefaultBatchSize is used when no profiler is configured (default 100,
+	// the paper's mini-batch size).
+	DefaultBatchSize int
+	// MinBatchSize is the controller's size threshold: predicted batches
+	// below it are rejected before any energy is spent (§2.2).
+	MinBatchSize int
+	// MaxSimilarity is the controller's similarity threshold: tasks whose
+	// label similarity exceeds it are rejected as redundant. 0 disables.
+	MaxSimilarity float64
+	// Seed initializes the global model.
+	Seed int64
+}
+
+// Server is the FLeet parameter server. All exported methods are safe for
+// concurrent use.
+type Server struct {
+	cfg Config
+
+	mu           sync.Mutex
+	model        *nn.Network
+	version      int
+	labels       *learning.LabelTracker
+	pending      int
+	accum        []float64
+	tasksServed  int
+	tasksDropped int
+	gradientsIn  int
+	staleSum     float64
+}
+
+// New builds a server with a freshly initialized global model.
+func New(cfg Config) (*Server, error) {
+	if cfg.Algorithm == nil {
+		return nil, fmt.Errorf("server: Algorithm is required")
+	}
+	if cfg.LearningRate <= 0 {
+		return nil, fmt.Errorf("server: LearningRate must be positive")
+	}
+	if cfg.K <= 0 {
+		cfg.K = 1
+	}
+	if cfg.DefaultBatchSize <= 0 {
+		cfg.DefaultBatchSize = 100
+	}
+	model := cfg.Arch.Build(simrand.New(cfg.Seed))
+	return &Server{
+		cfg:    cfg,
+		model:  model,
+		labels: learning.NewLabelTracker(cfg.Arch.Classes()),
+		accum:  make([]float64, model.ParamCount()),
+	}, nil
+}
+
+// HandleTask processes a protocol.TaskRequest (step 1→4 of Figure 2).
+func (s *Server) HandleTask(req protocol.TaskRequest) protocol.TaskResponse {
+	batch := s.cfg.DefaultBatchSize
+	if s.cfg.TimeProfiler != nil && s.cfg.TimeSLOSec > 0 {
+		batch = s.cfg.TimeProfiler.BatchSize(req.DeviceModel, req.TimeFeatures, s.cfg.TimeSLOSec)
+	}
+	if s.cfg.EnergyProfiler != nil && s.cfg.EnergySLOPct > 0 {
+		eBatch := s.cfg.EnergyProfiler.BatchSize(req.DeviceModel, req.EnergyFeatures, s.cfg.EnergySLOPct)
+		if eBatch < batch {
+			batch = eBatch
+		}
+	}
+
+	sim := s.labels.Similarity(req.LabelCounts)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.MinBatchSize > 0 && batch < s.cfg.MinBatchSize {
+		s.tasksDropped++
+		return protocol.TaskResponse{Accepted: false, Reason: "mini-batch size below threshold"}
+	}
+	if s.cfg.MaxSimilarity > 0 && sim > s.cfg.MaxSimilarity {
+		s.tasksDropped++
+		return protocol.TaskResponse{Accepted: false, Reason: "similarity above threshold"}
+	}
+	s.tasksServed++
+	return protocol.TaskResponse{
+		Accepted:     true,
+		ModelVersion: s.version,
+		Params:       s.model.ParamVector(),
+		BatchSize:    batch,
+	}
+}
+
+// HandleGradient processes a protocol.GradientPush (step 5): it dampens/
+// boosts the gradient per the configured algorithm, updates the model after
+// K gradients, and feeds the measured cost back into I-Prof.
+func (s *Server) HandleGradient(push protocol.GradientPush) (protocol.PushAck, error) {
+	gradient := push.Gradient
+	if gradient == nil && len(push.SparseValues) > 0 {
+		// Top-k compressed uplink (internal/compress): decode to dense.
+		if push.GradientLen != len(s.accum) {
+			return protocol.PushAck{}, fmt.Errorf("server: sparse gradient of dense length %d, model has %d",
+				push.GradientLen, len(s.accum))
+		}
+		if len(push.SparseIndices) != len(push.SparseValues) {
+			return protocol.PushAck{}, fmt.Errorf("server: sparse gradient with %d indices, %d values",
+				len(push.SparseIndices), len(push.SparseValues))
+		}
+		sp := compress.Sparse{Len: push.GradientLen, Indices: push.SparseIndices, Values: push.SparseValues}
+		for _, id := range sp.Indices {
+			if id < 0 || int(id) >= sp.Len {
+				return protocol.PushAck{}, fmt.Errorf("server: sparse index %d out of range", id)
+			}
+		}
+		gradient = sp.Dense()
+	}
+	if len(gradient) != len(s.accum) {
+		return protocol.PushAck{}, fmt.Errorf("server: gradient has %d params, model has %d",
+			len(gradient), len(s.accum))
+	}
+	if push.BatchSize <= 0 {
+		return protocol.PushAck{}, fmt.Errorf("server: non-positive batch size %d", push.BatchSize)
+	}
+
+	// Feed I-Prof outside the model lock.
+	if s.cfg.TimeProfiler != nil && push.CompTimeSec > 0 && len(push.TimeFeatures) > 0 {
+		s.cfg.TimeProfiler.Observe(iprof.Observation{
+			DeviceModel: push.DeviceModel,
+			Features:    push.TimeFeatures,
+			Alpha:       push.CompTimeSec / float64(push.BatchSize),
+		})
+	}
+	if s.cfg.EnergyProfiler != nil && push.EnergyPct > 0 && len(push.EnergyFeatures) > 0 {
+		s.cfg.EnergyProfiler.Observe(iprof.Observation{
+			DeviceModel: push.DeviceModel,
+			Features:    push.EnergyFeatures,
+			Alpha:       push.EnergyPct / float64(push.BatchSize),
+		})
+	}
+
+	sim := s.labels.Similarity(push.LabelCounts)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	staleness := s.version - push.ModelVersion
+	if staleness < 0 {
+		return protocol.PushAck{}, fmt.Errorf("server: gradient from future model version %d (at %d)",
+			push.ModelVersion, s.version)
+	}
+	meta := learning.GradientMeta{
+		Staleness:  staleness,
+		Similarity: sim,
+		BatchSize:  push.BatchSize,
+		WorkerID:   push.WorkerID,
+	}
+	scale := s.cfg.Algorithm.Scale(meta)
+	s.cfg.Algorithm.Observe(meta)
+	// LD_global accumulates label mass weighted by the pure staleness
+	// dampening, so labels the model never effectively incorporated keep
+	// their novelty (and keep being boosted).
+	s.labels.RecordWeighted(push.LabelCounts, s.cfg.Algorithm.AbsorbWeight(meta))
+	s.gradientsIn++
+	s.staleSum += float64(staleness)
+
+	for i, g := range gradient {
+		s.accum[i] += scale * g
+	}
+	s.pending++
+	if s.pending >= s.cfg.K {
+		s.model.ApplyGradient(s.accum, s.cfg.LearningRate)
+		for i := range s.accum {
+			s.accum[i] = 0
+		}
+		s.pending = 0
+		s.version++
+	}
+	return protocol.PushAck{
+		Applied:    true,
+		Staleness:  staleness,
+		Scale:      scale,
+		NewVersion: s.version,
+	}, nil
+}
+
+// Stats returns a diagnostic snapshot.
+func (s *Server) Stats() protocol.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mean := 0.0
+	if s.gradientsIn > 0 {
+		mean = s.staleSum / float64(s.gradientsIn)
+	}
+	return protocol.Stats{
+		ModelVersion:  s.version,
+		TasksServed:   s.tasksServed,
+		TasksRejected: s.tasksDropped,
+		GradientsIn:   s.gradientsIn,
+		MeanStaleness: mean,
+	}
+}
+
+// Model returns a copy of the current global parameters and their version.
+func (s *Server) Model() ([]float64, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.model.ParamVector(), s.version
+}
+
+// Evaluate computes test accuracy of the current global model. The provided
+// scratch network must have the same architecture; it is overwritten.
+func (s *Server) Evaluate(scratch *nn.Network, test []nn.Sample) float64 {
+	params, _ := s.Model()
+	scratch.SetParams(params)
+	return scratch.Accuracy(test)
+}
+
+// Handler returns the HTTP handler exposing the protocol endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/task", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		var req protocol.TaskRequest
+		if err := protocol.Decode(r.Body, &req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := s.HandleTask(req)
+		if err := protocol.Encode(w, resp); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/gradient", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		var push protocol.GradientPush
+		if err := protocol.Decode(r.Body, &push); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ack, err := s.HandleGradient(push)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := protocol.Encode(w, ack); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if err := protocol.Encode(w, s.Stats()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}

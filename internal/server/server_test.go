@@ -1,0 +1,198 @@
+package server
+
+import (
+	"testing"
+
+	"fleet/internal/learning"
+	"fleet/internal/nn"
+	"fleet/internal/protocol"
+	"fleet/internal/simrand"
+)
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Arch == 0 {
+		cfg.Arch = nn.ArchSoftmaxMNIST
+	}
+	if cfg.Algorithm == nil {
+		cfg.Algorithm = learning.NewAdaSGD(learning.AdaSGDConfig{NonStragglerPct: 99.7, BootstrapSteps: 5})
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 0.1
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Arch: nn.ArchSoftmaxMNIST, LearningRate: 0.1}); err == nil {
+		t.Error("nil algorithm must error")
+	}
+	if _, err := New(Config{Arch: nn.ArchSoftmaxMNIST, Algorithm: learning.SSGD{}}); err == nil {
+		t.Error("zero learning rate must error")
+	}
+}
+
+func TestTaskServesModel(t *testing.T) {
+	s := newTestServer(t, Config{})
+	resp := s.HandleTask(protocol.TaskRequest{WorkerID: 1, LabelCounts: []int{1, 1}})
+	if !resp.Accepted {
+		t.Fatalf("task rejected: %s", resp.Reason)
+	}
+	if len(resp.Params) != nn.ArchSoftmaxMNIST.Build(simrand.New(0)).ParamCount() {
+		t.Fatalf("served %d params", len(resp.Params))
+	}
+	if resp.BatchSize != 100 {
+		t.Fatalf("default batch size %d, want 100", resp.BatchSize)
+	}
+	if resp.ModelVersion != 0 {
+		t.Fatalf("fresh server version %d", resp.ModelVersion)
+	}
+}
+
+func TestGradientAdvancesVersion(t *testing.T) {
+	s := newTestServer(t, Config{})
+	params, v0 := s.Model()
+	grad := make([]float64, len(params))
+	grad[0] = 1
+	ack, err := s.HandleGradient(protocol.GradientPush{
+		ModelVersion: v0, Gradient: grad, BatchSize: 10, LabelCounts: []int{5, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Applied || ack.NewVersion != v0+1 || ack.Staleness != 0 {
+		t.Fatalf("ack = %+v", ack)
+	}
+	after, v1 := s.Model()
+	if v1 != v0+1 {
+		t.Fatalf("version %d, want %d", v1, v0+1)
+	}
+	if after[0] >= params[0] {
+		t.Fatal("gradient descent must decrease the parameter")
+	}
+}
+
+func TestStaleGradientDampened(t *testing.T) {
+	s := newTestServer(t, Config{Algorithm: learning.DynSGD{}})
+	params, _ := s.Model()
+	grad := make([]float64, len(params))
+	grad[0] = 1
+	// Apply several fresh gradients to advance the version.
+	for i := 0; i < 4; i++ {
+		_, v := s.Model()
+		if _, err := s.HandleGradient(protocol.GradientPush{
+			ModelVersion: v, Gradient: grad, BatchSize: 10, LabelCounts: []int{1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Now push a gradient computed on version 0: staleness 4.
+	ack, err := s.HandleGradient(protocol.GradientPush{
+		ModelVersion: 0, Gradient: grad, BatchSize: 10, LabelCounts: []int{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Staleness != 4 {
+		t.Fatalf("staleness %d, want 4", ack.Staleness)
+	}
+	if ack.Scale != learning.InverseDampening(4) {
+		t.Fatalf("scale %v, want DynSGD dampening %v", ack.Scale, learning.InverseDampening(4))
+	}
+}
+
+func TestGradientValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	params, _ := s.Model()
+	if _, err := s.HandleGradient(protocol.GradientPush{
+		ModelVersion: 0, Gradient: []float64{1}, BatchSize: 10,
+	}); err == nil {
+		t.Error("wrong gradient size must error")
+	}
+	grad := make([]float64, len(params))
+	if _, err := s.HandleGradient(protocol.GradientPush{
+		ModelVersion: 0, Gradient: grad, BatchSize: 0,
+	}); err == nil {
+		t.Error("zero batch must error")
+	}
+	if _, err := s.HandleGradient(protocol.GradientPush{
+		ModelVersion: 99, Gradient: grad, BatchSize: 1,
+	}); err == nil {
+		t.Error("future model version must error")
+	}
+}
+
+func TestSimilarityThresholdRejects(t *testing.T) {
+	s := newTestServer(t, Config{MaxSimilarity: 0.9})
+	// Seed the global label distribution.
+	params, _ := s.Model()
+	grad := make([]float64, len(params))
+	if _, err := s.HandleGradient(protocol.GradientPush{
+		ModelVersion: 0, Gradient: grad, BatchSize: 10,
+		LabelCounts: []int{10, 10, 0, 0, 0, 0, 0, 0, 0, 0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A worker with the identical distribution: similarity 1 > 0.9.
+	resp := s.HandleTask(protocol.TaskRequest{LabelCounts: []int{5, 5, 0, 0, 0, 0, 0, 0, 0, 0}})
+	if resp.Accepted {
+		t.Fatal("redundant task should be rejected")
+	}
+	// A novel worker passes.
+	resp = s.HandleTask(protocol.TaskRequest{LabelCounts: []int{0, 0, 0, 0, 0, 0, 0, 0, 5, 5}})
+	if !resp.Accepted {
+		t.Fatalf("novel task rejected: %s", resp.Reason)
+	}
+	stats := s.Stats()
+	if stats.TasksRejected != 1 || stats.TasksServed != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestKAggregationDelaysUpdate(t *testing.T) {
+	s := newTestServer(t, Config{K: 3, Algorithm: learning.SSGD{}})
+	params, _ := s.Model()
+	grad := make([]float64, len(params))
+	grad[0] = 1
+	for i := 0; i < 2; i++ {
+		ack, err := s.HandleGradient(protocol.GradientPush{
+			ModelVersion: 0, Gradient: grad, BatchSize: 1, LabelCounts: []int{1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ack.NewVersion != 0 {
+			t.Fatalf("version advanced before K gradients: %+v", ack)
+		}
+	}
+	ack, err := s.HandleGradient(protocol.GradientPush{
+		ModelVersion: 0, Gradient: grad, BatchSize: 1, LabelCounts: []int{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.NewVersion != 1 {
+		t.Fatalf("version %d after K gradients, want 1", ack.NewVersion)
+	}
+}
+
+func TestStatsMeanStaleness(t *testing.T) {
+	s := newTestServer(t, Config{Algorithm: learning.SSGD{}})
+	params, _ := s.Model()
+	grad := make([]float64, len(params))
+	for i := 0; i < 3; i++ {
+		if _, err := s.HandleGradient(protocol.GradientPush{
+			ModelVersion: 0, Gradient: grad, BatchSize: 1, LabelCounts: []int{1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Staleness sequence: 0, 1, 2 -> mean 1.
+	if got := s.Stats().MeanStaleness; got != 1 {
+		t.Fatalf("mean staleness %v, want 1", got)
+	}
+}

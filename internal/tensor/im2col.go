@@ -1,0 +1,72 @@
+package tensor
+
+// Im2Col lowers a CHW image into a matrix of flattened receptive-field
+// patches so that a convolution becomes a single matrix multiplication.
+//
+// Input: img with shape (C, H, W). Output: matrix with shape
+// (outH*outW, C*kh*kw) where each row is one patch in row-major patch order.
+// Zero padding is applied symmetrically.
+func Im2Col(img *Tensor, kh, kw, strideH, strideW, padH, padW int) *Tensor {
+	c, h, w := img.shape[0], img.shape[1], img.shape[2]
+	outH := (h+2*padH-kh)/strideH + 1
+	outW := (w+2*padW-kw)/strideW + 1
+	cols := New(outH*outW, c*kh*kw)
+	row := 0
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			dst := cols.data[row*c*kh*kw : (row+1)*c*kh*kw]
+			di := 0
+			for ch := 0; ch < c; ch++ {
+				base := ch * h * w
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*strideH + ky - padH
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*strideW + kx - padW
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							dst[di] = img.data[base+iy*w+ix]
+						}
+						di++
+					}
+				}
+			}
+			row++
+		}
+	}
+	return cols
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters patch-gradient rows back into
+// an image-gradient tensor of shape (C, H, W), accumulating overlaps.
+func Col2Im(cols *Tensor, c, h, w, kh, kw, strideH, strideW, padH, padW int) *Tensor {
+	outH := (h+2*padH-kh)/strideH + 1
+	outW := (w+2*padW-kw)/strideW + 1
+	img := New(c, h, w)
+	row := 0
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			src := cols.data[row*c*kh*kw : (row+1)*c*kh*kw]
+			si := 0
+			for ch := 0; ch < c; ch++ {
+				base := ch * h * w
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*strideH + ky - padH
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*strideW + kx - padW
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							img.data[base+iy*w+ix] += src[si]
+						}
+						si++
+					}
+				}
+			}
+			row++
+		}
+	}
+	return img
+}
+
+// ConvOutputSize returns the spatial output size of a convolution or pooling
+// window along one dimension.
+func ConvOutputSize(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}

@@ -1,0 +1,210 @@
+// Package worker implements FLeet's client library: the counterpart of the
+// Figure-2 protocol that runs on the mobile device. A worker requests a
+// learning task, samples a mini-batch of the I-Prof-prescribed size from
+// its local data, computes the gradient, and pushes it back together with
+// the measured execution cost.
+//
+// The worker can run against a remote FLeet server over HTTP or, for
+// simulations and tests, directly against an in-process server.
+package worker
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+
+	"fleet/internal/compress"
+	"fleet/internal/data"
+	"fleet/internal/device"
+	"fleet/internal/iprof"
+	"fleet/internal/nn"
+	"fleet/internal/protocol"
+)
+
+// TaskServer is the server interface a worker drives. *server.Server
+// satisfies it for in-process use; Client adapts it over HTTP.
+type TaskServer interface {
+	HandleTask(protocol.TaskRequest) protocol.TaskResponse
+	HandleGradient(protocol.GradientPush) (protocol.PushAck, error)
+}
+
+// Config parameterizes a worker.
+type Config struct {
+	// ID identifies the worker.
+	ID int
+	// Arch must match the server's model architecture.
+	Arch nn.Arch
+	// Local is the worker's on-device dataset (never leaves the worker).
+	Local []nn.Sample
+	// Device simulates the phone executing the learning task. Optional:
+	// without it the worker reports no cost measurements.
+	Device *device.Device
+	// Rng drives mini-batch sampling.
+	Rng *rand.Rand
+	// CompressK, when positive, transmits only the K largest-magnitude
+	// gradient coordinates per push, with client-side error feedback (the
+	// dropped mass is carried into the next gradient). 0 sends dense
+	// gradients.
+	CompressK int
+}
+
+// Worker is a FLeet client. Not safe for concurrent use; one goroutine per
+// worker, as one phone runs one learning task at a time.
+type Worker struct {
+	cfg         Config
+	net         *nn.Network
+	labelCounts []int
+	feedback    *compress.ErrorFeedback
+	// Rejections counts tasks the controller refused.
+	Rejections int
+	// Tasks counts gradients successfully pushed.
+	Tasks int
+}
+
+// New builds a worker.
+func New(cfg Config) (*Worker, error) {
+	if len(cfg.Local) == 0 {
+		return nil, fmt.Errorf("worker: empty local dataset")
+	}
+	if cfg.Rng == nil {
+		return nil, fmt.Errorf("worker: Rng is required")
+	}
+	net := cfg.Arch.Build(cfg.Rng)
+	w := &Worker{
+		cfg:         cfg,
+		net:         net,
+		labelCounts: data.LabelCounts(cfg.Local, cfg.Arch.Classes()),
+	}
+	if cfg.CompressK > 0 {
+		w.feedback = compress.NewErrorFeedback(net.ParamCount(), cfg.CompressK)
+	}
+	return w, nil
+}
+
+// Step performs one full protocol round against the server: request a task,
+// compute the gradient, push it. It returns the ack (zero-valued when the
+// task was rejected).
+func (w *Worker) Step(srv TaskServer) (protocol.PushAck, error) {
+	req := protocol.TaskRequest{
+		WorkerID:    w.cfg.ID,
+		LabelCounts: w.labelCounts,
+	}
+	if w.cfg.Device != nil {
+		req.DeviceModel = w.cfg.Device.Model.Name
+		req.TimeFeatures = w.cfg.Device.Features()
+		req.EnergyFeatures = w.cfg.Device.EnergyFeatures()
+	}
+	resp := srv.HandleTask(req)
+	if !resp.Accepted {
+		w.Rejections++
+		return protocol.PushAck{}, nil
+	}
+
+	w.net.SetParams(resp.Params)
+	batchSize := resp.BatchSize
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	if batchSize > len(w.cfg.Local) {
+		batchSize = len(w.cfg.Local)
+	}
+	batch := data.SampleBatch(w.cfg.Rng, w.cfg.Local, batchSize)
+	grad, _ := w.net.Gradient(batch)
+
+	push := protocol.GradientPush{
+		WorkerID:     w.cfg.ID,
+		ModelVersion: resp.ModelVersion,
+		BatchSize:    batchSize,
+		LabelCounts:  data.LabelCounts(batch, w.cfg.Arch.Classes()),
+	}
+	if w.feedback != nil {
+		sparse := w.feedback.Compress(grad)
+		push.GradientLen = sparse.Len
+		push.SparseIndices = sparse.Indices
+		push.SparseValues = sparse.Values
+	} else {
+		push.Gradient = grad
+	}
+	if w.cfg.Device != nil {
+		res := w.cfg.Device.Execute(batchSize)
+		push.DeviceModel = w.cfg.Device.Model.Name
+		push.CompTimeSec = res.LatencySec
+		push.EnergyPct = res.EnergyPct
+		push.TimeFeatures = iprof.FeaturesOf(w.cfg.Device, iprof.KindTime)
+		push.EnergyFeatures = iprof.FeaturesOf(w.cfg.Device, iprof.KindEnergy)
+	}
+	ack, err := srv.HandleGradient(push)
+	if err != nil {
+		return protocol.PushAck{}, fmt.Errorf("worker %d: push: %w", w.cfg.ID, err)
+	}
+	w.Tasks++
+	return ack, nil
+}
+
+// Client adapts a remote FLeet server (base URL) to the TaskServer
+// interface over HTTP with the gob+gzip codec.
+type Client struct {
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+var _ TaskServer = (*Client)(nil)
+
+// HandleTask implements TaskServer over HTTP.
+func (c *Client) HandleTask(req protocol.TaskRequest) protocol.TaskResponse {
+	var resp protocol.TaskResponse
+	if err := c.post("/task", req, &resp); err != nil {
+		return protocol.TaskResponse{Accepted: false, Reason: err.Error()}
+	}
+	return resp
+}
+
+// HandleGradient implements TaskServer over HTTP.
+func (c *Client) HandleGradient(push protocol.GradientPush) (protocol.PushAck, error) {
+	var ack protocol.PushAck
+	if err := c.post("/gradient", push, &ack); err != nil {
+		return protocol.PushAck{}, err
+	}
+	return ack, nil
+}
+
+// Stats fetches the server's diagnostic snapshot.
+func (c *Client) Stats() (protocol.Stats, error) {
+	httpc := c.httpClient()
+	resp, err := httpc.Get(c.BaseURL + "/stats")
+	if err != nil {
+		return protocol.Stats{}, fmt.Errorf("worker: stats: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var stats protocol.Stats
+	if err := protocol.Decode(resp.Body, &stats); err != nil {
+		return protocol.Stats{}, err
+	}
+	return stats, nil
+}
+
+func (c *Client) post(path string, in, out interface{}) error {
+	var buf bytes.Buffer
+	if err := protocol.Encode(&buf, in); err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Post(c.BaseURL+path, "application/octet-stream", &buf)
+	if err != nil {
+		return fmt.Errorf("worker: POST %s: %w", path, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("worker: POST %s: status %d: %s", path, resp.StatusCode, msg)
+	}
+	return protocol.Decode(resp.Body, out)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}

@@ -1,0 +1,235 @@
+package worker
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"fleet/internal/data"
+	"fleet/internal/device"
+	"fleet/internal/learning"
+	"fleet/internal/nn"
+	"fleet/internal/protocol"
+	"fleet/internal/server"
+	"fleet/internal/simrand"
+)
+
+func newServer(t *testing.T, cfg server.Config) *server.Server {
+	t.Helper()
+	if cfg.Arch == 0 {
+		cfg.Arch = nn.ArchSoftmaxMNIST
+	}
+	if cfg.Algorithm == nil {
+		cfg.Algorithm = learning.NewAdaSGD(learning.AdaSGDConfig{NonStragglerPct: 99.7, BootstrapSteps: 5})
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 0.3
+	}
+	if cfg.DefaultBatchSize == 0 {
+		cfg.DefaultBatchSize = 16
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newWorkers(t *testing.T, n int, ds *data.Dataset) []*Worker {
+	t.Helper()
+	rng := simrand.New(2)
+	parts := data.PartitionNonIID(rng, ds.Train, n, 2)
+	models := device.Catalogue()
+	out := make([]*Worker, 0, n)
+	for i := 0; i < n; i++ {
+		dev := device.New(models[i%len(models)], simrand.New(int64(100+i)))
+		w, err := New(Config{
+			ID:     i,
+			Arch:   nn.ArchSoftmaxMNIST,
+			Local:  parts[i],
+			Device: dev,
+			Rng:    simrand.New(int64(200 + i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Arch: nn.ArchSoftmaxMNIST, Rng: simrand.New(1)}); err == nil {
+		t.Error("empty local data must error")
+	}
+	ds := data.TinyMNIST(1, 2, 1)
+	if _, err := New(Config{Arch: nn.ArchSoftmaxMNIST, Local: ds.Train}); err == nil {
+		t.Error("nil rng must error")
+	}
+}
+
+func TestInProcessTrainingRound(t *testing.T) {
+	ds := data.TinyMNIST(3, 24, 8)
+	srv := newServer(t, server.Config{})
+	workers := newWorkers(t, 8, ds)
+
+	scratch := nn.ArchSoftmaxMNIST.Build(simrand.New(9))
+	before := srv.Evaluate(scratch, ds.Test)
+
+	for round := 0; round < 30; round++ {
+		for _, w := range workers {
+			if _, err := w.Step(srv); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	after := srv.Evaluate(scratch, ds.Test)
+	if after <= before || after < 0.4 {
+		t.Fatalf("federated training accuracy %v -> %v; not learning", before, after)
+	}
+	stats := srv.Stats()
+	if stats.GradientsIn != 8*30 {
+		t.Fatalf("gradients in = %d, want %d", stats.GradientsIn, 8*30)
+	}
+	if stats.ModelVersion != 8*30 {
+		t.Fatalf("model version = %d, want %d (K=1)", stats.ModelVersion, 8*30)
+	}
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	ds := data.TinyMNIST(5, 12, 4)
+	srv := newServer(t, server.Config{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	client := &Client{BaseURL: hs.URL, HTTPClient: hs.Client()}
+	workers := newWorkers(t, 4, ds)
+
+	for round := 0; round < 5; round++ {
+		for _, w := range workers {
+			ack, err := w.Step(client)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ack.Applied {
+				t.Fatal("gradient not applied over HTTP")
+			}
+		}
+	}
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.GradientsIn != 20 || stats.ModelVersion != 20 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestWorkerCountsRejections(t *testing.T) {
+	ds := data.TinyMNIST(6, 12, 4)
+	// MinBatchSize above the default batch size: every task is rejected.
+	srv := newServer(t, server.Config{MinBatchSize: 1000, DefaultBatchSize: 16})
+	workers := newWorkers(t, 1, ds)
+	w := workers[0]
+	ack, err := w.Step(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Applied {
+		t.Fatal("task should have been rejected")
+	}
+	if w.Rejections != 1 || w.Tasks != 0 {
+		t.Fatalf("rejections=%d tasks=%d", w.Rejections, w.Tasks)
+	}
+}
+
+func TestWorkerReportsDeviceCost(t *testing.T) {
+	ds := data.TinyMNIST(7, 12, 4)
+	srv := newServer(t, server.Config{})
+	workers := newWorkers(t, 1, ds)
+	if _, err := workers[0].Step(srv); err != nil {
+		t.Fatal(err)
+	}
+	// Mean staleness exists; more importantly the step worked with a device
+	// attached, exercising the cost-measurement path.
+	if workers[0].Tasks != 1 {
+		t.Fatal("task not completed")
+	}
+}
+
+func TestClientStatsErrorOnBadServer(t *testing.T) {
+	c := &Client{BaseURL: "http://127.0.0.1:0"}
+	if _, err := c.Stats(); err == nil {
+		t.Fatal("want error on unreachable server")
+	}
+}
+
+func TestCompressedUplinkTrains(t *testing.T) {
+	// Top-k compression with error feedback must still learn (the dropped
+	// mass is delayed, not lost) while shrinking the uplink ~10x.
+	ds := data.TinyMNIST(8, 24, 8)
+	srv := newServer(t, server.Config{})
+	rng := simrand.New(9)
+	parts := data.PartitionNonIID(rng, ds.Train, 8, 2)
+	paramCount := nn.ArchSoftmaxMNIST.Build(simrand.New(0)).ParamCount()
+
+	var workers []*Worker
+	for i := 0; i < 8; i++ {
+		w, err := New(Config{
+			ID:        i,
+			Arch:      nn.ArchSoftmaxMNIST,
+			Local:     parts[i],
+			Rng:       simrand.New(int64(300 + i)),
+			CompressK: paramCount / 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+	}
+	for round := 0; round < 40; round++ {
+		for _, w := range workers {
+			if _, err := w.Step(srv); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	scratch := nn.ArchSoftmaxMNIST.Build(simrand.New(10))
+	if acc := srv.Evaluate(scratch, ds.Test); acc < 0.4 {
+		t.Fatalf("compressed training accuracy %v, want >= 0.4", acc)
+	}
+}
+
+func TestSparsePushValidation(t *testing.T) {
+	srv := newServer(t, server.Config{})
+	params, _ := srv.Model()
+	push := protocolSparsePush(len(params))
+	if _, err := srv.HandleGradient(push); err != nil {
+		t.Fatalf("valid sparse push rejected: %v", err)
+	}
+	bad := protocolSparsePush(len(params))
+	bad.SparseIndices = []int32{int32(len(params))} // out of range
+	if _, err := srv.HandleGradient(bad); err == nil {
+		t.Fatal("out-of-range sparse index accepted")
+	}
+	mismatch := protocolSparsePush(len(params))
+	mismatch.SparseValues = append(mismatch.SparseValues, 1)
+	if _, err := srv.HandleGradient(mismatch); err == nil {
+		t.Fatal("index/value length mismatch accepted")
+	}
+	wrongLen := protocolSparsePush(len(params))
+	wrongLen.GradientLen = 3
+	if _, err := srv.HandleGradient(wrongLen); err == nil {
+		t.Fatal("wrong dense length accepted")
+	}
+}
+
+func protocolSparsePush(paramCount int) protocol.GradientPush {
+	return protocol.GradientPush{
+		ModelVersion:  0,
+		GradientLen:   paramCount,
+		SparseIndices: []int32{0},
+		SparseValues:  []float64{0.5},
+		BatchSize:     10,
+		LabelCounts:   []int{1},
+	}
+}
