@@ -21,6 +21,7 @@ import (
 	"fleet/internal/learning"
 	"fleet/internal/nn"
 	"fleet/internal/server"
+	"fleet/internal/service"
 	"fleet/internal/simrand"
 )
 
@@ -52,6 +53,11 @@ func run() int {
 		minBatch  = flag.Int("min-batch", 0, "controller mini-batch size threshold (0 disables)")
 		maxSim    = flag.Float64("max-similarity", 0, "controller similarity threshold (0 disables)")
 		seed      = flag.Int64("seed", 1, "model initialization seed")
+		shards    = flag.Int("shards", 1, "gradient accumulator shards (striped locking; 1 = single mutex)")
+		rateLimit = flag.Float64("rate-limit", 0, "per-worker request rate limit in req/s (0 disables)")
+		rateBurst = flag.Int("rate-burst", 10, "per-worker rate-limit burst")
+		deadline  = flag.Duration("deadline", 0, "per-request server-side deadline (0 disables)")
+		verbose   = flag.Bool("verbose", false, "log every request")
 	)
 	flag.Parse()
 
@@ -66,6 +72,7 @@ func run() int {
 		Algorithm:     learning.NewAdaSGD(learning.AdaSGDConfig{NonStragglerPct: *sPct, BootstrapSteps: 50}),
 		LearningRate:  *lr,
 		K:             *k,
+		Shards:        *shards,
 		TimeSLOSec:    *timeSLO,
 		EnergySLOPct:  *energySLO,
 		MinBatchSize:  *minBatch,
@@ -101,12 +108,26 @@ func run() int {
 		return 1
 	}
 
+	// Compose the interceptor chain around the server: recovery outermost,
+	// then observability, then policy.
+	interceptors := []service.Interceptor{service.Recovery()}
+	if *verbose {
+		interceptors = append(interceptors, service.Logging(nil))
+	}
+	if *deadline > 0 {
+		interceptors = append(interceptors, service.Deadline(*deadline))
+	}
+	if *rateLimit > 0 {
+		interceptors = append(interceptors, service.RateLimit(*rateLimit, *rateBurst))
+	}
+	svc := service.Chain(srv, interceptors...)
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           server.NewHandler(svc),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("FLeet server listening on %s (arch=%s, lr=%g, K=%d)", *addr, arch, *lr, *k)
+	log.Printf("FLeet server listening on %s (arch=%s, lr=%g, K=%d, shards=%d)", *addr, arch, *lr, *k, *shards)
 	if err := httpSrv.ListenAndServe(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1

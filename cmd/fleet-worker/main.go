@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,6 +18,7 @@ import (
 	"fleet/internal/data"
 	"fleet/internal/device"
 	"fleet/internal/nn"
+	"fleet/internal/protocol"
 	"fleet/internal/simrand"
 	"fleet/internal/worker"
 )
@@ -33,8 +35,26 @@ func run() int {
 		rounds     = flag.Int("rounds", 50, "learning-task rounds to run")
 		interval   = flag.Duration("interval", 200*time.Millisecond, "pause between rounds")
 		seed       = flag.Int64("seed", 7, "local data + sampling seed")
+		codecName  = flag.String("codec", "gob", "wire codec: gob or json")
+		legacy     = flag.Bool("legacy", false, "speak the unversioned pre-v1 routes")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-round deadline")
 	)
 	flag.Parse()
+
+	var codec protocol.Codec
+	switch *codecName {
+	case "gob":
+		codec = protocol.GobGzip
+	case "json":
+		codec = protocol.JSON
+	default:
+		fmt.Fprintf(os.Stderr, "unknown codec %q (want gob or json)\n", *codecName)
+		return 2
+	}
+	if *legacy && *codecName != "gob" {
+		fmt.Fprintln(os.Stderr, "-legacy speaks the pre-v1 gob+gzip dialect only; drop -codec or -legacy")
+		return 2
+	}
 
 	model, err := device.ModelByName(*deviceName)
 	if err != nil {
@@ -59,9 +79,11 @@ func run() int {
 		return 1
 	}
 
-	client := &worker.Client{BaseURL: *serverURL}
+	client := &worker.Client{BaseURL: *serverURL, Codec: codec, Legacy: *legacy}
 	for i := 0; i < *rounds; i++ {
-		ack, err := w.Step(client)
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		ack, err := w.Step(ctx, client)
+		cancel()
 		if err != nil {
 			log.Printf("round %d: %v", i, err)
 			time.Sleep(*interval)
@@ -74,7 +96,9 @@ func run() int {
 		}
 		time.Sleep(*interval)
 	}
-	stats, err := client.Stats()
+	statsCtx, cancel := context.WithTimeout(context.Background(), *timeout)
+	stats, err := client.Stats(statsCtx)
+	cancel()
 	if err == nil {
 		log.Printf("server stats: %+v", stats)
 	}

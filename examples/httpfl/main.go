@@ -1,12 +1,15 @@
 // HTTP federated learning: the full middleware over a real network stack.
 //
 // Starts a FLeet server (with I-Prof bounding each device's workload to a
-// computation-time SLO) on a loopback listener and drives eight workers on
-// heterogeneous simulated phones through the Figure-2 protocol via
-// gob+gzip HTTP streams.
+// computation-time SLO) behind an interceptor chain — panic recovery,
+// per-method metrics, per-worker rate limiting — on a loopback listener,
+// and drives eight workers on heterogeneous simulated phones through the
+// Figure-2 protocol via the versioned /v1 routes. One worker speaks JSON
+// instead of gob+gzip to show codec negotiation on the same server.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -18,6 +21,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Pre-train I-Prof offline on a training fleet (§3.3).
 	rng := simrand.New(1)
 	catalogue := fleet.DeviceCatalogue()
@@ -32,6 +37,7 @@ func main() {
 		Arch:         fleet.ArchTinyMNIST,
 		Algorithm:    fleet.NewAdaSGD(fleet.AdaSGDConfig{NonStragglerPct: 99.7, BootstrapSteps: 20}),
 		LearningRate: 0.03,
+		Shards:       4,
 		TimeSLOSec:   3.0,
 		TimeProfiler: prof,
 		MinBatchSize: 5,
@@ -41,11 +47,20 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Cross-cutting concerns compose around the server as interceptors;
+	// the HTTP handler serves the chained service on /v1 and legacy routes.
+	calls := fleet.NewCallMetrics()
+	svc := fleet.Chain(srv,
+		fleet.Recovery(),
+		fleet.Metrics(calls),
+		fleet.RateLimit(500, 50),
+	)
+
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	httpSrv := &http.Server{Handler: fleet.NewHandler(svc), ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		if serveErr := httpSrv.Serve(ln); serveErr != http.ErrServerClosed {
 			log.Print(serveErr)
@@ -57,9 +72,9 @@ func main() {
 
 	ds := fleet.TinyMNIST(3, 40, 10)
 	parts := fleet.PartitionNonIID(simrand.New(4), ds.Train, 8, 2)
-	client := &fleet.Client{BaseURL: baseURL}
 
 	var workers []*fleet.Worker
+	var clients []*fleet.Client
 	for i, local := range parts {
 		w, err := fleet.NewWorker(fleet.WorkerConfig{
 			ID:     i,
@@ -72,17 +87,23 @@ func main() {
 			log.Fatal(err)
 		}
 		workers = append(workers, w)
+		c := &fleet.Client{BaseURL: baseURL}
+		if i == 0 {
+			c.Codec = fleet.CodecJSON() // same server, negotiated per request
+		}
+		clients = append(clients, c)
 	}
+	statsClient := clients[1]
 
 	eval := fleet.ArchTinyMNIST.Build(simrand.New(5))
 	for round := 0; round < 40; round++ {
-		for _, w := range workers {
-			if _, err := w.Step(client); err != nil {
+		for i, w := range workers {
+			if _, err := w.Step(ctx, clients[i]); err != nil {
 				log.Fatal(err)
 			}
 		}
 		if (round+1)%10 == 0 {
-			stats, err := client.Stats()
+			stats, err := statsClient.Stats(ctx)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -90,10 +111,14 @@ func main() {
 				round+1, srv.Evaluate(eval, ds.Test), stats.ModelVersion, stats.MeanStaleness)
 		}
 	}
-	stats, err := client.Stats()
+	stats, err := statsClient.Stats(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("done over HTTP: %d gradients in, %d tasks rejected\n",
 		stats.GradientsIn, stats.TasksRejected)
+	for method, m := range calls.Snapshot() {
+		fmt.Printf("  %-12s %4d calls, %d errors, mean %s\n",
+			method, m.Calls, m.Errors, m.MeanLatency())
+	}
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -47,10 +48,11 @@ func main() {
 
 	// 3. Train: every worker repeatedly pulls the model, computes a
 	//    gradient on its own data, and pushes the result.
+	ctx := context.Background()
 	eval := fleet.ArchTinyMNIST.Build(simrand.New(4))
 	for round := 0; round < 60; round++ {
 		for _, w := range workers {
-			if _, err := w.Step(srv); err != nil {
+			if _, err := w.Step(ctx, srv); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -59,7 +61,10 @@ func main() {
 				round+1, srv.Evaluate(eval, ds.Test), mustVersion(srv))
 		}
 	}
-	stats := srv.Stats()
+	stats, err := srv.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("done: %d gradients, mean staleness %.2f\n", stats.GradientsIn, stats.MeanStaleness)
 }
 

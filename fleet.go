@@ -20,11 +20,16 @@
 //     figure of the paper's evaluation.
 //
 // See the examples/ directory for runnable end-to-end programs and
-// EXPERIMENTS.md for the paper-vs-measured record.
+// README.md for the quickstart, the interceptor architecture and the wire
+// protocol.
 package fleet
 
 import (
+	"context"
+	"log"
 	"math/rand"
+	"net/http"
+	"time"
 
 	"fleet/internal/core"
 	"fleet/internal/data"
@@ -39,11 +44,66 @@ import (
 	"fleet/internal/protocol"
 	"fleet/internal/robust"
 	"fleet/internal/server"
+	"fleet/internal/service"
 	"fleet/internal/worker"
 )
 
 // ---------------------------------------------------------------------------
-// Middleware: server and worker (Figure 2).
+// Middleware: service contract, server and worker (Figure 2).
+
+// Service is the transport-agnostic serving contract: RequestTask,
+// PushGradient and Stats, context-aware and symmetric across transports. A
+// *Server implements it in-process; a *Client implements it over HTTP; an
+// Interceptor chain wraps either without the callers noticing.
+type Service = service.Service
+
+// Interceptor decorates a Service with one cross-cutting concern.
+type Interceptor = service.Interceptor
+
+// ServiceCallInfo describes one call to an AroundService hook.
+type ServiceCallInfo = service.CallInfo
+
+// Chain wraps svc in interceptors; the first becomes the outermost layer:
+//
+//	svc := fleet.Chain(srv, fleet.Recovery(), fleet.Logging(nil), fleet.RateLimit(50, 10))
+func Chain(svc Service, interceptors ...Interceptor) Service {
+	return service.Chain(svc, interceptors...)
+}
+
+// Logging returns an interceptor that logs every call with method, worker,
+// latency and outcome. A nil logger uses log.Default().
+func Logging(logger *log.Logger) Interceptor { return service.Logging(logger) }
+
+// Metrics returns an interceptor recording per-method call counters and
+// latencies into the given *CallMetrics sink.
+func Metrics(m *CallMetrics) Interceptor { return service.Metrics(m) }
+
+// Recovery returns an interceptor converting panics into structured
+// internal errors.
+func Recovery() Interceptor { return service.Recovery() }
+
+// RateLimit returns an interceptor enforcing a per-worker token bucket
+// (req/s, burst); perSec <= 0 disables limiting.
+func RateLimit(perSec float64, burst int) Interceptor { return service.RateLimit(perSec, burst) }
+
+// Deadline returns an interceptor bounding every call to d.
+func Deadline(d time.Duration) Interceptor { return service.Deadline(d) }
+
+// AroundService builds a custom interceptor from a hook that runs around
+// every method uniformly — the extension point future concerns (batching,
+// caching, auth) attach to.
+func AroundService(hook func(ctx context.Context, info ServiceCallInfo, next func(context.Context) (interface{}, error)) (interface{}, error)) Interceptor {
+	return service.Around(hook)
+}
+
+// CallMetrics is the metrics sink of the Metrics interceptor.
+type CallMetrics = service.CallMetrics
+
+// MethodStats is one method's snapshot inside CallMetrics.
+type MethodStats = service.MethodStats
+
+// NewCallMetrics builds an empty metrics sink.
+func NewCallMetrics() *CallMetrics { return service.NewCallMetrics() }
 
 // Server is the FLeet parameter server hosting the global model, AdaSGD,
 // I-Prof and the controller.
@@ -55,6 +115,10 @@ type ServerConfig = server.Config
 // NewServer builds a parameter server.
 func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
+// NewHandler exposes a Service over the versioned HTTP wire protocol
+// (/v1/task, /v1/gradient, /v1/stats plus the legacy unversioned routes).
+func NewHandler(svc Service) http.Handler { return server.NewHandler(svc) }
+
 // Worker is the client library executing learning tasks on (simulated)
 // mobile devices.
 type Worker = worker.Worker
@@ -65,13 +129,23 @@ type WorkerConfig = worker.Config
 // NewWorker builds a worker.
 func NewWorker(cfg WorkerConfig) (*Worker, error) { return worker.New(cfg) }
 
-// Client adapts a remote FLeet server to the worker's TaskServer interface
-// over HTTP (gob+gzip streams).
+// Client adapts a remote FLeet server to the Service interface over HTTP
+// (versioned routes, negotiated codec).
 type Client = worker.Client
 
-// TaskServer is the server interface a worker drives: a *Server in-process
-// or a *Client over HTTP.
-type TaskServer = worker.TaskServer
+// Codec serializes protocol messages for one wire representation.
+type Codec = protocol.Codec
+
+// CodecGobGzip returns the compact default wire codec (gob + gzip) for
+// Client.Codec and the /v1 routes.
+func CodecGobGzip() Codec { return protocol.GobGzip }
+
+// CodecJSON returns the interoperable, curl-friendly wire codec.
+func CodecJSON() Codec { return protocol.JSON }
+
+// APIError is the structured error of the wire protocol; errors.As
+// recovers it from any Service call, local or remote.
+type APIError = protocol.Error
 
 // Protocol message types (Figure 2).
 type (

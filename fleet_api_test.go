@@ -1,6 +1,8 @@
 package fleet_test
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"fleet"
@@ -41,11 +43,12 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 		workers = append(workers, w)
 	}
 
+	ctx := context.Background()
 	eval := fleet.ArchSoftmaxMNIST.Build(simrand.New(4))
 	before := srv.Evaluate(eval, ds.Test)
 	for round := 0; round < 25; round++ {
 		for _, w := range workers {
-			if _, err := w.Step(srv); err != nil {
+			if _, err := w.Step(ctx, srv); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -55,9 +58,63 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 		t.Fatalf("public-API training did not learn: %v -> %v", before, after)
 	}
 
-	stats := srv.Stats()
+	stats, err := srv.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stats.GradientsIn != 6*25 {
 		t.Fatalf("stats.GradientsIn = %d, want %d", stats.GradientsIn, 6*25)
+	}
+}
+
+// TestPublicAPIInterceptorChain trains a worker through a Chain of the
+// exported interceptors around an in-process server — the Service
+// abstraction the facade documents — and checks the metrics sink saw every
+// call and the rate limiter produces typed APIErrors.
+func TestPublicAPIInterceptorChain(t *testing.T) {
+	ctx := context.Background()
+	srv, err := fleet.NewServer(fleet.ServerConfig{
+		Arch:             fleet.ArchSoftmaxMNIST,
+		Algorithm:        fleet.NewAdaSGD(fleet.AdaSGDConfig{NonStragglerPct: 99.7, BootstrapSteps: 5}),
+		LearningRate:     0.3,
+		DefaultBatchSize: 8,
+		Shards:           4,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := fleet.NewCallMetrics()
+	svc := fleet.Chain(srv, fleet.Recovery(), fleet.Metrics(calls))
+
+	ds := fleet.TinyMNIST(2, 12, 4)
+	w, err := fleet.NewWorker(fleet.WorkerConfig{
+		ID: 1, Arch: fleet.ArchSoftmaxMNIST, Local: ds.Train, Rng: simrand.New(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := w.Step(ctx, svc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := calls.Snapshot()
+	if snap["RequestTask"].Calls != 4 || snap["PushGradient"].Calls != 4 {
+		t.Fatalf("metrics snapshot = %+v", snap)
+	}
+
+	// A strict rate limit turns the next call into a typed APIError. One
+	// Step spends two calls (task + push), so a burst of 2 covers exactly
+	// one full round.
+	limited := fleet.Chain(svc, fleet.RateLimit(0.0001, 2))
+	if _, err := w.Step(ctx, limited); err != nil {
+		t.Fatalf("burst call must pass: %v", err)
+	}
+	_, err = w.Step(ctx, limited)
+	var apiErr *fleet.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want *fleet.APIError, got %v", err)
 	}
 }
 

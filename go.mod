@@ -1,0 +1,3 @@
+module fleet
+
+go 1.24

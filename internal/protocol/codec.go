@@ -1,0 +1,141 @@
+package protocol
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"strings"
+)
+
+// Content types understood by the v1 wire protocol. ContentTypeOctet is
+// accepted as an alias for the gob+gzip stream for compatibility with
+// pre-v1 clients, which posted under application/octet-stream.
+const (
+	ContentTypeGobGzip = "application/x-fleet-gob+gzip"
+	ContentTypeJSON    = "application/json"
+	ContentTypeOctet   = "application/octet-stream"
+)
+
+// Codec serializes protocol messages for one wire representation. Codecs
+// are stateless and safe for concurrent use.
+type Codec interface {
+	// ContentType is the MIME type announced on the wire.
+	ContentType() string
+	// Encode writes v to w.
+	Encode(w io.Writer, v interface{}) error
+	// Decode reads a value from r into v (a pointer).
+	Decode(r io.Reader, v interface{}) error
+}
+
+// Built-in codecs. GobGzip is the default — the Go analogue of the paper's
+// Kryo+Gzip streams — and the compact choice for gradient payloads; JSON
+// trades size for interoperability and debuggability (curl, dashboards,
+// non-Go workers).
+var (
+	GobGzip Codec = gobGzipCodec{}
+	JSON    Codec = jsonCodec{}
+)
+
+type gobGzipCodec struct{}
+
+func (gobGzipCodec) ContentType() string { return ContentTypeGobGzip }
+
+func (gobGzipCodec) Encode(w io.Writer, v interface{}) error {
+	zw := gzip.NewWriter(w)
+	if err := gob.NewEncoder(zw).Encode(v); err != nil {
+		return fmt.Errorf("protocol: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("protocol: gzip close: %w", err)
+	}
+	return nil
+}
+
+// MaxDecodedBytes bounds how many bytes a single gob+gzip message may
+// decompress to. A wire-size cap alone does not stop a gzip bomb — a ~1MB
+// body can inflate a thousandfold — so the limit is enforced on the
+// decompressed stream. Deployments shipping models larger than this can
+// raise it.
+var MaxDecodedBytes int64 = 256 << 20
+
+func (gobGzipCodec) Decode(r io.Reader, v interface{}) error {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return fmt.Errorf("protocol: gzip open: %w", err)
+	}
+	defer func() { _ = zr.Close() }()
+	if err := gob.NewDecoder(&limitedReader{r: zr, n: MaxDecodedBytes}).Decode(v); err != nil {
+		var pe *Error
+		if errors.As(err, &pe) {
+			return pe
+		}
+		return fmt.Errorf("protocol: decode: %w", err)
+	}
+	return nil
+}
+
+// limitedReader fails with a structured payload_too_large error once n
+// decompressed bytes have been read, unlike io.LimitReader's silent EOF.
+type limitedReader struct {
+	r io.Reader
+	n int64
+}
+
+func (l *limitedReader) Read(p []byte) (int, error) {
+	if l.n <= 0 {
+		return 0, Errorf(CodePayloadTooLarge, "decoded stream exceeds %d bytes", MaxDecodedBytes)
+	}
+	if int64(len(p)) > l.n {
+		p = p[:l.n]
+	}
+	n, err := l.r.Read(p)
+	l.n -= int64(n)
+	return n, err
+}
+
+type jsonCodec struct{}
+
+func (jsonCodec) ContentType() string { return ContentTypeJSON }
+
+func (jsonCodec) Encode(w io.Writer, v interface{}) error {
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		return fmt.Errorf("protocol: json encode: %w", err)
+	}
+	return nil
+}
+
+func (jsonCodec) Decode(r io.Reader, v interface{}) error {
+	if err := json.NewDecoder(r).Decode(v); err != nil {
+		return fmt.Errorf("protocol: json decode: %w", err)
+	}
+	return nil
+}
+
+// CodecForContentType negotiates the codec for a Content-Type (or Accept)
+// header value. The empty string, application/octet-stream and wildcard
+// accepts select the default gob+gzip codec; unknown types return a
+// CodeUnsupportedMedia error.
+func CodecForContentType(contentType string) (Codec, error) {
+	ct := strings.TrimSpace(contentType)
+	if ct == "" {
+		return GobGzip, nil
+	}
+	// Accept headers may list several types; the first supported one wins.
+	for _, part := range strings.Split(ct, ",") {
+		media, _, err := mime.ParseMediaType(part)
+		if err != nil {
+			continue
+		}
+		switch media {
+		case ContentTypeGobGzip, ContentTypeOctet, "*/*", "application/*":
+			return GobGzip, nil
+		case ContentTypeJSON:
+			return JSON, nil
+		}
+	}
+	return nil, Errorf(CodeUnsupportedMedia, "unsupported content type %q", contentType)
+}

@@ -1,0 +1,133 @@
+package protocol
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"mime"
+	"net/http"
+	"strings"
+)
+
+// ErrorCode classifies a service failure independently of the transport.
+// Codes follow the gRPC canonical-code vocabulary so future transports can
+// map them directly.
+type ErrorCode string
+
+const (
+	// CodeInvalidArgument rejects a malformed or inconsistent request
+	// (wrong gradient length, non-positive batch, undecodable payload).
+	CodeInvalidArgument ErrorCode = "invalid_argument"
+	// CodeVersionConflict rejects a gradient claiming a model version the
+	// server has not reached yet.
+	CodeVersionConflict ErrorCode = "version_conflict"
+	// CodeResourceExhausted rejects a worker exceeding its rate limit.
+	CodeResourceExhausted ErrorCode = "resource_exhausted"
+	// CodePayloadTooLarge rejects a request body over the size limits.
+	CodePayloadTooLarge ErrorCode = "payload_too_large"
+	// CodeDeadlineExceeded reports that the request missed its deadline.
+	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
+	// CodeCanceled reports that the caller abandoned the request.
+	CodeCanceled ErrorCode = "canceled"
+	// CodeMethodNotAllowed rejects a request with the wrong HTTP verb.
+	CodeMethodNotAllowed ErrorCode = "method_not_allowed"
+	// CodeUnsupportedMedia rejects an unknown Content-Type.
+	CodeUnsupportedMedia ErrorCode = "unsupported_media"
+	// CodeUnavailable reports a transport-level failure reaching the server.
+	CodeUnavailable ErrorCode = "unavailable"
+	// CodeInternal reports an unexpected server-side failure.
+	CodeInternal ErrorCode = "internal"
+)
+
+// Error is the structured error of the v1 wire protocol. Servers encode it
+// as a JSON body alongside the mapped HTTP status; clients decode it back
+// so errors.As sees the same typed error on both sides of the wire.
+type Error struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+}
+
+// Errorf builds a structured protocol error.
+func Errorf(code ErrorCode, format string, args ...interface{}) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// codeStatus is the single source of truth for the code↔status mapping;
+// HTTPStatus and ErrorFromHTTP are its two directions. CodeInternal is the
+// fallback for both, so it needs no entry.
+var codeStatus = map[ErrorCode]int{
+	CodeInvalidArgument:   http.StatusBadRequest,
+	CodeVersionConflict:   http.StatusConflict,
+	CodeResourceExhausted: http.StatusTooManyRequests,
+	CodePayloadTooLarge:   http.StatusRequestEntityTooLarge,
+	CodeDeadlineExceeded:  http.StatusGatewayTimeout,
+	CodeCanceled:          499, // nginx's "client closed request"
+	CodeMethodNotAllowed:  http.StatusMethodNotAllowed,
+	CodeUnsupportedMedia:  http.StatusUnsupportedMediaType,
+	CodeUnavailable:       http.StatusServiceUnavailable,
+}
+
+// HTTPStatus maps the error code onto an HTTP status.
+func (e *Error) HTTPStatus() int {
+	if status, ok := codeStatus[e.Code]; ok {
+		return status
+	}
+	return http.StatusInternalServerError
+}
+
+// AsError coerces any error into a structured *Error, mapping context
+// cancellation onto its canonical codes and wrapping everything else as
+// CodeInternal. A nil error stays nil.
+func AsError(err error) *Error {
+	if err == nil {
+		return nil
+	}
+	var pe *Error
+	if errors.As(err, &pe) {
+		return pe
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return Errorf(CodeDeadlineExceeded, "%v", err)
+	case errors.Is(err, context.Canceled):
+		return Errorf(CodeCanceled, "%v", err)
+	}
+	return Errorf(CodeInternal, "%v", err)
+}
+
+// ErrorFromHTTP reconstructs a structured error from an HTTP error reply.
+// JSON bodies produced by WriteError round-trip exactly; anything else is
+// classified by status code with the body as the message.
+func ErrorFromHTTP(status int, contentType string, body []byte) *Error {
+	if media, _, err := mime.ParseMediaType(contentType); err == nil && media == ContentTypeJSON {
+		var e Error
+		if err := json.Unmarshal(body, &e); err == nil && e.Code != "" {
+			return &e
+		}
+	}
+	msg := strings.TrimSpace(string(body))
+	if msg == "" {
+		msg = http.StatusText(status)
+	}
+	code := CodeInternal
+	for c, s := range codeStatus {
+		if s == status {
+			code = c
+			break
+		}
+	}
+	return &Error{Code: code, Message: fmt.Sprintf("http %d: %s", status, msg)}
+}
+
+// WriteError writes e as the v1 JSON error body with its mapped status.
+func WriteError(w http.ResponseWriter, err error) {
+	e := AsError(err)
+	w.Header().Set("Content-Type", ContentTypeJSON)
+	w.WriteHeader(e.HTTPStatus())
+	_ = json.NewEncoder(w).Encode(e)
+}

@@ -3,12 +3,7 @@
 // the Go analogue of the paper's Kryo+Gzip Java streams (§2.4).
 package protocol
 
-import (
-	"compress/gzip"
-	"encoding/gob"
-	"fmt"
-	"io"
-)
+import "io"
 
 // TaskRequest is step (1) of the protocol: the worker announces itself with
 // its device information (for I-Prof) and the label distribution of its
@@ -79,27 +74,9 @@ type Stats struct {
 	MeanStaleness float64 `json:"mean_staleness"`
 }
 
-// Encode writes v to w as a gzip-compressed gob stream.
-func Encode(w io.Writer, v interface{}) error {
-	zw := gzip.NewWriter(w)
-	if err := gob.NewEncoder(zw).Encode(v); err != nil {
-		return fmt.Errorf("protocol: encode: %w", err)
-	}
-	if err := zw.Close(); err != nil {
-		return fmt.Errorf("protocol: gzip close: %w", err)
-	}
-	return nil
-}
+// Encode writes v to w as a gzip-compressed gob stream — the default wire
+// representation, and the only one the legacy (unversioned) routes speak.
+func Encode(w io.Writer, v interface{}) error { return GobGzip.Encode(w, v) }
 
 // Decode reads a gzip-compressed gob value from r into v (a pointer).
-func Decode(r io.Reader, v interface{}) error {
-	zr, err := gzip.NewReader(r)
-	if err != nil {
-		return fmt.Errorf("protocol: gzip open: %w", err)
-	}
-	defer func() { _ = zr.Close() }()
-	if err := gob.NewDecoder(zr).Decode(v); err != nil {
-		return fmt.Errorf("protocol: decode: %w", err)
-	}
-	return nil
-}
+func Decode(r io.Reader, v interface{}) error { return GobGzip.Decode(r, v) }

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log"
+	"net/http"
+
+	"fleet/internal/protocol"
+	"fleet/internal/service"
+)
+
+// The in-process server is itself a Service; interceptors compose around it.
+var _ service.Service = (*Server)(nil)
+
+// MaxRequestBytes caps how much of a request body any route will read
+// before decoding — WorkerID is unauthenticated on the wire, so without a
+// cap one client could OOM the server with a huge (or gzip-bombed) body.
+// Generous enough for a dense JSON gradient of a million-parameter model;
+// deployments with larger models can raise it before building the handler.
+var MaxRequestBytes int64 = 64 << 20
+
+// NewHandler exposes any Service — typically a *Server wrapped in an
+// interceptor chain — over the FLeet wire protocol:
+//
+//	POST /v1/task, /v1/gradient — Content-Type negotiated (gob+gzip, JSON),
+//	GET  /v1/stats              — Accept negotiated,
+//
+// with structured JSON error bodies and mapped status codes, plus the
+// legacy unversioned routes /task, /gradient and /stats speaking the
+// original gob+gzip-only, text-error dialect for pre-v1 clients.
+func NewHandler(svc service.Service) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/v1/task", func(w http.ResponseWriter, r *http.Request) {
+		v1Call(w, r, func(ctx context.Context, codec protocol.Codec) (interface{}, error) {
+			var req protocol.TaskRequest
+			if err := codec.Decode(r.Body, &req); err != nil {
+				return nil, decodeError(err)
+			}
+			return svc.RequestTask(ctx, &req)
+		})
+	})
+	mux.HandleFunc("/v1/gradient", func(w http.ResponseWriter, r *http.Request) {
+		v1Call(w, r, func(ctx context.Context, codec protocol.Codec) (interface{}, error) {
+			var push protocol.GradientPush
+			if err := codec.Decode(r.Body, &push); err != nil {
+				return nil, decodeError(err)
+			}
+			return svc.PushGradient(ctx, &push)
+		})
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			protocol.WriteError(w, protocol.Errorf(protocol.CodeMethodNotAllowed, "GET required"))
+			return
+		}
+		codec, err := protocol.CodecForContentType(r.Header.Get("Accept"))
+		if err != nil {
+			protocol.WriteError(w, err)
+			return
+		}
+		stats, err := svc.Stats(r.Context())
+		if err != nil {
+			protocol.WriteError(w, err)
+			return
+		}
+		writeV1(w, codec, stats)
+	})
+
+	// Legacy dialect: gob+gzip only, plain-text error bodies. Statuses
+	// follow the structured code so interceptor failures (panics, rate
+	// limits) are not misreported as client faults; request-level errors
+	// keep the original 400.
+	mux.HandleFunc("/task", func(w http.ResponseWriter, r *http.Request) {
+		legacyCall(w, r, func(ctx context.Context, body io.Reader) (interface{}, error) {
+			var req protocol.TaskRequest
+			if err := protocol.Decode(body, &req); err != nil {
+				return nil, protocol.Errorf(protocol.CodeInvalidArgument, "%v", err)
+			}
+			return svc.RequestTask(ctx, &req)
+		})
+	})
+	mux.HandleFunc("/gradient", func(w http.ResponseWriter, r *http.Request) {
+		legacyCall(w, r, func(ctx context.Context, body io.Reader) (interface{}, error) {
+			var push protocol.GradientPush
+			if err := protocol.Decode(body, &push); err != nil {
+				return nil, protocol.Errorf(protocol.CodeInvalidArgument, "%v", err)
+			}
+			return svc.PushGradient(ctx, &push)
+		})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		stats, err := svc.Stats(r.Context())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if err := protocol.Encode(w, stats); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// Handler returns the HTTP handler exposing the server's endpoints with no
+// interceptors attached; production deployments usually wrap the server in
+// service.Chain first and pass the result to NewHandler.
+func (s *Server) Handler() http.Handler { return NewHandler(s) }
+
+// decodeError classifies a request-decode failure: bodies over the wire
+// cap (http.MaxBytesReader) or the decompression cap surface as 413
+// payload_too_large; everything else is a 400 invalid_argument.
+func decodeError(err error) error {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return protocol.Errorf(protocol.CodePayloadTooLarge, "request body exceeds %d bytes", mbe.Limit)
+	}
+	var pe *protocol.Error
+	if errors.As(err, &pe) {
+		return pe
+	}
+	return protocol.Errorf(protocol.CodeInvalidArgument, "%v", err)
+}
+
+// legacyCall runs one pre-v1 POST exchange: gob+gzip body in, gob+gzip
+// reply out, plain-text errors.
+func legacyCall(w http.ResponseWriter, r *http.Request, call func(context.Context, io.Reader) (interface{}, error)) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	out, err := call(r.Context(), http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+	if err != nil {
+		writeLegacyError(w, err)
+		return
+	}
+	if err := protocol.Encode(w, out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// writeLegacyError writes a service error in the pre-v1 dialect: plain
+// text, with the 400 the seed protocol used for every request-level
+// rejection, but 5xx/429-class codes mapped truthfully so legacy clients
+// don't mistake server faults for invalid requests.
+func writeLegacyError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch e := protocol.AsError(err); e.Code {
+	case protocol.CodeInvalidArgument, protocol.CodeVersionConflict:
+		// The seed's legacy behavior.
+	default:
+		status = e.HTTPStatus()
+	}
+	http.Error(w, err.Error(), status)
+}
+
+// v1Call runs one negotiated POST exchange: pick the codec from the request
+// Content-Type, let call decode and serve, and reply in the same codec.
+func v1Call(w http.ResponseWriter, r *http.Request, call func(context.Context, protocol.Codec) (interface{}, error)) {
+	if r.Method != http.MethodPost {
+		protocol.WriteError(w, protocol.Errorf(protocol.CodeMethodNotAllowed, "POST required"))
+		return
+	}
+	codec, err := protocol.CodecForContentType(r.Header.Get("Content-Type"))
+	if err != nil {
+		protocol.WriteError(w, err)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, MaxRequestBytes)
+	out, err := call(r.Context(), codec)
+	if err != nil {
+		protocol.WriteError(w, err)
+		return
+	}
+	writeV1(w, codec, out)
+}
+
+func writeV1(w http.ResponseWriter, codec protocol.Codec, v interface{}) {
+	w.Header().Set("Content-Type", codec.ContentType())
+	if err := codec.Encode(w, v); err != nil {
+		// Headers are already written, so the status can't change; log so
+		// the failure is visible server-side instead of surfacing only as
+		// an opaque decode error on the client.
+		log.Printf("fleet: encoding %s response: %v", codec.ContentType(), err)
+	}
+}

@@ -1,0 +1,319 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fleet/internal/learning"
+	"fleet/internal/protocol"
+	"fleet/internal/service"
+)
+
+func newHTTPServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := newTestServer(t, cfg)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, hs
+}
+
+// postRaw posts body under contentType and returns status, response
+// content type and body.
+func postRaw(t *testing.T, url, contentType string, body []byte) (int, string, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), out
+}
+
+func encodeWith(t *testing.T, codec protocol.Codec, v interface{}) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := codec.Encode(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestV1TaskRoundTripBothCodecs(t *testing.T) {
+	_, hs := newHTTPServer(t, Config{})
+	for _, codec := range []protocol.Codec{protocol.GobGzip, protocol.JSON} {
+		body := encodeWith(t, codec, &protocol.TaskRequest{WorkerID: 3, LabelCounts: []int{1, 1}})
+		status, ct, out := postRaw(t, hs.URL+"/v1/task", codec.ContentType(), body)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", codec.ContentType(), status, out)
+		}
+		if ct != codec.ContentType() {
+			t.Fatalf("response content type %q, want %q", ct, codec.ContentType())
+		}
+		var resp protocol.TaskResponse
+		if err := codec.Decode(bytes.NewReader(out), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Accepted || len(resp.Params) == 0 || resp.BatchSize != 100 {
+			t.Fatalf("%s: resp = accepted=%v params=%d batch=%d",
+				codec.ContentType(), resp.Accepted, len(resp.Params), resp.BatchSize)
+		}
+	}
+}
+
+func TestV1GradientRoundTripBothCodecs(t *testing.T) {
+	s, hs := newHTTPServer(t, Config{Algorithm: learning.SSGD{}})
+	params, _ := s.Model()
+	for i, codec := range []protocol.Codec{protocol.GobGzip, protocol.JSON} {
+		push := &protocol.GradientPush{
+			ModelVersion: i, Gradient: make([]float64, len(params)),
+			BatchSize: 10, LabelCounts: []int{1, 2},
+		}
+		body := encodeWith(t, codec, push)
+		status, _, out := postRaw(t, hs.URL+"/v1/gradient", codec.ContentType(), body)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", codec.ContentType(), status, out)
+		}
+		var ack protocol.PushAck
+		if err := codec.Decode(bytes.NewReader(out), &ack); err != nil {
+			t.Fatal(err)
+		}
+		if !ack.Applied || ack.NewVersion != i+1 {
+			t.Fatalf("%s: ack = %+v", codec.ContentType(), ack)
+		}
+	}
+}
+
+func TestV1StatsAcceptNegotiation(t *testing.T) {
+	_, hs := newHTTPServer(t, Config{})
+	req, _ := http.NewRequest(http.MethodGet, hs.URL+"/v1/stats", nil)
+	req.Header.Set("Accept", protocol.ContentTypeJSON)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != protocol.ContentTypeJSON {
+		t.Fatalf("content type %q, want JSON", ct)
+	}
+	var stats protocol.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestV1MalformedPayload(t *testing.T) {
+	_, hs := newHTTPServer(t, Config{})
+	for _, route := range []string{"/v1/task", "/v1/gradient"} {
+		status, ct, body := postRaw(t, hs.URL+route, protocol.ContentTypeGobGzip, []byte("not gzip at all"))
+		if status != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", route, status)
+		}
+		if !strings.HasPrefix(ct, protocol.ContentTypeJSON) {
+			t.Fatalf("%s: error content type %q, want JSON", route, ct)
+		}
+		var apiErr protocol.Error
+		if err := json.Unmarshal(body, &apiErr); err != nil {
+			t.Fatalf("%s: error body not JSON: %v (%s)", route, err, body)
+		}
+		if apiErr.Code != protocol.CodeInvalidArgument {
+			t.Fatalf("%s: code %s, want invalid_argument", route, apiErr.Code)
+		}
+	}
+}
+
+func TestV1WrongMethod(t *testing.T) {
+	_, hs := newHTTPServer(t, Config{})
+	resp, err := http.Get(hs.URL + "/v1/task")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/task status %d, want 405", resp.StatusCode)
+	}
+	status, _, _ := postRaw(t, hs.URL+"/v1/stats", protocol.ContentTypeJSON, nil)
+	if status != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/stats status %d, want 405", status)
+	}
+}
+
+func TestV1UnsupportedContentType(t *testing.T) {
+	_, hs := newHTTPServer(t, Config{})
+	status, _, body := postRaw(t, hs.URL+"/v1/task", "text/csv", []byte("a,b"))
+	if status != http.StatusUnsupportedMediaType {
+		t.Fatalf("status %d, want 415: %s", status, body)
+	}
+}
+
+func TestRequestBodyCap(t *testing.T) {
+	old := MaxRequestBytes
+	MaxRequestBytes = 1024
+	defer func() { MaxRequestBytes = old }()
+	_, hs := newHTTPServer(t, Config{})
+
+	// A well-formed but oversized JSON push must be cut off with a
+	// truthful 413, not slurped.
+	big := encodeWith(t, protocol.JSON, &protocol.GradientPush{
+		Gradient: make([]float64, 4096), BatchSize: 1,
+	})
+	status, _, out := postRaw(t, hs.URL+"/v1/gradient", protocol.ContentTypeJSON, big)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized v1 body status %d, want 413: %s", status, out)
+	}
+	var apiErr protocol.Error
+	if err := json.Unmarshal(out, &apiErr); err != nil || apiErr.Code != protocol.CodePayloadTooLarge {
+		t.Fatalf("error body = %s (err %v)", out, err)
+	}
+	gobBig := encodeWith(t, protocol.GobGzip, &protocol.GradientPush{
+		Gradient: make([]float64, 4096), BatchSize: 1,
+	})
+	status, _, _ = postRaw(t, hs.URL+"/gradient", "application/octet-stream", gobBig)
+	if status != http.StatusBadRequest {
+		t.Fatalf("oversized legacy body status %d, want 400", status)
+	}
+}
+
+func TestV1VersionConflictStatus(t *testing.T) {
+	s, hs := newHTTPServer(t, Config{})
+	params, _ := s.Model()
+	push := &protocol.GradientPush{ModelVersion: 42, Gradient: make([]float64, len(params)), BatchSize: 1}
+	body := encodeWith(t, protocol.JSON, push)
+	status, _, out := postRaw(t, hs.URL+"/v1/gradient", protocol.ContentTypeJSON, body)
+	if status != http.StatusConflict {
+		t.Fatalf("status %d, want 409: %s", status, out)
+	}
+	var apiErr protocol.Error
+	if err := json.Unmarshal(out, &apiErr); err != nil || apiErr.Code != protocol.CodeVersionConflict {
+		t.Fatalf("error body = %s (err %v)", out, err)
+	}
+}
+
+func TestLegacyRoutesKeepWorking(t *testing.T) {
+	s, hs := newHTTPServer(t, Config{Algorithm: learning.SSGD{}})
+	params, _ := s.Model()
+
+	// Legacy /task: gob+gzip under application/octet-stream.
+	body := encodeWith(t, protocol.GobGzip, &protocol.TaskRequest{WorkerID: 1, LabelCounts: []int{1}})
+	status, _, out := postRaw(t, hs.URL+"/task", "application/octet-stream", body)
+	if status != http.StatusOK {
+		t.Fatalf("legacy /task status %d", status)
+	}
+	var resp protocol.TaskResponse
+	if err := protocol.Decode(bytes.NewReader(out), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Accepted {
+		t.Fatalf("legacy task rejected: %s", resp.Reason)
+	}
+
+	// Legacy /gradient.
+	body = encodeWith(t, protocol.GobGzip, &protocol.GradientPush{
+		ModelVersion: 0, Gradient: make([]float64, len(params)), BatchSize: 5, LabelCounts: []int{1},
+	})
+	status, _, out = postRaw(t, hs.URL+"/gradient", "application/octet-stream", body)
+	if status != http.StatusOK {
+		t.Fatalf("legacy /gradient status %d: %s", status, out)
+	}
+	var ack protocol.PushAck
+	if err := protocol.Decode(bytes.NewReader(out), &ack); err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Applied {
+		t.Fatalf("legacy ack = %+v", ack)
+	}
+
+	// Legacy /gradient errors stay plain-text 400s.
+	body = encodeWith(t, protocol.GobGzip, &protocol.GradientPush{
+		ModelVersion: 99, Gradient: make([]float64, len(params)), BatchSize: 5,
+	})
+	status, _, _ = postRaw(t, hs.URL+"/gradient", "application/octet-stream", body)
+	if status != http.StatusBadRequest {
+		t.Fatalf("legacy error status %d, want 400", status)
+	}
+
+	// Legacy /stats.
+	sr, err := http.Get(hs.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sr.Body.Close() }()
+	var stats protocol.Stats
+	if err := protocol.Decode(sr.Body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.GradientsIn != 1 {
+		t.Fatalf("legacy stats = %+v", stats)
+	}
+}
+
+// failingService returns a fixed error from every method, standing in for
+// an interceptor failure (panic recovery, overload) behind the handler.
+type failingService struct{ err error }
+
+func (f failingService) RequestTask(context.Context, *protocol.TaskRequest) (*protocol.TaskResponse, error) {
+	return nil, f.err
+}
+func (f failingService) PushGradient(context.Context, *protocol.GradientPush) (*protocol.PushAck, error) {
+	return nil, f.err
+}
+func (f failingService) Stats(context.Context) (*protocol.Stats, error) { return nil, f.err }
+
+// TestLegacyRouteStatusForServerFaults checks server-side faults are not
+// misreported to legacy clients as 400 client errors, while request-level
+// rejections keep the seed's 400.
+func TestLegacyRouteStatusForServerFaults(t *testing.T) {
+	hs := httptest.NewServer(NewHandler(failingService{
+		err: protocol.Errorf(protocol.CodeInternal, "panic: boom"),
+	}))
+	defer hs.Close()
+	body := encodeWith(t, protocol.GobGzip, &protocol.TaskRequest{})
+	status, _, _ := postRaw(t, hs.URL+"/task", "application/octet-stream", body)
+	if status != http.StatusInternalServerError {
+		t.Fatalf("legacy status for internal fault = %d, want 500", status)
+	}
+
+	hs2 := httptest.NewServer(NewHandler(failingService{
+		err: protocol.Errorf(protocol.CodeResourceExhausted, "rate limited"),
+	}))
+	defer hs2.Close()
+	status, _, _ = postRaw(t, hs2.URL+"/gradient", "application/octet-stream", body)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("legacy status for rate limit = %d, want 429", status)
+	}
+}
+
+// TestHandlerServesInterceptedService proves interceptors compose at the
+// HTTP boundary: a rate-limited service surfaces 429s on the v1 routes.
+func TestHandlerServesInterceptedService(t *testing.T) {
+	s := newTestServer(t, Config{})
+	svc := service.Chain(s, service.RateLimit(0.0001, 1))
+	hs := httptest.NewServer(NewHandler(svc))
+	defer hs.Close()
+
+	body := encodeWith(t, protocol.JSON, &protocol.TaskRequest{WorkerID: 7, LabelCounts: []int{1}})
+	status, _, _ := postRaw(t, hs.URL+"/v1/task", protocol.ContentTypeJSON, body)
+	if status != http.StatusOK {
+		t.Fatalf("first call status %d, want 200 (burst)", status)
+	}
+	status, _, out := postRaw(t, hs.URL+"/v1/task", protocol.ContentTypeJSON, body)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("second call status %d, want 429: %s", status, out)
+	}
+	var apiErr protocol.Error
+	if err := json.Unmarshal(out, &apiErr); err != nil || apiErr.Code != protocol.CodeResourceExhausted {
+		t.Fatalf("error body = %s (err %v)", out, err)
+	}
+}

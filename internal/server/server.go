@@ -1,18 +1,22 @@
-// Package server implements FLeet's parameter server: the HTTP web
-// application hosting the global model, I-Prof, AdaSGD and the controller
-// (Figure 2). Workers interact through two endpoints:
+// Package server implements FLeet's parameter server: the web application
+// hosting the global model, I-Prof, AdaSGD and the controller (Figure 2).
+// *Server implements service.Service, so interceptors (logging, metrics,
+// rate limiting, deadlines — see internal/service) compose around it, and
+// NewHandler exposes any Service over the versioned HTTP wire protocol:
 //
-//	POST /task     — step (1): request a learning task
-//	POST /gradient — step (5): push a computed gradient
-//	GET  /stats    — diagnostics
+//	POST /v1/task     — step (1): request a learning task
+//	POST /v1/gradient — step (5): push a computed gradient
+//	GET  /v1/stats    — diagnostics
 //
-// Payloads are gzip-compressed gob streams (see internal/protocol).
+// plus the legacy unversioned /task, /gradient and /stats routes for
+// pre-v1 clients. v1 payloads are Content-Type negotiated between gob+gzip
+// and JSON (see internal/protocol).
 package server
 
 import (
-	"fmt"
-	"net/http"
+	"context"
 	"sync"
+	"sync/atomic"
 
 	"fleet/internal/compress"
 	"fleet/internal/iprof"
@@ -32,6 +36,15 @@ type Config struct {
 	LearningRate float64
 	// K is the number of gradients aggregated per model update (default 1).
 	K int
+	// Shards stripes the gradient accumulator across this many
+	// independently locked buffers (default 1: the classic single
+	// accumulator). With Shards > 1, concurrent PushGradient calls landing
+	// on different shards run their O(params) accumulation in parallel and
+	// only serialize on the short metadata section; accumulated mass is
+	// drained into the model every K gradients. Striping reorders, never
+	// loses, gradient mass — the update after K pushes applies exactly the
+	// sum of all accumulated, scaled gradients.
+	Shards int
 	// TimeSLOSec and EnergySLOPct are the provider's SLOs; the controller
 	// sends each worker the largest batch meeting both (0 disables one).
 	TimeSLOSec   float64
@@ -53,17 +66,34 @@ type Config struct {
 	Seed int64
 }
 
+// accumShard is one stripe of the gradient accumulator. The padding keeps
+// adjacent shard mutexes off the same cache line.
+type accumShard struct {
+	mu    sync.Mutex
+	accum []float64
+	dirty bool
+	_     [64]byte
+}
+
 // Server is the FLeet parameter server. All exported methods are safe for
 // concurrent use.
 type Server struct {
 	cfg Config
+	// paramCount is immutable after New: gradient validation reads it
+	// without holding any lock.
+	paramCount int
+	// labels guards itself; it is never touched under mu.
+	labels *learning.LabelTracker
 
+	// cursor round-robins pushes across shards.
+	cursor atomic.Uint64
+	shards []accumShard
+
+	// mu guards the model, the logical clock and the counters.
 	mu           sync.Mutex
 	model        *nn.Network
 	version      int
-	labels       *learning.LabelTracker
 	pending      int
-	accum        []float64
 	tasksServed  int
 	tasksDropped int
 	gradientsIn  int
@@ -73,28 +103,40 @@ type Server struct {
 // New builds a server with a freshly initialized global model.
 func New(cfg Config) (*Server, error) {
 	if cfg.Algorithm == nil {
-		return nil, fmt.Errorf("server: Algorithm is required")
+		return nil, protocol.Errorf(protocol.CodeInvalidArgument, "server: Algorithm is required")
 	}
 	if cfg.LearningRate <= 0 {
-		return nil, fmt.Errorf("server: LearningRate must be positive")
+		return nil, protocol.Errorf(protocol.CodeInvalidArgument, "server: LearningRate must be positive")
 	}
 	if cfg.K <= 0 {
 		cfg.K = 1
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
 	}
 	if cfg.DefaultBatchSize <= 0 {
 		cfg.DefaultBatchSize = 100
 	}
 	model := cfg.Arch.Build(simrand.New(cfg.Seed))
-	return &Server{
-		cfg:    cfg,
-		model:  model,
-		labels: learning.NewLabelTracker(cfg.Arch.Classes()),
-		accum:  make([]float64, model.ParamCount()),
-	}, nil
+	s := &Server{
+		cfg:        cfg,
+		paramCount: model.ParamCount(),
+		model:      model,
+		labels:     learning.NewLabelTracker(cfg.Arch.Classes()),
+		shards:     make([]accumShard, cfg.Shards),
+	}
+	for i := range s.shards {
+		s.shards[i].accum = make([]float64, s.paramCount)
+	}
+	return s, nil
 }
 
-// HandleTask processes a protocol.TaskRequest (step 1→4 of Figure 2).
-func (s *Server) HandleTask(req protocol.TaskRequest) protocol.TaskResponse {
+// RequestTask processes step (1)→(4) of Figure 2: profile the device,
+// screen the task through the controller, and serve the model.
+func (s *Server) RequestTask(ctx context.Context, req *protocol.TaskRequest) (*protocol.TaskResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, protocol.AsError(err)
+	}
 	batch := s.cfg.DefaultBatchSize
 	if s.cfg.TimeProfiler != nil && s.cfg.TimeSLOSec > 0 {
 		batch = s.cfg.TimeProfiler.BatchSize(req.DeviceModel, req.TimeFeatures, s.cfg.TimeSLOSec)
@@ -108,54 +150,66 @@ func (s *Server) HandleTask(req protocol.TaskRequest) protocol.TaskResponse {
 
 	sim := s.labels.Similarity(req.LabelCounts)
 
+	// Re-check before committing controller state: the profiler lookups
+	// and similarity scan above may have outlived the caller's deadline.
+	if err := ctx.Err(); err != nil {
+		return nil, protocol.AsError(err)
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.cfg.MinBatchSize > 0 && batch < s.cfg.MinBatchSize {
 		s.tasksDropped++
-		return protocol.TaskResponse{Accepted: false, Reason: "mini-batch size below threshold"}
+		return &protocol.TaskResponse{Accepted: false, Reason: "mini-batch size below threshold"}, nil
 	}
 	if s.cfg.MaxSimilarity > 0 && sim > s.cfg.MaxSimilarity {
 		s.tasksDropped++
-		return protocol.TaskResponse{Accepted: false, Reason: "similarity above threshold"}
+		return &protocol.TaskResponse{Accepted: false, Reason: "similarity above threshold"}, nil
 	}
 	s.tasksServed++
-	return protocol.TaskResponse{
+	return &protocol.TaskResponse{
 		Accepted:     true,
 		ModelVersion: s.version,
 		Params:       s.model.ParamVector(),
 		BatchSize:    batch,
-	}
+	}, nil
 }
 
-// HandleGradient processes a protocol.GradientPush (step 5): it dampens/
-// boosts the gradient per the configured algorithm, updates the model after
-// K gradients, and feeds the measured cost back into I-Prof.
-func (s *Server) HandleGradient(push protocol.GradientPush) (protocol.PushAck, error) {
+// PushGradient processes step (5): it dampens/boosts the gradient per the
+// configured algorithm, accumulates it into a shard, updates the model
+// after K gradients, and feeds the measured cost back into I-Prof.
+func (s *Server) PushGradient(ctx context.Context, push *protocol.GradientPush) (*protocol.PushAck, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, protocol.AsError(err)
+	}
+	// Validation and sparse decoding touch only the immutable paramCount,
+	// so they run outside every lock.
 	gradient := push.Gradient
 	if gradient == nil && len(push.SparseValues) > 0 {
 		// Top-k compressed uplink (internal/compress): decode to dense.
-		if push.GradientLen != len(s.accum) {
-			return protocol.PushAck{}, fmt.Errorf("server: sparse gradient of dense length %d, model has %d",
-				push.GradientLen, len(s.accum))
+		if push.GradientLen != s.paramCount {
+			return nil, protocol.Errorf(protocol.CodeInvalidArgument,
+				"server: sparse gradient of dense length %d, model has %d", push.GradientLen, s.paramCount)
 		}
 		if len(push.SparseIndices) != len(push.SparseValues) {
-			return protocol.PushAck{}, fmt.Errorf("server: sparse gradient with %d indices, %d values",
-				len(push.SparseIndices), len(push.SparseValues))
+			return nil, protocol.Errorf(protocol.CodeInvalidArgument,
+				"server: sparse gradient with %d indices, %d values", len(push.SparseIndices), len(push.SparseValues))
 		}
 		sp := compress.Sparse{Len: push.GradientLen, Indices: push.SparseIndices, Values: push.SparseValues}
 		for _, id := range sp.Indices {
 			if id < 0 || int(id) >= sp.Len {
-				return protocol.PushAck{}, fmt.Errorf("server: sparse index %d out of range", id)
+				return nil, protocol.Errorf(protocol.CodeInvalidArgument, "server: sparse index %d out of range", id)
 			}
 		}
 		gradient = sp.Dense()
 	}
-	if len(gradient) != len(s.accum) {
-		return protocol.PushAck{}, fmt.Errorf("server: gradient has %d params, model has %d",
-			len(gradient), len(s.accum))
+	if len(gradient) != s.paramCount {
+		return nil, protocol.Errorf(protocol.CodeInvalidArgument,
+			"server: gradient has %d params, model has %d", len(gradient), s.paramCount)
 	}
 	if push.BatchSize <= 0 {
-		return protocol.PushAck{}, fmt.Errorf("server: non-positive batch size %d", push.BatchSize)
+		return nil, protocol.Errorf(protocol.CodeInvalidArgument,
+			"server: non-positive batch size %d", push.BatchSize)
 	}
 
 	// Feed I-Prof outside the model lock.
@@ -176,12 +230,23 @@ func (s *Server) HandleGradient(push protocol.GradientPush) (protocol.PushAck, e
 
 	sim := s.labels.Similarity(push.LabelCounts)
 
+	// Last abort point: past here the gradient is counted and accumulated,
+	// which must complete even if the deadline lapses mid-flight. Checking
+	// again after the O(params) decode and the profiler feeds lets a
+	// Deadline interceptor actually fire on in-process calls that queued
+	// too long.
+	if err := ctx.Err(); err != nil {
+		return nil, protocol.AsError(err)
+	}
+
+	// Metadata section: staleness, scale and counters under a short
+	// critical section — the O(params) work stays outside s.mu.
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	staleness := s.version - push.ModelVersion
 	if staleness < 0 {
-		return protocol.PushAck{}, fmt.Errorf("server: gradient from future model version %d (at %d)",
-			push.ModelVersion, s.version)
+		s.mu.Unlock()
+		return nil, protocol.Errorf(protocol.CodeVersionConflict,
+			"server: gradient from future model version %d (at %d)", push.ModelVersion, s.version)
 	}
 	meta := learning.GradientMeta{
 		Staleness:  staleness,
@@ -191,48 +256,89 @@ func (s *Server) HandleGradient(push protocol.GradientPush) (protocol.PushAck, e
 	}
 	scale := s.cfg.Algorithm.Scale(meta)
 	s.cfg.Algorithm.Observe(meta)
+	absorb := s.cfg.Algorithm.AbsorbWeight(meta)
+	s.gradientsIn++
+	s.staleSum += float64(staleness)
+	s.mu.Unlock()
+
 	// LD_global accumulates label mass weighted by the pure staleness
 	// dampening, so labels the model never effectively incorporated keep
 	// their novelty (and keep being boosted).
-	s.labels.RecordWeighted(push.LabelCounts, s.cfg.Algorithm.AbsorbWeight(meta))
-	s.gradientsIn++
-	s.staleSum += float64(staleness)
+	s.labels.RecordWeighted(push.LabelCounts, absorb)
 
+	// Accumulation: O(params) work under this shard's lock only, so pushes
+	// on different shards proceed in parallel.
+	sh := &s.shards[s.cursor.Add(1)%uint64(len(s.shards))]
+	sh.mu.Lock()
 	for i, g := range gradient {
-		s.accum[i] += scale * g
+		sh.accum[i] += scale * g
 	}
+	sh.dirty = true
+	sh.mu.Unlock()
+
+	// Commit section: a push only counts toward the K-window after its
+	// mass is accumulated, so when pending reaches K every counted
+	// gradient is already in a shard and the drain can never strand acked
+	// mass. The logical clock advances inside drainLocked, after the model
+	// is updated, keeping (params, version) consistent for RequestTask.
+	s.mu.Lock()
 	s.pending++
 	if s.pending >= s.cfg.K {
-		s.model.ApplyGradient(s.accum, s.cfg.LearningRate)
-		for i := range s.accum {
-			s.accum[i] = 0
-		}
 		s.pending = 0
-		s.version++
+		s.drainLocked()
 	}
-	return protocol.PushAck{
+	ack := &protocol.PushAck{
 		Applied:    true,
 		Staleness:  staleness,
 		Scale:      scale,
 		NewVersion: s.version,
-	}, nil
+	}
+	s.mu.Unlock()
+	return ack, nil
+}
+
+// drainLocked folds every dirty shard into the model and then advances the
+// logical clock, so version and parameters move together under s.mu.
+// Callers hold s.mu; shard locks are taken one at a time (never the other
+// way around, so the lock order s.mu → shard.mu is acyclic). Applying
+// shards one by one is equivalent to applying their sum: ApplyGradient is
+// linear in the gradient. Under concurrency a drain may pick up mass that
+// pushes of the next window have already accumulated — gradient mass is
+// only ever reordered across versions, never lost or duplicated.
+func (s *Server) drainLocked() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if sh.dirty {
+			s.model.ApplyGradient(sh.accum, s.cfg.LearningRate)
+			for j := range sh.accum {
+				sh.accum[j] = 0
+			}
+			sh.dirty = false
+		}
+		sh.mu.Unlock()
+	}
+	s.version++
 }
 
 // Stats returns a diagnostic snapshot.
-func (s *Server) Stats() protocol.Stats {
+func (s *Server) Stats(ctx context.Context) (*protocol.Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, protocol.AsError(err)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	mean := 0.0
 	if s.gradientsIn > 0 {
 		mean = s.staleSum / float64(s.gradientsIn)
 	}
-	return protocol.Stats{
+	return &protocol.Stats{
 		ModelVersion:  s.version,
 		TasksServed:   s.tasksServed,
 		TasksRejected: s.tasksDropped,
 		GradientsIn:   s.gradientsIn,
 		MeanStaleness: mean,
-	}
+	}, nil
 }
 
 // Model returns a copy of the current global parameters and their version.
@@ -248,49 +354,4 @@ func (s *Server) Evaluate(scratch *nn.Network, test []nn.Sample) float64 {
 	params, _ := s.Model()
 	scratch.SetParams(params)
 	return scratch.Accuracy(test)
-}
-
-// Handler returns the HTTP handler exposing the protocol endpoints.
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/task", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST required", http.StatusMethodNotAllowed)
-			return
-		}
-		var req protocol.TaskRequest
-		if err := protocol.Decode(r.Body, &req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		resp := s.HandleTask(req)
-		if err := protocol.Encode(w, resp); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	mux.HandleFunc("/gradient", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST required", http.StatusMethodNotAllowed)
-			return
-		}
-		var push protocol.GradientPush
-		if err := protocol.Decode(r.Body, &push); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		ack, err := s.HandleGradient(push)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		if err := protocol.Encode(w, ack); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		if err := protocol.Encode(w, s.Stats()); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	return mux
 }

@@ -1,6 +1,10 @@
 package server
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
 	"testing"
 
 	"fleet/internal/learning"
@@ -9,7 +13,7 @@ import (
 	"fleet/internal/simrand"
 )
 
-func newTestServer(t *testing.T, cfg Config) *Server {
+func newTestServer(t testing.TB, cfg Config) *Server {
 	t.Helper()
 	if cfg.Arch == 0 {
 		cfg.Arch = nn.ArchSoftmaxMNIST
@@ -37,8 +41,12 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestTaskServesModel(t *testing.T) {
+	ctx := context.Background()
 	s := newTestServer(t, Config{})
-	resp := s.HandleTask(protocol.TaskRequest{WorkerID: 1, LabelCounts: []int{1, 1}})
+	resp, err := s.RequestTask(ctx, &protocol.TaskRequest{WorkerID: 1, LabelCounts: []int{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !resp.Accepted {
 		t.Fatalf("task rejected: %s", resp.Reason)
 	}
@@ -54,11 +62,12 @@ func TestTaskServesModel(t *testing.T) {
 }
 
 func TestGradientAdvancesVersion(t *testing.T) {
+	ctx := context.Background()
 	s := newTestServer(t, Config{})
 	params, v0 := s.Model()
 	grad := make([]float64, len(params))
 	grad[0] = 1
-	ack, err := s.HandleGradient(protocol.GradientPush{
+	ack, err := s.PushGradient(ctx, &protocol.GradientPush{
 		ModelVersion: v0, Gradient: grad, BatchSize: 10, LabelCounts: []int{5, 5},
 	})
 	if err != nil {
@@ -77,6 +86,7 @@ func TestGradientAdvancesVersion(t *testing.T) {
 }
 
 func TestStaleGradientDampened(t *testing.T) {
+	ctx := context.Background()
 	s := newTestServer(t, Config{Algorithm: learning.DynSGD{}})
 	params, _ := s.Model()
 	grad := make([]float64, len(params))
@@ -84,14 +94,14 @@ func TestStaleGradientDampened(t *testing.T) {
 	// Apply several fresh gradients to advance the version.
 	for i := 0; i < 4; i++ {
 		_, v := s.Model()
-		if _, err := s.HandleGradient(protocol.GradientPush{
+		if _, err := s.PushGradient(ctx, &protocol.GradientPush{
 			ModelVersion: v, Gradient: grad, BatchSize: 10, LabelCounts: []int{1},
 		}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Now push a gradient computed on version 0: staleness 4.
-	ack, err := s.HandleGradient(protocol.GradientPush{
+	ack, err := s.PushGradient(ctx, &protocol.GradientPush{
 		ModelVersion: 0, Gradient: grad, BatchSize: 10, LabelCounts: []int{1},
 	})
 	if err != nil {
@@ -106,60 +116,94 @@ func TestStaleGradientDampened(t *testing.T) {
 }
 
 func TestGradientValidation(t *testing.T) {
+	ctx := context.Background()
 	s := newTestServer(t, Config{})
 	params, _ := s.Model()
-	if _, err := s.HandleGradient(protocol.GradientPush{
+	var apiErr *protocol.Error
+	if _, err := s.PushGradient(ctx, &protocol.GradientPush{
 		ModelVersion: 0, Gradient: []float64{1}, BatchSize: 10,
 	}); err == nil {
 		t.Error("wrong gradient size must error")
+	} else if !errors.As(err, &apiErr) || apiErr.Code != protocol.CodeInvalidArgument {
+		t.Errorf("wrong gradient size: want structured invalid_argument, got %v", err)
 	}
 	grad := make([]float64, len(params))
-	if _, err := s.HandleGradient(protocol.GradientPush{
+	if _, err := s.PushGradient(ctx, &protocol.GradientPush{
 		ModelVersion: 0, Gradient: grad, BatchSize: 0,
 	}); err == nil {
 		t.Error("zero batch must error")
 	}
-	if _, err := s.HandleGradient(protocol.GradientPush{
+	if _, err := s.PushGradient(ctx, &protocol.GradientPush{
 		ModelVersion: 99, Gradient: grad, BatchSize: 1,
 	}); err == nil {
 		t.Error("future model version must error")
+	} else if !errors.As(err, &apiErr) || apiErr.Code != protocol.CodeVersionConflict {
+		t.Errorf("future version: want structured version_conflict, got %v", err)
+	}
+}
+
+func TestRequestCanceledContext(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RequestTask(ctx, &protocol.TaskRequest{}); err == nil {
+		t.Error("canceled context must error on RequestTask")
+	}
+	if _, err := s.Stats(ctx); err == nil {
+		t.Error("canceled context must error on Stats")
+	}
+	var apiErr *protocol.Error
+	_, err := s.PushGradient(ctx, &protocol.GradientPush{})
+	if !errors.As(err, &apiErr) || apiErr.Code != protocol.CodeCanceled {
+		t.Errorf("want structured canceled error, got %v", err)
 	}
 }
 
 func TestSimilarityThresholdRejects(t *testing.T) {
+	ctx := context.Background()
 	s := newTestServer(t, Config{MaxSimilarity: 0.9})
 	// Seed the global label distribution.
 	params, _ := s.Model()
 	grad := make([]float64, len(params))
-	if _, err := s.HandleGradient(protocol.GradientPush{
+	if _, err := s.PushGradient(ctx, &protocol.GradientPush{
 		ModelVersion: 0, Gradient: grad, BatchSize: 10,
 		LabelCounts: []int{10, 10, 0, 0, 0, 0, 0, 0, 0, 0},
 	}); err != nil {
 		t.Fatal(err)
 	}
 	// A worker with the identical distribution: similarity 1 > 0.9.
-	resp := s.HandleTask(protocol.TaskRequest{LabelCounts: []int{5, 5, 0, 0, 0, 0, 0, 0, 0, 0}})
+	resp, err := s.RequestTask(ctx, &protocol.TaskRequest{LabelCounts: []int{5, 5, 0, 0, 0, 0, 0, 0, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if resp.Accepted {
 		t.Fatal("redundant task should be rejected")
 	}
 	// A novel worker passes.
-	resp = s.HandleTask(protocol.TaskRequest{LabelCounts: []int{0, 0, 0, 0, 0, 0, 0, 0, 5, 5}})
+	resp, err = s.RequestTask(ctx, &protocol.TaskRequest{LabelCounts: []int{0, 0, 0, 0, 0, 0, 0, 0, 5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !resp.Accepted {
 		t.Fatalf("novel task rejected: %s", resp.Reason)
 	}
-	stats := s.Stats()
+	stats, err := s.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stats.TasksRejected != 1 || stats.TasksServed != 1 {
 		t.Fatalf("stats = %+v", stats)
 	}
 }
 
 func TestKAggregationDelaysUpdate(t *testing.T) {
+	ctx := context.Background()
 	s := newTestServer(t, Config{K: 3, Algorithm: learning.SSGD{}})
 	params, _ := s.Model()
 	grad := make([]float64, len(params))
 	grad[0] = 1
 	for i := 0; i < 2; i++ {
-		ack, err := s.HandleGradient(protocol.GradientPush{
+		ack, err := s.PushGradient(ctx, &protocol.GradientPush{
 			ModelVersion: 0, Gradient: grad, BatchSize: 1, LabelCounts: []int{1},
 		})
 		if err != nil {
@@ -169,7 +213,7 @@ func TestKAggregationDelaysUpdate(t *testing.T) {
 			t.Fatalf("version advanced before K gradients: %+v", ack)
 		}
 	}
-	ack, err := s.HandleGradient(protocol.GradientPush{
+	ack, err := s.PushGradient(ctx, &protocol.GradientPush{
 		ModelVersion: 0, Gradient: grad, BatchSize: 1, LabelCounts: []int{1},
 	})
 	if err != nil {
@@ -181,18 +225,148 @@ func TestKAggregationDelaysUpdate(t *testing.T) {
 }
 
 func TestStatsMeanStaleness(t *testing.T) {
+	ctx := context.Background()
 	s := newTestServer(t, Config{Algorithm: learning.SSGD{}})
 	params, _ := s.Model()
 	grad := make([]float64, len(params))
 	for i := 0; i < 3; i++ {
-		if _, err := s.HandleGradient(protocol.GradientPush{
+		if _, err := s.PushGradient(ctx, &protocol.GradientPush{
 			ModelVersion: 0, Gradient: grad, BatchSize: 1, LabelCounts: []int{1},
 		}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Staleness sequence: 0, 1, 2 -> mean 1.
-	if got := s.Stats().MeanStaleness; got != 1 {
-		t.Fatalf("mean staleness %v, want 1", got)
+	stats, err := s.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MeanStaleness != 1 {
+		t.Fatalf("mean staleness %v, want 1", stats.MeanStaleness)
+	}
+}
+
+// TestShardedEquivalentToSingleMutex drives identical sequential pushes
+// through a single-accumulator and an 8-shard server: final model
+// parameters and stats must match exactly (striping only re-buckets the
+// accumulated mass, it never changes what K-aggregation applies).
+func TestShardedEquivalentToSingleMutex(t *testing.T) {
+	ctx := context.Background()
+	single := newTestServer(t, Config{K: 4, Shards: 1, Algorithm: learning.SSGD{}})
+	sharded := newTestServer(t, Config{K: 4, Shards: 8, Algorithm: learning.SSGD{}})
+	params, _ := single.Model()
+
+	for i := 0; i < 20; i++ {
+		grad := make([]float64, len(params))
+		grad[i%len(grad)] = float64(i + 1)
+		push := protocol.GradientPush{ModelVersion: 0, Gradient: grad, BatchSize: 5, LabelCounts: []int{1, 2}}
+		push2 := push
+		if _, err := single.PushGradient(ctx, &push); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sharded.PushGradient(ctx, &push2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p1, v1 := single.Model()
+	p2, v2 := sharded.Model()
+	if v1 != v2 {
+		t.Fatalf("versions diverged: %d vs %d", v1, v2)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("param %d diverged: %v vs %v", i, p1[i], p2[i])
+		}
+	}
+}
+
+// TestConcurrentPushGradient hammers PushGradient from many goroutines
+// across shards; run with -race it also proves the striped hot path is
+// data-race free (the seed validated sparse payloads against server state
+// before taking the lock).
+func TestConcurrentPushGradient(t *testing.T) {
+	ctx := context.Background()
+	const workers, pushes = 8, 25
+	s := newTestServer(t, Config{K: 4, Shards: 4, Algorithm: learning.SSGD{}})
+	paramCount := nn.ArchSoftmaxMNIST.Build(simrand.New(0)).ParamCount()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < pushes; i++ {
+				grad := make([]float64, paramCount)
+				grad[(id*pushes+i)%paramCount] = 1e-3
+				push := &protocol.GradientPush{
+					WorkerID: id, ModelVersion: 0, Gradient: grad,
+					BatchSize: 5, LabelCounts: []int{1, 1},
+				}
+				if i%3 == 0 {
+					// Exercise the sparse-decode path concurrently too.
+					push.Gradient = nil
+					push.GradientLen = paramCount
+					push.SparseIndices = []int32{int32(id)}
+					push.SparseValues = []float64{1e-3}
+				}
+				if _, err := s.PushGradient(ctx, push); err != nil {
+					errCh <- err
+					return
+				}
+				// Interleave reads of the model and stats.
+				if i%7 == 0 {
+					s.Model()
+					if _, err := s.Stats(ctx); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	stats, err := s.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.GradientsIn != workers*pushes {
+		t.Fatalf("gradients in = %d, want %d", stats.GradientsIn, workers*pushes)
+	}
+	if stats.ModelVersion != workers*pushes/4 {
+		t.Fatalf("model version = %d, want %d (K=4)", stats.ModelVersion, workers*pushes/4)
+	}
+}
+
+// benchmarkPush measures concurrent PushGradient throughput for a given
+// shard count. Compare BenchmarkPushGradient/shards=1 (the seed's single
+// global mutex) against shards=8 to see the striped-lock speedup.
+func benchmarkPush(b *testing.B, shards int) {
+	ctx := context.Background()
+	s := newTestServer(b, Config{K: 64, Shards: shards, Algorithm: learning.SSGD{}, Arch: nn.ArchTinyMNIST})
+	paramCount := nn.ArchTinyMNIST.Build(simrand.New(0)).ParamCount()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		grad := make([]float64, paramCount)
+		for i := range grad {
+			grad[i] = 1e-6
+		}
+		push := &protocol.GradientPush{ModelVersion: 0, Gradient: grad, BatchSize: 10, LabelCounts: []int{1}}
+		for pb.Next() {
+			if _, err := s.PushGradient(ctx, push); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkPushGradient(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) { benchmarkPush(b, shards) })
 	}
 }

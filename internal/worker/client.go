@@ -1,0 +1,121 @@
+package worker
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+
+	"fleet/internal/protocol"
+	"fleet/internal/service"
+)
+
+// Client adapts a remote FLeet server (base URL) to service.Service over
+// HTTP. By default it speaks the versioned /v1 routes with the gob+gzip
+// codec; Codec switches the wire representation and Legacy drops down to
+// the unversioned pre-v1 routes for old servers.
+type Client struct {
+	BaseURL    string
+	HTTPClient *http.Client
+	// Codec selects the wire representation (nil: protocol.GobGzip).
+	// Ignored in Legacy mode, which is gob+gzip only.
+	Codec protocol.Codec
+	// Legacy speaks the unversioned /task, /gradient and /stats routes.
+	Legacy bool
+}
+
+var _ service.Service = (*Client)(nil)
+
+// RequestTask implements service.Service over HTTP.
+func (c *Client) RequestTask(ctx context.Context, req *protocol.TaskRequest) (*protocol.TaskResponse, error) {
+	var resp protocol.TaskResponse
+	if err := c.post(ctx, "/task", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// PushGradient implements service.Service over HTTP.
+func (c *Client) PushGradient(ctx context.Context, push *protocol.GradientPush) (*protocol.PushAck, error) {
+	var ack protocol.PushAck
+	if err := c.post(ctx, "/gradient", push, &ack); err != nil {
+		return nil, err
+	}
+	return &ack, nil
+}
+
+// Stats implements service.Service over HTTP.
+func (c *Client) Stats(ctx context.Context) (*protocol.Stats, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+c.route("/stats"), nil)
+	if err != nil {
+		return nil, fmt.Errorf("worker: stats: %w", err)
+	}
+	codec := c.codec()
+	httpReq.Header.Set("Accept", codec.ContentType())
+	resp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return nil, protocol.Errorf(protocol.CodeUnavailable, "worker: stats: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return nil, c.readError(resp)
+	}
+	var stats protocol.Stats
+	if err := codec.Decode(resp.Body, &stats); err != nil {
+		return nil, err
+	}
+	return &stats, nil
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out interface{}) error {
+	codec := c.codec()
+	var buf bytes.Buffer
+	if err := codec.Encode(&buf, in); err != nil {
+		return err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+c.route(path), &buf)
+	if err != nil {
+		return fmt.Errorf("worker: POST %s: %w", path, err)
+	}
+	httpReq.Header.Set("Content-Type", codec.ContentType())
+	httpReq.Header.Set("Accept", codec.ContentType())
+	resp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return protocol.Errorf(protocol.CodeUnavailable, "worker: POST %s: %v", path, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return c.readError(resp)
+	}
+	return codec.Decode(resp.Body, out)
+}
+
+// readError reconstructs the structured error from an HTTP error reply, so
+// callers observe the same *protocol.Error the server returned.
+func (c *Client) readError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return protocol.ErrorFromHTTP(resp.StatusCode, resp.Header.Get("Content-Type"), body)
+}
+
+// route maps a logical path onto the versioned or legacy route space.
+func (c *Client) route(path string) string {
+	if c.Legacy {
+		return path
+	}
+	return "/v1" + path
+}
+
+func (c *Client) codec() protocol.Codec {
+	if c.Legacy || c.Codec == nil {
+		return protocol.GobGzip
+	}
+	return c.Codec
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}

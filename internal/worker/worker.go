@@ -4,16 +4,15 @@
 // its local data, computes the gradient, and pushes it back together with
 // the measured execution cost.
 //
-// The worker can run against a remote FLeet server over HTTP or, for
-// simulations and tests, directly against an in-process server.
+// The worker programs against service.Service, so it runs unchanged
+// against an in-process *server.Server, a remote server behind *Client, or
+// either of those wrapped in interceptors.
 package worker
 
 import (
-	"bytes"
+	"context"
 	"fmt"
-	"io"
 	"math/rand"
-	"net/http"
 
 	"fleet/internal/compress"
 	"fleet/internal/data"
@@ -21,14 +20,8 @@ import (
 	"fleet/internal/iprof"
 	"fleet/internal/nn"
 	"fleet/internal/protocol"
+	"fleet/internal/service"
 )
-
-// TaskServer is the server interface a worker drives. *server.Server
-// satisfies it for in-process use; Client adapts it over HTTP.
-type TaskServer interface {
-	HandleTask(protocol.TaskRequest) protocol.TaskResponse
-	HandleGradient(protocol.GradientPush) (protocol.PushAck, error)
-}
 
 // Config parameterizes a worker.
 type Config struct {
@@ -83,10 +76,10 @@ func New(cfg Config) (*Worker, error) {
 	return w, nil
 }
 
-// Step performs one full protocol round against the server: request a task,
-// compute the gradient, push it. It returns the ack (zero-valued when the
-// task was rejected).
-func (w *Worker) Step(srv TaskServer) (protocol.PushAck, error) {
+// Step performs one full protocol round against the service: request a
+// task, compute the gradient, push it. It returns the ack (zero-valued
+// when the task was rejected by the controller).
+func (w *Worker) Step(ctx context.Context, svc service.Service) (protocol.PushAck, error) {
 	req := protocol.TaskRequest{
 		WorkerID:    w.cfg.ID,
 		LabelCounts: w.labelCounts,
@@ -96,7 +89,15 @@ func (w *Worker) Step(srv TaskServer) (protocol.PushAck, error) {
 		req.TimeFeatures = w.cfg.Device.Features()
 		req.EnergyFeatures = w.cfg.Device.EnergyFeatures()
 	}
-	resp := srv.HandleTask(req)
+	resp, err := svc.RequestTask(ctx, &req)
+	if err != nil {
+		return protocol.PushAck{}, fmt.Errorf("worker %d: task: %w", w.cfg.ID, err)
+	}
+	if resp == nil {
+		// Guard against hand-rolled Service implementations returning
+		// (nil, nil); the built-in chain machinery never does.
+		return protocol.PushAck{}, fmt.Errorf("worker %d: task: service returned no response", w.cfg.ID)
+	}
 	if !resp.Accepted {
 		w.Rejections++
 		return protocol.PushAck{}, nil
@@ -135,76 +136,13 @@ func (w *Worker) Step(srv TaskServer) (protocol.PushAck, error) {
 		push.TimeFeatures = iprof.FeaturesOf(w.cfg.Device, iprof.KindTime)
 		push.EnergyFeatures = iprof.FeaturesOf(w.cfg.Device, iprof.KindEnergy)
 	}
-	ack, err := srv.HandleGradient(push)
+	ack, err := svc.PushGradient(ctx, &push)
 	if err != nil {
 		return protocol.PushAck{}, fmt.Errorf("worker %d: push: %w", w.cfg.ID, err)
 	}
+	if ack == nil {
+		return protocol.PushAck{}, fmt.Errorf("worker %d: push: service returned no ack", w.cfg.ID)
+	}
 	w.Tasks++
-	return ack, nil
-}
-
-// Client adapts a remote FLeet server (base URL) to the TaskServer
-// interface over HTTP with the gob+gzip codec.
-type Client struct {
-	BaseURL    string
-	HTTPClient *http.Client
-}
-
-var _ TaskServer = (*Client)(nil)
-
-// HandleTask implements TaskServer over HTTP.
-func (c *Client) HandleTask(req protocol.TaskRequest) protocol.TaskResponse {
-	var resp protocol.TaskResponse
-	if err := c.post("/task", req, &resp); err != nil {
-		return protocol.TaskResponse{Accepted: false, Reason: err.Error()}
-	}
-	return resp
-}
-
-// HandleGradient implements TaskServer over HTTP.
-func (c *Client) HandleGradient(push protocol.GradientPush) (protocol.PushAck, error) {
-	var ack protocol.PushAck
-	if err := c.post("/gradient", push, &ack); err != nil {
-		return protocol.PushAck{}, err
-	}
-	return ack, nil
-}
-
-// Stats fetches the server's diagnostic snapshot.
-func (c *Client) Stats() (protocol.Stats, error) {
-	httpc := c.httpClient()
-	resp, err := httpc.Get(c.BaseURL + "/stats")
-	if err != nil {
-		return protocol.Stats{}, fmt.Errorf("worker: stats: %w", err)
-	}
-	defer func() { _ = resp.Body.Close() }()
-	var stats protocol.Stats
-	if err := protocol.Decode(resp.Body, &stats); err != nil {
-		return protocol.Stats{}, err
-	}
-	return stats, nil
-}
-
-func (c *Client) post(path string, in, out interface{}) error {
-	var buf bytes.Buffer
-	if err := protocol.Encode(&buf, in); err != nil {
-		return err
-	}
-	resp, err := c.httpClient().Post(c.BaseURL+path, "application/octet-stream", &buf)
-	if err != nil {
-		return fmt.Errorf("worker: POST %s: %w", path, err)
-	}
-	defer func() { _ = resp.Body.Close() }()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("worker: POST %s: status %d: %s", path, resp.StatusCode, msg)
-	}
-	return protocol.Decode(resp.Body, out)
-}
-
-func (c *Client) httpClient() *http.Client {
-	if c.HTTPClient != nil {
-		return c.HTTPClient
-	}
-	return http.DefaultClient
+	return *ack, nil
 }

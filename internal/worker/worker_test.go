@@ -1,6 +1,8 @@
 package worker
 
 import (
+	"context"
+	"errors"
 	"net/http/httptest"
 	"testing"
 
@@ -68,6 +70,7 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestInProcessTrainingRound(t *testing.T) {
+	ctx := context.Background()
 	ds := data.TinyMNIST(3, 24, 8)
 	srv := newServer(t, server.Config{})
 	workers := newWorkers(t, 8, ds)
@@ -77,7 +80,7 @@ func TestInProcessTrainingRound(t *testing.T) {
 
 	for round := 0; round < 30; round++ {
 		for _, w := range workers {
-			if _, err := w.Step(srv); err != nil {
+			if _, err := w.Step(ctx, srv); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -86,7 +89,10 @@ func TestInProcessTrainingRound(t *testing.T) {
 	if after <= before || after < 0.4 {
 		t.Fatalf("federated training accuracy %v -> %v; not learning", before, after)
 	}
-	stats := srv.Stats()
+	stats, err := srv.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stats.GradientsIn != 8*30 {
 		t.Fatalf("gradients in = %d, want %d", stats.GradientsIn, 8*30)
 	}
@@ -96,6 +102,7 @@ func TestInProcessTrainingRound(t *testing.T) {
 }
 
 func TestHTTPEndToEnd(t *testing.T) {
+	ctx := context.Background()
 	ds := data.TinyMNIST(5, 12, 4)
 	srv := newServer(t, server.Config{})
 	hs := httptest.NewServer(srv.Handler())
@@ -106,7 +113,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 
 	for round := 0; round < 5; round++ {
 		for _, w := range workers {
-			ack, err := w.Step(client)
+			ack, err := w.Step(ctx, client)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -115,7 +122,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 			}
 		}
 	}
-	stats, err := client.Stats()
+	stats, err := client.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,13 +131,74 @@ func TestHTTPEndToEnd(t *testing.T) {
 	}
 }
 
+// TestHTTPEndToEndJSONAndLegacy drives the same server through the JSON v1
+// codec and through the legacy unversioned routes: both dialects must
+// train against one model.
+func TestHTTPEndToEndJSONAndLegacy(t *testing.T) {
+	ctx := context.Background()
+	ds := data.TinyMNIST(5, 12, 4)
+	srv := newServer(t, server.Config{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	jsonClient := &Client{BaseURL: hs.URL, HTTPClient: hs.Client(), Codec: protocol.JSON}
+	legacyClient := &Client{BaseURL: hs.URL, HTTPClient: hs.Client(), Legacy: true}
+	workers := newWorkers(t, 2, ds)
+
+	for round := 0; round < 3; round++ {
+		if _, err := workers[0].Step(ctx, jsonClient); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := workers[1].Step(ctx, legacyClient); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := legacyClient.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.GradientsIn != 6 {
+		t.Fatalf("gradients in = %d, want 6", stats.GradientsIn)
+	}
+}
+
+// TestClientDecodesStructuredErrors pushes an invalid gradient over HTTP
+// and checks the client surfaces the server's typed *protocol.Error.
+func TestClientDecodesStructuredErrors(t *testing.T) {
+	ctx := context.Background()
+	srv := newServer(t, server.Config{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	for _, c := range []*Client{
+		{BaseURL: hs.URL, HTTPClient: hs.Client()},
+		{BaseURL: hs.URL, HTTPClient: hs.Client(), Codec: protocol.JSON},
+	} {
+		_, err := c.PushGradient(ctx, &protocol.GradientPush{
+			ModelVersion: 99, Gradient: make([]float64, srvParamCount()), BatchSize: 1,
+		})
+		var apiErr *protocol.Error
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("want *protocol.Error over the wire, got %T: %v", err, err)
+		}
+		if apiErr.Code != protocol.CodeVersionConflict {
+			t.Fatalf("code = %s, want %s", apiErr.Code, protocol.CodeVersionConflict)
+		}
+	}
+}
+
+func srvParamCount() int {
+	return nn.ArchSoftmaxMNIST.Build(simrand.New(0)).ParamCount()
+}
+
 func TestWorkerCountsRejections(t *testing.T) {
+	ctx := context.Background()
 	ds := data.TinyMNIST(6, 12, 4)
 	// MinBatchSize above the default batch size: every task is rejected.
 	srv := newServer(t, server.Config{MinBatchSize: 1000, DefaultBatchSize: 16})
 	workers := newWorkers(t, 1, ds)
 	w := workers[0]
-	ack, err := w.Step(srv)
+	ack, err := w.Step(ctx, srv)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,10 +211,11 @@ func TestWorkerCountsRejections(t *testing.T) {
 }
 
 func TestWorkerReportsDeviceCost(t *testing.T) {
+	ctx := context.Background()
 	ds := data.TinyMNIST(7, 12, 4)
 	srv := newServer(t, server.Config{})
 	workers := newWorkers(t, 1, ds)
-	if _, err := workers[0].Step(srv); err != nil {
+	if _, err := workers[0].Step(ctx, srv); err != nil {
 		t.Fatal(err)
 	}
 	// Mean staleness exists; more importantly the step worked with a device
@@ -158,19 +227,25 @@ func TestWorkerReportsDeviceCost(t *testing.T) {
 
 func TestClientStatsErrorOnBadServer(t *testing.T) {
 	c := &Client{BaseURL: "http://127.0.0.1:0"}
-	if _, err := c.Stats(); err == nil {
+	_, err := c.Stats(context.Background())
+	if err == nil {
 		t.Fatal("want error on unreachable server")
+	}
+	var apiErr *protocol.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != protocol.CodeUnavailable {
+		t.Fatalf("want structured unavailable error, got %v", err)
 	}
 }
 
 func TestCompressedUplinkTrains(t *testing.T) {
 	// Top-k compression with error feedback must still learn (the dropped
 	// mass is delayed, not lost) while shrinking the uplink ~10x.
+	ctx := context.Background()
 	ds := data.TinyMNIST(8, 24, 8)
 	srv := newServer(t, server.Config{})
 	rng := simrand.New(9)
 	parts := data.PartitionNonIID(rng, ds.Train, 8, 2)
-	paramCount := nn.ArchSoftmaxMNIST.Build(simrand.New(0)).ParamCount()
+	paramCount := srvParamCount()
 
 	var workers []*Worker
 	for i := 0; i < 8; i++ {
@@ -188,7 +263,7 @@ func TestCompressedUplinkTrains(t *testing.T) {
 	}
 	for round := 0; round < 40; round++ {
 		for _, w := range workers {
-			if _, err := w.Step(srv); err != nil {
+			if _, err := w.Step(ctx, srv); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -200,25 +275,26 @@ func TestCompressedUplinkTrains(t *testing.T) {
 }
 
 func TestSparsePushValidation(t *testing.T) {
+	ctx := context.Background()
 	srv := newServer(t, server.Config{})
 	params, _ := srv.Model()
 	push := protocolSparsePush(len(params))
-	if _, err := srv.HandleGradient(push); err != nil {
+	if _, err := srv.PushGradient(ctx, &push); err != nil {
 		t.Fatalf("valid sparse push rejected: %v", err)
 	}
 	bad := protocolSparsePush(len(params))
 	bad.SparseIndices = []int32{int32(len(params))} // out of range
-	if _, err := srv.HandleGradient(bad); err == nil {
+	if _, err := srv.PushGradient(ctx, &bad); err == nil {
 		t.Fatal("out-of-range sparse index accepted")
 	}
 	mismatch := protocolSparsePush(len(params))
 	mismatch.SparseValues = append(mismatch.SparseValues, 1)
-	if _, err := srv.HandleGradient(mismatch); err == nil {
+	if _, err := srv.PushGradient(ctx, &mismatch); err == nil {
 		t.Fatal("index/value length mismatch accepted")
 	}
 	wrongLen := protocolSparsePush(len(params))
 	wrongLen.GradientLen = 3
-	if _, err := srv.HandleGradient(wrongLen); err == nil {
+	if _, err := srv.PushGradient(ctx, &wrongLen); err == nil {
 		t.Fatal("wrong dense length accepted")
 	}
 }
