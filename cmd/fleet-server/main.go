@@ -5,6 +5,14 @@
 //
 //	fleet-server -addr :8080 -arch tiny-mnist -lr 0.05 -time-slo 3
 //
+// The update pipeline is composable from the command line, e.g. a
+// Byzantine-resilient deployment with DP noise and a norm filter:
+//
+//	fleet-server -k 5 -aggregator 'krum(1)' -stages 'staleness,norm-filter(100),dp(1,0.5)'
+//
+// (The norm filter comes before dp: clipping bounds every norm, so a
+// filter placed after it could never fire.)
+//
 // Workers (cmd/fleet-worker) connect with matching -arch.
 package main
 
@@ -14,12 +22,14 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"fleet/internal/device"
 	"fleet/internal/iprof"
 	"fleet/internal/learning"
 	"fleet/internal/nn"
+	"fleet/internal/pipeline"
 	"fleet/internal/server"
 	"fleet/internal/service"
 	"fleet/internal/simrand"
@@ -54,6 +64,8 @@ func run() int {
 		maxSim    = flag.Float64("max-similarity", 0, "controller similarity threshold (0 disables)")
 		seed      = flag.Int64("seed", 1, "model initialization seed")
 		shards    = flag.Int("shards", 1, "gradient accumulator shards (striped locking; 1 = single mutex)")
+		stages    = flag.String("stages", "staleness", "comma-separated update-pipeline stage specs (e.g. staleness,norm-filter(100),dp(1,0.5))")
+		agg       = flag.String("aggregator", "mean", "window-aggregation rule spec (mean, median, trimmed(b), krum(f))")
 		rateLimit = flag.Float64("rate-limit", 0, "per-worker request rate limit in req/s (0 disables)")
 		rateBurst = flag.Int("rate-burst", 10, "per-worker rate-limit burst")
 		deadline  = flag.Duration("deadline", 0, "per-request server-side deadline (0 disables)")
@@ -67,12 +79,29 @@ func run() int {
 		return 2
 	}
 
+	algo := learning.NewAdaSGD(learning.AdaSGDConfig{NonStragglerPct: *sPct, BootstrapSteps: 50})
+
+	// Compose the update pipeline from the registry: per-gradient stages
+	// (staleness scaling, DP, filters) in front of the window aggregator
+	// (sharded mean, or a Byzantine-resilient rule retaining the window).
+	pipe, err := pipeline.Build(*stages, *agg, pipeline.BuildOptions{
+		Algorithm: algo,
+		Shards:    *shards,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "known stages: %s; known aggregators: %s\n",
+			strings.Join(pipeline.Stages(), ", "), strings.Join(pipeline.Aggregators(), ", "))
+		return 2
+	}
+
 	cfg := server.Config{
 		Arch:          arch,
-		Algorithm:     learning.NewAdaSGD(learning.AdaSGDConfig{NonStragglerPct: *sPct, BootstrapSteps: 50}),
+		Algorithm:     algo,
 		LearningRate:  *lr,
 		K:             *k,
-		Shards:        *shards,
+		Pipeline:      pipe,
 		TimeSLOSec:    *timeSLO,
 		EnergySLOPct:  *energySLO,
 		MinBatchSize:  *minBatch,
@@ -127,7 +156,7 @@ func run() int {
 		Handler:           server.NewHandler(svc),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("FLeet server listening on %s (arch=%s, lr=%g, K=%d, shards=%d)", *addr, arch, *lr, *k, *shards)
+	log.Printf("FLeet server listening on %s (arch=%s, lr=%g, K=%d, pipeline: %s)", *addr, arch, *lr, *k, pipe)
 	if err := httpSrv.ListenAndServe(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1

@@ -33,11 +33,23 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The update pipeline composes per-gradient stages in front of the
+	// window aggregator: AdaSGD staleness scaling, then an L2 norm filter
+	// rejecting absurd pushes, feeding the sharded mean fast path. Swap the
+	// aggregator spec for "krum(1)" (with K > 1) to make the same server
+	// Byzantine-resilient.
+	algo := fleet.NewAdaSGD(fleet.AdaSGDConfig{NonStragglerPct: 99.7, BootstrapSteps: 20})
+	pipe, err := fleet.BuildPipeline("staleness,norm-filter(1000)", "mean",
+		fleet.PipelineOptions{Algorithm: algo, Shards: 4, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	srv, err := fleet.NewServer(fleet.ServerConfig{
 		Arch:         fleet.ArchTinyMNIST,
-		Algorithm:    fleet.NewAdaSGD(fleet.AdaSGDConfig{NonStragglerPct: 99.7, BootstrapSteps: 20}),
+		Algorithm:    algo,
 		LearningRate: 0.03,
-		Shards:       4,
+		Pipeline:     pipe,
 		TimeSLOSec:   3.0,
 		TimeProfiler: prof,
 		MinBatchSize: 5,
@@ -117,6 +129,8 @@ func main() {
 	}
 	fmt.Printf("done over HTTP: %d gradients in, %d tasks rejected\n",
 		stats.GradientsIn, stats.TasksRejected)
+	// The composed pipeline travels the wire in the stats snapshot.
+	fmt.Printf("update pipeline: %v -> %s\n", stats.PipelineStages, stats.Aggregator)
 	for method, m := range calls.Snapshot() {
 		fmt.Printf("  %-12s %4d calls, %d errors, mean %s\n",
 			method, m.Calls, m.Errors, m.MeanLatency())

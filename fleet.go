@@ -41,6 +41,7 @@ import (
 	"fleet/internal/learning"
 	"fleet/internal/metrics"
 	"fleet/internal/nn"
+	"fleet/internal/pipeline"
 	"fleet/internal/protocol"
 	"fleet/internal/robust"
 	"fleet/internal/server"
@@ -210,10 +211,12 @@ var (
 
 // RobustAggregator combines the K gradients of an aggregation window with
 // a (possibly Byzantine-resilient) rule — the §4 "pluggable robustness"
-// hook.
+// hook. Aggregate returns an error (never panics) on empty or ragged
+// windows.
 type RobustAggregator = robust.Aggregator
 
-// Byzantine-resilient aggregation rules for AsyncConfig.Aggregator.
+// Byzantine-resilient aggregation rules for AsyncConfig.Aggregator and
+// RetainedWindow.
 type (
 	// MeanAggregator is plain averaging (not resilient).
 	MeanAggregator = robust.Mean
@@ -224,6 +227,82 @@ type (
 	// KrumAggregator selects the most central gradient (Blanchard et al.).
 	KrumAggregator = robust.Krum
 )
+
+// ---------------------------------------------------------------------------
+// Update pipeline (§4 pluggability on the live serving path).
+
+// Pipeline is the server's composable update pipeline: per-gradient Stages
+// (staleness scaling, DP perturbation, filters) feeding one
+// WindowAggregator that folds each K-window into the model. Set it on
+// ServerConfig.Pipeline; a nil config builds the legacy-equivalent default
+// (staleness scaling in front of a sharded mean). A pipeline is stateful
+// (its aggregator holds window/shard buffers): build one per server.
+type Pipeline = pipeline.Pipeline
+
+// Stage is one per-gradient transform of the update pipeline.
+type Stage = pipeline.Stage
+
+// WindowAggregator owns the K-window of Equation 3 inside a Pipeline.
+type WindowAggregator = pipeline.WindowAggregator
+
+// PipelineGradient is the in-flight gradient custom Stages transform.
+type PipelineGradient = pipeline.Gradient
+
+// PipelineOptions carries the dependencies spec-built pipelines draw on
+// (the algorithm for "staleness", shard count for "mean", DP noise seed).
+type PipelineOptions = pipeline.BuildOptions
+
+// NewPipeline composes stages (run in order) in front of agg.
+func NewPipeline(agg WindowAggregator, stages ...Stage) (*Pipeline, error) {
+	return pipeline.New(agg, stages...)
+}
+
+// BuildPipeline composes a pipeline from registry specs, e.g.
+//
+//	fleet.BuildPipeline("staleness,norm-filter(100)", "krum(1)",
+//	    fleet.PipelineOptions{Algorithm: algo})
+func BuildPipeline(stagesSpec, aggSpec string, opts PipelineOptions) (*Pipeline, error) {
+	return pipeline.Build(stagesSpec, aggSpec, opts)
+}
+
+// StalenessStage wraps a learning Algorithm as the pipeline's scaling
+// stage (multiplies each gradient's Equation-3 factor).
+func StalenessStage(algo Algorithm) (Stage, error) { return pipeline.NewStalenessScale(algo) }
+
+// DPStage clips and noises each gradient (dp.Perturb) with pooled
+// per-push RNGs, so concurrent pushes stay safe and parallel.
+func DPStage(cfg DPConfig, seed int64) (Stage, error) { return pipeline.NewDP(cfg, seed) }
+
+// NormFilterStage rejects gradients whose L2 norm exceeds max.
+func NormFilterStage(max float64) (Stage, error) { return pipeline.NewNormFilter(max) }
+
+// MeanWindow is the default aggregator: the sharded K-sum fast path.
+func MeanWindow(shards int) WindowAggregator { return pipeline.NewMeanWindow(shards) }
+
+// RetainedWindow buffers the K scaled gradients of each window so a
+// robust rule (MedianAggregator, TrimmedMeanAggregator, KrumAggregator)
+// sees all members before emitting one direction. The direction is scaled
+// by the window size, so retained rules keep the K-sum magnitude of
+// Equation 3 and swap in for MeanWindow at a fixed learning rate.
+func RetainedWindow(rule RobustAggregator) (WindowAggregator, error) {
+	return pipeline.NewRetained(rule)
+}
+
+// RegisterPipelineStage adds a named stage constructor to the spec
+// registry used by BuildPipeline and the fleet-server -stages flag.
+func RegisterPipelineStage(name string, ctor pipeline.StageCtor) {
+	pipeline.RegisterStage(name, ctor)
+}
+
+// RegisterWindowAggregator adds a named aggregator constructor to the spec
+// registry used by BuildPipeline and the fleet-server -aggregator flag.
+func RegisterWindowAggregator(name string, ctor pipeline.AggregatorCtor) {
+	pipeline.RegisterAggregator(name, ctor)
+}
+
+// PipelineStages and WindowAggregators list the registered spec names.
+func PipelineStages() []string    { return pipeline.Stages() }
+func WindowAggregators() []string { return pipeline.Aggregators() }
 
 // ---------------------------------------------------------------------------
 // Profiler (§2.2).

@@ -190,3 +190,64 @@ func TestPublicAPIBhattacharyya(t *testing.T) {
 		t.Fatalf("BC = %v", got)
 	}
 }
+
+// TestPublicAPIPipeline drives the facade's pipeline surface: registry
+// specs, direct construction, a Krum server, and the stats exposure.
+func TestPublicAPIPipeline(t *testing.T) {
+	ctx := context.Background()
+	algo := fleet.NewAdaSGD(fleet.AdaSGDConfig{NonStragglerPct: 99.7, BootstrapSteps: 5})
+	pipe, err := fleet.BuildPipeline("staleness,norm-filter(1e6)", "krum(1)",
+		fleet.PipelineOptions{Algorithm: algo, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := fleet.NewServer(fleet.ServerConfig{
+		Arch:         fleet.ArchSoftmaxMNIST,
+		Algorithm:    algo,
+		LearningRate: 0.05,
+		K:            3,
+		Pipeline:     pipe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, _ := srv.Model()
+	grad := make([]float64, len(params))
+	grad[0] = 1
+	for i := 0; i < 3; i++ {
+		if _, err := srv.PushGradient(ctx, &fleet.GradientPush{
+			ModelVersion: 0, Gradient: grad, BatchSize: 5, LabelCounts: []int{1, 1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := srv.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ModelVersion != 1 || stats.Aggregator != "Krum(f=1)" {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	// Direct construction with the exported stage/aggregator constructors.
+	stage, err := fleet.StalenessStage(fleet.DynSGD{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, err := fleet.RetainedWindow(fleet.MedianAggregator{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fleet.NewPipeline(win, stage); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fleet.NewPipeline(fleet.MeanWindow(4)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The spec registries are populated and extensible.
+	if len(fleet.PipelineStages()) < 3 || len(fleet.WindowAggregators()) < 4 {
+		t.Fatalf("registries: stages=%v aggregators=%v",
+			fleet.PipelineStages(), fleet.WindowAggregators())
+	}
+}

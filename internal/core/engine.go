@@ -266,7 +266,14 @@ func RunAsync(cfg AsyncConfig, users [][]nn.Sample, test []nn.Sample) *AsyncResu
 
 		// Model update (Equation 3) with the scheduled rate γt.
 		if cfg.Aggregator != nil {
-			global.ApplyGradient(cfg.Aggregator.Aggregate(window), schedule(t))
+			// The window is non-empty (pending == k) with equal-length
+			// gradients by construction, so an error here is a programming
+			// bug in the aggregator, not a runtime condition.
+			dir, err := cfg.Aggregator.Aggregate(window)
+			if err != nil {
+				panic(fmt.Sprintf("core: %s on a well-formed window: %v", cfg.Aggregator.Name(), err))
+			}
+			global.ApplyGradient(dir, schedule(t))
 			window = window[:0]
 		} else {
 			global.ApplyGradient(accumGrad, schedule(t))

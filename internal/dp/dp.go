@@ -39,6 +39,12 @@ func (c Config) Validate() error {
 // Perturb clips grad to ClipNorm and adds Gaussian noise with std
 // σ·C/BatchSize per coordinate, in place. It returns the clipping factor
 // applied (1 when no clipping occurred).
+//
+// Concurrency contract: Perturb performs no synchronization, and
+// *rand.Rand is not safe for concurrent use — callers invoking Perturb
+// from multiple goroutines must serialize access to rng or give each
+// goroutine its own. The serving path does the latter via pipeline.NewDP,
+// whose stage hands each concurrent push its own pooled RNG.
 func Perturb(cfg Config, rng *rand.Rand, grad []float64) float64 {
 	norm := 0.0
 	for _, v := range grad {

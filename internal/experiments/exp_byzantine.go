@@ -1,21 +1,29 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
+
 	"fleet/internal/core"
 	"fleet/internal/data"
 	"fleet/internal/learning"
 	"fleet/internal/nn"
-	"fleet/internal/robust"
+	"fleet/internal/pipeline"
+	"fleet/internal/protocol"
+	"fleet/internal/server"
 	"fleet/internal/simrand"
 )
 
 // byzantine evaluates the §4 claim that robust aggregation is pluggable
 // into FLeet: 20% of the workers are adversarial (they send sign-flipped,
 // amplified gradients) while updates aggregate K=5 gradients per window
-// under D1 staleness.
+// under D1 staleness. Unlike the other drivers this one runs through the
+// live *server.Server — gradients travel PushGradient and the update
+// pipeline (internal/pipeline) with a registry-selected window aggregator,
+// exactly the path a production deployment exercises.
 func byzantine(scale Scale) *Report {
 	rep := &Report{}
-	users, test, arch, lr, batch, steps, evalEvery := mnistNonIID(scale, 18)
+	users, test, arch, lr, batch, steps, _ := mnistNonIID(scale, 18)
 	// Robust aggregation is evaluated on IID users (as in the Byzantine-SGD
 	// literature the paper cites): per-coordinate medians of non-IID
 	// gradients are biased toward zero and would confound the attack.
@@ -39,34 +47,92 @@ func byzantine(scale Scale) *Report {
 		return out
 	}
 
-	run := func(agg robust.Aggregator, attacked bool) float64 {
-		cfg := core.AsyncConfig{
-			Arch: arch, Algorithm: learning.NewAdaSGD(adaConfig()),
-			// The aggregator emits one mean-scale direction per window, so
-			// the K-sum semantics of Equation 3 correspond to γ·K.
-			LearningRate: lr * 5,
-			BatchSize:    batch, Steps: steps / 2, K: 5, Aggregator: agg,
-			EvalEvery: evalEvery, Seed: 54,
-			Staleness: core.GaussianStaleness(d1.mu, d1.sigma),
+	const k = 5
+	updates := steps / 2
+	classes := arch.Classes()
+	staleness := core.GaussianStaleness(d1.mu, d1.sigma)
+
+	run := func(aggSpec string, attacked bool) float64 {
+		algo := learning.NewAdaSGD(adaConfig())
+		pipe, err := pipeline.Build("staleness", aggSpec, pipeline.BuildOptions{Algorithm: algo, Shards: 1, Seed: 54})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: building %q pipeline: %v", aggSpec, err))
 		}
-		if attacked {
-			cfg.GradientTransform = attack
+		// Every aggregator applies the K-sum magnitude of Equation 3 (the
+		// retained rules scale their direction by the window size), so the
+		// learning rate needs no per-rule compensation.
+		srv, err := server.New(server.Config{
+			Arch: arch, Algorithm: algo, LearningRate: lr, K: k,
+			Pipeline: pipe, Seed: 54,
+		})
+		if err != nil {
+			panic(err)
 		}
-		return core.RunAsync(cfg, users, test).FinalAccuracy
+
+		ctx := context.Background()
+		runRng := simrand.New(54)
+		workerNet := arch.Build(simrand.New(54))
+
+		// The experiment imposes the D1 staleness distribution by pulling
+		// past snapshots: snapshots[v % snapCap] is the param vector at
+		// version v (ring buffer, like core.RunAsync's MaxStaleness).
+		const maxStale = 256
+		const snapCap = maxStale + 1
+		params, version := srv.Model()
+		snapshots := make([][]float64, snapCap)
+		snapshots[0] = params
+		for version < updates {
+			u := runRng.Intn(len(users))
+			tau := staleness(runRng, u, nil)
+			if tau > version {
+				tau = version
+			}
+			if tau > maxStale {
+				tau = maxStale
+			}
+			pullVersion := version - tau
+			workerNet.SetParams(snapshots[pullVersion%snapCap])
+
+			bs := batch
+			if bs > len(users[u]) {
+				bs = len(users[u])
+			}
+			b := data.SampleBatch(runRng, users[u], bs)
+			grad, _ := workerNet.Gradient(b)
+			if attacked {
+				grad = attack(u, grad)
+			}
+			ack, err := srv.PushGradient(ctx, &protocol.GradientPush{
+				WorkerID: u, ModelVersion: pullVersion, Gradient: grad,
+				BatchSize: bs, LabelCounts: data.LabelCounts(b, classes),
+			})
+			if err != nil {
+				panic(err)
+			}
+			for version < ack.NewVersion {
+				version++
+				p, _ := srv.Model()
+				snapshots[version%snapCap] = p
+			}
+		}
+		return srv.Evaluate(workerNet, test)
 	}
 
-	rep.addLine("20%% Byzantine workers (sign-flip ×5), K=5 windows, D1 staleness:")
-	for _, agg := range []robust.Aggregator{
-		robust.Mean{},
-		robust.CoordinateMedian{},
-		robust.TrimmedMean{Trim: 1},
-		robust.Krum{F: 1},
+	rep.addLine("20%% Byzantine workers (sign-flip ×5), K=5 windows, D1 staleness, live server:")
+	for _, agg := range []struct {
+		spec  string
+		label string
+	}{
+		{"mean", "Mean"},
+		{"median", "CoordinateMedian"},
+		{"trimmed(1)", "TrimmedMean(1)"},
+		{"krum(1)", "Krum(f=1)"},
 	} {
-		clean := run(agg, false)
-		dirty := run(agg, true)
-		rep.addLine("%-18s clean %.3f | under attack %.3f", agg.Name(), clean, dirty)
-		rep.setValue("clean-"+agg.Name(), clean)
-		rep.setValue("attacked-"+agg.Name(), dirty)
+		clean := run(agg.spec, false)
+		dirty := run(agg.spec, true)
+		rep.addLine("%-18s clean %.3f | under attack %.3f", agg.label, clean, dirty)
+		rep.setValue("clean-"+agg.label, clean)
+		rep.setValue("attacked-"+agg.label, dirty)
 	}
 	rep.addLine("expected shape: Mean collapses under attack; robust rules hold")
 	return rep

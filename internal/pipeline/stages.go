@@ -1,0 +1,134 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"fleet/internal/dp"
+	"fleet/internal/learning"
+)
+
+// StalenessScale wraps a learning.Algorithm (AdaSGD, DynSGD, …) as a
+// pipeline stage: it multiplies the gradient's Scale by the algorithm's
+// Equation-3 factor for the gradient's staleness and label similarity. It
+// does not touch the vector, so its position in the chain is free.
+//
+// The wrapped Algorithm must be safe for concurrent use (the Algorithm
+// interface already requires this).
+type StalenessScale struct {
+	// Algo computes the per-gradient scaling factor.
+	Algo learning.Algorithm
+}
+
+// NewStalenessScale wraps algo as a stage.
+func NewStalenessScale(algo learning.Algorithm) (StalenessScale, error) {
+	if algo == nil {
+		return StalenessScale{}, fmt.Errorf("pipeline: staleness stage needs an Algorithm")
+	}
+	return StalenessScale{Algo: algo}, nil
+}
+
+// Name implements Stage.
+func (s StalenessScale) Name() string { return "staleness(" + s.Algo.Name() + ")" }
+
+// Process implements Stage.
+func (s StalenessScale) Process(g *Gradient) error {
+	g.Scale *= s.Algo.Scale(g.Meta)
+	return nil
+}
+
+// DP is the differential-privacy stage: per-gradient L2 clipping plus
+// Gaussian noise (dp.Perturb), with the noise std divided by the push's
+// mini-batch size. dp.Perturb's *rand.Rand is not safe for concurrent use,
+// so the stage keeps a pool of RNGs — each concurrent push checks one out
+// for the O(params) noise loop, and only the seeding of fresh pool members
+// synchronizes on a mutex. Concurrent pushes therefore noise in parallel
+// instead of serializing on one generator. The seed pins the sequence in
+// which pool members are created, not the full noise stream: under
+// concurrency (or across GC cycles, which may reclaim pooled RNGs) the
+// exact draws depend on scheduling.
+type DP struct {
+	cfg dp.Config
+
+	// seedMu guards seedRng, the master generator that seeds pool members.
+	seedMu  sync.Mutex
+	seedRng *rand.Rand
+	pool    sync.Pool
+}
+
+// NewDP builds a DP stage; cfg.BatchSize is overridden per gradient by the
+// push's batch size. The seed derives every pool member's RNG (see the
+// type comment for the limits of reproducibility).
+func NewDP(cfg dp.Config, seed int64) (*DP, error) {
+	if cfg.ClipNorm <= 0 {
+		return nil, fmt.Errorf("pipeline: dp stage needs a positive ClipNorm, got %v", cfg.ClipNorm)
+	}
+	if cfg.NoiseMultiplier < 0 {
+		return nil, fmt.Errorf("pipeline: dp stage needs a non-negative NoiseMultiplier, got %v", cfg.NoiseMultiplier)
+	}
+	d := &DP{cfg: cfg, seedRng: rand.New(rand.NewSource(seed))}
+	d.pool.New = func() interface{} {
+		d.seedMu.Lock()
+		s := d.seedRng.Int63()
+		d.seedMu.Unlock()
+		return rand.New(rand.NewSource(s))
+	}
+	return d, nil
+}
+
+// Name implements Stage.
+func (d *DP) Name() string {
+	return fmt.Sprintf("dp(clip=%g,sigma=%g)", d.cfg.ClipNorm, d.cfg.NoiseMultiplier)
+}
+
+// Process implements Stage. The vector is copied before perturbation:
+// in-process pushers alias their gradient slice into the pipeline, and
+// clipping+noising the caller's memory in place would corrupt reused
+// slices (and race if one slice is pushed concurrently).
+func (d *DP) Process(g *Gradient) error {
+	cfg := d.cfg
+	cfg.BatchSize = g.Meta.BatchSize
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1
+	}
+	vec := make([]float64, len(g.Vec))
+	copy(vec, g.Vec)
+	rng := d.pool.Get().(*rand.Rand)
+	dp.Perturb(cfg, rng, vec)
+	d.pool.Put(rng)
+	g.Vec = vec
+	return nil
+}
+
+// NormFilter rejects gradients whose L2 norm exceeds Max — a cheap
+// defense-in-depth stage against exploding or adversarially amplified
+// gradients, placed before any aggregation rule sees them.
+type NormFilter struct {
+	// Max is the largest admitted L2 norm.
+	Max float64
+}
+
+// NewNormFilter builds a norm filter.
+func NewNormFilter(max float64) (NormFilter, error) {
+	if max <= 0 {
+		return NormFilter{}, fmt.Errorf("pipeline: norm filter needs a positive bound, got %v", max)
+	}
+	return NormFilter{Max: max}, nil
+}
+
+// Name implements Stage.
+func (f NormFilter) Name() string { return fmt.Sprintf("norm-filter(%g)", f.Max) }
+
+// Process implements Stage.
+func (f NormFilter) Process(g *Gradient) error {
+	sum := 0.0
+	for _, v := range g.Vec {
+		sum += v * v
+	}
+	if norm := math.Sqrt(sum); norm > f.Max {
+		return fmt.Errorf("gradient L2 norm %.4g exceeds limit %g", norm, f.Max)
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"fleet/internal/robust"
+)
+
+// meanShard is one stripe of the sharded mean accumulator. The padding
+// keeps adjacent shard mutexes off the same cache line.
+type meanShard struct {
+	mu    sync.Mutex
+	accum []float64
+	dirty bool
+	_     [64]byte
+}
+
+// MeanWindow is the default window aggregator: the K-sum of Equation 3,
+// striped across independently locked accumulator shards. It preserves the
+// pre-pipeline server's hot path bit-for-bit — round-robin shard choice,
+// accum[i] += scale·g[i] under the shard lock only, and a drain that
+// applies each dirty shard (applying shards one by one is equivalent to
+// applying their sum: ApplyGradient is linear in the gradient). Striping
+// reorders, never loses, gradient mass.
+type MeanWindow struct {
+	shards []meanShard
+	// cursor round-robins Adds across shards.
+	cursor atomic.Uint64
+	// alloc sizes the shard buffers on first Add (the pipeline learns the
+	// parameter count only when gradients start flowing).
+	alloc sync.Once
+}
+
+// NewMeanWindow builds a sharded sum-accumulate window; shards < 1 is
+// clamped to 1 (the classic single accumulator).
+func NewMeanWindow(shards int) *MeanWindow {
+	if shards < 1 {
+		shards = 1
+	}
+	return &MeanWindow{shards: make([]meanShard, shards)}
+}
+
+// Name implements WindowAggregator.
+func (m *MeanWindow) Name() string { return fmt.Sprintf("mean(shards=%d)", len(m.shards)) }
+
+// Add implements WindowAggregator: O(params) accumulation under this
+// shard's lock only, so Adds on different shards proceed in parallel.
+func (m *MeanWindow) Add(vec []float64, scale float64) {
+	m.alloc.Do(func() {
+		for i := range m.shards {
+			m.shards[i].accum = make([]float64, len(vec))
+		}
+	})
+	sh := &m.shards[m.cursor.Add(1)%uint64(len(m.shards))]
+	sh.mu.Lock()
+	for i, g := range vec {
+		sh.accum[i] += scale * g
+	}
+	sh.dirty = true
+	sh.mu.Unlock()
+}
+
+// Drain implements WindowAggregator: every dirty shard is applied and
+// zeroed. Shard locks are taken one at a time inside the caller's model
+// lock (lock order model → shard, acyclic). Under concurrency a drain may
+// pick up mass that pushes of the next window have already accumulated —
+// mass is only ever reordered across versions, never lost or duplicated.
+func (m *MeanWindow) Drain(apply func(direction []float64)) error {
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		if sh.dirty {
+			apply(sh.accum)
+			for j := range sh.accum {
+				sh.accum[j] = 0
+			}
+			sh.dirty = false
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// RetainedWindow buffers every scaled gradient of the current window so a
+// robust.Aggregator (CoordinateMedian, TrimmedMean, Krum — or robust.Mean)
+// can see all K members before emitting one update direction. This is the
+// window-retention mode Byzantine-resilient rules need: unlike MeanWindow
+// they are not linear, so per-push accumulation cannot express them.
+//
+// Robust rules emit a mean-scale direction (one representative window
+// member); Drain multiplies it by the window size so every aggregator
+// applies the K-sum magnitude of Equation 3 — swapping "mean" for
+// "median" or "krum" at a fixed learning rate keeps the effective step
+// size instead of silently shrinking it by K. (With robust.Mean the
+// result matches MeanWindow's sum up to floating-point rounding — the
+// mean is computed as sum·(1/K) and rescaled by K, so the last ulp can
+// differ; bit-for-bit fidelity is the sharded MeanWindow's contract.)
+//
+// Memory: O(K · params) versus MeanWindow's O(shards · params); the
+// aggregation itself is O(K·params) to O(K²·params) depending on the rule.
+type RetainedWindow struct {
+	rule robust.Aggregator
+
+	mu     sync.Mutex
+	window [][]float64
+}
+
+// NewRetained wraps a robust aggregation rule in window-retention mode.
+func NewRetained(rule robust.Aggregator) (*RetainedWindow, error) {
+	if rule == nil {
+		return nil, fmt.Errorf("pipeline: retained window needs an aggregation rule")
+	}
+	return &RetainedWindow{rule: rule}, nil
+}
+
+// Name implements WindowAggregator.
+func (w *RetainedWindow) Name() string { return w.rule.Name() }
+
+// Add implements WindowAggregator: the scaled copy is appended under the
+// window lock.
+func (w *RetainedWindow) Add(vec []float64, scale float64) {
+	scaled := make([]float64, len(vec))
+	for i, g := range vec {
+		scaled[i] = scale * g
+	}
+	w.mu.Lock()
+	w.window = append(w.window, scaled)
+	w.mu.Unlock()
+}
+
+// Buffered returns the number of gradients currently retained (diagnostics
+// and tests).
+func (w *RetainedWindow) Buffered() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.window)
+}
+
+// Drain implements WindowAggregator: the whole buffered window is taken,
+// validated, aggregated by the rule and applied as one direction. An empty
+// window (possible when a concurrent drain already consumed the buffer) is
+// a no-op; a window the rule rejects is discarded with the error.
+func (w *RetainedWindow) Drain(apply func(direction []float64)) error {
+	w.mu.Lock()
+	window := w.window
+	w.window = nil
+	w.mu.Unlock()
+	if len(window) == 0 {
+		return nil
+	}
+	if err := robust.CheckWindow(window); err != nil {
+		return err
+	}
+	dir, err := w.rule.Aggregate(window)
+	if err != nil {
+		return err
+	}
+	// Restore the K-sum magnitude (see the type comment).
+	k := float64(len(window))
+	for i := range dir {
+		dir[i] *= k
+	}
+	apply(dir)
+	return nil
+}

@@ -72,6 +72,12 @@ type Stats struct {
 	TasksRejected int     `json:"tasks_rejected"`
 	GradientsIn   int     `json:"gradients_in"`
 	MeanStaleness float64 `json:"mean_staleness"`
+	// PipelineStages and Aggregator describe the server's composed update
+	// pipeline (internal/pipeline): the per-gradient stage names in chain
+	// order and the window-aggregation rule. Empty on pre-pipeline servers,
+	// so old gob/JSON payloads decode unchanged.
+	PipelineStages []string `json:"pipeline_stages,omitempty"`
+	Aggregator     string   `json:"aggregator,omitempty"`
 }
 
 // Encode writes v to w as a gzip-compressed gob stream — the default wire

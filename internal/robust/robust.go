@@ -27,20 +27,27 @@ type Aggregator interface {
 	// Name returns the aggregator's display name.
 	Name() string
 	// Aggregate combines gradients (all the same length) into one update
-	// direction. It must not modify its inputs. Empty input panics.
-	Aggregate(grads [][]float64) []float64
+	// direction. It must not modify its inputs. An empty or ragged window
+	// returns an error (callers on the serving path surface it as an
+	// invalid-argument protocol error; see internal/pipeline).
+	Aggregate(grads [][]float64) ([]float64, error)
 }
 
-func checkInput(grads [][]float64) {
+// CheckWindow validates an aggregation window: non-empty, with every
+// gradient the same length. It is the shared validation every Aggregate
+// implementation applies, exported so pipeline boundaries can validate
+// before buffering.
+func CheckWindow(grads [][]float64) error {
 	if len(grads) == 0 {
-		panic("robust: Aggregate on empty window")
+		return fmt.Errorf("robust: empty aggregation window")
 	}
 	n := len(grads[0])
 	for _, g := range grads[1:] {
 		if len(g) != n {
-			panic(fmt.Sprintf("robust: ragged gradients (%d vs %d)", len(g), n))
+			return fmt.Errorf("robust: ragged aggregation window (%d vs %d params)", len(g), n)
 		}
 	}
+	return nil
 }
 
 // Mean is plain averaging — the baseline without Byzantine resilience.
@@ -50,8 +57,10 @@ type Mean struct{}
 func (Mean) Name() string { return "Mean" }
 
 // Aggregate implements Aggregator.
-func (Mean) Aggregate(grads [][]float64) []float64 {
-	checkInput(grads)
+func (Mean) Aggregate(grads [][]float64) ([]float64, error) {
+	if err := CheckWindow(grads); err != nil {
+		return nil, err
+	}
 	out := make([]float64, len(grads[0]))
 	for _, g := range grads {
 		for i, v := range g {
@@ -62,7 +71,7 @@ func (Mean) Aggregate(grads [][]float64) []float64 {
 	for i := range out {
 		out[i] *= inv
 	}
-	return out
+	return out, nil
 }
 
 // CoordinateMedian takes the per-coordinate median; resilient to fewer
@@ -73,8 +82,10 @@ type CoordinateMedian struct{}
 func (CoordinateMedian) Name() string { return "CoordinateMedian" }
 
 // Aggregate implements Aggregator.
-func (CoordinateMedian) Aggregate(grads [][]float64) []float64 {
-	checkInput(grads)
+func (CoordinateMedian) Aggregate(grads [][]float64) ([]float64, error) {
+	if err := CheckWindow(grads); err != nil {
+		return nil, err
+	}
 	n := len(grads[0])
 	out := make([]float64, n)
 	col := make([]float64, len(grads))
@@ -90,7 +101,7 @@ func (CoordinateMedian) Aggregate(grads [][]float64) []float64 {
 			out[i] = (col[m/2-1] + col[m/2]) / 2
 		}
 	}
-	return out
+	return out, nil
 }
 
 // TrimmedMean drops the Trim largest and Trim smallest values per
@@ -105,8 +116,10 @@ type TrimmedMean struct {
 func (t TrimmedMean) Name() string { return fmt.Sprintf("TrimmedMean(%d)", t.Trim) }
 
 // Aggregate implements Aggregator.
-func (t TrimmedMean) Aggregate(grads [][]float64) []float64 {
-	checkInput(grads)
+func (t TrimmedMean) Aggregate(grads [][]float64) ([]float64, error) {
+	if err := CheckWindow(grads); err != nil {
+		return nil, err
+	}
 	trim := t.Trim
 	if trim < 0 {
 		trim = 0
@@ -129,7 +142,7 @@ func (t TrimmedMean) Aggregate(grads [][]float64) []float64 {
 		}
 		out[i] = s / float64(len(kept))
 	}
-	return out
+	return out, nil
 }
 
 // Krum selects the single gradient with the minimum summed squared
@@ -145,13 +158,15 @@ type Krum struct {
 func (k Krum) Name() string { return fmt.Sprintf("Krum(f=%d)", k.F) }
 
 // Aggregate implements Aggregator.
-func (k Krum) Aggregate(grads [][]float64) []float64 {
-	checkInput(grads)
+func (k Krum) Aggregate(grads [][]float64) ([]float64, error) {
+	if err := CheckWindow(grads); err != nil {
+		return nil, err
+	}
 	m := len(grads)
 	if m == 1 {
 		out := make([]float64, len(grads[0]))
 		copy(out, grads[0])
-		return out
+		return out, nil
 	}
 	neighbours := m - k.F - 2
 	if neighbours < 1 {
@@ -192,7 +207,7 @@ func (k Krum) Aggregate(grads [][]float64) []float64 {
 	}
 	out := make([]float64, len(grads[bestIdx]))
 	copy(out, grads[bestIdx])
-	return out
+	return out, nil
 }
 
 func sqDist(a, b []float64) float64 {

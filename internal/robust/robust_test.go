@@ -8,9 +8,19 @@ import (
 	"fleet/internal/simrand"
 )
 
+// mustAggregate fails the test on an aggregation error — used where the
+// window is well-formed by construction.
+func mustAggregate(t *testing.T, a Aggregator, grads [][]float64) []float64 {
+	t.Helper()
+	out, err := a.Aggregate(grads)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name(), err)
+	}
+	return out
+}
+
 func TestMeanBasic(t *testing.T) {
-	var m Mean
-	got := m.Aggregate([][]float64{{1, 2}, {3, 4}})
+	got := mustAggregate(t, Mean{}, [][]float64{{1, 2}, {3, 4}})
 	if got[0] != 2 || got[1] != 3 {
 		t.Fatalf("mean = %v", got)
 	}
@@ -19,16 +29,14 @@ func TestMeanBasic(t *testing.T) {
 func TestMeanVulnerableToOutlier(t *testing.T) {
 	// Sanity: the baseline is NOT resilient — one attacker shifts it
 	// arbitrarily. This is the behaviour the robust aggregators fix.
-	var m Mean
-	got := m.Aggregate([][]float64{{1}, {1}, {1000}})
+	got := mustAggregate(t, Mean{}, [][]float64{{1}, {1}, {1000}})
 	if got[0] < 100 {
 		t.Fatalf("mean should be dragged by the outlier, got %v", got[0])
 	}
 }
 
 func TestCoordinateMedianResistsOutliers(t *testing.T) {
-	var m CoordinateMedian
-	got := m.Aggregate([][]float64{
+	got := mustAggregate(t, CoordinateMedian{}, [][]float64{
 		{1, -1}, {1.2, -0.8}, {0.9, -1.1}, {1e6, 1e6}, {-1e6, 1e6},
 	})
 	if math.Abs(got[0]-1) > 0.5 || math.Abs(got[1]+0.8) > 0.5 {
@@ -37,24 +45,21 @@ func TestCoordinateMedianResistsOutliers(t *testing.T) {
 }
 
 func TestCoordinateMedianEvenWindow(t *testing.T) {
-	var m CoordinateMedian
-	got := m.Aggregate([][]float64{{1}, {3}})
+	got := mustAggregate(t, CoordinateMedian{}, [][]float64{{1}, {3}})
 	if got[0] != 2 {
 		t.Fatalf("even-window median = %v, want 2", got[0])
 	}
 }
 
 func TestTrimmedMeanResistsOutliers(t *testing.T) {
-	m := TrimmedMean{Trim: 1}
-	got := m.Aggregate([][]float64{{1}, {1.1}, {0.9}, {1e9}, {-1e9}})
+	got := mustAggregate(t, TrimmedMean{Trim: 1}, [][]float64{{1}, {1.1}, {0.9}, {1e9}, {-1e9}})
 	if math.Abs(got[0]-1) > 0.1 {
 		t.Fatalf("trimmed mean = %v, want ~1", got[0])
 	}
 }
 
 func TestTrimmedMeanClampsOverTrim(t *testing.T) {
-	m := TrimmedMean{Trim: 5}
-	got := m.Aggregate([][]float64{{1}, {3}})
+	got := mustAggregate(t, TrimmedMean{Trim: 5}, [][]float64{{1}, {3}})
 	// Trim clamped so at least one value survives.
 	if math.IsNaN(got[0]) {
 		t.Fatal("over-trimming produced NaN")
@@ -63,23 +68,21 @@ func TestTrimmedMeanClampsOverTrim(t *testing.T) {
 
 func TestKrumPicksHonestGradient(t *testing.T) {
 	// Five honest gradients clustered at (1, 1); two attackers far away.
-	k := Krum{F: 2}
 	rng := simrand.New(1)
 	var grads [][]float64
 	for i := 0; i < 5; i++ {
 		grads = append(grads, []float64{1 + rng.NormFloat64()*0.05, 1 + rng.NormFloat64()*0.05})
 	}
 	grads = append(grads, []float64{-50, 80}, []float64{90, -30})
-	got := k.Aggregate(grads)
+	got := mustAggregate(t, Krum{F: 2}, grads)
 	if math.Abs(got[0]-1) > 0.3 || math.Abs(got[1]-1) > 0.3 {
 		t.Fatalf("Krum selected %v, want a member of the honest cluster", got)
 	}
 }
 
 func TestKrumReturnsExactMember(t *testing.T) {
-	k := Krum{F: 0}
 	grads := [][]float64{{1, 2}, {1.1, 2.1}, {0.9, 1.9}}
-	got := k.Aggregate(grads)
+	got := mustAggregate(t, Krum{F: 0}, grads)
 	member := false
 	for _, g := range grads {
 		if g[0] == got[0] && g[1] == got[1] {
@@ -92,8 +95,7 @@ func TestKrumReturnsExactMember(t *testing.T) {
 }
 
 func TestKrumSingleGradient(t *testing.T) {
-	k := Krum{F: 1}
-	got := k.Aggregate([][]float64{{7, 8}})
+	got := mustAggregate(t, Krum{F: 1}, [][]float64{{7, 8}})
 	if got[0] != 7 || got[1] != 8 {
 		t.Fatalf("single-gradient Krum = %v", got)
 	}
@@ -103,32 +105,34 @@ func TestAggregatorsDoNotMutateInputs(t *testing.T) {
 	aggs := []Aggregator{Mean{}, CoordinateMedian{}, TrimmedMean{Trim: 1}, Krum{F: 1}}
 	for _, a := range aggs {
 		grads := [][]float64{{3, 1}, {2, 5}, {9, 4}, {0, 2}}
-		a.Aggregate(grads)
+		mustAggregate(t, a, grads)
 		if grads[0][0] != 3 || grads[1][1] != 5 || grads[2][0] != 9 || grads[3][1] != 2 {
 			t.Fatalf("%s mutated its inputs", a.Name())
 		}
 	}
 }
 
-func TestAggregatorsPanicOnEmptyOrRagged(t *testing.T) {
+func TestAggregatorsRejectEmptyOrRagged(t *testing.T) {
 	aggs := []Aggregator{Mean{}, CoordinateMedian{}, TrimmedMean{Trim: 1}, Krum{F: 1}}
 	for _, a := range aggs {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: empty window should panic", a.Name())
-				}
-			}()
-			a.Aggregate(nil)
-		}()
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: ragged window should panic", a.Name())
-				}
-			}()
-			a.Aggregate([][]float64{{1, 2}, {1}})
-		}()
+		if _, err := a.Aggregate(nil); err == nil {
+			t.Errorf("%s: empty window must error", a.Name())
+		}
+		if _, err := a.Aggregate([][]float64{{1, 2}, {1}}); err == nil {
+			t.Errorf("%s: ragged window must error", a.Name())
+		}
+	}
+}
+
+func TestCheckWindow(t *testing.T) {
+	if err := CheckWindow([][]float64{{1, 2}, {3, 4}}); err != nil {
+		t.Fatalf("valid window rejected: %v", err)
+	}
+	if err := CheckWindow(nil); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	if err := CheckWindow([][]float64{{1}, {1, 2}}); err == nil {
+		t.Fatal("ragged window accepted")
 	}
 }
 
@@ -138,9 +142,12 @@ func TestMedianEqualsMeanOnSymmetricInput(t *testing.T) {
 		c := math.Mod(center, 100)
 		d := float64(spread%50) + 1
 		grads := [][]float64{{c - d}, {c}, {c + d}}
-		med := (CoordinateMedian{}).Aggregate(grads)[0]
-		mean := (Mean{}).Aggregate(grads)[0]
-		return math.Abs(med-mean) < 1e-9
+		med, err1 := (CoordinateMedian{}).Aggregate(grads)
+		mean, err2 := (Mean{}).Aggregate(grads)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(med[0]-mean[0]) < 1e-9
 	}, nil)
 	if err != nil {
 		t.Error(err)

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"fleet/internal/learning"
+	"fleet/internal/pipeline"
 	"fleet/internal/protocol"
 	"fleet/internal/service"
 )
@@ -315,5 +316,80 @@ func TestHandlerServesInterceptedService(t *testing.T) {
 	var apiErr protocol.Error
 	if err := json.Unmarshal(out, &apiErr); err != nil || apiErr.Code != protocol.CodeResourceExhausted {
 		t.Fatalf("error body = %s (err %v)", out, err)
+	}
+}
+
+// TestV1KrumPipelineRejectsByzantinePushes drives a full Byzantine window
+// over the wire: four honest workers and one attacker (sign-flipped, 5×
+// amplified) push through POST /v1/gradient against a Krum-aggregated
+// server. The drained update must follow the honest direction, and
+// GET /v1/stats must expose the composed pipeline.
+func TestV1KrumPipelineRejectsByzantinePushes(t *testing.T) {
+	algo := learning.SSGD{}
+	pipe, err := pipeline.Build("staleness", "krum(1)", pipeline.BuildOptions{Algorithm: algo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, hs := newHTTPServer(t, Config{K: 5, Algorithm: algo, Pipeline: pipe})
+	before, _ := s.Model()
+
+	honest := make([]float64, len(before))
+	honest[0] = 1
+	byz := make([]float64, len(before))
+	byz[0] = -5 // sign-flip ×5 of the honest direction
+
+	for worker := 0; worker < 5; worker++ {
+		grad := honest
+		if worker == 4 {
+			grad = byz
+		}
+		body := encodeWith(t, protocol.JSON, &protocol.GradientPush{
+			WorkerID: worker, ModelVersion: 0, Gradient: grad,
+			BatchSize: 1, LabelCounts: []int{1},
+		})
+		status, _, out := postRaw(t, hs.URL+"/v1/gradient", protocol.ContentTypeJSON, body)
+		if status != http.StatusOK {
+			t.Fatalf("worker %d: status %d: %s", worker, status, out)
+		}
+		var ack protocol.PushAck
+		if err := json.Unmarshal(out, &ack); err != nil {
+			t.Fatal(err)
+		}
+		if worker < 4 && ack.NewVersion != 0 {
+			t.Fatalf("version advanced before the window filled: %+v", ack)
+		}
+		if worker == 4 && ack.NewVersion != 1 {
+			t.Fatalf("window of 5 must drain: %+v", ack)
+		}
+	}
+
+	after, _ := s.Model()
+	// The honest +1 gradient decreases param 0 under gradient descent; the
+	// Byzantine gradient would increase it by 5× as much. Krum must have
+	// selected a member of the honest cluster.
+	if after[0] >= before[0] {
+		t.Fatalf("model followed the Byzantine direction: %v -> %v", before[0], after[0])
+	}
+
+	// /v1/stats exposes the composed pipeline.
+	req, _ := http.NewRequest(http.MethodGet, hs.URL+"/v1/stats", nil)
+	req.Header.Set("Accept", protocol.ContentTypeJSON)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var stats protocol.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Aggregator != "Krum(f=1)" {
+		t.Fatalf("stats aggregator = %q, want Krum(f=1)", stats.Aggregator)
+	}
+	if len(stats.PipelineStages) != 1 || stats.PipelineStages[0] != "staleness(SSGD)" {
+		t.Fatalf("stats pipeline stages = %v", stats.PipelineStages)
+	}
+	if stats.GradientsIn != 5 || stats.ModelVersion != 1 {
+		t.Fatalf("stats = %+v", stats)
 	}
 }

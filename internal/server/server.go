@@ -11,17 +11,23 @@
 // plus the legacy unversioned /task, /gradient and /stats routes for
 // pre-v1 clients. v1 payloads are Content-Type negotiated between gob+gzip
 // and JSON (see internal/protocol).
+//
+// Every accepted gradient travels the server's update pipeline
+// (internal/pipeline): per-gradient stages — staleness scaling, optional
+// DP perturbation, norm filtering — feeding a window aggregator that folds
+// each K-window into the model, either as the classic sharded sum (the
+// default) or through a Byzantine-resilient rule retaining the window.
 package server
 
 import (
 	"context"
 	"sync"
-	"sync/atomic"
 
 	"fleet/internal/compress"
 	"fleet/internal/iprof"
 	"fleet/internal/learning"
 	"fleet/internal/nn"
+	"fleet/internal/pipeline"
 	"fleet/internal/protocol"
 	"fleet/internal/simrand"
 )
@@ -30,21 +36,34 @@ import (
 type Config struct {
 	// Arch is the global model architecture.
 	Arch nn.Arch
-	// Algorithm is the aggregation rule (typically AdaSGD).
+	// Algorithm is the aggregation rule (typically AdaSGD). The server
+	// always uses it for label absorption and staleness observation; the
+	// default pipeline also wraps it in a staleness-scaling stage.
 	Algorithm learning.Algorithm
 	// LearningRate is γ of Equation 3.
 	LearningRate float64
 	// K is the number of gradients aggregated per model update (default 1).
 	K int
-	// Shards stripes the gradient accumulator across this many
-	// independently locked buffers (default 1: the classic single
-	// accumulator). With Shards > 1, concurrent PushGradient calls landing
-	// on different shards run their O(params) accumulation in parallel and
-	// only serialize on the short metadata section; accumulated mass is
-	// drained into the model every K gradients. Striping reorders, never
-	// loses, gradient mass — the update after K pushes applies exactly the
-	// sum of all accumulated, scaled gradients.
+	// Shards stripes the default mean aggregator across this many
+	// independently locked accumulator buffers (default 1: the classic
+	// single accumulator). With Shards > 1, concurrent PushGradient calls
+	// landing on different shards run their O(params) accumulation in
+	// parallel and only serialize on the short metadata section. Ignored
+	// when Pipeline is set (the pipeline's aggregator decides).
 	Shards int
+	// Pipeline, when non-nil, replaces the server's update pipeline: the
+	// chain of per-gradient stages and the window aggregator every pushed
+	// gradient travels (see internal/pipeline). When nil the server builds
+	// the legacy-equivalent default — a staleness-scaling stage wrapping
+	// Algorithm in front of a sharded mean window with Shards stripes.
+	// A pipeline is stateful (its aggregator holds window/shard buffers):
+	// build one per server, never share an instance between servers.
+	// Build one directly (pipeline.New) or from string specs
+	// (pipeline.Build), e.g.
+	//
+	//	pipeline.Build("staleness,norm-filter(100)", "krum(1)",
+	//	    pipeline.BuildOptions{Algorithm: algo, Seed: seed})
+	Pipeline *pipeline.Pipeline
 	// TimeSLOSec and EnergySLOPct are the provider's SLOs; the controller
 	// sends each worker the largest batch meeting both (0 disables one).
 	TimeSLOSec   float64
@@ -66,15 +85,6 @@ type Config struct {
 	Seed int64
 }
 
-// accumShard is one stripe of the gradient accumulator. The padding keeps
-// adjacent shard mutexes off the same cache line.
-type accumShard struct {
-	mu    sync.Mutex
-	accum []float64
-	dirty bool
-	_     [64]byte
-}
-
 // Server is the FLeet parameter server. All exported methods are safe for
 // concurrent use.
 type Server struct {
@@ -84,10 +94,9 @@ type Server struct {
 	paramCount int
 	// labels guards itself; it is never touched under mu.
 	labels *learning.LabelTracker
-
-	// cursor round-robins pushes across shards.
-	cursor atomic.Uint64
-	shards []accumShard
+	// pipe is the update pipeline (immutable after New); its aggregator
+	// guards its own window state, so Process/Add run outside mu.
+	pipe *pipeline.Pipeline
 
 	// mu guards the model, the logical clock and the counters.
 	mu           sync.Mutex
@@ -117,19 +126,28 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DefaultBatchSize <= 0 {
 		cfg.DefaultBatchSize = 100
 	}
+	if cfg.Pipeline == nil {
+		stage, err := pipeline.NewStalenessScale(cfg.Algorithm)
+		if err != nil {
+			return nil, protocol.AsError(err)
+		}
+		cfg.Pipeline, err = pipeline.New(pipeline.NewMeanWindow(cfg.Shards), stage)
+		if err != nil {
+			return nil, protocol.AsError(err)
+		}
+	}
 	model := cfg.Arch.Build(simrand.New(cfg.Seed))
-	s := &Server{
+	return &Server{
 		cfg:        cfg,
 		paramCount: model.ParamCount(),
 		model:      model,
 		labels:     learning.NewLabelTracker(cfg.Arch.Classes()),
-		shards:     make([]accumShard, cfg.Shards),
-	}
-	for i := range s.shards {
-		s.shards[i].accum = make([]float64, s.paramCount)
-	}
-	return s, nil
+		pipe:       cfg.Pipeline,
+	}, nil
 }
+
+// Pipeline returns the server's composed update pipeline.
+func (s *Server) Pipeline() *pipeline.Pipeline { return s.pipe }
 
 // RequestTask processes step (1)→(4) of Figure 2: profile the device,
 // screen the task through the controller, and serve the model.
@@ -175,9 +193,10 @@ func (s *Server) RequestTask(ctx context.Context, req *protocol.TaskRequest) (*p
 	}, nil
 }
 
-// PushGradient processes step (5): it dampens/boosts the gradient per the
-// configured algorithm, accumulates it into a shard, updates the model
-// after K gradients, and feeds the measured cost back into I-Prof.
+// PushGradient processes step (5): the gradient runs through the update
+// pipeline's stages (staleness scaling, DP, filters), lands in the window
+// aggregator, and the model is updated after K gradients; the measured
+// cost feeds back into I-Prof.
 func (s *Server) PushGradient(ctx context.Context, push *protocol.GradientPush) (*protocol.PushAck, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, protocol.AsError(err)
@@ -239,8 +258,7 @@ func (s *Server) PushGradient(ctx context.Context, push *protocol.GradientPush) 
 		return nil, protocol.AsError(err)
 	}
 
-	// Metadata section: staleness, scale and counters under a short
-	// critical section — the O(params) work stays outside s.mu.
+	// Staleness against the logical clock under a short critical section.
 	s.mu.Lock()
 	staleness := s.version - push.ModelVersion
 	if staleness < 0 {
@@ -248,80 +266,86 @@ func (s *Server) PushGradient(ctx context.Context, push *protocol.GradientPush) 
 		return nil, protocol.Errorf(protocol.CodeVersionConflict,
 			"server: gradient from future model version %d (at %d)", push.ModelVersion, s.version)
 	}
-	meta := learning.GradientMeta{
-		Staleness:  staleness,
-		Similarity: sim,
-		BatchSize:  push.BatchSize,
-		WorkerID:   push.WorkerID,
-	}
-	scale := s.cfg.Algorithm.Scale(meta)
-	s.cfg.Algorithm.Observe(meta)
-	absorb := s.cfg.Algorithm.AbsorbWeight(meta)
-	s.gradientsIn++
-	s.staleSum += float64(staleness)
 	s.mu.Unlock()
 
-	// LD_global accumulates label mass weighted by the pure staleness
-	// dampening, so labels the model never effectively incorporated keep
-	// their novelty (and keep being boosted).
+	// Pipeline stages: staleness scaling, DP perturbation, filters — the
+	// O(params) work stays outside s.mu. A stage rejection (e.g. the norm
+	// filter) surfaces before the gradient is counted or accumulated.
+	g := &pipeline.Gradient{
+		Vec: gradient,
+		Meta: learning.GradientMeta{
+			Staleness:  staleness,
+			Similarity: sim,
+			BatchSize:  push.BatchSize,
+			WorkerID:   push.WorkerID,
+		},
+		Scale: 1,
+	}
+	if err := s.pipe.Process(g); err != nil {
+		return nil, err
+	}
+
+	// The algorithm observes the staleness after scaling (matching the
+	// pre-pipeline order: a gradient's own staleness enters the quantile
+	// history only after its scale is fixed), and LD_global accumulates
+	// label mass weighted by the pure staleness dampening, so labels the
+	// model never effectively incorporated keep their novelty (and keep
+	// being boosted).
+	s.cfg.Algorithm.Observe(g.Meta)
+	absorb := s.cfg.Algorithm.AbsorbWeight(g.Meta)
 	s.labels.RecordWeighted(push.LabelCounts, absorb)
 
-	// Accumulation: O(params) work under this shard's lock only, so pushes
-	// on different shards proceed in parallel.
-	sh := &s.shards[s.cursor.Add(1)%uint64(len(s.shards))]
-	sh.mu.Lock()
-	for i, g := range gradient {
-		sh.accum[i] += scale * g
-	}
-	sh.dirty = true
-	sh.mu.Unlock()
+	// Window accumulation: the aggregator synchronizes itself (per-shard
+	// locks for the mean, the window lock for retention mode), so pushes
+	// proceed in parallel here.
+	s.pipe.Add(g)
 
 	// Commit section: a push only counts toward the K-window after its
-	// mass is accumulated, so when pending reaches K every counted
-	// gradient is already in a shard and the drain can never strand acked
-	// mass. The logical clock advances inside drainLocked, after the model
-	// is updated, keeping (params, version) consistent for RequestTask.
+	// mass reaches the aggregator, so when pending hits K every counted
+	// gradient is already in the window and the drain can never strand
+	// acked mass. The logical clock advances inside drainLocked, after the
+	// model is updated, keeping (params, version) consistent for
+	// RequestTask.
 	s.mu.Lock()
+	s.gradientsIn++
+	s.staleSum += float64(staleness)
 	s.pending++
+	var drainErr error
 	if s.pending >= s.cfg.K {
 		s.pending = 0
-		s.drainLocked()
+		drainErr = s.drainLocked()
 	}
 	ack := &protocol.PushAck{
 		Applied:    true,
 		Staleness:  staleness,
-		Scale:      scale,
+		Scale:      g.Scale,
 		NewVersion: s.version,
 	}
 	s.mu.Unlock()
+	if drainErr != nil {
+		return nil, drainErr
+	}
 	return ack, nil
 }
 
-// drainLocked folds every dirty shard into the model and then advances the
-// logical clock, so version and parameters move together under s.mu.
-// Callers hold s.mu; shard locks are taken one at a time (never the other
-// way around, so the lock order s.mu → shard.mu is acyclic). Applying
-// shards one by one is equivalent to applying their sum: ApplyGradient is
-// linear in the gradient. Under concurrency a drain may pick up mass that
-// pushes of the next window have already accumulated — gradient mass is
-// only ever reordered across versions, never lost or duplicated.
-func (s *Server) drainLocked() {
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		if sh.dirty {
-			s.model.ApplyGradient(sh.accum, s.cfg.LearningRate)
-			for j := range sh.accum {
-				sh.accum[j] = 0
-			}
-			sh.dirty = false
-		}
-		sh.mu.Unlock()
-	}
+// drainLocked folds the aggregator's window into the model and then
+// advances the logical clock, so version and parameters move together
+// under s.mu. Callers hold s.mu; the aggregator takes its own locks inside
+// (lock order s.mu → aggregator, acyclic). The clock advances even when
+// the drain errors (the window is discarded), so a poisoned window cannot
+// stall the version stream. The error reaches the push that completed the
+// window — that pusher's own gradient stays counted, so it must not
+// retry; built-in aggregators never error on server-validated windows.
+func (s *Server) drainLocked() error {
+	err := s.pipe.Drain(func(direction []float64) {
+		s.model.ApplyGradient(direction, s.cfg.LearningRate)
+	})
 	s.version++
+	return err
 }
 
-// Stats returns a diagnostic snapshot.
+// Stats returns a diagnostic snapshot, including the composed update
+// pipeline (stage names in chain order plus the window aggregator).
 func (s *Server) Stats(ctx context.Context) (*protocol.Stats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, protocol.AsError(err)
@@ -333,11 +357,13 @@ func (s *Server) Stats(ctx context.Context) (*protocol.Stats, error) {
 		mean = s.staleSum / float64(s.gradientsIn)
 	}
 	return &protocol.Stats{
-		ModelVersion:  s.version,
-		TasksServed:   s.tasksServed,
-		TasksRejected: s.tasksDropped,
-		GradientsIn:   s.gradientsIn,
-		MeanStaleness: mean,
+		ModelVersion:   s.version,
+		TasksServed:    s.tasksServed,
+		TasksRejected:  s.tasksDropped,
+		GradientsIn:    s.gradientsIn,
+		MeanStaleness:  mean,
+		PipelineStages: s.pipe.StageNames(),
+		Aggregator:     s.pipe.AggregatorName(),
 	}, nil
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"fleet/internal/learning"
 	"fleet/internal/nn"
+	"fleet/internal/pipeline"
 	"fleet/internal/protocol"
 	"fleet/internal/simrand"
 )
@@ -365,8 +366,237 @@ func benchmarkPush(b *testing.B, shards int) {
 	})
 }
 
+// benchmarkPushWindow measures concurrent PushGradient throughput through
+// a window-retention aggregator draining every k pushes — the robust-rule
+// hot path the sharded mean cannot express.
+func benchmarkPushWindow(b *testing.B, aggSpec string, k int) {
+	ctx := context.Background()
+	algo := learning.SSGD{}
+	pipe, err := pipeline.Build("staleness", aggSpec, pipeline.BuildOptions{Algorithm: algo})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := newTestServer(b, Config{K: k, Algorithm: algo, Pipeline: pipe, Arch: nn.ArchTinyMNIST})
+	paramCount := nn.ArchTinyMNIST.Build(simrand.New(0)).ParamCount()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		grad := make([]float64, paramCount)
+		for i := range grad {
+			grad[i] = 1e-6
+		}
+		push := &protocol.GradientPush{ModelVersion: 0, Gradient: grad, BatchSize: 10, LabelCounts: []int{1}}
+		for pb.Next() {
+			if _, err := s.PushGradient(ctx, push); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkPushGradient(b *testing.B) {
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) { benchmarkPush(b, shards) })
+	}
+	for _, k := range []int{8, 64} {
+		b.Run(fmt.Sprintf("window=%d", k), func(b *testing.B) { benchmarkPushWindow(b, "median", k) })
+	}
+}
+
+// TestMeanPipelineEquivalentToDefault drives identical sequential pushes
+// through a server with the implicit default pipeline and one with an
+// explicitly registry-built "staleness -> mean" pipeline: final parameters,
+// version and acked scales must match bit-for-bit (the pipeline API only
+// re-houses the legacy sharded path, it never changes the arithmetic).
+func TestMeanPipelineEquivalentToDefault(t *testing.T) {
+	ctx := context.Background()
+	adaCfg := learning.AdaSGDConfig{NonStragglerPct: 99.7, BootstrapSteps: 5}
+
+	implicit := newTestServer(t, Config{K: 4, Shards: 8, Algorithm: learning.NewAdaSGD(adaCfg)})
+
+	explicitAlgo := learning.NewAdaSGD(adaCfg)
+	pipe, err := pipeline.Build("staleness", "mean", pipeline.BuildOptions{Algorithm: explicitAlgo, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := newTestServer(t, Config{K: 4, Algorithm: explicitAlgo, Pipeline: pipe})
+
+	params, _ := implicit.Model()
+	for i := 0; i < 20; i++ {
+		grad := make([]float64, len(params))
+		grad[i%len(grad)] = float64(i + 1)
+		// Re-push older versions so staleness scaling actually engages.
+		_, v := implicit.Model()
+		version := v - i%3
+		if version < 0 {
+			version = 0
+		}
+		push := protocol.GradientPush{ModelVersion: version, Gradient: grad, BatchSize: 5, LabelCounts: []int{1, 2}}
+		push2 := push
+		ack1, err := implicit.PushGradient(ctx, &push)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ack2, err := explicit.PushGradient(ctx, &push2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ack1.Scale != ack2.Scale || ack1.NewVersion != ack2.NewVersion {
+			t.Fatalf("push %d: acks diverged: %+v vs %+v", i, ack1, ack2)
+		}
+	}
+	p1, v1 := implicit.Model()
+	p2, v2 := explicit.Model()
+	if v1 != v2 {
+		t.Fatalf("versions diverged: %d vs %d", v1, v2)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("param %d diverged: %v vs %v", i, p1[i], p2[i])
+		}
+	}
+}
+
+// TestWindowPipelineKrumRejectsOutlier runs a Krum-aggregated server
+// in-process: a window of four honest gradients plus one amplified
+// sign-flipped gradient must move the model in the honest direction.
+func TestWindowPipelineKrumRejectsOutlier(t *testing.T) {
+	ctx := context.Background()
+	algo := learning.SSGD{}
+	pipe, err := pipeline.Build("staleness", "krum(1)", pipeline.BuildOptions{Algorithm: algo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{K: 5, Algorithm: algo, Pipeline: pipe})
+	params, _ := s.Model()
+
+	honest := make([]float64, len(params))
+	honest[0] = 1
+	byz := make([]float64, len(params))
+	byz[0] = -5
+	for i := 0; i < 4; i++ {
+		if _, err := s.PushGradient(ctx, &protocol.GradientPush{
+			ModelVersion: 0, Gradient: honest, BatchSize: 1, LabelCounts: []int{1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ack, err := s.PushGradient(ctx, &protocol.GradientPush{
+		ModelVersion: 0, Gradient: byz, BatchSize: 1, LabelCounts: []int{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.NewVersion != 1 {
+		t.Fatalf("window of 5 must drain: ack %+v", ack)
+	}
+	after, _ := s.Model()
+	// Gradient descent with an honest +1 gradient decreases param 0; the
+	// Byzantine -5 gradient would increase it. Krum must pick an honest one.
+	if after[0] >= params[0] {
+		t.Fatalf("Krum applied the Byzantine direction: %v -> %v", params[0], after[0])
+	}
+	stats, err := s.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Aggregator != "Krum(f=1)" {
+		t.Fatalf("stats aggregator = %q", stats.Aggregator)
+	}
+	if len(stats.PipelineStages) != 1 || stats.PipelineStages[0] != "staleness(SSGD)" {
+		t.Fatalf("stats stages = %v", stats.PipelineStages)
+	}
+}
+
+// TestNormFilterRejectsBeforeCounting proves a stage rejection surfaces as
+// a structured invalid_argument and leaves no trace in the K-window or the
+// gradient counters.
+func TestNormFilterRejectsBeforeCounting(t *testing.T) {
+	ctx := context.Background()
+	algo := learning.SSGD{}
+	pipe, err := pipeline.Build("staleness,norm-filter(0.5)", "mean", pipeline.BuildOptions{Algorithm: algo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{K: 1, Algorithm: algo, Pipeline: pipe})
+	params, _ := s.Model()
+	big := make([]float64, len(params))
+	big[0] = 10
+	var apiErr *protocol.Error
+	_, err = s.PushGradient(ctx, &protocol.GradientPush{
+		ModelVersion: 0, Gradient: big, BatchSize: 1, LabelCounts: []int{1},
+	})
+	if !errors.As(err, &apiErr) || apiErr.Code != protocol.CodeInvalidArgument {
+		t.Fatalf("want invalid_argument from the norm filter, got %v", err)
+	}
+	stats, err := s.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.GradientsIn != 0 || stats.ModelVersion != 0 {
+		t.Fatalf("rejected gradient leaked into stats: %+v", stats)
+	}
+	small := make([]float64, len(params))
+	small[0] = 0.1
+	if _, err := s.PushGradient(ctx, &protocol.GradientPush{
+		ModelVersion: 0, Gradient: small, BatchSize: 1, LabelCounts: []int{1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentWindowRetentionPushes hammers a retained-window (median)
+// server from many goroutines; with -race it proves the window-retention
+// mode is data-race free end-to-end through PushGradient.
+func TestConcurrentWindowRetentionPushes(t *testing.T) {
+	ctx := context.Background()
+	const workers, pushes = 8, 25
+	algo := learning.SSGD{}
+	pipe, err := pipeline.Build("staleness", "median", pipeline.BuildOptions{Algorithm: algo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{K: 4, Algorithm: algo, Pipeline: pipe})
+	paramCount := nn.ArchSoftmaxMNIST.Build(simrand.New(0)).ParamCount()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < pushes; i++ {
+				grad := make([]float64, paramCount)
+				grad[(id*pushes+i)%paramCount] = 1e-3
+				if _, err := s.PushGradient(ctx, &protocol.GradientPush{
+					WorkerID: id, ModelVersion: 0, Gradient: grad,
+					BatchSize: 5, LabelCounts: []int{1, 1},
+				}); err != nil {
+					errCh <- err
+					return
+				}
+				if i%7 == 0 {
+					s.Model()
+					if _, err := s.Stats(ctx); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	stats, err := s.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.GradientsIn != workers*pushes {
+		t.Fatalf("gradients in = %d, want %d", stats.GradientsIn, workers*pushes)
+	}
+	if stats.ModelVersion != workers*pushes/4 {
+		t.Fatalf("model version = %d, want %d (K=4)", stats.ModelVersion, workers*pushes/4)
 	}
 }
