@@ -13,6 +13,16 @@
 // (The norm filter comes before dp: clipping bounds every norm, so a
 // filter placed after it could never fire.)
 //
+// Task admission is composable the same way: -admission takes a policy
+// chain spec evaluated in order, e.g.
+//
+//	fleet-server -admission 'iprof-time(3),min-batch(5),similarity(0.9),per-worker-quota(30,60)'
+//
+// When -admission is empty the chain is synthesized from the individual
+// knobs (-time-slo, -energy-slo, -min-batch, -max-similarity), which all
+// route through the same registry; a non-empty -admission takes
+// precedence over -min-batch and -max-similarity.
+//
 // Workers (cmd/fleet-worker) connect with matching -arch.
 package main
 
@@ -30,6 +40,7 @@ import (
 	"fleet/internal/learning"
 	"fleet/internal/nn"
 	"fleet/internal/pipeline"
+	"fleet/internal/sched"
 	"fleet/internal/server"
 	"fleet/internal/service"
 	"fleet/internal/simrand"
@@ -60,8 +71,9 @@ func run() int {
 		sPct      = flag.Float64("s-pct", 99.7, "AdaSGD non-straggler percentage")
 		timeSLO   = flag.Float64("time-slo", 3.0, "computation-time SLO in seconds (0 disables)")
 		energySLO = flag.Float64("energy-slo", 0, "energy SLO in %battery (0 disables)")
-		minBatch  = flag.Int("min-batch", 0, "controller mini-batch size threshold (0 disables)")
-		maxSim    = flag.Float64("max-similarity", 0, "controller similarity threshold (0 disables)")
+		minBatch  = flag.Int("min-batch", 0, "controller mini-batch size threshold (0 disables); routed through the admission registry")
+		maxSim    = flag.Float64("max-similarity", 0, "controller similarity threshold (0 disables); routed through the admission registry")
+		admission = flag.String("admission", "", "admission-policy chain spec (e.g. iprof-time(3),min-batch(5),similarity(0.9)); empty synthesizes the chain from -time-slo/-energy-slo/-min-batch/-max-similarity")
 		seed      = flag.Int64("seed", 1, "model initialization seed")
 		shards    = flag.Int("shards", 1, "gradient accumulator shards (striped locking; 1 = single mutex)")
 		stages    = flag.String("stages", "staleness", "comma-separated update-pipeline stage specs (e.g. staleness,norm-filter(100),dp(1,0.5))")
@@ -97,19 +109,17 @@ func run() int {
 	}
 
 	cfg := server.Config{
-		Arch:          arch,
-		Algorithm:     algo,
-		LearningRate:  *lr,
-		K:             *k,
-		Pipeline:      pipe,
-		TimeSLOSec:    *timeSLO,
-		EnergySLOPct:  *energySLO,
-		MinBatchSize:  *minBatch,
-		MaxSimilarity: *maxSim,
-		Seed:          *seed,
+		Arch:         arch,
+		Algorithm:    algo,
+		LearningRate: *lr,
+		K:            *k,
+		Pipeline:     pipe,
+		Seed:         *seed,
 	}
 
-	// Pre-train I-Prof on the simulated training fleet (§3.3).
+	// Pre-train I-Prof on the simulated training fleet (§3.3). The
+	// profilers are built before the admission chain: its batch-sizing
+	// policies wrap them.
 	rng := simrand.New(*seed)
 	trainers := device.Catalogue()[:8]
 	if *timeSLO > 0 {
@@ -130,6 +140,42 @@ func run() int {
 		}
 		cfg.EnergyProfiler = prof
 	}
+
+	// Compose the admission chain from the registry. Every Figure-2
+	// controller knob routes through the same spec grammar as -stages:
+	// an explicit -admission wins, otherwise the legacy flags synthesize
+	// the equivalent chain.
+	admissionSpec := *admission
+	if admissionSpec == "" {
+		var parts []string
+		if cfg.TimeProfiler != nil {
+			parts = append(parts, fmt.Sprintf("iprof-time(%g)", *timeSLO))
+		}
+		if cfg.EnergyProfiler != nil {
+			parts = append(parts, fmt.Sprintf("iprof-energy(%g)", *energySLO))
+		}
+		if *minBatch > 0 {
+			parts = append(parts, fmt.Sprintf("min-batch(%d)", *minBatch))
+		}
+		if *maxSim > 0 {
+			parts = append(parts, fmt.Sprintf("similarity(%g)", *maxSim))
+		}
+		admissionSpec = strings.Join(parts, ",")
+	}
+	schedOpts := sched.BuildOptions{}
+	if cfg.TimeProfiler != nil {
+		schedOpts.TimeProfiler = cfg.TimeProfiler
+	}
+	if cfg.EnergyProfiler != nil {
+		schedOpts.EnergyProfiler = cfg.EnergyProfiler
+	}
+	chain, err := sched.Build(admissionSpec, schedOpts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "known admission policies: %s\n", strings.Join(sched.Policies(), ", "))
+		return 2
+	}
+	cfg.Admission = chain
 
 	srv, err := server.New(cfg)
 	if err != nil {
@@ -156,7 +202,8 @@ func run() int {
 		Handler:           server.NewHandler(svc),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("FLeet server listening on %s (arch=%s, lr=%g, K=%d, pipeline: %s)", *addr, arch, *lr, *k, pipe)
+	log.Printf("FLeet server listening on %s (arch=%s, lr=%g, K=%d, pipeline: %s, admission: [%s])",
+		*addr, arch, *lr, *k, pipe, strings.Join(chain.Names(), " -> "))
 	if err := httpSrv.ListenAndServe(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1

@@ -45,14 +45,28 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Task admission composes the same way on the downlink: I-Prof batch
+	// sizing, the minimum-size screen, and a per-worker quota, chained in
+	// evaluation order (fleet.BuildAdmission accepts the equivalent
+	// "iprof-time(3),min-batch(5),per-worker-quota(1000,60)" spec).
+	admit := fleet.NewAdmissionChain(
+		fleet.IProfTimePolicy(prof, 3.0),
+		fleet.MinBatchPolicy(5),
+		fleet.PerWorkerQuotaPolicy(1000, time.Minute),
+	)
+
 	srv, err := fleet.NewServer(fleet.ServerConfig{
 		Arch:         fleet.ArchTinyMNIST,
 		Algorithm:    algo,
 		LearningRate: 0.03,
 		Pipeline:     pipe,
-		TimeSLOSec:   3.0,
-		TimeProfiler: prof,
-		MinBatchSize: 5,
+		Admission:    admit,
+		TimeProfiler: prof, // still fed by gradient-push cost observations
+		// Keep deltas for the last 8 versions: with 8 workers pulling in
+		// round-robin, each worker is exactly 8 versions stale, so every
+		// pull after the first downloads a sparse delta instead of the
+		// full model (the top-k uplink below keeps updates sparse).
+		DeltaHistory: 8,
 		Seed:         2,
 	})
 	if err != nil {
@@ -94,6 +108,10 @@ func main() {
 			Local:  local,
 			Device: fleet.NewDevice(catalogue[8+i%8], simrand.New(int64(50+i))),
 			Rng:    simrand.New(int64(90 + i)),
+			// Top-k sparsified uplink (with error feedback); it also
+			// keeps the server's per-version deltas sparse, so the
+			// downlink serves delta pulls instead of full models.
+			CompressK: 64,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -127,10 +145,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("done over HTTP: %d gradients in, %d tasks rejected\n",
-		stats.GradientsIn, stats.TasksRejected)
-	// The composed pipeline travels the wire in the stats snapshot.
+	deltaPulls := 0
+	for _, w := range workers {
+		deltaPulls += w.DeltaPulls
+	}
+	fmt.Printf("done over HTTP: %d gradients in, %d tasks rejected, %d delta pulls\n",
+		stats.GradientsIn, stats.TasksRejected, deltaPulls)
+	// The composed pipeline and admission chain travel the wire in the
+	// stats snapshot.
 	fmt.Printf("update pipeline: %v -> %s\n", stats.PipelineStages, stats.Aggregator)
+	fmt.Printf("admission chain: %v, rejects by policy: %v\n",
+		stats.AdmissionPolicies, stats.RejectsByPolicy)
 	for method, m := range calls.Snapshot() {
 		fmt.Printf("  %-12s %4d calls, %d errors, mean %s\n",
 			method, m.Calls, m.Errors, m.MeanLatency())

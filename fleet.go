@@ -44,6 +44,7 @@ import (
 	"fleet/internal/pipeline"
 	"fleet/internal/protocol"
 	"fleet/internal/robust"
+	"fleet/internal/sched"
 	"fleet/internal/server"
 	"fleet/internal/service"
 	"fleet/internal/worker"
@@ -303,6 +304,88 @@ func RegisterWindowAggregator(name string, ctor pipeline.AggregatorCtor) {
 // PipelineStages and WindowAggregators list the registered spec names.
 func PipelineStages() []string    { return pipeline.Stages() }
 func WindowAggregators() []string { return pipeline.Aggregators() }
+
+// ---------------------------------------------------------------------------
+// Admission & scheduling (the downlink half of Figure 2, pluggable).
+
+// AdmissionPolicy decides whether (and at what mini-batch size) a task
+// request is admitted — steps (1)–(4) of Figure 2 as a composable module.
+// Set a chain of them on ServerConfig.Admission; a nil config builds the
+// legacy-equivalent default from the TimeSLOSec/EnergySLOPct/MinBatchSize/
+// MaxSimilarity knobs.
+type AdmissionPolicy = sched.AdmissionPolicy
+
+// AdmissionRequest is the in-flight admission context a policy evaluates:
+// the wire request plus the threaded batch size and the precomputed label
+// similarity.
+type AdmissionRequest = sched.TaskRequest
+
+// AdmissionDecision is one policy's verdict (accept with a batch size, or
+// reject with a reason attributed to the policy).
+type AdmissionDecision = sched.Decision
+
+// AdmissionChain evaluates policies in order, threading the accepted batch
+// size through; the first rejection wins.
+type AdmissionChain = sched.Chain
+
+// AdmissionOptions carries the dependencies spec-built admission chains
+// draw on (the I-Prof profilers behind "iprof-time"/"iprof-energy").
+type AdmissionOptions = sched.BuildOptions
+
+// NewAdmissionChain composes policies in evaluation order.
+func NewAdmissionChain(policies ...AdmissionPolicy) *AdmissionChain {
+	return sched.NewChain(policies...)
+}
+
+// BuildAdmission composes an admission chain from registry specs, e.g.
+//
+//	fleet.BuildAdmission("iprof-time(3),min-batch(5),similarity(0.9)",
+//	    fleet.AdmissionOptions{TimeProfiler: prof})
+func BuildAdmission(chainSpec string, opts AdmissionOptions) (*AdmissionChain, error) {
+	return sched.Build(chainSpec, opts)
+}
+
+// IProfTimePolicy prescribes the I-Prof computation-time batch size (the
+// prediction replaces the default, and may exceed it). A nil profiler
+// makes it a pass-through.
+func IProfTimePolicy(prof *Profiler, sloSec float64) AdmissionPolicy {
+	if prof == nil {
+		return sched.IProfTime(nil, sloSec)
+	}
+	return sched.IProfTime(prof, sloSec)
+}
+
+// IProfEnergyPolicy lowers the batch to the I-Prof energy prediction when
+// smaller (both SLOs must hold). A nil profiler makes it a pass-through.
+func IProfEnergyPolicy(prof *Profiler, sloPct float64) AdmissionPolicy {
+	if prof == nil {
+		return sched.IProfEnergy(nil, sloPct)
+	}
+	return sched.IProfEnergy(prof, sloPct)
+}
+
+// MinBatchPolicy rejects tasks whose prescribed batch fell below n (§2.2).
+func MinBatchPolicy(n int) AdmissionPolicy { return sched.MinBatch(n) }
+
+// SimilarityPolicy rejects tasks whose label similarity to LD_global
+// exceeds max (§2.3's redundancy screen).
+func SimilarityPolicy(max float64) AdmissionPolicy { return sched.Similarity(max) }
+
+// PerWorkerQuotaPolicy admits at most n tasks per worker per window — the
+// admission-level complement of the RateLimit interceptor. Stateful: build
+// one per server.
+func PerWorkerQuotaPolicy(n int, window time.Duration) AdmissionPolicy {
+	return sched.PerWorkerQuota(n, window)
+}
+
+// RegisterAdmissionPolicy adds a named policy constructor to the spec
+// registry used by BuildAdmission and the fleet-server -admission flag.
+func RegisterAdmissionPolicy(name string, ctor sched.PolicyCtor) {
+	sched.RegisterPolicy(name, ctor)
+}
+
+// AdmissionPolicies lists the registered admission-policy spec names.
+func AdmissionPolicies() []string { return sched.Policies() }
 
 // ---------------------------------------------------------------------------
 // Profiler (§2.2).

@@ -251,3 +251,88 @@ func TestPublicAPIPipeline(t *testing.T) {
 			fleet.PipelineStages(), fleet.WindowAggregators())
 	}
 }
+
+// TestPublicAPIAdmission exercises the exported admission surface: policy
+// constructors, chain composition, spec building, the ServerConfig wiring,
+// per-policy reject stats, and a version-aware delta pull.
+func TestPublicAPIAdmission(t *testing.T) {
+	ctx := context.Background()
+
+	// Spec-built chains share the -admission flag grammar.
+	if _, err := fleet.BuildAdmission("min-batch(5),similarity(0.9),per-worker-quota(100,60)",
+		fleet.AdmissionOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fleet.BuildAdmission("no-such-policy", fleet.AdmissionOptions{}); err == nil {
+		t.Fatal("unknown policy must error")
+	}
+	if len(fleet.AdmissionPolicies()) < 5 {
+		t.Fatalf("admission registry: %v", fleet.AdmissionPolicies())
+	}
+
+	srv, err := fleet.NewServer(fleet.ServerConfig{
+		Arch:         fleet.ArchSoftmaxMNIST,
+		Algorithm:    fleet.SSGD{},
+		LearningRate: 0.1,
+		Admission: fleet.NewAdmissionChain(
+			fleet.MinBatchPolicy(200), // default batch 100: reject everything
+		),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.RequestTask(ctx, &fleet.TaskRequest{WorkerID: 1, LabelCounts: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted {
+		t.Fatal("min-batch(200) must reject the 100 default")
+	}
+	stats, err := srv.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TasksDropped != 1 || stats.RejectsByPolicy["min-batch(200)"] != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	// An accepting server serves delta pulls from the snapshot.
+	open, err := fleet.NewServer(fleet.ServerConfig{
+		Arch:         fleet.ArchSoftmaxMNIST,
+		Algorithm:    fleet.SSGD{},
+		LearningRate: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := open.RequestTask(ctx, &fleet.TaskRequest{WorkerID: 1, LabelCounts: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := append([]float64(nil), full.Params...)
+	if _, err := open.PushGradient(ctx, &fleet.GradientPush{
+		ModelVersion: full.ModelVersion, GradientLen: len(cached),
+		SparseIndices: []int32{0}, SparseValues: []float64{0.5},
+		BatchSize: 1, LabelCounts: []int{1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	delta, err := open.RequestTask(ctx, &fleet.TaskRequest{
+		WorkerID: 1, LabelCounts: []int{1}, WantDelta: true, KnownVersion: full.ModelVersion,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.ParamsDelta == nil {
+		t.Fatalf("delta pull = %+v", delta)
+	}
+	if err := delta.ParamsDelta.Patch(cached); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := open.Model()
+	for i := range want {
+		if cached[i] != want[i] {
+			t.Fatalf("coord %d: %v != %v", i, cached[i], want[i])
+		}
+	}
+}

@@ -188,3 +188,63 @@ func (q Quantized) Dense() []float64 {
 
 // BitsPerCoordinate returns the wire cost per coordinate (vs 64 dense).
 func (q Quantized) BitsPerCoordinate() float64 { return float64(q.Bits) }
+
+// Diff computes the exact sparse delta from base to target: the
+// coordinates that changed, carrying the *target* values (overwrite
+// semantics, not differences — adding fl(target−base) back to base can
+// round, whereas patching the stored values in reconstructs target
+// bit-for-bit by construction). This is the downlink dual of top-k
+// sparsification: a worker holding the model at version t−τ pulls the
+// delta instead of the full vector (ISSUE 3's version-aware pulls).
+//
+// Unlike TopK, Diff is lossless. When more than maxNNZ coordinates differ
+// the sparse form stops paying for itself (each entry costs an index plus
+// a value), so Diff returns ok=false and the caller should fall back to a
+// full transfer. maxNNZ <= 0 means no bound. Mismatched lengths return
+// ok=false as well.
+func Diff(base, target []float64, maxNNZ int) (delta Sparse, ok bool) {
+	if len(base) != len(target) {
+		return Sparse{}, false
+	}
+	nnz := 0
+	for i := range target {
+		if target[i] != base[i] {
+			nnz++
+			if maxNNZ > 0 && nnz > maxNNZ {
+				return Sparse{}, false
+			}
+		}
+	}
+	delta = Sparse{Len: len(target), Indices: make([]int32, 0, nnz), Values: make([]float64, 0, nnz)}
+	for i := range target {
+		if target[i] != base[i] {
+			delta.Indices = append(delta.Indices, int32(i))
+			delta.Values = append(delta.Values, target[i])
+		}
+	}
+	return delta, true
+}
+
+// Patch overwrites dst at the sparse coordinates (dst[i] = s[i]), the
+// reconstruction step of a delta pull: applied to the delta's base vector
+// it yields the diffed target exactly. It errors instead of panicking on a
+// length mismatch or out-of-range index — deltas arrive over the wire, so
+// a corrupt payload must not crash the worker — and validates fully
+// before writing, so a failed Patch never partially mutates dst.
+func (s Sparse) Patch(dst []float64) error {
+	if len(dst) != s.Len {
+		return fmt.Errorf("compress: delta over %d params applied to %d", s.Len, len(dst))
+	}
+	if len(s.Indices) != len(s.Values) {
+		return fmt.Errorf("compress: delta with %d indices, %d values", len(s.Indices), len(s.Values))
+	}
+	for _, id := range s.Indices {
+		if id < 0 || int(id) >= s.Len {
+			return fmt.Errorf("compress: delta index %d out of range [0, %d)", id, s.Len)
+		}
+	}
+	for j, id := range s.Indices {
+		dst[id] = s.Values[j]
+	}
+	return nil
+}

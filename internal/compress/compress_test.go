@@ -206,3 +206,64 @@ func TestQuantizeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestDiffExactReconstruction(t *testing.T) {
+	base := []float64{1, 2, 3, 4, 5}
+	target := []float64{1, 2.5, 3, 3.5, 5}
+	delta, ok := Diff(base, target, 0)
+	if !ok {
+		t.Fatal("unbounded diff must succeed")
+	}
+	if len(delta.Indices) != 2 {
+		t.Fatalf("nnz = %d, want 2", len(delta.Indices))
+	}
+	got := append([]float64(nil), base...)
+	if err := delta.Patch(got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range target {
+		if got[i] != target[i] {
+			t.Fatalf("coord %d: %v != %v", i, got[i], target[i])
+		}
+	}
+}
+
+func TestDiffIdenticalVectorsIsEmpty(t *testing.T) {
+	v := []float64{1, 2, 3}
+	delta, ok := Diff(v, v, 0)
+	if !ok || len(delta.Indices) != 0 || delta.Len != 3 {
+		t.Fatalf("delta = %+v, ok = %v", delta, ok)
+	}
+}
+
+func TestDiffBoundsAndMismatch(t *testing.T) {
+	if _, ok := Diff([]float64{1, 2}, []float64{1}, 0); ok {
+		t.Fatal("length mismatch must fail")
+	}
+	base := []float64{0, 0, 0, 0}
+	target := []float64{1, 2, 3, 0}
+	if _, ok := Diff(base, target, 2); ok {
+		t.Fatal("3 changes over maxNNZ=2 must fail")
+	}
+	if _, ok := Diff(base, target, 3); !ok {
+		t.Fatal("3 changes within maxNNZ=3 must succeed")
+	}
+}
+
+func TestPatchRejectsCorruptDeltas(t *testing.T) {
+	dst := []float64{1, 2, 3}
+	if err := (Sparse{Len: 4}).Patch(dst); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if err := (Sparse{Len: 3, Indices: []int32{5}, Values: []float64{1}}).Patch(dst); err == nil {
+		t.Error("out-of-range index must error")
+	}
+	if err := (Sparse{Len: 3, Indices: []int32{0, 1}, Values: []float64{1}}).Patch(dst); err == nil {
+		t.Error("ragged delta must error")
+	}
+	for i, v := range []float64{1, 2, 3} {
+		if dst[i] != v {
+			t.Fatal("failed Patch must not partially mutate dst")
+		}
+	}
+}

@@ -3,6 +3,7 @@ package learning
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // Bhattacharyya returns the Bhattacharyya coefficient BC(p, q) = Σ √(pᵢqᵢ)
@@ -39,9 +40,21 @@ func Bhattacharyya(p, q []float64) float64 {
 // LabelTracker maintains the global label distribution LD_global: the
 // aggregate counts of previously used training samples per label (§2.3).
 // The server only ever sees label *indices*, never semantic label values.
+//
+// Reads (Similarity, Distribution) are lock-free: writers publish an
+// immutable copy-on-write snapshot through an atomic pointer, so the
+// server's task-admission path never blocks on the gradient-commit path.
+// Record is O(classes) per call — the price of the copy — which is dwarfed
+// by the O(params) gradient work on the push path that pays it.
 type LabelTracker struct {
-	mu     sync.Mutex
+	mu    sync.Mutex // serializes writers only
+	state atomic.Pointer[labelState]
+}
+
+// labelState is one immutable published snapshot of LD_global.
+type labelState struct {
 	counts []float64
+	total  float64
 }
 
 // NewLabelTracker builds a tracker over `classes` labels (or histogram bins
@@ -50,30 +63,27 @@ func NewLabelTracker(classes int) *LabelTracker {
 	if classes <= 0 {
 		panic("learning: LabelTracker needs classes > 0")
 	}
-	return &LabelTracker{counts: make([]float64, classes)}
+	l := &LabelTracker{}
+	l.state.Store(&labelState{counts: make([]float64, classes)})
+	return l
 }
 
 // Similarity returns sim(x) = BC(LD(x), LD_global) for a local dataset with
 // the given per-label counts. Before any global observations exist it
-// returns 1 (no basis to boost).
+// returns 1 (no basis to boost). Lock-free.
 func (l *LabelTracker) Similarity(localCounts []int) float64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	total := 0.0
-	for _, c := range l.counts {
-		total += c
-	}
-	if total == 0 {
+	st := l.state.Load()
+	if st.total == 0 {
 		return 1
 	}
-	local := make([]float64, len(l.counts))
+	local := make([]float64, len(st.counts))
 	for i, c := range localCounts {
 		if i >= len(local) {
 			break
 		}
 		local[i] = float64(c)
 	}
-	return Bhattacharyya(local, l.counts)
+	return Bhattacharyya(local, st.counts)
 }
 
 // Record folds the label counts of a consumed mini-batch into LD_global.
@@ -93,29 +103,30 @@ func (l *LabelTracker) RecordWeighted(localCounts []int, weight float64) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	old := l.state.Load()
+	next := &labelState{counts: make([]float64, len(old.counts)), total: old.total}
+	copy(next.counts, old.counts)
 	for i, c := range localCounts {
-		if i >= len(l.counts) {
+		if i >= len(next.counts) {
 			break
 		}
-		l.counts[i] += float64(c) * weight
+		d := float64(c) * weight
+		next.counts[i] += d
+		next.total += d
 	}
+	l.state.Store(next)
 }
 
 // Distribution returns a copy of the normalized global label distribution,
-// or a zero vector when nothing has been recorded.
+// or a zero vector when nothing has been recorded. Lock-free.
 func (l *LabelTracker) Distribution() []float64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]float64, len(l.counts))
-	total := 0.0
-	for _, c := range l.counts {
-		total += c
-	}
-	if total == 0 {
+	st := l.state.Load()
+	out := make([]float64, len(st.counts))
+	if st.total == 0 {
 		return out
 	}
-	for i, c := range l.counts {
-		out[i] = c / total
+	for i, c := range st.counts {
+		out[i] = c / st.total
 	}
 	return out
 }

@@ -3,13 +3,13 @@ package pipeline
 import (
 	"fmt"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 
 	"fleet/internal/dp"
 	"fleet/internal/learning"
 	"fleet/internal/robust"
+	"fleet/internal/spec"
 )
 
 // BuildOptions carries the server-side dependencies spec-built pipelines
@@ -79,12 +79,7 @@ func Aggregators() []string {
 
 // intArg rejects non-integral spec arguments instead of silently
 // truncating them — krum(0.9) must not quietly become Krum{F: 0}.
-func intArg(v float64, name string) (int, error) {
-	if v != float64(int(v)) {
-		return 0, fmt.Errorf("%s takes an integer, got %g", name, v)
-	}
-	return int(v), nil
-}
+func intArg(v float64, name string) (int, error) { return spec.IntArg(v, name) }
 
 func init() {
 	RegisterStage("staleness", func(args []float64, opts BuildOptions) (Stage, error) {
@@ -156,35 +151,10 @@ func init() {
 	})
 }
 
-// parseSpec splits "name" or "name(a,b)" into the name and numeric args.
-func parseSpec(spec string) (name string, args []float64, err error) {
-	spec = strings.TrimSpace(spec)
-	open := strings.IndexByte(spec, '(')
-	if open < 0 {
-		if spec == "" {
-			return "", nil, fmt.Errorf("empty spec")
-		}
-		return spec, nil, nil
-	}
-	if !strings.HasSuffix(spec, ")") {
-		return "", nil, fmt.Errorf("malformed spec %q: missing ')'", spec)
-	}
-	name = strings.TrimSpace(spec[:open])
-	if name == "" {
-		return "", nil, fmt.Errorf("malformed spec %q: missing name", spec)
-	}
-	inner := strings.TrimSpace(spec[open+1 : len(spec)-1])
-	if inner == "" {
-		return name, nil, nil
-	}
-	for _, part := range strings.Split(inner, ",") {
-		v, perr := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if perr != nil {
-			return "", nil, fmt.Errorf("malformed spec %q: argument %q is not a number", spec, part)
-		}
-		args = append(args, v)
-	}
-	return name, args, nil
+// parseSpec splits "name" or "name(a,b)" into the name and numeric args
+// using the shared registry grammar (internal/spec).
+func parseSpec(s string) (name string, args []float64, err error) {
+	return spec.Parse(s)
 }
 
 // NewStage builds one stage from a spec like "norm-filter(100)".
@@ -252,22 +222,4 @@ func Build(stagesSpec, aggSpec string, opts BuildOptions) (*Pipeline, error) {
 
 // splitSpecs splits a comma-separated spec list without breaking inside
 // parentheses: "dp(1,0.5),staleness" → ["dp(1,0.5)", "staleness"].
-func splitSpecs(s string) []string {
-	var out []string
-	depth, start := 0, 0
-	for i := 0; i < len(s); i++ {
-		switch s[i] {
-		case '(':
-			depth++
-		case ')':
-			depth--
-		case ',':
-			if depth == 0 {
-				out = append(out, s[start:i])
-				start = i + 1
-			}
-		}
-	}
-	out = append(out, s[start:])
-	return out
-}
+func splitSpecs(s string) []string { return spec.Split(s) }

@@ -3,7 +3,11 @@
 // the Go analogue of the paper's Kryo+Gzip Java streams (§2.4).
 package protocol
 
-import "io"
+import (
+	"io"
+
+	"fleet/internal/compress"
+)
 
 // TaskRequest is step (1) of the protocol: the worker announces itself with
 // its device information (for I-Prof) and the label distribution of its
@@ -18,17 +22,43 @@ type TaskRequest struct {
 	EnergyFeatures []float64 `json:"energy_features"`
 	// LabelCounts is the per-label sample count of the worker's local data.
 	LabelCounts []int `json:"label_counts"`
+	// KnownVersion is the model version the worker already holds; with
+	// WantDelta set, the server may answer with the sparse difference
+	// KnownVersion → current (TaskResponse.ParamsDelta) instead of the
+	// full parameter vector. WantDelta doubles as the capability flag:
+	// pre-delta clients never set it (version 0 is a legitimate
+	// KnownVersion, so the integer alone cannot signal "no model held"),
+	// and servers must keep sending full params to them.
+	KnownVersion int  `json:"known_version,omitempty"`
+	WantDelta    bool `json:"want_delta,omitempty"`
 }
 
 // TaskResponse is steps (2)–(4): either a rejection by the controller, or
-// the model parameters plus the I-Prof-bounded mini-batch size.
+// the model parameters plus the I-Prof-bounded mini-batch size. Delta-aware
+// servers answer a WantDelta request with exactly one of Params (full pull)
+// or ParamsDelta (sparse delta pull).
 type TaskResponse struct {
 	Accepted bool   `json:"accepted"`
 	Reason   string `json:"reason,omitempty"`
 	// ModelVersion is the server's logical clock t at model pull.
-	ModelVersion int       `json:"model_version"`
-	Params       []float64 `json:"params,omitempty"`
-	BatchSize    int       `json:"batch_size"`
+	ModelVersion int `json:"model_version"`
+	// Params is the full parameter vector. On in-process calls it may
+	// alias the server's immutable snapshot storage: treat it as
+	// read-only and copy before mutating.
+	Params    []float64 `json:"params,omitempty"`
+	BatchSize int       `json:"batch_size"`
+	// ParamsDelta, when non-nil, is the exact sparse delta between the
+	// params at DeltaBase (the request's KnownVersion, echoed back) and
+	// the params at ModelVersion: it lists the changed coordinates with
+	// their *new* values, so patching them into the worker's cached
+	// vector reconstructs the server's parameters bit-for-bit. Params is
+	// empty on delta responses.
+	ParamsDelta *compress.Sparse `json:"params_delta,omitempty"`
+	DeltaBase   int              `json:"delta_base,omitempty"`
+	// Full marks Params as the complete vector. Informational: responses
+	// from pre-delta servers decode with Full == false yet still carry
+	// full params, so clients must key on ParamsDelta != nil, not Full.
+	Full bool `json:"full,omitempty"`
 }
 
 // GradientPush is step (5): the computed gradient plus the measured task
@@ -78,6 +108,15 @@ type Stats struct {
 	// so old gob/JSON payloads decode unchanged.
 	PipelineStages []string `json:"pipeline_stages,omitempty"`
 	Aggregator     string   `json:"aggregator,omitempty"`
+	// TasksDropped is the canonical name for the controller's reject
+	// counter; it always equals TasksRejected, which is kept for pre-sched
+	// clients. AdmissionPolicies lists the composed admission chain in
+	// evaluation order (internal/sched) and RejectsByPolicy breaks
+	// TasksDropped down by the policy that rejected. All omitempty, so old
+	// payloads decode unchanged.
+	TasksDropped      int            `json:"tasks_dropped,omitempty"`
+	AdmissionPolicies []string       `json:"admission_policies,omitempty"`
+	RejectsByPolicy   map[string]int `json:"rejects_by_policy,omitempty"`
 }
 
 // Encode writes v to w as a gzip-compressed gob stream — the default wire

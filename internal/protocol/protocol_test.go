@@ -3,6 +3,8 @@ package protocol
 import (
 	"bytes"
 	"testing"
+
+	"fleet/internal/compress"
 )
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
@@ -105,5 +107,98 @@ func TestRoundTripAllMessageTypes(t *testing.T) {
 				t.Fatalf("case %d mismatch", i)
 			}
 		}
+	}
+}
+
+func TestRoundTripDeltaPullFieldsBothCodecs(t *testing.T) {
+	req := TaskRequest{WorkerID: 2, LabelCounts: []int{1, 2}, KnownVersion: 7, WantDelta: true}
+	resp := TaskResponse{
+		Accepted:     true,
+		ModelVersion: 9,
+		BatchSize:    50,
+		ParamsDelta:  &compress.Sparse{Len: 5, Indices: []int32{1, 4}, Values: []float64{0.5, -0.25}},
+		DeltaBase:    7,
+	}
+	for _, codec := range []Codec{GobGzip, JSON} {
+		var buf bytes.Buffer
+		if err := codec.Encode(&buf, &req); err != nil {
+			t.Fatal(err)
+		}
+		var gotReq TaskRequest
+		if err := codec.Decode(&buf, &gotReq); err != nil {
+			t.Fatal(err)
+		}
+		if gotReq.KnownVersion != 7 || !gotReq.WantDelta {
+			t.Fatalf("%s: request = %+v", codec.ContentType(), gotReq)
+		}
+
+		buf.Reset()
+		if err := codec.Encode(&buf, &resp); err != nil {
+			t.Fatal(err)
+		}
+		var gotResp TaskResponse
+		if err := codec.Decode(&buf, &gotResp); err != nil {
+			t.Fatal(err)
+		}
+		if gotResp.ParamsDelta == nil || gotResp.DeltaBase != 7 || gotResp.ModelVersion != 9 {
+			t.Fatalf("%s: response = %+v", codec.ContentType(), gotResp)
+		}
+		d := gotResp.ParamsDelta
+		if d.Len != 5 || len(d.Indices) != 2 || d.Indices[1] != 4 || d.Values[1] != -0.25 {
+			t.Fatalf("%s: delta corrupted: %+v", codec.ContentType(), d)
+		}
+	}
+}
+
+func TestRoundTripStatsAdmissionFieldsBothCodecs(t *testing.T) {
+	in := Stats{
+		ModelVersion:      3,
+		TasksServed:       10,
+		TasksRejected:     2,
+		TasksDropped:      2,
+		AdmissionPolicies: []string{"iprof-time(3)", "min-batch(5)"},
+		RejectsByPolicy:   map[string]int{"min-batch(5)": 2},
+	}
+	for _, codec := range []Codec{GobGzip, JSON} {
+		var buf bytes.Buffer
+		if err := codec.Encode(&buf, &in); err != nil {
+			t.Fatal(err)
+		}
+		var got Stats
+		if err := codec.Decode(&buf, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.TasksDropped != 2 || len(got.AdmissionPolicies) != 2 ||
+			got.RejectsByPolicy["min-batch(5)"] != 2 {
+			t.Fatalf("%s: stats = %+v", codec.ContentType(), got)
+		}
+	}
+}
+
+// TestPreDeltaPayloadsDecodeUnchanged proves wire compatibility: a message
+// encoded without any of the new fields decodes into the extended structs
+// with zero values (and vice versa, old decoders simply ignore them).
+func TestPreDeltaPayloadsDecodeUnchanged(t *testing.T) {
+	var buf bytes.Buffer
+	// JSON payload as a pre-delta client would send it.
+	buf.WriteString(`{"worker_id":1,"label_counts":[1,2]}`)
+	var req TaskRequest
+	if err := JSON.Decode(&buf, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.WantDelta || req.KnownVersion != 0 {
+		t.Fatalf("request = %+v", req)
+	}
+	buf.Reset()
+	buf.WriteString(`{"accepted":true,"model_version":4,"params":[1,2,3],"batch_size":10}`)
+	var resp TaskResponse
+	if err := JSON.Decode(&buf, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ParamsDelta != nil || resp.Full {
+		t.Fatalf("response = %+v", resp)
+	}
+	if len(resp.Params) != 3 {
+		t.Fatalf("params lost: %+v", resp)
 	}
 }

@@ -1,0 +1,22 @@
+package protocol
+
+// ValidateLabelCounts checks a wire label-count histogram against the
+// model's class count: at most `classes` entries (shorter vectors are
+// legal — trailing labels simply have no samples) and no negative counts.
+// WorkerID is unauthenticated, so a malformed vector must surface as a
+// structured invalid_argument at the protocol boundary instead of flowing
+// into LabelTracker.Similarity. field names the offending message field in
+// the error (e.g. "TaskRequest.label_counts").
+func ValidateLabelCounts(field string, counts []int, classes int) error {
+	if len(counts) > classes {
+		return Errorf(CodeInvalidArgument,
+			"%s has %d labels, model has %d classes", field, len(counts), classes)
+	}
+	for i, c := range counts {
+		if c < 0 {
+			return Errorf(CodeInvalidArgument,
+				"%s: negative count %d for label %d", field, c, i)
+		}
+	}
+	return nil
+}

@@ -393,3 +393,115 @@ func TestV1KrumPipelineRejectsByzantinePushes(t *testing.T) {
 		t.Fatalf("stats = %+v", stats)
 	}
 }
+
+// TestV1TaskDeltaRoundTripBothCodecs drives a version-aware pull over the
+// wire in both codecs: full pull at version 0, a sparse update, then a
+// WantDelta pull whose reconstruction must equal the server's params
+// exactly — proving *compress.Sparse survives gob+gzip and JSON intact.
+func TestV1TaskDeltaRoundTripBothCodecs(t *testing.T) {
+	s, hs := newHTTPServer(t, Config{Algorithm: learning.SSGD{}})
+	for _, codec := range []protocol.Codec{protocol.GobGzip, protocol.JSON} {
+		ct := codec.ContentType()
+
+		// Full pull.
+		body := encodeWith(t, codec, &protocol.TaskRequest{WorkerID: 1, LabelCounts: []int{1}})
+		status, _, out := postRaw(t, hs.URL+"/v1/task", ct, body)
+		if status != http.StatusOK {
+			t.Fatalf("%s: full pull status %d: %s", ct, status, out)
+		}
+		var full protocol.TaskResponse
+		if err := codec.Decode(bytes.NewReader(out), &full); err != nil {
+			t.Fatal(err)
+		}
+		if full.ParamsDelta != nil || !full.Full || len(full.Params) == 0 {
+			t.Fatalf("%s: full pull = delta=%v full=%v params=%d", ct, full.ParamsDelta, full.Full, len(full.Params))
+		}
+		cached := append([]float64(nil), full.Params...)
+		base := full.ModelVersion
+
+		// One sparse update in-process.
+		if _, err := s.PushGradient(context.Background(), &protocol.GradientPush{
+			ModelVersion: base, GradientLen: len(cached),
+			SparseIndices: []int32{2}, SparseValues: []float64{0.5},
+			BatchSize: 1, LabelCounts: []int{1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		// Delta pull over the wire.
+		body = encodeWith(t, codec, &protocol.TaskRequest{
+			WorkerID: 1, LabelCounts: []int{1}, WantDelta: true, KnownVersion: base,
+		})
+		status, _, out = postRaw(t, hs.URL+"/v1/task", ct, body)
+		if status != http.StatusOK {
+			t.Fatalf("%s: delta pull status %d: %s", ct, status, out)
+		}
+		var resp protocol.TaskResponse
+		if err := codec.Decode(bytes.NewReader(out), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.ParamsDelta == nil || resp.DeltaBase != base || len(resp.Params) != 0 {
+			t.Fatalf("%s: delta pull = %+v", ct, resp)
+		}
+		if err := resp.ParamsDelta.Patch(cached); err != nil {
+			t.Fatal(err)
+		}
+		want, wantV := s.Model()
+		if resp.ModelVersion != wantV {
+			t.Fatalf("%s: delta at version %d, server at %d", ct, resp.ModelVersion, wantV)
+		}
+		for i := range want {
+			if cached[i] != want[i] {
+				t.Fatalf("%s: coord %d reconstructed %v, server %v", ct, i, cached[i], want[i])
+			}
+		}
+	}
+}
+
+// TestV1TaskLabelValidationHTTP: a malformed label histogram surfaces as a
+// structured 400 over the wire.
+func TestV1TaskLabelValidationHTTP(t *testing.T) {
+	_, hs := newHTTPServer(t, Config{})
+	body := encodeWith(t, protocol.JSON, &protocol.TaskRequest{LabelCounts: []int{1, -2}})
+	status, _, out := postRaw(t, hs.URL+"/v1/task", protocol.ContentTypeJSON, body)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", status, out)
+	}
+	var apiErr protocol.Error
+	if err := json.Unmarshal(out, &apiErr); err != nil {
+		t.Fatal(err)
+	}
+	if apiErr.Code != protocol.CodeInvalidArgument {
+		t.Fatalf("error = %+v", apiErr)
+	}
+}
+
+// TestV1StatsExposesAdmission: the composed admission chain and reject
+// counters travel the stats wire.
+func TestV1StatsExposesAdmission(t *testing.T) {
+	_, hs := newHTTPServer(t, Config{MinBatchSize: 500}) // default batch 100 -> every task rejected
+	body := encodeWith(t, protocol.JSON, &protocol.TaskRequest{WorkerID: 1, LabelCounts: []int{1}})
+	if status, _, out := postRaw(t, hs.URL+"/v1/task", protocol.ContentTypeJSON, body); status != http.StatusOK {
+		t.Fatalf("task status %d: %s", status, out)
+	}
+	req, _ := http.NewRequest(http.MethodGet, hs.URL+"/v1/stats", nil)
+	req.Header.Set("Accept", protocol.ContentTypeJSON)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var stats protocol.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.TasksDropped != 1 || stats.TasksRejected != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if len(stats.AdmissionPolicies) != 1 || stats.AdmissionPolicies[0] != "min-batch(500)" {
+		t.Fatalf("admission policies = %v", stats.AdmissionPolicies)
+	}
+	if stats.RejectsByPolicy["min-batch(500)"] != 1 {
+		t.Fatalf("rejects = %v", stats.RejectsByPolicy)
+	}
+}

@@ -12,16 +12,25 @@
 // pre-v1 clients. v1 payloads are Content-Type negotiated between gob+gzip
 // and JSON (see internal/protocol).
 //
-// Every accepted gradient travels the server's update pipeline
-// (internal/pipeline): per-gradient stages — staleness scaling, optional
-// DP perturbation, norm filtering — feeding a window aggregator that folds
-// each K-window into the model, either as the classic sharded sum (the
-// default) or through a Byzantine-resilient rule retaining the window.
+// The two halves of the protocol scale independently:
+//
+//   - Uplink (PushGradient): every accepted gradient travels the update
+//     pipeline (internal/pipeline) — staleness scaling, optional DP
+//     perturbation, norm filtering — into a window aggregator that folds
+//     each K-window into the model under the server mutex.
+//   - Downlink (RequestTask): admission runs through a pluggable policy
+//     chain (internal/sched) — I-Prof batch sizing, the similarity
+//     controller, quotas — and the model is served from an immutable
+//     snapshot behind an atomic pointer, refreshed only at window drain.
+//     The accept path takes no lock and does no O(params) work: full pulls
+//     hand out the shared snapshot slice, and version-aware pulls hand out
+//     deltas precomputed at drain time.
 package server
 
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"fleet/internal/compress"
 	"fleet/internal/iprof"
@@ -29,6 +38,7 @@ import (
 	"fleet/internal/nn"
 	"fleet/internal/pipeline"
 	"fleet/internal/protocol"
+	"fleet/internal/sched"
 	"fleet/internal/simrand"
 )
 
@@ -64,49 +74,109 @@ type Config struct {
 	//	pipeline.Build("staleness,norm-filter(100)", "krum(1)",
 	//	    pipeline.BuildOptions{Algorithm: algo, Seed: seed})
 	Pipeline *pipeline.Pipeline
+	// Admission, when non-nil, replaces the task-admission chain: the
+	// policy sequence every TaskRequest travels before the model is
+	// served (see internal/sched). When nil the server builds the
+	// legacy-equivalent default from the fields below — iprof-time,
+	// iprof-energy, min-batch, similarity, each included only when its
+	// knob is set. Policies may hold per-worker state (quotas): build one
+	// chain per server. Build one directly (sched.NewChain) or from
+	// string specs (sched.Build), e.g.
+	//
+	//	sched.Build("iprof-time(3),min-batch(5),similarity(0.9)",
+	//	    sched.BuildOptions{TimeProfiler: prof})
+	Admission sched.AdmissionPolicy
 	// TimeSLOSec and EnergySLOPct are the provider's SLOs; the controller
 	// sends each worker the largest batch meeting both (0 disables one).
+	// Ignored when Admission is set (the chain's policies decide).
 	TimeSLOSec   float64
 	EnergySLOPct float64
 	// TimeProfiler and EnergyProfiler are the I-Prof instances. A nil
 	// profiler disables that bound and DefaultBatchSize is used instead.
+	// PushGradient always feeds measured costs back into them, whether or
+	// not an Admission chain uses them for batch sizing.
 	TimeProfiler   *iprof.IProf
 	EnergyProfiler *iprof.IProf
 	// DefaultBatchSize is used when no profiler is configured (default 100,
 	// the paper's mini-batch size).
 	DefaultBatchSize int
 	// MinBatchSize is the controller's size threshold: predicted batches
-	// below it are rejected before any energy is spent (§2.2).
+	// below it are rejected before any energy is spent (§2.2). Ignored
+	// when Admission is set.
 	MinBatchSize int
 	// MaxSimilarity is the controller's similarity threshold: tasks whose
 	// label similarity exceeds it are rejected as redundant. 0 disables.
+	// Ignored when Admission is set.
 	MaxSimilarity float64
+	// DeltaHistory is how many recent model versions the server keeps
+	// exact sparse deltas for, enabling version-aware pulls: a worker at
+	// version t−τ (τ ≤ DeltaHistory) downloads the delta instead of the
+	// full model. Deltas are precomputed at drain time so RequestTask
+	// stays O(1); a delta denser than half the parameter vector is
+	// discarded (the full pull is cheaper on the wire). Default 4;
+	// negative disables delta pulls.
+	DeltaHistory int
 	// Seed initializes the global model.
 	Seed int64
+}
+
+// modelSnapshot is one immutable published state of the global model. The
+// params slice is shared with every TaskResponse served from it and must
+// never be written after publication.
+type modelSnapshot struct {
+	version int
+	params  []float64
+	// deltas maps an older version v to the exact sparse difference
+	// params(v) → params, when sparse enough to be worth the wire; the
+	// absence of an entry means "serve a full pull".
+	deltas map[int]*compress.Sparse
+}
+
+// histEntry retains a superseded snapshot's params for delta precompute.
+type histEntry struct {
+	version int
+	params  []float64 // shared with the snapshot that published it
 }
 
 // Server is the FLeet parameter server. All exported methods are safe for
 // concurrent use.
 type Server struct {
 	cfg Config
-	// paramCount is immutable after New: gradient validation reads it
-	// without holding any lock.
+	// paramCount and classes are immutable after New: request validation
+	// reads them without holding any lock.
 	paramCount int
-	// labels guards itself; it is never touched under mu.
+	classes    int
+	// labels guards itself (lock-free reads); it is never touched under mu.
 	labels *learning.LabelTracker
 	// pipe is the update pipeline (immutable after New); its aggregator
 	// guards its own window state, so Process/Add run outside mu.
 	pipe *pipeline.Pipeline
+	// admit is the admission chain (immutable after New); stateful
+	// policies synchronize themselves.
+	admit sched.AdmissionPolicy
 
-	// mu guards the model, the logical clock and the counters.
-	mu           sync.Mutex
-	model        *nn.Network
-	version      int
-	pending      int
-	tasksServed  int
-	tasksDropped int
-	gradientsIn  int
-	staleSum     float64
+	// snap is the immutable (version, params, deltas) snapshot RequestTask
+	// serves from without locking; it is replaced only inside drainLocked
+	// (and so only under mu), but read anywhere.
+	snap atomic.Pointer[modelSnapshot]
+
+	// Task counters are atomic: the admission path must not contend with
+	// the gradient-commit path. rejectsByPolicy is only touched on the
+	// (already slow) reject path.
+	tasksServed  atomic.Int64
+	tasksDropped atomic.Int64
+	rejectMu     sync.Mutex
+	rejects      map[string]int
+
+	// mu guards the model, the logical clock, the delta history and the
+	// push counters.
+	mu          sync.Mutex
+	model       *nn.Network
+	version     int
+	pending     int
+	history     []histEntry
+	gradientsIn int
+	staleSum    float64
 }
 
 // New builds a server with a freshly initialized global model.
@@ -126,6 +196,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DefaultBatchSize <= 0 {
 		cfg.DefaultBatchSize = 100
 	}
+	if cfg.DeltaHistory == 0 {
+		cfg.DeltaHistory = 4
+	}
+	if cfg.DeltaHistory < 0 {
+		cfg.DeltaHistory = 0 // negative disables; 0 internally means "none kept"
+	}
 	if cfg.Pipeline == nil {
 		stage, err := pipeline.NewStalenessScale(cfg.Algorithm)
 		if err != nil {
@@ -136,37 +212,70 @@ func New(cfg Config) (*Server, error) {
 			return nil, protocol.AsError(err)
 		}
 	}
+	if cfg.Admission == nil {
+		// The legacy-equivalent default: each Figure-2 controller stage,
+		// included only when its knob is set, in the order the hardwired
+		// block ran them.
+		var policies []sched.AdmissionPolicy
+		if cfg.TimeProfiler != nil && cfg.TimeSLOSec > 0 {
+			policies = append(policies, sched.IProfTime(cfg.TimeProfiler, cfg.TimeSLOSec))
+		}
+		if cfg.EnergyProfiler != nil && cfg.EnergySLOPct > 0 {
+			policies = append(policies, sched.IProfEnergy(cfg.EnergyProfiler, cfg.EnergySLOPct))
+		}
+		if cfg.MinBatchSize > 0 {
+			policies = append(policies, sched.MinBatch(cfg.MinBatchSize))
+		}
+		if cfg.MaxSimilarity > 0 {
+			policies = append(policies, sched.Similarity(cfg.MaxSimilarity))
+		}
+		cfg.Admission = sched.NewChain(policies...)
+	}
 	model := cfg.Arch.Build(simrand.New(cfg.Seed))
-	return &Server{
+	s := &Server{
 		cfg:        cfg,
 		paramCount: model.ParamCount(),
+		classes:    cfg.Arch.Classes(),
 		model:      model,
 		labels:     learning.NewLabelTracker(cfg.Arch.Classes()),
 		pipe:       cfg.Pipeline,
-	}, nil
+		admit:      cfg.Admission,
+		rejects:    map[string]int{},
+	}
+	s.snap.Store(&modelSnapshot{version: 0, params: model.ParamVector()})
+	return s, nil
 }
 
 // Pipeline returns the server's composed update pipeline.
 func (s *Server) Pipeline() *pipeline.Pipeline { return s.pipe }
 
-// RequestTask processes step (1)→(4) of Figure 2: profile the device,
-// screen the task through the controller, and serve the model.
+// Admission returns the server's composed admission chain.
+func (s *Server) Admission() sched.AdmissionPolicy { return s.admit }
+
+// RequestTask processes step (1)→(4) of Figure 2: screen the task through
+// the admission chain (I-Prof batch sizing, the controller) and serve the
+// model. The accept path is lock-free and O(1) in the model size: the
+// response either shares the immutable snapshot's parameter slice (full
+// pull) or hands out a delta precomputed at drain time (version-aware
+// pull). The only synchronization is the label tracker's lock-free
+// snapshot read and whatever stateful admission policies do internally.
 func (s *Server) RequestTask(ctx context.Context, req *protocol.TaskRequest) (*protocol.TaskResponse, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, protocol.AsError(err)
 	}
-	batch := s.cfg.DefaultBatchSize
-	if s.cfg.TimeProfiler != nil && s.cfg.TimeSLOSec > 0 {
-		batch = s.cfg.TimeProfiler.BatchSize(req.DeviceModel, req.TimeFeatures, s.cfg.TimeSLOSec)
-	}
-	if s.cfg.EnergyProfiler != nil && s.cfg.EnergySLOPct > 0 {
-		eBatch := s.cfg.EnergyProfiler.BatchSize(req.DeviceModel, req.EnergyFeatures, s.cfg.EnergySLOPct)
-		if eBatch < batch {
-			batch = eBatch
-		}
+	if err := protocol.ValidateLabelCounts("TaskRequest.label_counts", req.LabelCounts, s.classes); err != nil {
+		return nil, err
 	}
 
-	sim := s.labels.Similarity(req.LabelCounts)
+	areq := &sched.TaskRequest{
+		Wire:       req,
+		BatchSize:  s.cfg.DefaultBatchSize,
+		Similarity: s.labels.Similarity(req.LabelCounts),
+	}
+	decision, err := s.admit.Admit(ctx, areq)
+	if err != nil {
+		return nil, protocol.AsError(err)
+	}
 
 	// Re-check before committing controller state: the profiler lookups
 	// and similarity scan above may have outlived the caller's deadline.
@@ -174,23 +283,39 @@ func (s *Server) RequestTask(ctx context.Context, req *protocol.TaskRequest) (*p
 		return nil, protocol.AsError(err)
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.cfg.MinBatchSize > 0 && batch < s.cfg.MinBatchSize {
-		s.tasksDropped++
-		return &protocol.TaskResponse{Accepted: false, Reason: "mini-batch size below threshold"}, nil
+	if !decision.Accept {
+		s.tasksDropped.Add(1)
+		s.rejectMu.Lock()
+		s.rejects[decision.Policy]++
+		s.rejectMu.Unlock()
+		return &protocol.TaskResponse{Accepted: false, Reason: decision.Reason}, nil
 	}
-	if s.cfg.MaxSimilarity > 0 && sim > s.cfg.MaxSimilarity {
-		s.tasksDropped++
-		return &protocol.TaskResponse{Accepted: false, Reason: "similarity above threshold"}, nil
-	}
-	s.tasksServed++
-	return &protocol.TaskResponse{
+
+	s.tasksServed.Add(1)
+	snap := s.snap.Load()
+	resp := &protocol.TaskResponse{
 		Accepted:     true,
-		ModelVersion: s.version,
-		Params:       s.model.ParamVector(),
-		BatchSize:    batch,
-	}, nil
+		ModelVersion: snap.version,
+		BatchSize:    decision.BatchSize,
+	}
+	if req.WantDelta {
+		if req.KnownVersion == snap.version {
+			// Already current: the empty delta.
+			resp.ParamsDelta = &compress.Sparse{Len: len(snap.params)}
+			resp.DeltaBase = req.KnownVersion
+			return resp, nil
+		}
+		if d, ok := snap.deltas[req.KnownVersion]; ok {
+			resp.ParamsDelta = d
+			resp.DeltaBase = req.KnownVersion
+			return resp, nil
+		}
+		// Version too old, from the future, or the delta went dense:
+		// transparent fallback to a full pull.
+	}
+	resp.Params = snap.params // shared immutable snapshot storage
+	resp.Full = true
+	return resp, nil
 }
 
 // PushGradient processes step (5): the gradient runs through the update
@@ -230,6 +355,9 @@ func (s *Server) PushGradient(ctx context.Context, push *protocol.GradientPush) 
 		return nil, protocol.Errorf(protocol.CodeInvalidArgument,
 			"server: non-positive batch size %d", push.BatchSize)
 	}
+	if err := protocol.ValidateLabelCounts("GradientPush.label_counts", push.LabelCounts, s.classes); err != nil {
+		return nil, err
+	}
 
 	// Feed I-Prof outside the model lock.
 	if s.cfg.TimeProfiler != nil && push.CompTimeSec > 0 && len(push.TimeFeatures) > 0 {
@@ -258,15 +386,14 @@ func (s *Server) PushGradient(ctx context.Context, push *protocol.GradientPush) 
 		return nil, protocol.AsError(err)
 	}
 
-	// Staleness against the logical clock under a short critical section.
-	s.mu.Lock()
-	staleness := s.version - push.ModelVersion
+	// Staleness against the logical clock, read lock-free from the
+	// published snapshot (version and snapshot move together under mu
+	// inside drainLocked, so the snapshot's clock is never ahead).
+	staleness := s.snap.Load().version - push.ModelVersion
 	if staleness < 0 {
-		s.mu.Unlock()
 		return nil, protocol.Errorf(protocol.CodeVersionConflict,
-			"server: gradient from future model version %d (at %d)", push.ModelVersion, s.version)
+			"server: gradient from future model version %d (at %d)", push.ModelVersion, push.ModelVersion+staleness)
 	}
-	s.mu.Unlock()
 
 	// Pipeline stages: staleness scaling, DP perturbation, filters — the
 	// O(params) work stays outside s.mu. A stage rejection (e.g. the norm
@@ -328,28 +455,64 @@ func (s *Server) PushGradient(ctx context.Context, push *protocol.GradientPush) 
 	return ack, nil
 }
 
-// drainLocked folds the aggregator's window into the model and then
-// advances the logical clock, so version and parameters move together
-// under s.mu. Callers hold s.mu; the aggregator takes its own locks inside
-// (lock order s.mu → aggregator, acyclic). The clock advances even when
-// the drain errors (the window is discarded), so a poisoned window cannot
-// stall the version stream. The error reaches the push that completed the
-// window — that pusher's own gradient stays counted, so it must not
-// retry; built-in aggregators never error on server-validated windows.
+// drainLocked folds the aggregator's window into the model, advances the
+// logical clock, and publishes a fresh immutable snapshot, so version and
+// parameters move together under s.mu. Callers hold s.mu; the aggregator
+// takes its own locks inside (lock order s.mu → aggregator, acyclic). The
+// clock advances even when the drain errors (the window is discarded), so
+// a poisoned window cannot stall the version stream. The error reaches the
+// push that completed the window — that pusher's own gradient stays
+// counted, so it must not retry; built-in aggregators never error on
+// server-validated windows.
+//
+// This is also where the O(params) cost of the lock-free pull path lives:
+// one ParamVector copy for the new snapshot plus up to DeltaHistory sparse
+// diffs — paid once per K-window, never per RequestTask. A diff that goes
+// denser than half the vector is abandoned mid-scan (Diff's maxNNZ bound)
+// and its version falls back to full pulls.
 func (s *Server) drainLocked() error {
 	err := s.pipe.Drain(func(direction []float64) {
 		s.model.ApplyGradient(direction, s.cfg.LearningRate)
 	})
 	s.version++
+
+	old := s.snap.Load()
+	next := &modelSnapshot{version: s.version, params: s.model.ParamVector()}
+	if h := s.cfg.DeltaHistory; h > 0 {
+		s.history = append(s.history, histEntry{version: old.version, params: old.params})
+		if len(s.history) > h {
+			s.history = s.history[len(s.history)-h:]
+		}
+		next.deltas = make(map[int]*compress.Sparse, len(s.history))
+		for _, e := range s.history {
+			if d, ok := compress.Diff(e.params, next.params, s.paramCount/2); ok {
+				next.deltas[e.version] = &d
+			}
+		}
+	}
+	s.snap.Store(next)
 	return err
 }
 
 // Stats returns a diagnostic snapshot, including the composed update
-// pipeline (stage names in chain order plus the window aggregator).
+// pipeline (stage names in chain order plus the window aggregator) and the
+// composed admission chain with its per-policy reject counters.
 func (s *Server) Stats(ctx context.Context) (*protocol.Stats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, protocol.AsError(err)
 	}
+	served := int(s.tasksServed.Load())
+	dropped := int(s.tasksDropped.Load())
+	s.rejectMu.Lock()
+	var rejects map[string]int
+	if len(s.rejects) > 0 {
+		rejects = make(map[string]int, len(s.rejects))
+		for k, v := range s.rejects {
+			rejects[k] = v
+		}
+	}
+	s.rejectMu.Unlock()
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	mean := 0.0
@@ -357,21 +520,26 @@ func (s *Server) Stats(ctx context.Context) (*protocol.Stats, error) {
 		mean = s.staleSum / float64(s.gradientsIn)
 	}
 	return &protocol.Stats{
-		ModelVersion:   s.version,
-		TasksServed:    s.tasksServed,
-		TasksRejected:  s.tasksDropped,
-		GradientsIn:    s.gradientsIn,
-		MeanStaleness:  mean,
-		PipelineStages: s.pipe.StageNames(),
-		Aggregator:     s.pipe.AggregatorName(),
+		ModelVersion:      s.version,
+		TasksServed:       served,
+		TasksRejected:     dropped,
+		TasksDropped:      dropped,
+		GradientsIn:       s.gradientsIn,
+		MeanStaleness:     mean,
+		PipelineStages:    s.pipe.StageNames(),
+		Aggregator:        s.pipe.AggregatorName(),
+		AdmissionPolicies: sched.Names(s.admit),
+		RejectsByPolicy:   rejects,
 	}, nil
 }
 
-// Model returns a copy of the current global parameters and their version.
+// Model returns a copy of the current global parameters and their version,
+// served lock-free from the published snapshot.
 func (s *Server) Model() ([]float64, int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.model.ParamVector(), s.version
+	snap := s.snap.Load()
+	out := make([]float64, len(snap.params))
+	copy(out, snap.params)
+	return out, snap.version
 }
 
 // Evaluate computes test accuracy of the current global model. The provided

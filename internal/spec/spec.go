@@ -1,0 +1,74 @@
+// Package spec parses the compact "name(arg,…)" constructor specs shared
+// by FLeet's component registries — the update-pipeline stages and
+// aggregators (internal/pipeline) and the admission policies
+// (internal/sched). Centralizing the grammar keeps `-stages`,
+// `-aggregator` and `-admission` flag syntax identical.
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse splits "name" or "name(a,b)" into the name and numeric arguments.
+func Parse(spec string) (name string, args []float64, err error) {
+	spec = strings.TrimSpace(spec)
+	open := strings.IndexByte(spec, '(')
+	if open < 0 {
+		if spec == "" {
+			return "", nil, fmt.Errorf("empty spec")
+		}
+		return spec, nil, nil
+	}
+	if !strings.HasSuffix(spec, ")") {
+		return "", nil, fmt.Errorf("malformed spec %q: missing ')'", spec)
+	}
+	name = strings.TrimSpace(spec[:open])
+	if name == "" {
+		return "", nil, fmt.Errorf("malformed spec %q: missing name", spec)
+	}
+	inner := strings.TrimSpace(spec[open+1 : len(spec)-1])
+	if inner == "" {
+		return name, nil, nil
+	}
+	for _, part := range strings.Split(inner, ",") {
+		v, perr := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if perr != nil {
+			return "", nil, fmt.Errorf("malformed spec %q: argument %q is not a number", spec, part)
+		}
+		args = append(args, v)
+	}
+	return name, args, nil
+}
+
+// Split splits a comma-separated spec list without breaking inside
+// parentheses: "dp(1,0.5),staleness" → ["dp(1,0.5)", "staleness"].
+func Split(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// IntArg rejects non-integral spec arguments instead of silently
+// truncating them — krum(0.9) must not quietly become Krum{F: 0}.
+func IntArg(v float64, name string) (int, error) {
+	if v != float64(int(v)) {
+		return 0, fmt.Errorf("%s takes an integer, got %g", name, v)
+	}
+	return int(v), nil
+}

@@ -50,10 +50,21 @@ type Worker struct {
 	net         *nn.Network
 	labelCounts []int
 	feedback    *compress.ErrorFeedback
+	// params/version cache the last pulled model so subsequent task
+	// requests can advertise KnownVersion and download a sparse delta
+	// instead of the full vector (transparently falling back when the
+	// server is pre-delta or the version is too old). params is owned by
+	// the worker — server responses are copied in, never aliased.
+	params  []float64
+	version int
+	cached  bool
 	// Rejections counts tasks the controller refused.
 	Rejections int
 	// Tasks counts gradients successfully pushed.
 	Tasks int
+	// DeltaPulls counts task responses served as sparse deltas instead of
+	// full parameter vectors (downlink savings diagnostics).
+	DeltaPulls int
 }
 
 // New builds a worker.
@@ -84,6 +95,10 @@ func (w *Worker) Step(ctx context.Context, svc service.Service) (protocol.PushAc
 		WorkerID:    w.cfg.ID,
 		LabelCounts: w.labelCounts,
 	}
+	if w.cached {
+		req.KnownVersion = w.version
+		req.WantDelta = true
+	}
 	if w.cfg.Device != nil {
 		req.DeviceModel = w.cfg.Device.Model.Name
 		req.TimeFeatures = w.cfg.Device.Features()
@@ -103,7 +118,10 @@ func (w *Worker) Step(ctx context.Context, svc service.Service) (protocol.PushAc
 		return protocol.PushAck{}, nil
 	}
 
-	w.net.SetParams(resp.Params)
+	if err := w.absorbModel(resp); err != nil {
+		return protocol.PushAck{}, fmt.Errorf("worker %d: task: %w", w.cfg.ID, err)
+	}
+	w.net.SetParams(w.params)
 	batchSize := resp.BatchSize
 	if batchSize < 1 {
 		batchSize = 1
@@ -145,4 +163,36 @@ func (w *Worker) Step(ctx context.Context, svc service.Service) (protocol.PushAc
 	}
 	w.Tasks++
 	return *ack, nil
+}
+
+// absorbModel updates the worker's cached parameter vector from an
+// accepted task response: either patching the changed coordinates from a
+// sparse delta (bit-exact) or copying the full vector. Full responses are
+// copied, never aliased — over HTTP the slice is freshly decoded anyway,
+// but in-process servers hand out their immutable snapshot storage.
+func (w *Worker) absorbModel(resp *protocol.TaskResponse) error {
+	if resp.ParamsDelta != nil {
+		if !w.cached {
+			return fmt.Errorf("delta response without a cached model")
+		}
+		if resp.DeltaBase != w.version {
+			return fmt.Errorf("delta from version %d, cached model at %d", resp.DeltaBase, w.version)
+		}
+		if err := resp.ParamsDelta.Patch(w.params); err != nil {
+			return err
+		}
+		w.version = resp.ModelVersion
+		w.DeltaPulls++
+		return nil
+	}
+	if len(resp.Params) != w.net.ParamCount() {
+		return fmt.Errorf("served %d params, model has %d", len(resp.Params), w.net.ParamCount())
+	}
+	if w.params == nil {
+		w.params = make([]float64, len(resp.Params))
+	}
+	copy(w.params, resp.Params)
+	w.version = resp.ModelVersion
+	w.cached = true
+	return nil
 }

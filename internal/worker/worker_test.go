@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"fleet/internal/compress"
 	"fleet/internal/data"
 	"fleet/internal/device"
 	"fleet/internal/learning"
@@ -307,5 +308,175 @@ func protocolSparsePush(paramCount int) protocol.GradientPush {
 		SparseValues:  []float64{0.5},
 		BatchSize:     10,
 		LabelCounts:   []int{1},
+	}
+}
+
+// scriptedService replays canned task responses and records pushes,
+// standing in for servers of any vintage.
+type scriptedService struct {
+	responses []*protocol.TaskResponse
+	requests  []protocol.TaskRequest
+	calls     int
+}
+
+func (s *scriptedService) RequestTask(_ context.Context, req *protocol.TaskRequest) (*protocol.TaskResponse, error) {
+	s.requests = append(s.requests, *req)
+	r := s.responses[s.calls%len(s.responses)]
+	s.calls++
+	return r, nil
+}
+
+func (s *scriptedService) PushGradient(context.Context, *protocol.GradientPush) (*protocol.PushAck, error) {
+	return &protocol.PushAck{Applied: true}, nil
+}
+
+func (s *scriptedService) Stats(context.Context) (*protocol.Stats, error) {
+	return &protocol.Stats{}, nil
+}
+
+// TestWorkerAppliesDeltaPulls scripts a full pull then a sparse delta and
+// checks the worker advertises its version, reconstructs the exact target
+// params, and counts the delta pull.
+func TestWorkerAppliesDeltaPulls(t *testing.T) {
+	ctx := context.Background()
+	ds := data.TinyMNIST(1, 4, 1)
+	w, err := New(Config{ID: 1, Arch: nn.ArchSoftmaxMNIST, Local: ds.Train, Rng: simrand.New(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := w.net.ParamCount()
+	params := make([]float64, n)
+	for i := range params {
+		params[i] = float64(i) * 1e-3
+	}
+	svc := &scriptedService{responses: []*protocol.TaskResponse{
+		{Accepted: true, ModelVersion: 5, Params: params, BatchSize: 2, Full: true},
+		{Accepted: true, ModelVersion: 7, BatchSize: 2, DeltaBase: 5,
+			ParamsDelta: &compress.Sparse{Len: n, Indices: []int32{0, 9}, Values: []float64{0.5, -0.25}}},
+	}}
+
+	if _, err := w.Step(ctx, svc); err != nil {
+		t.Fatal(err)
+	}
+	// The first request has no cached model: no delta advertisement.
+	if svc.requests[0].WantDelta {
+		t.Fatal("first request must not advertise WantDelta")
+	}
+	if _, err := w.Step(ctx, svc); err != nil {
+		t.Fatal(err)
+	}
+	if !svc.requests[1].WantDelta || svc.requests[1].KnownVersion != 5 {
+		t.Fatalf("second request = %+v", svc.requests[1])
+	}
+	if w.DeltaPulls != 1 {
+		t.Fatalf("DeltaPulls = %d", w.DeltaPulls)
+	}
+	// Overwrite semantics: the delta carries the changed coordinates' new
+	// values; untouched coordinates keep the cached full-pull values.
+	got := w.net.ParamVector()
+	if got[0] != 0.5 || got[9] != -0.25 || got[1] != params[1] {
+		t.Fatalf("reconstruction wrong: got[0]=%v got[9]=%v got[1]=%v", got[0], got[9], got[1])
+	}
+}
+
+// TestWorkerFallsBackOnPreDeltaServer: a server that ignores WantDelta and
+// keeps sending full params must keep working (and count no delta pulls).
+func TestWorkerFallsBackOnPreDeltaServer(t *testing.T) {
+	ctx := context.Background()
+	ds := data.TinyMNIST(1, 4, 1)
+	w, err := New(Config{ID: 1, Arch: nn.ArchSoftmaxMNIST, Local: ds.Train, Rng: simrand.New(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := make([]float64, w.net.ParamCount())
+	svc := &scriptedService{responses: []*protocol.TaskResponse{
+		{Accepted: true, ModelVersion: 1, Params: params, BatchSize: 2},
+	}}
+	for i := 0; i < 3; i++ {
+		if _, err := w.Step(ctx, svc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.DeltaPulls != 0 || w.Tasks != 3 {
+		t.Fatalf("DeltaPulls = %d, Tasks = %d", w.DeltaPulls, w.Tasks)
+	}
+	if !svc.requests[2].WantDelta || svc.requests[2].KnownVersion != 1 {
+		t.Fatalf("worker stopped advertising deltas: %+v", svc.requests[2])
+	}
+}
+
+// TestWorkerRejectsCorruptDelta: a delta against the wrong base version or
+// with out-of-range indices must error, not corrupt the cached model.
+func TestWorkerRejectsCorruptDelta(t *testing.T) {
+	ctx := context.Background()
+	ds := data.TinyMNIST(1, 4, 1)
+	w, err := New(Config{ID: 1, Arch: nn.ArchSoftmaxMNIST, Local: ds.Train, Rng: simrand.New(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := w.net.ParamCount()
+	svc := &scriptedService{responses: []*protocol.TaskResponse{
+		{Accepted: true, ModelVersion: 5, Params: make([]float64, n), BatchSize: 2, Full: true},
+		{Accepted: true, ModelVersion: 7, BatchSize: 2, DeltaBase: 4, // wrong base
+			ParamsDelta: &compress.Sparse{Len: n, Indices: []int32{0}, Values: []float64{1}}},
+	}}
+	if _, err := w.Step(ctx, svc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Step(ctx, svc); err == nil {
+		t.Fatal("mismatched delta base must error")
+	}
+	// A delta response before any full pull must error too.
+	w2, err := New(Config{ID: 2, Arch: nn.ArchSoftmaxMNIST, Local: ds.Train, Rng: simrand.New(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc2 := &scriptedService{responses: []*protocol.TaskResponse{
+		{Accepted: true, ModelVersion: 7, BatchSize: 2,
+			ParamsDelta: &compress.Sparse{Len: n, Indices: []int32{0}, Values: []float64{1}}},
+	}}
+	if _, err := w2.Step(ctx, svc2); err == nil {
+		t.Fatal("delta without cached model must error")
+	}
+}
+
+// TestWorkerDeltaPullsEndToEndHTTP runs sparse-uplink workers against a
+// live server over HTTP and checks the downlink actually serves deltas.
+func TestWorkerDeltaPullsEndToEndHTTP(t *testing.T) {
+	ctx := context.Background()
+	ds := data.TinyMNIST(3, 24, 8)
+	srv := newServer(t, server.Config{Algorithm: learning.SSGD{}, DeltaHistory: 8})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	rng := simrand.New(2)
+	parts := data.PartitionNonIID(rng, ds.Train, 2, 2)
+	var workers []*Worker
+	for i := range parts {
+		w, err := New(Config{
+			ID: i, Arch: nn.ArchSoftmaxMNIST, Local: parts[i],
+			Rng: simrand.New(int64(300 + i)), CompressK: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+	}
+	client := &Client{BaseURL: hs.URL}
+	for round := 0; round < 5; round++ {
+		for _, w := range workers {
+			if _, err := w.Step(ctx, client); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	total := 0
+	for _, w := range workers {
+		total += w.DeltaPulls
+	}
+	// First pull per worker is full; with K=1 sparse updates every later
+	// pull is a delta (2 workers alternate, τ=2 ≤ history 8).
+	if total != 2*5-2 {
+		t.Fatalf("delta pulls = %d, want %d", total, 2*5-2)
 	}
 }
