@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fleet/internal/loadgen"
+)
+
+func TestParseBenchValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{},                                 // nothing requested
+		{"-compare", "a.json"},             // missing -against
+		{"-scenario", "uniform", "stray"},  // positional junk
+		{"-scenario", "uniform", "-bogus"}, // unknown flag
+	} {
+		if _, err := parseBench(args, io.Discard); err == nil {
+			t.Errorf("args %v parsed without error", args)
+		}
+	}
+}
+
+// TestSpecFlagsRoundTripIntoRunner: the spec-grammar flags must land in the
+// exact config fields the runner builds the server from.
+func TestSpecFlagsRoundTripIntoRunner(t *testing.T) {
+	o, err := parseBench([]string{
+		"-scenario", "uniform", "-seed", "99",
+		"-workers", "7", "-rounds", "3",
+		"-arch", "tiny-mnist", "-lr", "0.05", "-k", "4", "-shards", "2",
+		"-stages", "staleness,norm-filter(50)",
+		"-aggregator", "trimmed(1)",
+		"-admission", "min-batch(2),per-worker-quota(5,60)",
+		"-transport", "http", "-mode", "realtime",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := buildRunner(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := r.Scenario
+	if r.Seed != 99 || sc.Workers != 7 || sc.Rounds != 3 {
+		t.Fatalf("fleet overrides lost: seed=%d workers=%d rounds=%d", r.Seed, sc.Workers, sc.Rounds)
+	}
+	if sc.Server.Arch != "tiny-mnist" || sc.Server.LearningRate != 0.05 || sc.Server.K != 4 || sc.Server.Shards != 2 {
+		t.Fatalf("server overrides lost: %+v", sc.Server)
+	}
+	if sc.Server.Stages != "staleness,norm-filter(50)" || sc.Server.Aggregator != "trimmed(1)" {
+		t.Fatalf("pipeline specs lost: %+v", sc.Server)
+	}
+	if sc.Server.Admission != "min-batch(2),per-worker-quota(5,60)" {
+		t.Fatalf("admission spec lost: %q", sc.Server.Admission)
+	}
+	if r.Transport != loadgen.TransportHTTP || r.Mode != loadgen.ModeRealtime {
+		t.Fatalf("transport/mode lost: %v/%v", r.Transport, r.Mode)
+	}
+	// And a malformed spec must surface when the runner executes.
+	bad, _ := parseBench([]string{"-scenario", "uniform", "-aggregator", "krum(0.5)"}, io.Discard)
+	br, err := buildRunner(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "integer") {
+		t.Fatalf("malformed aggregator spec: err = %v", err)
+	}
+}
+
+func TestUnknownScenarioFails(t *testing.T) {
+	o, err := parseBench([]string{"-scenario", "nope"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildRunner(o); err == nil {
+		t.Fatal("unknown scenario built a runner")
+	}
+}
+
+func TestListPrintsScenarios(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(context.Background(), []string{"-list"}, &out, io.Discard); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, name := range loadgen.Names() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestRunEmitsDeterministicJSON is the end-to-end acceptance path: two
+// invocations write byte-identical files modulo wallclock, and the
+// -identical gate agrees.
+func TestRunEmitsDeterministicJSON(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	args := []string{"-scenario", "straggler-churn", "-seed", "42", "-workers", "8", "-rounds", "4",
+		"-max-protocol-errors", "0"}
+	if code := run(context.Background(), append(args, "-out", a), io.Discard, os.Stderr); code != 0 {
+		t.Fatalf("first run exited %d", code)
+	}
+	if code := run(context.Background(), append(args, "-out", b), io.Discard, os.Stderr); code != 0 {
+		t.Fatalf("second run exited %d", code)
+	}
+	var out bytes.Buffer
+	if code := run(context.Background(), []string{"-compare", a, "-against", b, "-identical"}, &out, os.Stderr); code != 0 {
+		t.Fatalf("-identical gate exited %d:\n%s", code, out.String())
+	}
+	// A different seed must fail the identical gate.
+	c := filepath.Join(dir, "c.json")
+	if code := run(context.Background(), []string{"-scenario", "straggler-churn", "-seed", "43",
+		"-workers", "8", "-rounds", "4", "-out", c}, io.Discard, os.Stderr); code != 0 {
+		t.Fatal("seed-43 run failed")
+	}
+	if code := run(context.Background(), []string{"-compare", a, "-against", c, "-identical"}, io.Discard, io.Discard); code == 0 {
+		t.Fatal("-identical passed across different seeds")
+	}
+}
+
+func TestAssertionFlagsGate(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "r.json")
+	// An impossible accuracy floor must fail the invocation.
+	code := run(context.Background(), []string{"-scenario", "uniform", "-seed", "1",
+		"-workers", "4", "-rounds", "2", "-out", out, "-min-accuracy", "1.01"}, io.Discard, io.Discard)
+	if code != 1 {
+		t.Fatalf("min-accuracy assert exited %d, want 1", code)
+	}
+}
+
+func TestCompareGateEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	args := []string{"-scenario", "uniform", "-seed", "5", "-workers", "6", "-rounds", "3"}
+	if code := run(context.Background(), append(args, "-out", base), io.Discard, os.Stderr); code != 0 {
+		t.Fatal("baseline run failed")
+	}
+	// Same run vs itself passes the regression gate.
+	var rep bytes.Buffer
+	if code := run(context.Background(), []string{"-compare", base, "-against", base}, &rep, os.Stderr); code != 0 {
+		t.Fatalf("self-comparison failed:\n%s", rep.String())
+	}
+	if !strings.Contains(rep.String(), "throughput_pushes_per_sec") {
+		t.Fatalf("report missing throughput check:\n%s", rep.String())
+	}
+	// Doctor a regressed copy: the gate must fail it.
+	res, err := loadgen.ReadResult(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.ThroughputPerSec *= 0.5
+	bad := filepath.Join(dir, "bad.json")
+	if err := res.WriteFile(bad); err != nil {
+		t.Fatal(err)
+	}
+	if code := run(context.Background(), []string{"-compare", base, "-against", bad}, io.Discard, io.Discard); code != 1 {
+		t.Fatal("halved throughput passed the 20% gate")
+	}
+}

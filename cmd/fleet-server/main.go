@@ -23,16 +23,26 @@
 // route through the same registry; a non-empty -admission takes
 // precedence over -min-batch and -max-similarity.
 //
+// On SIGINT/SIGTERM the server drains gracefully: the listener stops
+// accepting, in-flight pushes commit, and the process exits once idle or
+// after the -drain deadline.
+//
 // Workers (cmd/fleet-worker) connect with matching -arch.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"fleet/internal/device"
@@ -47,48 +57,67 @@ import (
 )
 
 func main() {
-	os.Exit(run())
-}
-
-func archByName(name string) (nn.Arch, error) {
-	for _, a := range []nn.Arch{
-		nn.ArchMNIST, nn.ArchEMNIST, nn.ArchCIFAR100,
-		nn.ArchTinyMNIST, nn.ArchSoftmaxMNIST, nn.ArchTinyCIFAR,
-	} {
-		if a.String() == name {
-			return a, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown architecture %q", name)
-}
-
-func run() int {
-	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		archName  = flag.String("arch", "tiny-mnist", "model architecture")
-		lr        = flag.Float64("lr", 0.03, "learning rate")
-		k         = flag.Int("k", 1, "gradients aggregated per model update")
-		sPct      = flag.Float64("s-pct", 99.7, "AdaSGD non-straggler percentage")
-		timeSLO   = flag.Float64("time-slo", 3.0, "computation-time SLO in seconds (0 disables)")
-		energySLO = flag.Float64("energy-slo", 0, "energy SLO in %battery (0 disables)")
-		minBatch  = flag.Int("min-batch", 0, "controller mini-batch size threshold (0 disables); routed through the admission registry")
-		maxSim    = flag.Float64("max-similarity", 0, "controller similarity threshold (0 disables); routed through the admission registry")
-		admission = flag.String("admission", "", "admission-policy chain spec (e.g. iprof-time(3),min-batch(5),similarity(0.9)); empty synthesizes the chain from -time-slo/-energy-slo/-min-batch/-max-similarity")
-		seed      = flag.Int64("seed", 1, "model initialization seed")
-		shards    = flag.Int("shards", 1, "gradient accumulator shards (striped locking; 1 = single mutex)")
-		stages    = flag.String("stages", "staleness", "comma-separated update-pipeline stage specs (e.g. staleness,norm-filter(100),dp(1,0.5))")
-		agg       = flag.String("aggregator", "mean", "window-aggregation rule spec (mean, median, trimmed(b), krum(f))")
-		rateLimit = flag.Float64("rate-limit", 0, "per-worker request rate limit in req/s (0 disables)")
-		rateBurst = flag.Int("rate-burst", 10, "per-worker rate-limit burst")
-		deadline  = flag.Duration("deadline", 0, "per-request server-side deadline (0 disables)")
-		verbose   = flag.Bool("verbose", false, "log every request")
-	)
-	flag.Parse()
-
-	arch, err := archByName(*archName)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	setup, err := buildServer(os.Args[1:], os.Stderr)
 	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0) // -h: usage already printed, a successful exit
+		}
 		fmt.Fprintln(os.Stderr, err)
-		return 2
+		os.Exit(2)
+	}
+	os.Exit(serve(ctx, setup, nil))
+}
+
+// serverSetup is everything buildServer derives from the command line: the
+// composed service plus the HTTP-serving knobs. serve consumes it, and
+// tests construct doctored ones.
+type serverSetup struct {
+	addr   string
+	drain  time.Duration
+	svc    service.Service
+	banner string
+	logf   func(format string, args ...interface{})
+}
+
+// buildServer parses args and composes the server: architecture, update
+// pipeline, I-Prof profilers, admission chain and interceptor stack — all
+// through the shared spec registries.
+func buildServer(args []string, stderr io.Writer) (*serverSetup, error) {
+	fs := flag.NewFlagSet("fleet-server", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		archName  = fs.String("arch", "tiny-mnist", "model architecture")
+		lr        = fs.Float64("lr", 0.03, "learning rate")
+		k         = fs.Int("k", 1, "gradients aggregated per model update")
+		sPct      = fs.Float64("s-pct", 99.7, "AdaSGD non-straggler percentage")
+		timeSLO   = fs.Float64("time-slo", 3.0, "computation-time SLO in seconds (0 disables)")
+		energySLO = fs.Float64("energy-slo", 0, "energy SLO in %battery (0 disables)")
+		minBatch  = fs.Int("min-batch", 0, "controller mini-batch size threshold (0 disables); routed through the admission registry")
+		maxSim    = fs.Float64("max-similarity", 0, "controller similarity threshold (0 disables); routed through the admission registry")
+		admission = fs.String("admission", "", "admission-policy chain spec (e.g. iprof-time(3),min-batch(5),similarity(0.9)); empty synthesizes the chain from -time-slo/-energy-slo/-min-batch/-max-similarity")
+		seed      = fs.Int64("seed", 1, "model initialization seed")
+		shards    = fs.Int("shards", 1, "gradient accumulator shards (striped locking; 1 = single mutex)")
+		stages    = fs.String("stages", "staleness", "comma-separated update-pipeline stage specs (e.g. staleness,norm-filter(100),dp(1,0.5))")
+		agg       = fs.String("aggregator", "mean", "window-aggregation rule spec (mean, median, trimmed(b), krum(f))")
+		rateLimit = fs.Float64("rate-limit", 0, "per-worker request rate limit in req/s (0 disables)")
+		rateBurst = fs.Int("rate-burst", 10, "per-worker rate-limit burst")
+		deadline  = fs.Duration("deadline", 0, "per-request server-side deadline (0 disables)")
+		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
+		verbose   = fs.Bool("verbose", false, "log every request")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+
+	arch, err := nn.ArchByName(*archName)
+	if err != nil {
+		return nil, err
 	}
 
 	algo := learning.NewAdaSGD(learning.AdaSGDConfig{NonStragglerPct: *sPct, BootstrapSteps: 50})
@@ -102,10 +131,8 @@ func run() int {
 		Seed:      *seed,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		fmt.Fprintf(os.Stderr, "known stages: %s; known aggregators: %s\n",
-			strings.Join(pipeline.Stages(), ", "), strings.Join(pipeline.Aggregators(), ", "))
-		return 2
+		return nil, fmt.Errorf("%w\nknown stages: %s; known aggregators: %s",
+			err, strings.Join(pipeline.Stages(), ", "), strings.Join(pipeline.Aggregators(), ", "))
 	}
 
 	cfg := server.Config{
@@ -126,8 +153,7 @@ func run() int {
 		data := iprof.Collect(rng, trainers, iprof.KindTime, *timeSLO)
 		prof, err := iprof.New(iprof.Config{Epsilon: 2e-4, RetrainEvery: 100}, data.Observations)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
+			return nil, err
 		}
 		cfg.TimeProfiler = prof
 	}
@@ -135,8 +161,7 @@ func run() int {
 		data := iprof.Collect(rng, trainers, iprof.KindEnergy, *energySLO)
 		prof, err := iprof.New(iprof.Config{Epsilon: 6e-5, RetrainEvery: 100}, data.Observations)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
+			return nil, err
 		}
 		cfg.EnergyProfiler = prof
 	}
@@ -171,16 +196,13 @@ func run() int {
 	}
 	chain, err := sched.Build(admissionSpec, schedOpts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		fmt.Fprintf(os.Stderr, "known admission policies: %s\n", strings.Join(sched.Policies(), ", "))
-		return 2
+		return nil, fmt.Errorf("%w\nknown admission policies: %s", err, strings.Join(sched.Policies(), ", "))
 	}
 	cfg.Admission = chain
 
 	srv, err := server.New(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
+		return nil, err
 	}
 
 	// Compose the interceptor chain around the server: recovery outermost,
@@ -195,18 +217,60 @@ func run() int {
 	if *rateLimit > 0 {
 		interceptors = append(interceptors, service.RateLimit(*rateLimit, *rateBurst))
 	}
-	svc := service.Chain(srv, interceptors...)
 
-	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           server.NewHandler(svc),
-		ReadHeaderTimeout: 10 * time.Second,
+	return &serverSetup{
+		addr:  *addr,
+		drain: *drain,
+		svc:   service.Chain(srv, interceptors...),
+		banner: fmt.Sprintf("FLeet server listening on %s (arch=%s, lr=%g, K=%d, pipeline: %s, admission: [%s])",
+			*addr, arch, *lr, *k, pipe, strings.Join(chain.Names(), " -> ")),
+		logf: log.Printf,
+	}, nil
+}
+
+// serve runs the HTTP server until ctx is cancelled (SIGINT/SIGTERM in
+// main), then shuts down gracefully: the listener closes, in-flight
+// requests — gradient pushes included — run to completion, and only then
+// does the process exit, bounded by the drain deadline. ready, when
+// non-nil, receives the bound address once the listener is up (tests bind
+// ":0").
+func serve(ctx context.Context, st *serverSetup, ready chan<- net.Addr) int {
+	logf := st.logf
+	if logf == nil {
+		logf = log.Printf
 	}
-	log.Printf("FLeet server listening on %s (arch=%s, lr=%g, K=%d, pipeline: %s, admission: [%s])",
-		*addr, arch, *lr, *k, pipe, strings.Join(chain.Names(), " -> "))
-	if err := httpSrv.ListenAndServe(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	ln, err := net.Listen("tcp", st.addr)
+	if err != nil {
+		logf("fleet-server: %v", err)
 		return 1
 	}
-	return 0
+	httpSrv := &http.Server{
+		Handler:           server.NewHandler(st.svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	if st.banner != "" {
+		logf("%s", st.banner)
+	}
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	select {
+	case err := <-errc:
+		// Serve only returns on listener failure here; ErrServerClosed
+		// cannot arrive before a Shutdown call.
+		logf("fleet-server: %v", err)
+		return 1
+	case <-ctx.Done():
+		logf("fleet-server: shutting down, draining in-flight requests (deadline %s)", st.drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), st.drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			logf("fleet-server: drain deadline exceeded: %v", err)
+			return 1
+		}
+		logf("fleet-server: drained cleanly")
+		return 0
+	}
 }

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"fleet/internal/nn"
+	"fleet/internal/protocol"
+	"fleet/internal/service"
+	"fleet/internal/simrand"
+	"fleet/internal/worker"
+)
+
+func TestBuildServerFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-arch", "no-such-arch"},
+		{"-stages", "no-such-stage"},
+		{"-aggregator", "krum(0.5)"}, // non-integral f
+		{"-admission", "no-such-policy(1)"},
+		{"-bogus"},
+		{"stray-positional"},
+	} {
+		if _, err := buildServer(args, io.Discard); err == nil {
+			t.Errorf("args %v built without error", args)
+		}
+	}
+}
+
+// TestSpecFlagsRoundTripIntoServer: the -stages/-aggregator/-admission
+// specs must surface verbatim in the running service's own diagnostics.
+func TestSpecFlagsRoundTripIntoServer(t *testing.T) {
+	setup, err := buildServer([]string{
+		"-arch", "softmax-mnist", "-lr", "0.1", "-k", "3",
+		"-time-slo", "0", // skip I-Prof pretraining for speed
+		"-stages", "staleness,norm-filter(100)",
+		"-aggregator", "trimmed(1)",
+		"-admission", "min-batch(2),per-worker-quota(10,60)",
+		"-drain", "5s",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setup.drain != 5*time.Second {
+		t.Fatalf("drain = %v", setup.drain)
+	}
+	stats, err := setup.svc.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.PipelineStages) != 2 ||
+		!strings.HasPrefix(stats.PipelineStages[0], "staleness") ||
+		!strings.HasPrefix(stats.PipelineStages[1], "norm-filter") {
+		t.Fatalf("pipeline stages = %v, want [staleness… norm-filter…]", stats.PipelineStages)
+	}
+	if !strings.Contains(strings.ToLower(stats.Aggregator), "trimmed") {
+		t.Fatalf("aggregator = %q", stats.Aggregator)
+	}
+	if len(stats.AdmissionPolicies) != 2 ||
+		!strings.HasPrefix(stats.AdmissionPolicies[0], "min-batch") ||
+		!strings.HasPrefix(stats.AdmissionPolicies[1], "per-worker-quota") {
+		t.Fatalf("admission policies = %v", stats.AdmissionPolicies)
+	}
+}
+
+// TestLegacyKnobsSynthesizeAdmission: with -admission empty, the individual
+// controller flags must still route through the registry.
+func TestLegacyKnobsSynthesizeAdmission(t *testing.T) {
+	setup, err := buildServer([]string{
+		"-arch", "softmax-mnist", "-time-slo", "0",
+		"-min-batch", "5", "-max-similarity", "0.9",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := setup.svc.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.AdmissionPolicies) != 2 ||
+		!strings.HasPrefix(stats.AdmissionPolicies[0], "min-batch") ||
+		!strings.HasPrefix(stats.AdmissionPolicies[1], "similarity") {
+		t.Fatalf("synthesized chain = %v", stats.AdmissionPolicies)
+	}
+}
+
+// slowPush delays every PushGradient so the test can cancel the server
+// while a push is verifiably in flight.
+func slowPush(d time.Duration) service.Interceptor {
+	return service.Around(func(ctx context.Context, info service.CallInfo, next func(context.Context) (interface{}, error)) (interface{}, error) {
+		if info.Method == "PushGradient" {
+			time.Sleep(d)
+		}
+		return next(ctx)
+	})
+}
+
+// TestGracefulShutdownDrainsInFlightPush is the regression test for the
+// bare-ListenAndServe bug: a push that is mid-flight when the shutdown
+// signal arrives must still commit, and serve must exit 0.
+func TestGracefulShutdownDrainsInFlightPush(t *testing.T) {
+	setup, err := buildServer([]string{
+		"-addr", "127.0.0.1:0", "-arch", "softmax-mnist", "-time-slo", "0", "-drain", "5s",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.svc = service.Chain(setup.svc, slowPush(400*time.Millisecond))
+	setup.logf = t.Logf
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	exit := make(chan int, 1)
+	go func() { exit <- serve(ctx, setup, ready) }()
+	addr := (<-ready).String()
+	client := &worker.Client{BaseURL: "http://" + addr}
+
+	params := nn.ArchSoftmaxMNIST.Build(simrand.New(1)).ParamCount()
+	pushDone := make(chan error, 1)
+	go func() {
+		_, err := client.PushGradient(context.Background(), &protocol.GradientPush{
+			WorkerID:    1,
+			Gradient:    make([]float64, params),
+			BatchSize:   1,
+			LabelCounts: make([]int, nn.ArchSoftmaxMNIST.Classes()),
+		})
+		pushDone <- err
+	}()
+
+	time.Sleep(100 * time.Millisecond) // the push is now sleeping inside the server
+	cancel()                           // deliver the "signal"
+
+	if err := <-pushDone; err != nil {
+		t.Fatalf("in-flight push failed during shutdown: %v", err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("serve exited %d after a clean drain", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not exit after drain")
+	}
+	// The model must have committed the drained push.
+	stats, err := setup.svc.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.GradientsIn != 1 {
+		t.Fatalf("drained push not committed: gradients_in = %d", stats.GradientsIn)
+	}
+	// And the listener is really gone.
+	if _, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// TestServeExitsOnListenerFailure: a dead listener must surface as a
+// non-zero exit, not a hang.
+func TestServeExitsOnListenerFailure(t *testing.T) {
+	setup, err := buildServer([]string{"-addr", "127.0.0.1:0", "-arch", "softmax-mnist", "-time-slo", "0"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.logf = func(string, ...interface{}) {}
+	// Occupy a port, then point the server at it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	setup.addr = ln.Addr().String()
+	if code := serve(context.Background(), setup, nil); code != 1 {
+		t.Fatalf("serve on occupied port exited %d, want 1", code)
+	}
+}

@@ -9,8 +9,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -24,22 +26,50 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	setup, err := buildWorker(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0) // -h: usage already printed, a successful exit
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	os.Exit(runWorker(setup))
 }
 
-func run() int {
+// workerSetup is the parsed-and-composed command line: the client, the
+// worker and the loop parameters.
+type workerSetup struct {
+	w        *worker.Worker
+	client   *worker.Client
+	rounds   int
+	interval time.Duration
+	timeout  time.Duration
+}
+
+// buildWorker parses args and builds the worker + HTTP client.
+func buildWorker(args []string, stderr io.Writer) (*workerSetup, error) {
+	fs := flag.NewFlagSet("fleet-worker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		serverURL  = flag.String("server", "http://localhost:8080", "FLeet server base URL")
-		deviceName = flag.String("device", "Galaxy S7", "device model from the catalogue")
-		workerID   = flag.Int("id", 0, "worker id")
-		rounds     = flag.Int("rounds", 50, "learning-task rounds to run")
-		interval   = flag.Duration("interval", 200*time.Millisecond, "pause between rounds")
-		seed       = flag.Int64("seed", 7, "local data + sampling seed")
-		codecName  = flag.String("codec", "gob", "wire codec: gob or json")
-		legacy     = flag.Bool("legacy", false, "speak the unversioned pre-v1 routes")
-		timeout    = flag.Duration("timeout", 30*time.Second, "per-round deadline")
+		serverURL  = fs.String("server", "http://localhost:8080", "FLeet server base URL")
+		deviceName = fs.String("device", "Galaxy S7", "device model from the catalogue")
+		workerID   = fs.Int("id", 0, "worker id")
+		rounds     = fs.Int("rounds", 50, "learning-task rounds to run")
+		interval   = fs.Duration("interval", 200*time.Millisecond, "pause between rounds")
+		seed       = fs.Int64("seed", 7, "local data + sampling seed")
+		codecName  = fs.String("codec", "gob", "wire codec: gob or json")
+		compressK  = fs.Int("compress-k", 0, "top-k sparse uplink coordinates (0 sends dense gradients)")
+		fullPull   = fs.Bool("full-pull", false, "always download the full model (disable delta pulls)")
+		legacy     = fs.Bool("legacy", false, "speak the unversioned pre-v1 routes")
+		timeout    = fs.Duration("timeout", 30*time.Second, "per-round deadline")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
 
 	var codec protocol.Codec
 	switch *codecName {
@@ -48,18 +78,15 @@ func run() int {
 	case "json":
 		codec = protocol.JSON
 	default:
-		fmt.Fprintf(os.Stderr, "unknown codec %q (want gob or json)\n", *codecName)
-		return 2
+		return nil, fmt.Errorf("unknown codec %q (want gob or json)", *codecName)
 	}
 	if *legacy && *codecName != "gob" {
-		fmt.Fprintln(os.Stderr, "-legacy speaks the pre-v1 gob+gzip dialect only; drop -codec or -legacy")
-		return 2
+		return nil, fmt.Errorf("-legacy speaks the pre-v1 gob+gzip dialect only; drop -codec or -legacy")
 	}
 
 	model, err := device.ModelByName(*deviceName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 2
+		return nil, err
 	}
 
 	// Local data: two non-IID shards of a synthetic dataset, as in §3.2.
@@ -68,25 +95,35 @@ func run() int {
 	local := parts[*workerID%len(parts)]
 
 	w, err := worker.New(worker.Config{
-		ID:     *workerID,
-		Arch:   nn.ArchTinyMNIST,
-		Local:  local,
-		Device: device.New(model, simrand.New(*seed+1)),
-		Rng:    simrand.New(*seed + 2),
+		ID:           *workerID,
+		Arch:         nn.ArchTinyMNIST,
+		Local:        local,
+		Device:       device.New(model, simrand.New(*seed+1)),
+		Rng:          simrand.New(*seed + 2),
+		CompressK:    *compressK,
+		FullPullOnly: *fullPull,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
+		return nil, err
 	}
 
-	client := &worker.Client{BaseURL: *serverURL, Codec: codec, Legacy: *legacy}
-	for i := 0; i < *rounds; i++ {
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
-		ack, err := w.Step(ctx, client)
+	return &workerSetup{
+		w:        w,
+		client:   &worker.Client{BaseURL: *serverURL, Codec: codec, Legacy: *legacy},
+		rounds:   *rounds,
+		interval: *interval,
+		timeout:  *timeout,
+	}, nil
+}
+
+func runWorker(st *workerSetup) int {
+	for i := 0; i < st.rounds; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), st.timeout)
+		ack, err := st.w.Step(ctx, st.client)
 		cancel()
 		if err != nil {
 			log.Printf("round %d: %v", i, err)
-			time.Sleep(*interval)
+			time.Sleep(st.interval)
 			continue
 		}
 		if ack.Applied {
@@ -94,14 +131,14 @@ func run() int {
 		} else {
 			log.Printf("round %d: task rejected by controller", i)
 		}
-		time.Sleep(*interval)
+		time.Sleep(st.interval)
 	}
-	statsCtx, cancel := context.WithTimeout(context.Background(), *timeout)
-	stats, err := client.Stats(statsCtx)
+	statsCtx, cancel := context.WithTimeout(context.Background(), st.timeout)
+	stats, err := st.client.Stats(statsCtx)
 	cancel()
 	if err == nil {
 		log.Printf("server stats: %+v", stats)
 	}
-	log.Printf("worker done: %d tasks, %d rejections", w.Tasks, w.Rejections)
+	log.Printf("worker done: %d tasks, %d rejections (%d delta pulls)", st.w.Tasks, st.w.Rejections, st.w.DeltaPulls)
 	return 0
 }

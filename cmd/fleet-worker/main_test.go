@@ -1,0 +1,81 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"fleet/internal/learning"
+	"fleet/internal/nn"
+	"fleet/internal/protocol"
+	"fleet/internal/server"
+)
+
+func TestBuildWorkerFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-codec", "xml"},             // unknown codec
+		{"-legacy", "-codec", "json"}, // legacy is gob-only
+		{"-device", "No Such Phone"},  // not in the catalogue
+		{"-bogus"},                    // unknown flag
+		{"stray"},                     // positional junk
+	} {
+		if _, err := buildWorker(args, io.Discard); err == nil {
+			t.Errorf("args %v built without error", args)
+		}
+	}
+}
+
+func TestBuildWorkerRoundTrip(t *testing.T) {
+	st, err := buildWorker([]string{
+		"-server", "http://example.test:9", "-device", "Pixel", "-id", "3",
+		"-rounds", "7", "-interval", "1ms", "-timeout", "2s",
+		"-codec", "json", "-compress-k", "5", "-full-pull",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.client.BaseURL != "http://example.test:9" || st.client.Legacy {
+		t.Fatalf("client = %+v", st.client)
+	}
+	if st.client.Codec.ContentType() != protocol.JSON.ContentType() {
+		t.Fatalf("codec = %v", st.client.Codec.ContentType())
+	}
+	if st.rounds != 7 || st.interval != time.Millisecond || st.timeout != 2*time.Second {
+		t.Fatalf("loop params = %+v", st)
+	}
+}
+
+// TestWorkerRunsAgainstLiveServer drives the built worker through real
+// rounds over HTTP, proving the flag-built config actually trains.
+func TestWorkerRunsAgainstLiveServer(t *testing.T) {
+	srv, err := server.New(server.Config{
+		Arch:         nn.ArchTinyMNIST,
+		Algorithm:    learning.NewAdaSGD(learning.AdaSGDConfig{NonStragglerPct: 99.7, BootstrapSteps: 5}),
+		LearningRate: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.NewHandler(srv))
+	defer ts.Close()
+
+	st, err := buildWorker([]string{"-server", ts.URL, "-rounds", "3", "-interval", "0s", "-device", "Pixel"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := runWorker(st); code != 0 {
+		t.Fatalf("runWorker exited %d", code)
+	}
+	if st.w.Tasks != 3 {
+		t.Fatalf("worker pushed %d tasks, want 3", st.w.Tasks)
+	}
+	stats, err := srv.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.GradientsIn != 3 {
+		t.Fatalf("server saw %d gradients", stats.GradientsIn)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"fleet/internal/hashtag"
 	"fleet/internal/iprof"
 	"fleet/internal/learning"
+	"fleet/internal/loadgen"
 	"fleet/internal/metrics"
 	"fleet/internal/nn"
 	"fleet/internal/pipeline"
@@ -570,6 +571,62 @@ func CompareOnlineVsStandard(s *TweetStream, lr float64, seed int64, shardDays i
 
 // Series is a named (x, y) result curve.
 type Series = metrics.Series
+
+// ---------------------------------------------------------------------------
+// Fleet-scale load & scenario harness (internal/loadgen, cmd/fleet-bench).
+
+// LoadScenario is one composable fleet-simulation profile: device-speed
+// tiers feeding I-Prof, churn, Byzantine fractions, network delay/loss and
+// delta/full pull mixes, plus the server spec to run them against.
+type LoadScenario = loadgen.Scenario
+
+// LoadRunner executes a LoadScenario deterministically (virtual time) or
+// goroutine-per-worker (realtime), in-process or over the live HTTP wire.
+type LoadRunner = loadgen.Runner
+
+// BenchResult is the machine-readable outcome of a load run — what
+// fleet-bench writes as BENCH_<scenario>.json. Same seed, same scenario →
+// identical result modulo the Wallclock block.
+type BenchResult = loadgen.Result
+
+// Load-harness component specs.
+type (
+	// LoadTier is one device-speed class of the simulated fleet.
+	LoadTier = loadgen.Tier
+	// LoadByzantine configures the adversarial worker fraction.
+	LoadByzantine = loadgen.ByzantineSpec
+	// LoadNetwork injects RTT delay and push loss.
+	LoadNetwork = loadgen.NetworkSpec
+	// LoadChurn makes workers leave and rejoin with cold caches.
+	LoadChurn = loadgen.ChurnSpec
+)
+
+// RunLoadScenario runs a registered scenario by name with the given seed —
+// the programmatic equivalent of `fleet-bench -scenario name -seed s`.
+func RunLoadScenario(ctx context.Context, name string, seed int64) (*BenchResult, error) {
+	sc, err := loadgen.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return (&LoadRunner{Scenario: sc, Seed: seed}).Run(ctx)
+}
+
+// RegisterLoadScenario adds a named scenario to the registry fleet-bench
+// and RunLoadScenario resolve from.
+func RegisterLoadScenario(s LoadScenario) { loadgen.Register(s) }
+
+// LoadScenarios lists the registered scenario names.
+func LoadScenarios() []string { return loadgen.Names() }
+
+// LoadScenarioByName looks a scenario up.
+func LoadScenarioByName(name string) (LoadScenario, error) { return loadgen.ByName(name) }
+
+// CompareBench gates a fresh benchmark result against a committed baseline
+// (throughput regression, accuracy drop, new protocol errors) — the CI
+// regression gate as a library call.
+func CompareBench(baseline, current *BenchResult, opts loadgen.CompareOptions) loadgen.CompareReport {
+	return loadgen.Compare(baseline, current, opts)
+}
 
 // ---------------------------------------------------------------------------
 // Experiment drivers.

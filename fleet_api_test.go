@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"fleet"
+	"fleet/internal/loadgen"
 	"fleet/internal/simrand"
 )
 
@@ -334,5 +335,30 @@ func TestPublicAPIAdmission(t *testing.T) {
 		if cached[i] != want[i] {
 			t.Fatalf("coord %d: %v != %v", i, cached[i], want[i])
 		}
+	}
+}
+
+func TestPublicAPILoadHarness(t *testing.T) {
+	names := fleet.LoadScenarios()
+	if len(names) < 5 {
+		t.Fatalf("load scenarios = %v", names)
+	}
+	sc, err := fleet.LoadScenarioByName("uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Name = "api-tiny"
+	sc.Workers, sc.Rounds = 4, 3
+	fleet.RegisterLoadScenario(sc)
+	res, err := fleet.RunLoadScenario(context.Background(), "api-tiny", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.Pushes != 12 || res.Counts.ProtocolErrors != 0 {
+		t.Fatalf("counts = %+v", res.Counts)
+	}
+	rep := fleet.CompareBench(res, res, loadgen.CompareOptions{})
+	if rep.Failed {
+		t.Fatalf("self-comparison failed:\n%s", rep)
 	}
 }

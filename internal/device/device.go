@@ -107,6 +107,20 @@ func Catalogue() []Model {
 	}
 }
 
+// Scaled returns a copy of the model whose per-sample cost slopes are
+// multiplied by factor — a synthetic speed tier of the same hardware
+// (straggler: factor > 1, overclocked: factor < 1). The name is suffixed so
+// I-Prof keys the tier as a distinct device model; factor 1 is the identity.
+func (m Model) Scaled(factor float64) Model {
+	if factor == 1 {
+		return m
+	}
+	m.Name = fmt.Sprintf("%s x%g", m.Name, factor)
+	m.AlphaTime *= factor
+	m.AlphaEnergy *= factor
+	return m
+}
+
 // ModelByName looks a model up in the catalogue.
 func ModelByName(name string) (Model, error) {
 	for _, m := range Catalogue() {

@@ -221,3 +221,17 @@ func TestProfileMonotoneSpeedup(t *testing.T) {
 		t.Fatalf("max speedup %v, want > 1 (all cores beats big-only)", maxSpeedup)
 	}
 }
+
+func TestScaledModel(t *testing.T) {
+	base := Catalogue()[0]
+	slow := base.Scaled(10)
+	if slow.AlphaTime != base.AlphaTime*10 || slow.AlphaEnergy != base.AlphaEnergy*10 {
+		t.Fatalf("scaled slopes = %v/%v", slow.AlphaTime, slow.AlphaEnergy)
+	}
+	if slow.Name == base.Name {
+		t.Fatal("scaled tier must be a distinct device model name")
+	}
+	if same := base.Scaled(1); same.Name != base.Name || same.AlphaTime != base.AlphaTime {
+		t.Fatal("factor 1 must be the identity")
+	}
+}

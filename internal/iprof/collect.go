@@ -15,11 +15,39 @@ type PretrainingData struct {
 	Costs        []float64
 }
 
+// CollectConfig tunes the offline collection sweep, making the device
+// profile feeding the cold-start model pluggable: the load harness sweeps
+// tier-scaled fleets (device.Model.Scaled) with scenario-specific bounds.
+// The zero value reproduces the paper's protocol.
+type CollectConfig struct {
+	// StopFactor ends a device's sweep once cost ≥ StopFactor·SLO
+	// (default 2, the paper's "twice the SLO").
+	StopFactor float64
+	// MaxBatch bounds the sweep's mini-batch size (default 1<<20).
+	MaxBatch int
+	// IdleSec is the cool-down between sweep tasks (default 30).
+	IdleSec float64
+}
+
 // Collect reproduces the paper's offline collection protocol (§3.3): each
 // training device executes learning tasks with mini-batch size increasing
 // from 1 until the computation cost reaches twice the SLO, recording device
 // features and measured slopes along the way.
 func Collect(rng *rand.Rand, models []device.Model, kind Kind, slo float64) PretrainingData {
+	return CollectWith(rng, models, kind, slo, CollectConfig{})
+}
+
+// CollectWith is Collect with a configurable sweep.
+func CollectWith(rng *rand.Rand, models []device.Model, kind Kind, slo float64, cfg CollectConfig) PretrainingData {
+	if cfg.StopFactor <= 0 {
+		cfg.StopFactor = 2
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1 << 20
+	}
+	if cfg.IdleSec <= 0 {
+		cfg.IdleSec = 30
+	}
 	var out PretrainingData
 	for _, m := range models {
 		d := device.New(m, rand.New(rand.NewSource(rng.Int63())))
@@ -34,8 +62,8 @@ func Collect(rng *rand.Rand, models []device.Model, kind Kind, slo float64) Pret
 			})
 			out.BatchSizes = append(out.BatchSizes, n)
 			out.Costs = append(out.Costs, cost)
-			d.Idle(30) // requests are spaced out; devices cool in between
-			if cost >= 2*slo || n > 1<<20 {
+			d.Idle(cfg.IdleSec) // requests are spaced out; devices cool in between
+			if cost >= cfg.StopFactor*slo || n >= cfg.MaxBatch {
 				break
 			}
 		}

@@ -241,3 +241,23 @@ func TestKindString(t *testing.T) {
 		t.Fatal("unknown kind")
 	}
 }
+
+func TestCollectWithConfigurableSweep(t *testing.T) {
+	models := device.Catalogue()[:2]
+	short := CollectWith(simrand.New(1), models, KindTime, 3, CollectConfig{StopFactor: 0.5, MaxBatch: 4})
+	long := CollectWith(simrand.New(1), models, KindTime, 3, CollectConfig{StopFactor: 4, MaxBatch: 1 << 16})
+	if len(short.Observations) == 0 || len(long.Observations) <= len(short.Observations) {
+		t.Fatalf("sweep bounds ignored: short=%d long=%d", len(short.Observations), len(long.Observations))
+	}
+	for _, n := range short.BatchSizes {
+		if n > 4 {
+			t.Fatalf("MaxBatch exceeded: %d", n)
+		}
+	}
+	// Tier-scaled models profile as distinct, proportionally slower devices.
+	straggler := []device.Model{models[0].Scaled(8)}
+	d := CollectWith(simrand.New(2), straggler, KindTime, 3, CollectConfig{MaxBatch: 8})
+	if d.Observations[0].DeviceModel == models[0].Name {
+		t.Fatal("scaled tier kept the base model name")
+	}
+}

@@ -1,0 +1,334 @@
+package loadgen
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// small returns a scaled-down copy of a registered scenario for test speed.
+func small(t *testing.T, name string, workers, rounds int) Scenario {
+	t.Helper()
+	sc, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Workers = workers
+	sc.Rounds = rounds
+	sc.EvalEvery = 20
+	return sc
+}
+
+func runScenario(t *testing.T, sc Scenario, seed int64) *Result {
+	t.Helper()
+	res, err := (&Runner{Scenario: sc, Seed: seed}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRegistryHasBuiltins(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"uniform", "straggler-churn", "byzantine-krum", "delta-mix", "lossy-net"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("built-in scenario %q missing from %v", want, names)
+		}
+	}
+	if _, err := ByName("no-such-scenario"); err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Errorf("ByName on unknown = %v", err)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	bad := []Scenario{
+		{Name: "x", Byzantine: ByzantineSpec{Fraction: 0.5}},                      // no attack
+		{Name: "x", Byzantine: ByzantineSpec{Fraction: 0.5, Attack: "dissolve"}},  // unknown attack
+		{Name: "x", Net: NetworkSpec{MinRTTSec: 1, MeanRTTSec: 2, LossRate: 1.5}}, // loss ≥ 1
+		{Name: "x", FullPullFrac: 2},                                              // frac > 1
+		{Name: "x", Tiers: []Tier{{Name: "t", Weight: 0}}},                        // no weight
+		{Name: "x", Churn: ChurnSpec{LeaveProb: 1.5}},                             // prob > 1
+		{Name: "x", Server: ServerSpec{Arch: "no-such-arch"}},                     // bad arch
+		{Name: "x", Server: ServerSpec{Aggregator: "no-such-agg"}},                // bad spec
+		{Name: "x", Server: ServerSpec{Admission: "no-such-policy(1)"}},           // bad admission
+	}
+	for i, sc := range bad {
+		if _, err := (&Runner{Scenario: sc, Seed: 1}).Run(context.Background()); err == nil {
+			t.Errorf("case %d: invalid scenario %+v ran without error", i, sc)
+		}
+	}
+}
+
+func TestUniformConvergesWithZeroErrors(t *testing.T) {
+	res := runScenario(t, small(t, "uniform", 12, 8), 1)
+	t.Logf("uniform: pushes=%d throughput=%.3f/s acc=%.3f stale(mean=%.2f p99=%d) virt=%.1fs",
+		res.Counts.Pushes, res.ThroughputPerSec, res.FinalAccuracy,
+		res.Staleness.Mean, res.Staleness.P99, res.VirtualDurationSec)
+	if res.Counts.ProtocolErrors != 0 {
+		t.Fatalf("protocol errors: %d (%v)", res.Counts.ProtocolErrors, res.Counts.ErrorSamples)
+	}
+	if res.Counts.Pushes != 12*8 {
+		t.Fatalf("pushes = %d, want %d (no loss, no rejects configured)", res.Counts.Pushes, 12*8)
+	}
+	if res.FinalAccuracy < 0.5 {
+		t.Fatalf("final accuracy %.3f: did not converge", res.FinalAccuracy)
+	}
+	if res.ThroughputPerSec <= 0 || res.VirtualDurationSec <= 0 {
+		t.Fatalf("throughput=%v duration=%v", res.ThroughputPerSec, res.VirtualDurationSec)
+	}
+	if len(res.Accuracy) == 0 {
+		t.Fatal("no accuracy series despite EvalEvery")
+	}
+	if res.Server.GradientsIn != res.Counts.Pushes {
+		t.Fatalf("server saw %d gradients, harness pushed %d", res.Server.GradientsIn, res.Counts.Pushes)
+	}
+}
+
+// TestDeterministicReplay is the acceptance criterion: two runs of the same
+// seed agree on every field outside the Wallclock block — byte-for-byte.
+func TestDeterministicReplay(t *testing.T) {
+	sc := small(t, "straggler-churn", 10, 5)
+	a := runScenario(t, sc, 42)
+	b := runScenario(t, sc, 42)
+	same, err := Identical(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		aj, _ := a.StripWallclock().MarshalCanonical()
+		bj, _ := b.StripWallclock().MarshalCanonical()
+		t.Fatalf("same-seed runs differ:\n--- run A\n%s\n--- run B\n%s", aj, bj)
+	}
+	// A different seed must actually change the run (the engine is not
+	// ignoring its randomness).
+	c := runScenario(t, sc, 43)
+	if same, _ := Identical(a, c); same {
+		t.Fatal("different seeds produced identical results")
+	}
+	if a.Wallclock == nil || a.Wallclock.ElapsedSec <= 0 {
+		t.Fatalf("wallclock block missing: %+v", a.Wallclock)
+	}
+}
+
+// TestHTTPTransportMatchesInProc: the gob wire round-trips float64 exactly,
+// so the deterministic projection is transport-invariant.
+func TestHTTPTransportMatchesInProc(t *testing.T) {
+	sc := small(t, "uniform", 6, 4)
+	inproc := runScenario(t, sc, 7)
+	httpRes, err := (&Runner{Scenario: sc, Seed: 7, Transport: TransportHTTP}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if httpRes.Counts.ProtocolErrors != 0 {
+		t.Fatalf("http run errors: %v", httpRes.Counts.ErrorSamples)
+	}
+	// Transport is echoed in the result, so compare field-by-field on the
+	// deterministic learning outcomes instead of full JSON.
+	if inproc.FinalAccuracy != httpRes.FinalAccuracy {
+		t.Fatalf("accuracy differs across transports: %v vs %v", inproc.FinalAccuracy, httpRes.FinalAccuracy)
+	}
+	if inproc.Counts.Pushes != httpRes.Counts.Pushes || inproc.Staleness.Mean != httpRes.Staleness.Mean {
+		t.Fatalf("counts/staleness differ: %+v vs %+v", inproc.Counts, httpRes.Counts)
+	}
+	if inproc.Server.ModelVersion != httpRes.Server.ModelVersion {
+		t.Fatalf("model version differs: %d vs %d", inproc.Server.ModelVersion, httpRes.Server.ModelVersion)
+	}
+}
+
+func TestStragglerChurnBehaviors(t *testing.T) {
+	res := runScenario(t, small(t, "straggler-churn", 12, 6), 3)
+	t.Logf("straggler-churn: %+v stale p99=%d acc=%.3f", res.Counts, res.Staleness.P99, res.FinalAccuracy)
+	if res.Counts.ProtocolErrors != 0 {
+		t.Fatalf("protocol errors: %v", res.Counts.ErrorSamples)
+	}
+	if res.Counts.Departures == 0 || res.Counts.Rejoins != res.Counts.Departures {
+		t.Fatalf("churn did not engage: %+v", res.Counts)
+	}
+	if res.Counts.DeltaPulls == 0 {
+		t.Fatal("no delta pulls despite delta-serving server and caching workers")
+	}
+	// Cold rejoins and the FullPullFrac cohort both force full downloads.
+	if res.Counts.FullPulls <= res.Counts.Departures {
+		t.Fatalf("full pulls (%d) should exceed departures (%d)", res.Counts.FullPulls, res.Counts.Departures)
+	}
+	if len(res.Server.AdmissionPolicies) == 0 {
+		t.Fatal("admission chain missing from server block")
+	}
+}
+
+func TestByzantineKrumResists(t *testing.T) {
+	krum := small(t, "byzantine-krum", 15, 16)
+	mean := krum
+	mean.Server.Aggregator = "mean"
+	krumRes := runScenario(t, krum, 5)
+	meanRes := runScenario(t, mean, 5)
+	t.Logf("krum acc=%.3f, mean-under-attack acc=%.3f", krumRes.FinalAccuracy, meanRes.FinalAccuracy)
+	if krumRes.Counts.ProtocolErrors != 0 {
+		t.Fatalf("krum run errors: %v", krumRes.Counts.ErrorSamples)
+	}
+	if krumRes.FinalAccuracy < 0.4 {
+		t.Fatalf("krum collapsed under 20%% sign-flip: acc=%.3f", krumRes.FinalAccuracy)
+	}
+	if krumRes.FinalAccuracy <= meanRes.FinalAccuracy {
+		t.Fatalf("krum (%.3f) should beat mean (%.3f) under attack", krumRes.FinalAccuracy, meanRes.FinalAccuracy)
+	}
+}
+
+func TestLossyNetLosesPushes(t *testing.T) {
+	res := runScenario(t, small(t, "lossy-net", 12, 6), 9)
+	if res.Counts.LostPushes == 0 {
+		t.Fatal("15% loss produced zero lost pushes")
+	}
+	if res.Counts.Pushes+res.Counts.LostPushes+res.Counts.ProtocolErrors != res.Counts.Accepted {
+		t.Fatalf("push accounting broken: %+v", res.Counts)
+	}
+	if res.Server.GradientsIn != res.Counts.Pushes {
+		t.Fatalf("server saw %d gradients, %d acked: lost pushes leaked through", res.Server.GradientsIn, res.Counts.Pushes)
+	}
+}
+
+func TestRejectsAttributedByPolicy(t *testing.T) {
+	sc := small(t, "uniform", 4, 6)
+	// A 1-task-per-5-minute quota makes every round after the first per
+	// worker reject with attribution.
+	sc.Server.Admission = "per-worker-quota(1,300)"
+	res := runScenario(t, sc, 11)
+	if res.Counts.Rejected == 0 {
+		t.Fatal("quota produced no rejections")
+	}
+	attributed := 0
+	for policy, n := range res.Server.RejectsByPolicy {
+		if !strings.HasPrefix(policy, "per-worker-quota") {
+			t.Fatalf("reject attributed to unexpected policy %q", policy)
+		}
+		attributed += n
+	}
+	if attributed != res.Counts.Rejected {
+		t.Fatalf("rejects not attributed: %+v vs %d", res.Server.RejectsByPolicy, res.Counts.Rejected)
+	}
+}
+
+func TestRealtimeModeRaces(t *testing.T) {
+	sc := small(t, "uniform", 8, 5)
+	sc.Byzantine = ByzantineSpec{Fraction: 0.25, Attack: AttackScaledNoise, Scale: 0.1}
+	sc.Net.LossRate = 0.1
+	sc.Churn = ChurnSpec{LeaveProb: 0.2, OfflineMeanSec: 1}
+	res, err := (&Runner{Scenario: sc, Seed: 13, Mode: ModeRealtime}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.ProtocolErrors != 0 {
+		t.Fatalf("realtime errors: %v", res.Counts.ErrorSamples)
+	}
+	if res.Counts.Pushes == 0 || res.Mode != "realtime" {
+		t.Fatalf("realtime result: %+v", res.Counts)
+	}
+	if res.VirtualDurationSec != 0 {
+		t.Fatal("realtime mode must not report a virtual duration")
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := (&Runner{Scenario: small(t, "uniform", 4, 3), Seed: 1}).Run(ctx); err == nil {
+		t.Fatal("cancelled context must abort the run")
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := runScenario(t, small(t, "uniform", 6, 4), 21)
+	same := runScenario(t, small(t, "uniform", 6, 4), 21)
+	if rep := Compare(base, same, CompareOptions{}); rep.Failed {
+		t.Fatalf("identical runs failed the gate:\n%s", rep)
+	}
+
+	regressed := *same
+	regressed.ThroughputPerSec = base.ThroughputPerSec * 0.75
+	if rep := Compare(base, &regressed, CompareOptions{MaxThroughputRegression: 0.2}); !rep.Failed {
+		t.Fatalf("-25%% throughput passed a 20%% gate:\n%s", rep)
+	}
+	slight := *same
+	slight.ThroughputPerSec = base.ThroughputPerSec * 0.9
+	if rep := Compare(base, &slight, CompareOptions{MaxThroughputRegression: 0.2}); rep.Failed {
+		t.Fatalf("-10%% throughput failed a 20%% gate:\n%s", rep)
+	}
+
+	worseAcc := *same
+	worseAcc.FinalAccuracy = base.FinalAccuracy - 0.5
+	if rep := Compare(base, &worseAcc, CompareOptions{}); !rep.Failed {
+		t.Fatal("accuracy collapse passed the gate")
+	}
+
+	erring := *same
+	erring.Counts.ProtocolErrors = 3
+	if rep := Compare(base, &erring, CompareOptions{}); !rep.Failed {
+		t.Fatal("new protocol errors passed the gate")
+	}
+
+	otherSeed := runScenario(t, small(t, "uniform", 6, 4), 22)
+	if rep := Compare(base, otherSeed, CompareOptions{}); !rep.Failed {
+		t.Fatal("cross-seed comparison must fail as incomparable")
+	}
+}
+
+func TestResultFileRoundTrip(t *testing.T) {
+	res := runScenario(t, small(t, "delta-mix", 6, 4), 2)
+	path := t.TempDir() + "/BENCH_delta-mix.json"
+	if err := res.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResult(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := Identical(res, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Fatal("result changed across the file round trip")
+	}
+}
+
+// TestConcurrentRunsDoNotMutateRegistry guards the withDefaults copy: two
+// concurrent runs of a registered scenario with zero-valued tier defaults
+// must not write through the shared Tiers backing array (-race) nor change
+// the registered profile.
+func TestConcurrentRunsDoNotMutateRegistry(t *testing.T) {
+	Register(Scenario{
+		Name:    "shared-tiers",
+		Workers: 3, Rounds: 2,
+		Tiers: []Tier{{Name: "t", Weight: 1, SpeedFactor: 0}}, // defaulted per run
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			sc, err := ByName("shared-tiers")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := (&Runner{Scenario: sc, Seed: seed}).Run(context.Background()); err != nil {
+				t.Error(err)
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	sc, err := ByName("shared-tiers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Tiers[0].SpeedFactor != 0 {
+		t.Fatalf("registered scenario mutated: SpeedFactor = %v", sc.Tiers[0].SpeedFactor)
+	}
+}

@@ -1,0 +1,262 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"fleet/internal/metrics"
+)
+
+// Counts are the protocol-level event counters of one run. Everything here
+// is deterministic in virtual mode.
+type Counts struct {
+	PullAttempts int `json:"pull_attempts"`
+	Accepted     int `json:"accepted"`
+	Rejected     int `json:"rejected"`
+	Pushes       int `json:"pushes"`
+	LostPushes   int `json:"lost_pushes,omitempty"`
+	DeltaPulls   int `json:"delta_pulls,omitempty"`
+	FullPulls    int `json:"full_pulls"`
+	Departures   int `json:"departures,omitempty"`
+	Rejoins      int `json:"rejoins,omitempty"`
+	// ProtocolErrors counts service calls that returned an error; the
+	// scenario-matrix CI gate asserts this stays zero. ErrorSamples keeps
+	// the first few messages for diagnosis.
+	ProtocolErrors int      `json:"protocol_errors"`
+	ErrorSamples   []string `json:"error_samples,omitempty"`
+}
+
+// LatencyBlock digests the simulated (virtual-time) latencies: the network
+// delay paid by pulls and pushes, and the full pull→ack round including
+// device compute. All in seconds, deterministic per seed.
+type LatencyBlock struct {
+	PullSec  metrics.Summary `json:"pull_sec"`
+	PushSec  metrics.Summary `json:"push_sec"`
+	RoundSec metrics.Summary `json:"round_sec"`
+}
+
+// StalenessBlock is the staleness distribution over acked pushes.
+type StalenessBlock struct {
+	Mean float64             `json:"mean"`
+	P50  int                 `json:"p50"`
+	P95  int                 `json:"p95"`
+	P99  int                 `json:"p99"`
+	Hist []metrics.IntBucket `json:"hist,omitempty"`
+}
+
+// AccuracyPoint is one point of the accuracy-vs-round series.
+type AccuracyPoint struct {
+	AfterPushes int     `json:"after_pushes"`
+	Accuracy    float64 `json:"accuracy"`
+}
+
+// ServerBlock echoes the server's own diagnostics at run end.
+type ServerBlock struct {
+	ModelVersion      int            `json:"model_version"`
+	GradientsIn       int            `json:"gradients_in"`
+	MeanStaleness     float64        `json:"mean_staleness"`
+	PipelineStages    []string       `json:"pipeline_stages,omitempty"`
+	Aggregator        string         `json:"aggregator,omitempty"`
+	AdmissionPolicies []string       `json:"admission_policies,omitempty"`
+	RejectsByPolicy   map[string]int `json:"rejects_by_policy,omitempty"`
+}
+
+// WallclockBlock holds everything measured with a real clock: the only part
+// of a Result that legitimately differs between two runs of the same seed.
+// Comparison and determinism checks strip it.
+type WallclockBlock struct {
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// PullSec/PushSec digest the real duration of each service call
+	// (in-process cost, or the full wire round-trip over HTTP).
+	PullSec metrics.Summary `json:"pull_sec"`
+	PushSec metrics.Summary `json:"push_sec"`
+}
+
+// Result is fleet-bench's machine-readable output (BENCH_<scenario>.json).
+type Result struct {
+	Scenario    string `json:"scenario"`
+	Description string `json:"description,omitempty"`
+	Seed        int64  `json:"seed"`
+	Mode        string `json:"mode"`
+	Transport   string `json:"transport"`
+	Workers     int    `json:"workers"`
+	Rounds      int    `json:"rounds"`
+	// Config echoes the fully defaulted scenario that ran, so a baseline
+	// JSON documents exactly what produced it.
+	Config Scenario `json:"config"`
+
+	Counts Counts `json:"counts"`
+	// VirtualDurationSec is the simulated duration of the run;
+	// ThroughputPerSec is accepted pushes per virtual second (virtual
+	// mode) or per wall second (realtime mode).
+	VirtualDurationSec float64         `json:"virtual_duration_sec"`
+	ThroughputPerSec   float64         `json:"throughput_pushes_per_sec"`
+	Latency            LatencyBlock    `json:"latency"`
+	Staleness          StalenessBlock  `json:"staleness"`
+	MeanScale          float64         `json:"mean_scale"`
+	Accuracy           []AccuracyPoint `json:"accuracy,omitempty"`
+	FinalAccuracy      float64         `json:"final_accuracy"`
+	Server             ServerBlock     `json:"server"`
+
+	Wallclock *WallclockBlock `json:"wallclock,omitempty"`
+}
+
+// StripWallclock returns a copy without the wall-clock block — the
+// deterministic projection two same-seed virtual runs must agree on
+// bit-for-bit.
+func (r *Result) StripWallclock() *Result {
+	cp := *r
+	cp.Wallclock = nil
+	return &cp
+}
+
+// MarshalCanonical renders the result as indented JSON with a trailing
+// newline. encoding/json sorts map keys, so equal results produce equal
+// bytes.
+func (r *Result) MarshalCanonical() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the canonical JSON to path.
+func (r *Result) WriteFile(path string) error {
+	b, err := r.MarshalCanonical()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ReadResult loads a BENCH_*.json file.
+func ReadResult(path string) (*Result, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Result
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("loadgen: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Identical reports whether two results agree on every deterministic field
+// (wall-clock stripped) — the replay guarantee fleet-bench -identical and
+// the CI determinism step assert.
+func Identical(a, b *Result) (bool, error) {
+	ab, err := a.StripWallclock().MarshalCanonical()
+	if err != nil {
+		return false, err
+	}
+	bb, err := b.StripWallclock().MarshalCanonical()
+	if err != nil {
+		return false, err
+	}
+	return bytes.Equal(ab, bb), nil
+}
+
+// CompareOptions tunes the regression gate.
+type CompareOptions struct {
+	// MaxThroughputRegression fails the gate when current throughput is
+	// below baseline·(1−this). Default 0.2 (the CI gate's 20%).
+	MaxThroughputRegression float64
+	// MaxAccuracyDrop fails when final accuracy fell by more than this
+	// (absolute). Default 0.1.
+	MaxAccuracyDrop float64
+}
+
+// Check is one comparison verdict.
+type Check struct {
+	Name     string  `json:"name"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	OK       bool    `json:"ok"`
+	Detail   string  `json:"detail"`
+}
+
+// CompareReport is the outcome of Compare.
+type CompareReport struct {
+	Checks []Check `json:"checks"`
+	Failed bool    `json:"failed"`
+}
+
+// String renders the report benchstat-style, one check per line.
+func (r CompareReport) String() string {
+	var b strings.Builder
+	for _, c := range r.Checks {
+		status := "ok  "
+		if !c.OK {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "%s %-22s baseline=%-12.6g current=%-12.6g %s\n",
+			status, c.Name, c.Baseline, c.Current, c.Detail)
+	}
+	return b.String()
+}
+
+// Compare gates current against baseline: throughput must not regress by
+// more than MaxThroughputRegression, final accuracy must not drop by more
+// than MaxAccuracyDrop, and protocol errors must not increase. Comparing
+// results of different scenarios or seeds fails outright — the numbers
+// would be meaningless.
+func Compare(baseline, current *Result, opts CompareOptions) CompareReport {
+	if opts.MaxThroughputRegression <= 0 {
+		opts.MaxThroughputRegression = 0.2
+	}
+	if opts.MaxAccuracyDrop <= 0 {
+		opts.MaxAccuracyDrop = 0.1
+	}
+	var rep CompareReport
+	add := func(c Check) {
+		rep.Checks = append(rep.Checks, c)
+		if !c.OK {
+			rep.Failed = true
+		}
+	}
+
+	if baseline.Scenario != current.Scenario || baseline.Seed != current.Seed {
+		add(Check{
+			Name: "comparable", OK: false,
+			Detail: fmt.Sprintf("baseline is %s/seed=%d, current is %s/seed=%d — not the same benchmark",
+				baseline.Scenario, baseline.Seed, current.Scenario, current.Seed),
+		})
+		return rep
+	}
+
+	{
+		c := Check{Name: "throughput_pushes_per_sec", Baseline: baseline.ThroughputPerSec, Current: current.ThroughputPerSec}
+		if baseline.ThroughputPerSec <= 0 {
+			c.OK = true
+			c.Detail = "baseline throughput is zero; skipped"
+		} else {
+			delta := (current.ThroughputPerSec - baseline.ThroughputPerSec) / baseline.ThroughputPerSec
+			c.OK = delta >= -opts.MaxThroughputRegression
+			c.Detail = fmt.Sprintf("%+.1f%% (limit −%.0f%%)", delta*100, opts.MaxThroughputRegression*100)
+		}
+		add(c)
+	}
+	{
+		drop := baseline.FinalAccuracy - current.FinalAccuracy
+		add(Check{
+			Name: "final_accuracy", Baseline: baseline.FinalAccuracy, Current: current.FinalAccuracy,
+			OK:     drop <= opts.MaxAccuracyDrop,
+			Detail: fmt.Sprintf("drop %.4f (limit %.4f)", drop, opts.MaxAccuracyDrop),
+		})
+	}
+	{
+		add(Check{
+			Name:     "protocol_errors",
+			Baseline: float64(baseline.Counts.ProtocolErrors),
+			Current:  float64(current.Counts.ProtocolErrors),
+			OK:       current.Counts.ProtocolErrors <= baseline.Counts.ProtocolErrors,
+			Detail:   "must not increase",
+		})
+	}
+	return rep
+}

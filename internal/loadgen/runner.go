@@ -1,0 +1,693 @@
+package loadgen
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"fleet/internal/data"
+	"fleet/internal/device"
+	"fleet/internal/iprof"
+	"fleet/internal/learning"
+	"fleet/internal/metrics"
+	"fleet/internal/nn"
+	"fleet/internal/pipeline"
+	"fleet/internal/sched"
+	"fleet/internal/server"
+	"fleet/internal/service"
+	"fleet/internal/simrand"
+	"fleet/internal/spec"
+	"fleet/internal/worker"
+)
+
+// Transport selects how workers reach the server.
+type Transport string
+
+// Transports.
+const (
+	// TransportInProc calls the *server.Server directly (fast, default).
+	TransportInProc Transport = "inproc"
+	// TransportHTTP drives the real v1 wire protocol (gob+gzip) through a
+	// loopback HTTP server, exercising codecs, routing and error mapping.
+	TransportHTTP Transport = "http"
+)
+
+// Mode selects the execution engine.
+type Mode string
+
+// Modes.
+const (
+	// ModeVirtual is the deterministic discrete-event engine: one event at
+	// a time on a virtual clock, bit-for-bit replayable per seed.
+	ModeVirtual Mode = "virtual"
+	// ModeRealtime runs goroutine-per-worker at full speed with no virtual
+	// clock: nondeterministic interleaving, real contention — the stress
+	// and wall-clock-throughput engine.
+	ModeRealtime Mode = "realtime"
+)
+
+// Runner executes one scenario. Zero-value Transport/Mode default to
+// in-process virtual time.
+type Runner struct {
+	Scenario  Scenario
+	Seed      int64
+	Transport Transport
+	Mode      Mode
+}
+
+// simWorker is one simulated fleet member: the real client library plus the
+// per-worker random streams that drive its environment.
+type simWorker struct {
+	id  int
+	w   *worker.Worker
+	dev *device.Device
+	// Independent deterministic streams: network delay, think time, churn
+	// decisions, Byzantine noise. Separate streams keep one knob's draws
+	// from perturbing another's replay.
+	netRng   *rand.Rand
+	thinkRng *rand.Rand
+	churnRng *rand.Rand
+	byzRng   *rand.Rand
+
+	tier       string
+	byzantine  bool
+	roundsLeft int
+	// rejoining marks a churned-out worker between its departure and the
+	// cold-cache pull that brings it back.
+	rejoining bool
+
+	// In-flight state between the pull and push events (virtual mode).
+	pending    *worker.Prepared
+	roundStart float64
+	pushNet    float64
+}
+
+func (sw *simWorker) rtt(net NetworkSpec) float64 {
+	return simrand.Exponential(sw.netRng, net.MinRTTSec, net.MeanRTTSec)
+}
+
+func (sw *simWorker) think(mean float64) float64 {
+	return simrand.Exponential(sw.thinkRng, 0.1*mean, mean)
+}
+
+// run is the mutable state of one execution.
+type run struct {
+	sc      Scenario
+	srv     *server.Server
+	svc     service.Service
+	scratch *nn.Network
+	test    []nn.Sample
+
+	mu         sync.Mutex
+	counts     Counts
+	pullVirt   []float64
+	pushVirt   []float64
+	roundVirt  []float64
+	scaleSum   float64
+	stale      *metrics.IntHist
+	accuracy   []AccuracyPoint
+	virtualEnd float64
+
+	// wall samples the real duration of every service call (per-request
+	// timing) through the Metrics interceptor, so the wallclock block
+	// reports the same percentiles any interceptor-instrumented deployment
+	// would.
+	wall *service.CallMetrics
+
+	// Event queue (virtual mode).
+	events eventHeap
+	seq    int64
+}
+
+const (
+	evtPull = iota
+	evtPush
+)
+
+type event struct {
+	at   float64
+	seq  int64
+	kind int
+	sw   *simWorker
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+func (r *run) schedule(at float64, kind int, sw *simWorker) {
+	r.seq++
+	heap.Push(&r.events, event{at: at, seq: r.seq, kind: kind, sw: sw})
+}
+
+func (r *run) recordError(err error) {
+	r.counts.ProtocolErrors++
+	if len(r.counts.ErrorSamples) < 5 {
+		r.counts.ErrorSamples = append(r.counts.ErrorSamples, err.Error())
+	}
+}
+
+// maybeEval appends an accuracy point every EvalEvery accepted pushes.
+// Callers hold r.mu.
+func (r *run) maybeEval() {
+	if r.sc.EvalEvery <= 0 || r.counts.Pushes%r.sc.EvalEvery != 0 {
+		return
+	}
+	r.accuracy = append(r.accuracy, AccuracyPoint{
+		AfterPushes: r.counts.Pushes,
+		Accuracy:    r.srv.Evaluate(r.scratch, r.test),
+	})
+}
+
+// Run executes the scenario and returns its measured result.
+func (r *Runner) Run(ctx context.Context) (*Result, error) {
+	sc := r.Scenario.withDefaults()
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	transport := r.Transport
+	if transport == "" {
+		transport = TransportInProc
+	}
+	mode := r.Mode
+	if mode == "" {
+		mode = ModeVirtual
+	}
+	switch transport {
+	case TransportInProc, TransportHTTP:
+	default:
+		return nil, fmt.Errorf("loadgen: unknown transport %q", transport)
+	}
+	switch mode {
+	case ModeVirtual, ModeRealtime:
+	default:
+		return nil, fmt.Errorf("loadgen: unknown mode %q", mode)
+	}
+
+	arch, err := nn.ArchByName(sc.Server.Arch)
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic seed plumbing: every random stream is derived from the
+	// master in a fixed, documented order, so adding a worker or a knob
+	// never silently reshuffles another stream.
+	master := simrand.New(r.Seed)
+	dataSeed := master.Int63()
+	compRng := simrand.New(master.Int63()) // fleet composition draws
+	iprofRng := simrand.New(master.Int63())
+	workerSeeds := make([]int64, sc.Workers)
+	for i := range workerSeeds {
+		workerSeeds[i] = master.Int63()
+	}
+
+	// Dataset and per-worker partitions.
+	ds := data.TinyMNIST(dataSeed, sc.TrainPerClass, sc.TestPerClass)
+	var parts [][]nn.Sample
+	if sc.ShardsPerUser > 0 {
+		parts = data.PartitionNonIID(compRng, ds.Train, sc.Workers, sc.ShardsPerUser)
+	} else {
+		parts = data.PartitionIID(compRng, ds.Train, sc.Workers)
+	}
+
+	// Fleet composition: tier draw and base device per worker, then the
+	// Byzantine and full-pull memberships.
+	catalogue := device.Catalogue()
+	weights := make([]float64, len(sc.Tiers))
+	for i, t := range sc.Tiers {
+		weights[i] = t.Weight
+	}
+	tierOf := make([]int, sc.Workers)
+	modelOf := make([]device.Model, sc.Workers)
+	for i := 0; i < sc.Workers; i++ {
+		ti := simrand.Categorical(compRng, weights)
+		tierOf[i] = ti
+		modelOf[i] = catalogue[compRng.Intn(len(catalogue))].Scaled(sc.Tiers[ti].SpeedFactor)
+	}
+	byzantine := membership(compRng, sc.Workers, sc.Byzantine.Fraction)
+	fullPull := membership(compRng, sc.Workers, sc.FullPullFrac)
+
+	// The distinct device models of this fleet (first-seen order —
+	// deterministic) feed I-Prof's offline pretraining, so the scenario's
+	// speed distribution shapes the cold-start model.
+	var fleetModels []device.Model
+	seen := map[string]bool{}
+	for _, m := range modelOf {
+		if !seen[m.Name] {
+			seen[m.Name] = true
+			fleetModels = append(fleetModels, m)
+		}
+	}
+
+	srvCfg := server.Config{
+		Arch:             arch,
+		Algorithm:        learning.NewAdaSGD(learning.AdaSGDConfig{NonStragglerPct: sc.Server.NonStragglerPct, BootstrapSteps: 50}),
+		LearningRate:     sc.Server.LearningRate,
+		K:                sc.Server.K,
+		DeltaHistory:     sc.Server.DeltaHistory,
+		DefaultBatchSize: sc.Server.DefaultBatchSize,
+		Seed:             r.Seed,
+	}
+	srvCfg.Pipeline, err = pipeline.Build(sc.Server.Stages, sc.Server.Aggregator, pipeline.BuildOptions{
+		Algorithm: srvCfg.Algorithm,
+		Shards:    sc.Server.Shards,
+		Seed:      r.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sc.Server.Admission != "" {
+		opts := sched.BuildOptions{}
+		// The offline sweep runs over the fleet's own (tier-scaled) device
+		// models; MaxBatch bounds it so an extreme fast tier cannot drag
+		// the pretraining into huge mini-batches.
+		sweep := iprof.CollectConfig{MaxBatch: 4096}
+		if slo, ok := admissionSLO(sc.Server.Admission, "iprof-time"); ok {
+			prof, err := iprof.New(iprof.Config{Epsilon: 2e-4, RetrainEvery: 100},
+				iprof.CollectWith(iprofRng, fleetModels, iprof.KindTime, slo, sweep).Observations)
+			if err != nil {
+				return nil, err
+			}
+			opts.TimeProfiler = prof
+			srvCfg.TimeProfiler = prof
+		}
+		if slo, ok := admissionSLO(sc.Server.Admission, "iprof-energy"); ok {
+			prof, err := iprof.New(iprof.Config{Epsilon: 6e-5, RetrainEvery: 100},
+				iprof.CollectWith(iprofRng, fleetModels, iprof.KindEnergy, slo, sweep).Observations)
+			if err != nil {
+				return nil, err
+			}
+			opts.EnergyProfiler = prof
+			srvCfg.EnergyProfiler = prof
+		}
+		srvCfg.Admission, err = sched.Build(sc.Server.Admission, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	srv, err := server.New(srvCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var svc service.Service = srv
+	if transport == TransportHTTP {
+		ts := httptest.NewServer(server.NewHandler(srv))
+		defer ts.Close()
+		svc = &worker.Client{BaseURL: ts.URL}
+	}
+	// Per-request wall timing rides the standard Metrics interceptor, so
+	// the harness measures exactly what an instrumented deployment would
+	// (in-process cost, or the full wire round-trip over HTTP).
+	wall := service.NewSampledCallMetrics(0)
+	svc = service.Chain(svc, service.Metrics(wall))
+
+	// Build the fleet.
+	classes := arch.Classes()
+	sims := make([]*simWorker, sc.Workers)
+	for i := 0; i < sc.Workers; i++ {
+		base := workerSeeds[i]
+		local := parts[i]
+		sw := &simWorker{
+			id:         i,
+			netRng:     simrand.New(base + 1),
+			thinkRng:   simrand.New(base + 2),
+			churnRng:   simrand.New(base + 3),
+			byzRng:     simrand.New(base + 4),
+			tier:       sc.Tiers[tierOf[i]].Name,
+			byzantine:  byzantine[i],
+			roundsLeft: sc.Rounds,
+		}
+		var transform func([]float64)
+		if sw.byzantine {
+			switch sc.Byzantine.Attack {
+			case AttackLabelFlip:
+				local = flipLabels(local, classes)
+			case AttackSignFlip:
+				s := sc.Byzantine.Scale
+				transform = func(g []float64) {
+					for j := range g {
+						g[j] = -s * g[j]
+					}
+				}
+			case AttackScaledNoise:
+				s := sc.Byzantine.Scale
+				rng := sw.byzRng
+				transform = func(g []float64) {
+					for j := range g {
+						g[j] = rng.NormFloat64() * s
+					}
+				}
+			}
+		}
+		sw.dev = device.New(modelOf[i], simrand.New(base+5))
+		w, err := worker.New(worker.Config{
+			ID:                i,
+			Arch:              arch,
+			Local:             local,
+			Device:            sw.dev,
+			Rng:               simrand.New(base + 6),
+			CompressK:         sc.CompressK,
+			GradientTransform: transform,
+			FullPullOnly:      fullPull[i],
+		})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: worker %d: %w", i, err)
+		}
+		sw.w = w
+		sims[i] = sw
+	}
+
+	rn := &run{
+		sc:      sc,
+		srv:     srv,
+		svc:     svc,
+		scratch: arch.Build(simrand.New(r.Seed)),
+		test:    ds.Test,
+		stale:   metrics.NewIntHist(),
+		wall:    wall,
+	}
+
+	wallStart := time.Now()
+	if mode == ModeVirtual {
+		err = r.runVirtual(ctx, rn, sims)
+	} else {
+		err = r.runRealtime(ctx, rn, sims)
+	}
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(wallStart).Seconds()
+
+	// Final accuracy point, always.
+	final := srv.Evaluate(rn.scratch, ds.Test)
+	if sc.EvalEvery > 0 && (len(rn.accuracy) == 0 || rn.accuracy[len(rn.accuracy)-1].AfterPushes != rn.counts.Pushes) {
+		rn.accuracy = append(rn.accuracy, AccuracyPoint{AfterPushes: rn.counts.Pushes, Accuracy: final})
+	}
+
+	stats, err := svc.Stats(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: final stats: %w", err)
+	}
+
+	res := &Result{
+		Scenario:    sc.Name,
+		Description: sc.Description,
+		Seed:        r.Seed,
+		Mode:        string(mode),
+		Transport:   string(transport),
+		Workers:     sc.Workers,
+		Rounds:      sc.Rounds,
+		Config:      sc,
+		Counts:      rn.counts,
+		Latency: LatencyBlock{
+			PullSec:  metrics.Summarize(rn.pullVirt),
+			PushSec:  metrics.Summarize(rn.pushVirt),
+			RoundSec: metrics.Summarize(rn.roundVirt),
+		},
+		Staleness: StalenessBlock{
+			Mean: rn.stale.Mean(),
+			P50:  rn.stale.Quantile(0.50),
+			P95:  rn.stale.Quantile(0.95),
+			P99:  rn.stale.Quantile(0.99),
+			Hist: rn.stale.Buckets(),
+		},
+		Accuracy:      rn.accuracy,
+		FinalAccuracy: final,
+		Server: ServerBlock{
+			ModelVersion:      stats.ModelVersion,
+			GradientsIn:       stats.GradientsIn,
+			MeanStaleness:     stats.MeanStaleness,
+			PipelineStages:    stats.PipelineStages,
+			Aggregator:        stats.Aggregator,
+			AdmissionPolicies: stats.AdmissionPolicies,
+			RejectsByPolicy:   stats.RejectsByPolicy,
+		},
+		Wallclock: &WallclockBlock{
+			ElapsedSec: elapsed,
+			PullSec:    wallSummary(rn.wall, "RequestTask"),
+			PushSec:    wallSummary(rn.wall, "PushGradient"),
+		},
+	}
+	if rn.counts.Pushes > 0 {
+		res.MeanScale = rn.scaleSum / float64(rn.counts.Pushes)
+	}
+	if mode == ModeVirtual {
+		res.VirtualDurationSec = rn.virtualEnd
+		if rn.virtualEnd > 0 {
+			res.ThroughputPerSec = float64(rn.counts.Pushes) / rn.virtualEnd
+		}
+	} else if elapsed > 0 {
+		res.ThroughputPerSec = float64(rn.counts.Pushes) / elapsed
+	}
+	return res, nil
+}
+
+// runVirtual is the deterministic discrete-event engine: pop the earliest
+// event (ties broken by schedule order), execute its real protocol calls,
+// schedule the consequences. Staleness, churn and loss emerge from the
+// interleaving of virtual times.
+func (r *Runner) runVirtual(ctx context.Context, rn *run, sims []*simWorker) error {
+	heap.Init(&rn.events)
+	for _, sw := range sims {
+		rn.schedule(sw.think(rn.sc.ThinkTimeSec), evtPull, sw)
+	}
+	for rn.events.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ev := heap.Pop(&rn.events).(event)
+		if ev.at > rn.virtualEnd {
+			rn.virtualEnd = ev.at
+		}
+		switch ev.kind {
+		case evtPull:
+			r.doPull(ctx, rn, ev.sw, ev.at)
+		case evtPush:
+			r.doPush(ctx, rn, ev.sw, ev.at)
+		}
+	}
+	return nil
+}
+
+// doPull executes steps (1)–(4) at virtual time t and schedules the push.
+func (r *Runner) doPull(ctx context.Context, rn *run, sw *simWorker, t float64) {
+	rn.counts.PullAttempts++
+	if sw.rejoining {
+		sw.rejoining = false
+		rn.counts.Rejoins++
+	}
+	resp, err := sw.w.Pull(ctx, rn.svc)
+	if err != nil {
+		rn.recordError(err)
+		sw.roundsLeft--
+		if sw.roundsLeft > 0 {
+			rn.schedule(t+sw.think(rn.sc.ThinkTimeSec), evtPull, sw)
+		}
+		return
+	}
+	if !resp.Accepted {
+		rn.counts.Rejected++
+		sw.roundsLeft--
+		if sw.roundsLeft > 0 {
+			rn.schedule(t+sw.think(rn.sc.ThinkTimeSec), evtPull, sw)
+		}
+		return
+	}
+	rn.counts.Accepted++
+	if resp.ParamsDelta != nil {
+		rn.counts.DeltaPulls++
+	} else {
+		rn.counts.FullPulls++
+	}
+	pullNet := sw.rtt(rn.sc.Net)
+	rn.pullVirt = append(rn.pullVirt, pullNet)
+	sw.pending = sw.w.Compute(resp)
+	sw.roundStart = t
+	sw.pushNet = sw.rtt(rn.sc.Net)
+	// The gradient lands on the server after the downlink delay, the
+	// device's computation and the uplink delay.
+	rn.schedule(t+pullNet+sw.pending.Exec.LatencySec+sw.pushNet, evtPush, sw)
+}
+
+// doPush executes step (5) at virtual time t, then think/churn-schedules
+// the next round.
+func (r *Runner) doPush(ctx context.Context, rn *run, sw *simWorker, t float64) {
+	sw.roundsLeft--
+	if rn.sc.Net.LossRate > 0 && sw.netRng.Float64() < rn.sc.Net.LossRate {
+		rn.counts.LostPushes++
+	} else {
+		ack, err := sw.w.Push(ctx, rn.svc, sw.pending.Push)
+		if err != nil {
+			rn.recordError(err)
+		} else {
+			rn.counts.Pushes++
+			rn.stale.Add(ack.Staleness)
+			rn.scaleSum += ack.Scale
+			rn.pushVirt = append(rn.pushVirt, sw.pushNet)
+			rn.roundVirt = append(rn.roundVirt, t-sw.roundStart)
+			rn.maybeEval()
+		}
+	}
+	sw.pending = nil
+	if sw.roundsLeft <= 0 {
+		return
+	}
+	if rn.sc.Churn.LeaveProb > 0 && sw.churnRng.Float64() < rn.sc.Churn.LeaveProb {
+		// Depart and rejoin later with a cold cache: the next pull is a
+		// full download regardless of the server's delta history. The
+		// rejoin is counted when that pull actually executes.
+		sw.w.ResetModelCache()
+		sw.rejoining = true
+		rn.counts.Departures++
+		offline := simrand.Exponential(sw.churnRng, rn.sc.Churn.OfflineMeanSec*0.2, rn.sc.Churn.OfflineMeanSec)
+		sw.dev.Idle(offline)
+		rn.schedule(t+offline, evtPull, sw)
+		return
+	}
+	gap := sw.think(rn.sc.ThinkTimeSec)
+	sw.dev.Idle(gap)
+	rn.schedule(t+gap, evtPull, sw)
+}
+
+// runRealtime runs goroutine-per-worker at full speed: no virtual clock, no
+// think time — maximum concurrency against the live serving path. The
+// interleaving (and thus staleness) is whatever the scheduler produces;
+// per-worker decisions (loss, churn, noise) still replay from the seed.
+func (r *Runner) runRealtime(ctx context.Context, rn *run, sims []*simWorker) error {
+	var wg sync.WaitGroup
+	for _, sw := range sims {
+		wg.Add(1)
+		go func(sw *simWorker) {
+			defer wg.Done()
+			for sw.roundsLeft > 0 {
+				if ctx.Err() != nil {
+					return
+				}
+				sw.roundsLeft--
+				ws := time.Now()
+				resp, err := sw.w.Pull(ctx, rn.svc)
+				pullDur := time.Since(ws).Seconds()
+				rn.mu.Lock()
+				rn.counts.PullAttempts++
+				if sw.rejoining {
+					sw.rejoining = false
+					rn.counts.Rejoins++
+				}
+				if err != nil {
+					rn.recordError(err)
+					rn.mu.Unlock()
+					continue
+				}
+				if !resp.Accepted {
+					rn.counts.Rejected++
+					rn.mu.Unlock()
+					continue
+				}
+				rn.counts.Accepted++
+				if resp.ParamsDelta != nil {
+					rn.counts.DeltaPulls++
+				} else {
+					rn.counts.FullPulls++
+				}
+				rn.mu.Unlock()
+
+				prep := sw.w.Compute(resp)
+				if rn.sc.Net.LossRate > 0 && sw.netRng.Float64() < rn.sc.Net.LossRate {
+					rn.mu.Lock()
+					rn.counts.LostPushes++
+					rn.mu.Unlock()
+					continue
+				}
+				ws = time.Now()
+				ack, err := sw.w.Push(ctx, rn.svc, prep.Push)
+				pushDur := time.Since(ws).Seconds()
+				rn.mu.Lock()
+				if err != nil {
+					rn.recordError(err)
+				} else {
+					rn.counts.Pushes++
+					rn.stale.Add(ack.Staleness)
+					rn.scaleSum += ack.Scale
+					rn.roundVirt = append(rn.roundVirt, pullDur+pushDur)
+					rn.maybeEval()
+				}
+				rn.mu.Unlock()
+				if rn.sc.Churn.LeaveProb > 0 && sw.churnRng.Float64() < rn.sc.Churn.LeaveProb {
+					sw.w.ResetModelCache()
+					sw.rejoining = true
+					rn.mu.Lock()
+					rn.counts.Departures++
+					rn.mu.Unlock()
+				}
+			}
+		}(sw)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// wallSummary digests one method's sampled wall latencies (zero Summary
+// when the method never ran).
+func wallSummary(cm *service.CallMetrics, method string) metrics.Summary {
+	s, _ := cm.LatencySummary(method)
+	return s
+}
+
+// membership draws ⌈frac·n⌋ members uniformly from [0, n) — a deterministic
+// random subset for Byzantine and full-pull roles.
+func membership(rng *rand.Rand, n int, frac float64) []bool {
+	out := make([]bool, n)
+	count := int(frac*float64(n) + 0.5)
+	if count <= 0 {
+		return out
+	}
+	for _, idx := range simrand.Perm(rng, n)[:count] {
+		out[idx] = true
+	}
+	return out
+}
+
+// flipLabels returns a copy of samples with every label shifted by one
+// class — the classic label-flip poisoning attack.
+func flipLabels(samples []nn.Sample, classes int) []nn.Sample {
+	out := make([]nn.Sample, len(samples))
+	for i, s := range samples {
+		s.Label = (s.Label + 1) % classes
+		out[i] = s
+	}
+	return out
+}
+
+// admissionSLO extracts the SLO argument of the named policy from an
+// admission chain spec, e.g. ("iprof-time(3),min-batch(5)", "iprof-time")
+// → (3, true). The harness uses it to pretrain exactly the profilers the
+// chain will consult.
+func admissionSLO(chainSpec, policy string) (float64, bool) {
+	for _, part := range spec.Split(chainSpec) {
+		name, args, err := spec.Parse(part)
+		if err == nil && name == policy && len(args) > 0 {
+			return args[0], true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,338 @@
+// Package loadgen is FLeet's deterministic fleet-scale load and scenario
+// harness: it spins up N simulated workers — heterogeneous device tiers
+// feeding I-Prof, mid-training churn, Byzantine pushers, lossy high-latency
+// networks, mixed delta/full pulls — against a real *server.Server (either
+// in-process or over the live v1 HTTP wire protocol) and measures what the
+// paper's claims are about: throughput, staleness, latency percentiles,
+// rejects-by-policy and accuracy-vs-round.
+//
+// Every scenario is seeded through internal/simrand and, in the default
+// virtual-time mode, driven by a discrete-event loop whose event order is a
+// pure function of the seed — so a scenario replays bit-for-bit (Result
+// modulo its Wallclock block) and CI can gate on the numbers. A realtime
+// mode runs goroutine-per-worker at full speed for race hammering and
+// wall-clock throughput measurement.
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Byzantine attack kinds.
+const (
+	// AttackSignFlip negates and amplifies each gradient (g ← −s·g).
+	AttackSignFlip = "sign-flip"
+	// AttackLabelFlip shifts every local label by one class, poisoning the
+	// data rather than the gradient arithmetic.
+	AttackLabelFlip = "label-flip"
+	// AttackScaledNoise replaces the gradient with N(0, s²) noise.
+	AttackScaledNoise = "scaled-noise"
+)
+
+// Tier is one device-speed class of the fleet: a fraction of the workers
+// run devices whose cost slopes are scaled by SpeedFactor (straggler tiers
+// use factors ≫ 1). Tier-scaled devices are distinct device models to
+// I-Prof, so the speed distribution flows into its cold-start pretraining
+// and per-model personalization.
+type Tier struct {
+	Name        string  `json:"name"`
+	Weight      float64 `json:"weight"`
+	SpeedFactor float64 `json:"speed_factor"`
+}
+
+// ByzantineSpec configures the adversarial fraction of the fleet.
+type ByzantineSpec struct {
+	// Fraction of workers that are adversarial (rounded to the nearest
+	// worker count; membership is drawn from the scenario seed).
+	Fraction float64 `json:"fraction,omitempty"`
+	// Attack is one of AttackSignFlip, AttackLabelFlip, AttackScaledNoise.
+	Attack string `json:"attack,omitempty"`
+	// Scale is the attack amplitude (amplification for sign-flip, σ for
+	// scaled-noise; unused by label-flip). Default 1.
+	Scale float64 `json:"scale,omitempty"`
+}
+
+// NetworkSpec injects network behavior: every pull and push pays a sampled
+// round-trip delay (the paper models RTT as a shifted exponential, §3.1),
+// and LossRate of pushes vanish before reaching the server.
+type NetworkSpec struct {
+	MinRTTSec  float64 `json:"min_rtt_sec"`
+	MeanRTTSec float64 `json:"mean_rtt_sec"`
+	LossRate   float64 `json:"loss_rate,omitempty"`
+}
+
+// ChurnSpec makes workers leave mid-training and rejoin later with a cold
+// model cache (their next pull is a full download).
+type ChurnSpec struct {
+	// LeaveProb is the per-completed-round probability of departing.
+	LeaveProb float64 `json:"leave_prob,omitempty"`
+	// OfflineMeanSec is the mean virtual offline duration before rejoining.
+	OfflineMeanSec float64 `json:"offline_mean_sec,omitempty"`
+}
+
+// ServerSpec selects the server configuration through the same spec grammar
+// as the fleet-server flags, so every pipeline/admission combination the
+// live server supports is benchable.
+type ServerSpec struct {
+	Arch         string  `json:"arch"`
+	LearningRate float64 `json:"learning_rate"`
+	K            int     `json:"k"`
+	Shards       int     `json:"shards,omitempty"`
+	Stages       string  `json:"stages"`
+	Aggregator   string  `json:"aggregator"`
+	Admission    string  `json:"admission,omitempty"`
+	DeltaHistory int     `json:"delta_history,omitempty"`
+	// NonStragglerPct is AdaSGD's s-percentile (default 99.7).
+	NonStragglerPct float64 `json:"non_straggler_pct,omitempty"`
+	// DefaultBatchSize is used when no I-Prof policy prescribes one.
+	DefaultBatchSize int `json:"default_batch_size,omitempty"`
+}
+
+// Scenario is one composable load profile. The zero values of most fields
+// have sensible defaults (see withDefaults); Name is required for registry
+// use. Scenarios are pure descriptions: all randomness comes from the
+// Runner's seed.
+type Scenario struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Workers is the fleet size; Rounds is how many protocol rounds each
+	// worker attempts before retiring.
+	Workers int `json:"workers"`
+	Rounds  int `json:"rounds"`
+	// Dataset sizing (synthetic TinyMNIST): samples per class for the
+	// train and test splits, and the non-IID shards per worker (0: IID).
+	TrainPerClass int `json:"train_per_class,omitempty"`
+	TestPerClass  int `json:"test_per_class,omitempty"`
+	ShardsPerUser int `json:"shards_per_user,omitempty"`
+	// EvalEvery evaluates test accuracy after every EvalEvery accepted
+	// pushes (0 disables the accuracy-vs-round series; a final evaluation
+	// always runs).
+	EvalEvery int `json:"eval_every,omitempty"`
+	// ThinkTimeSec is the mean virtual idle time between a worker's rounds.
+	ThinkTimeSec float64 `json:"think_time_sec,omitempty"`
+	// CompressK enables the top-k sparse uplink (0: dense gradients).
+	CompressK int `json:"compress_k,omitempty"`
+	// FullPullFrac is the fraction of workers that never request delta
+	// pulls, mixing both downlink modes in one run.
+	FullPullFrac float64 `json:"full_pull_frac,omitempty"`
+
+	Tiers     []Tier        `json:"tiers,omitempty"`
+	Byzantine ByzantineSpec `json:"byzantine,omitempty"`
+	Net       NetworkSpec   `json:"net"`
+	Churn     ChurnSpec     `json:"churn,omitempty"`
+	Server    ServerSpec    `json:"server"`
+}
+
+// withDefaults returns a copy with every unset knob at its default.
+func (s Scenario) withDefaults() Scenario {
+	if s.Workers <= 0 {
+		s.Workers = 16
+	}
+	if s.Rounds <= 0 {
+		s.Rounds = 8
+	}
+	if s.TrainPerClass <= 0 {
+		s.TrainPerClass = 40
+	}
+	if s.TestPerClass <= 0 {
+		s.TestPerClass = 6
+	}
+	if s.EvalEvery < 0 {
+		s.EvalEvery = 0
+	}
+	if s.ThinkTimeSec <= 0 {
+		s.ThinkTimeSec = 5
+	}
+	if len(s.Tiers) == 0 {
+		s.Tiers = []Tier{{Name: "uniform", Weight: 1, SpeedFactor: 1}}
+	} else {
+		// Copy before defaulting: the receiver is a value, but the slice
+		// shares its backing array with the registry's (or the caller's)
+		// scenario — writing through it would mutate and race.
+		s.Tiers = append([]Tier(nil), s.Tiers...)
+	}
+	for i := range s.Tiers {
+		if s.Tiers[i].SpeedFactor <= 0 {
+			s.Tiers[i].SpeedFactor = 1
+		}
+	}
+	if s.Byzantine.Scale <= 0 {
+		s.Byzantine.Scale = 1
+	}
+	if s.Net.MinRTTSec <= 0 {
+		s.Net.MinRTTSec = 0.05
+	}
+	if s.Net.MeanRTTSec <= s.Net.MinRTTSec {
+		s.Net.MeanRTTSec = s.Net.MinRTTSec + 0.15
+	}
+	if s.Churn.LeaveProb > 0 && s.Churn.OfflineMeanSec <= 0 {
+		s.Churn.OfflineMeanSec = 30
+	}
+	if s.Server.Arch == "" {
+		s.Server.Arch = "softmax-mnist"
+	}
+	if s.Server.LearningRate <= 0 {
+		s.Server.LearningRate = 0.3
+	}
+	if s.Server.K <= 0 {
+		s.Server.K = 1
+	}
+	if s.Server.Stages == "" {
+		s.Server.Stages = "staleness"
+	}
+	if s.Server.Aggregator == "" {
+		s.Server.Aggregator = "mean"
+	}
+	if s.Server.NonStragglerPct <= 0 {
+		s.Server.NonStragglerPct = 99.7
+	}
+	return s
+}
+
+// validate rejects impossible profiles before any work is done.
+func (s Scenario) validate() error {
+	if s.Byzantine.Fraction < 0 || s.Byzantine.Fraction > 1 {
+		return fmt.Errorf("loadgen: byzantine fraction %g outside [0,1]", s.Byzantine.Fraction)
+	}
+	switch s.Byzantine.Attack {
+	case "", AttackSignFlip, AttackLabelFlip, AttackScaledNoise:
+	default:
+		return fmt.Errorf("loadgen: unknown byzantine attack %q", s.Byzantine.Attack)
+	}
+	if s.Byzantine.Fraction > 0 && s.Byzantine.Attack == "" {
+		return fmt.Errorf("loadgen: byzantine fraction %g needs an attack kind", s.Byzantine.Fraction)
+	}
+	if s.Net.LossRate < 0 || s.Net.LossRate >= 1 {
+		return fmt.Errorf("loadgen: loss rate %g outside [0,1)", s.Net.LossRate)
+	}
+	if s.FullPullFrac < 0 || s.FullPullFrac > 1 {
+		return fmt.Errorf("loadgen: full-pull fraction %g outside [0,1]", s.FullPullFrac)
+	}
+	if s.Churn.LeaveProb < 0 || s.Churn.LeaveProb > 1 {
+		return fmt.Errorf("loadgen: churn leave probability %g outside [0,1]", s.Churn.LeaveProb)
+	}
+	total := 0.0
+	for _, t := range s.Tiers {
+		if t.Weight < 0 {
+			return fmt.Errorf("loadgen: tier %q has negative weight", t.Name)
+		}
+		total += t.Weight
+	}
+	if total <= 0 {
+		return fmt.Errorf("loadgen: tiers have no positive weight")
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Scenario registry (mirrors the pipeline/sched spec registries).
+
+var (
+	regMu     sync.RWMutex
+	scenarios = map[string]Scenario{}
+)
+
+// Register adds (or replaces) a named scenario. It panics on an empty name,
+// matching the other registries' contract for programmer errors.
+func Register(s Scenario) {
+	if s.Name == "" {
+		panic("loadgen: Register with empty scenario name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	scenarios[s.Name] = s
+}
+
+// ByName looks a scenario up.
+func ByName(name string) (Scenario, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := scenarios[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("loadgen: unknown scenario %q (known: %v)", name, namesLocked())
+	}
+	return s, nil
+}
+
+// Names lists the registered scenario names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(scenarios))
+	for k := range scenarios {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register(Scenario{
+		Name:        "uniform",
+		Description: "homogeneous fleet, no faults: the clean-room baseline every other scenario is judged against",
+		Workers:     24,
+		Rounds:      10,
+		EvalEvery:   40,
+		Server:      ServerSpec{K: 2},
+	})
+	Register(Scenario{
+		Name: "straggler-churn",
+		Description: "three speed tiers (1×/3×/10×) feeding I-Prof batch sizing, paper-model RTTs, " +
+			"20% per-round churn forcing cold full pulls against a delta-serving server",
+		Workers:       30,
+		Rounds:        8,
+		EvalEvery:     40,
+		CompressK:     12,
+		FullPullFrac:  0.25,
+		ShardsPerUser: 2,
+		Tiers: []Tier{
+			{Name: "fast", Weight: 0.4, SpeedFactor: 1},
+			{Name: "slow", Weight: 0.4, SpeedFactor: 3},
+			{Name: "straggler", Weight: 0.2, SpeedFactor: 10},
+		},
+		Net:   NetworkSpec{MinRTTSec: 7.1, MeanRTTSec: 8.45},
+		Churn: ChurnSpec{LeaveProb: 0.2, OfflineMeanSec: 60},
+		Server: ServerSpec{
+			K:            2,
+			Admission:    "iprof-time(3)",
+			DeltaHistory: 8,
+		},
+	})
+	Register(Scenario{
+		Name: "byzantine-krum",
+		Description: "20% sign-flip ×5 pushers against a Krum-aggregating server (K=5): " +
+			"the §4 robustness claim under live fleet traffic",
+		Workers:   25,
+		Rounds:    16,
+		EvalEvery: 40,
+		Byzantine: ByzantineSpec{Fraction: 0.2, Attack: AttackSignFlip, Scale: 5},
+		Server:    ServerSpec{K: 5, Aggregator: "krum(1)"},
+	})
+	Register(Scenario{
+		Name: "delta-mix",
+		Description: "downlink-focused profile: half the fleet delta-pulls against a deep delta history, " +
+			"half full-pulls, top-k sparse uplink keeping diffs wire-worthy",
+		Workers:      20,
+		Rounds:       10,
+		CompressK:    8,
+		FullPullFrac: 0.5,
+		Server:       ServerSpec{DeltaHistory: 8},
+	})
+	Register(Scenario{
+		Name: "lossy-net",
+		Description: "hostile network: paper RTTs, 15% push loss and light churn — staleness and " +
+			"retry behavior under packet loss",
+		Workers:   24,
+		Rounds:    8,
+		EvalEvery: 40,
+		Net:       NetworkSpec{MinRTTSec: 7.1, MeanRTTSec: 8.45, LossRate: 0.15},
+		Churn:     ChurnSpec{LeaveProb: 0.1, OfflineMeanSec: 45},
+		Server:    ServerSpec{K: 2},
+	})
+}

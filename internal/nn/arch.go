@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math/rand"
 )
 
@@ -52,6 +53,22 @@ func (a Arch) String() string {
 	default:
 		return "unknown"
 	}
+}
+
+// All returns every defined architecture.
+func All() []Arch {
+	return []Arch{ArchMNIST, ArchEMNIST, ArchCIFAR100, ArchTinyMNIST, ArchSoftmaxMNIST, ArchTinyCIFAR}
+}
+
+// ArchByName resolves an architecture from its String() name — the shared
+// lookup behind every -arch flag and scenario profile.
+func ArchByName(name string) (Arch, error) {
+	for _, a := range All() {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("nn: unknown architecture %q", name)
 }
 
 // InputShape returns the CHW input shape the architecture expects.

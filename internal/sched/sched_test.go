@@ -228,12 +228,12 @@ func TestBuildEmptySpec(t *testing.T) {
 func TestBuildErrors(t *testing.T) {
 	cases := []string{
 		"no-such-policy",
-		"min-batch",          // missing arg
-		"min-batch(0)",       // non-positive
-		"min-batch(2.5)",     // non-integral
-		"similarity(0)",      // non-positive
-		"iprof-time(3)",      // no profiler in options
-		"iprof-energy(5)",    // no profiler in options
+		"min-batch",       // missing arg
+		"min-batch(0)",    // non-positive
+		"min-batch(2.5)",  // non-integral
+		"similarity(0)",   // non-positive
+		"iprof-time(3)",   // no profiler in options
+		"iprof-energy(5)", // no profiler in options
 		"per-worker-quota(3)" /* missing window */, "per-worker-quota(0,60)",
 	}
 	for _, s := range cases {

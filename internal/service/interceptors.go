@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"fleet/internal/metrics"
 	"fleet/internal/protocol"
 )
 
@@ -51,6 +52,10 @@ type CallMetrics struct {
 	mu sync.Mutex
 	// byMethod is keyed by CallInfo.Method.
 	byMethod map[string]MethodStats
+	// samples, when non-nil, keeps per-method latency streams for
+	// percentile digestion (NewSampledCallMetrics); sampleCap bounds each.
+	samples   map[string]*metrics.Recorder
+	sampleCap int
 }
 
 // NewCallMetrics builds an empty metrics sink.
@@ -58,9 +63,20 @@ func NewCallMetrics() *CallMetrics {
 	return &CallMetrics{byMethod: make(map[string]MethodStats)}
 }
 
+// NewSampledCallMetrics builds a sink that additionally keeps up to cap
+// latency samples per method (0: unbounded) so LatencySummary can report
+// p50/p95/p99 — the per-request timing hook the load harness reads. The cap
+// keeps the first cap observations (deterministic under a seeded driver).
+func NewSampledCallMetrics(cap int) *CallMetrics {
+	return &CallMetrics{
+		byMethod:  make(map[string]MethodStats),
+		samples:   make(map[string]*metrics.Recorder),
+		sampleCap: cap,
+	}
+}
+
 func (c *CallMetrics) observe(method string, d time.Duration, failed bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.byMethod == nil {
 		c.byMethod = make(map[string]MethodStats) // zero-value CallMetrics works too
 	}
@@ -74,6 +90,30 @@ func (c *CallMetrics) observe(method string, d time.Duration, failed bool) {
 		m.MaxLatency = d
 	}
 	c.byMethod[method] = m
+	var rec *metrics.Recorder
+	if c.samples != nil {
+		rec = c.samples[method]
+		if rec == nil {
+			rec = metrics.NewRecorder(c.sampleCap)
+			c.samples[method] = rec
+		}
+	}
+	c.mu.Unlock()
+	if rec != nil {
+		rec.Observe(d.Seconds())
+	}
+}
+
+// LatencySummary digests the sampled latencies (in seconds) of one method.
+// ok is false on unsampled sinks (NewCallMetrics) or unseen methods.
+func (c *CallMetrics) LatencySummary(method string) (metrics.Summary, bool) {
+	c.mu.Lock()
+	rec := c.samples[method]
+	c.mu.Unlock()
+	if rec == nil {
+		return metrics.Summary{}, false
+	}
+	return rec.Summary(), true
 }
 
 // Snapshot returns a copy of the per-method stats.

@@ -41,6 +41,16 @@ type Config struct {
 	// dropped mass is carried into the next gradient). 0 sends dense
 	// gradients.
 	CompressK int
+	// GradientTransform, when non-nil, mutates each computed dense
+	// gradient in place before compression and push. The load harness
+	// injects Byzantine behaviors (sign-flip, scaled noise) through it;
+	// it runs before error feedback, so a compressing attacker compresses
+	// its own adversarial gradient.
+	GradientTransform func(grad []float64)
+	// FullPullOnly disables delta pulls: every task request downloads the
+	// full parameter vector even when a model is cached. The load harness
+	// uses it to mix delta-pulling and full-pulling fleets.
+	FullPullOnly bool
 }
 
 // Worker is a FLeet client. Not safe for concurrent use; one goroutine per
@@ -87,15 +97,42 @@ func New(cfg Config) (*Worker, error) {
 	return w, nil
 }
 
+// Prepared is a computed-but-unsent gradient: the output of Compute and
+// the input of Push. The load harness schedules the push at a simulated
+// later time, so staleness emerges from other workers' pushes in between.
+type Prepared struct {
+	// Push is the wire message ready to send.
+	Push *protocol.GradientPush
+	// Exec is the simulated device execution result (zero without a
+	// device): its latency drives the harness's virtual clock.
+	Exec device.ExecResult
+}
+
 // Step performs one full protocol round against the service: request a
 // task, compute the gradient, push it. It returns the ack (zero-valued
 // when the task was rejected by the controller).
 func (w *Worker) Step(ctx context.Context, svc service.Service) (protocol.PushAck, error) {
+	resp, err := w.Pull(ctx, svc)
+	if err != nil {
+		return protocol.PushAck{}, err
+	}
+	if !resp.Accepted {
+		return protocol.PushAck{}, nil
+	}
+	return w.Push(ctx, svc, w.Compute(resp).Push)
+}
+
+// Pull performs steps (1)–(4): request a task and, when accepted, absorb
+// the served model (full or delta) into the cached parameter vector. The
+// returned response reports acceptance; rejections are counted but not an
+// error. Pull, Compute and Push are Step split at its protocol boundaries
+// so an event-driven harness can interleave phases of different workers.
+func (w *Worker) Pull(ctx context.Context, svc service.Service) (*protocol.TaskResponse, error) {
 	req := protocol.TaskRequest{
 		WorkerID:    w.cfg.ID,
 		LabelCounts: w.labelCounts,
 	}
-	if w.cached {
+	if w.cached && !w.cfg.FullPullOnly {
 		req.KnownVersion = w.version
 		req.WantDelta = true
 	}
@@ -106,21 +143,28 @@ func (w *Worker) Step(ctx context.Context, svc service.Service) (protocol.PushAc
 	}
 	resp, err := svc.RequestTask(ctx, &req)
 	if err != nil {
-		return protocol.PushAck{}, fmt.Errorf("worker %d: task: %w", w.cfg.ID, err)
+		return nil, fmt.Errorf("worker %d: task: %w", w.cfg.ID, err)
 	}
 	if resp == nil {
 		// Guard against hand-rolled Service implementations returning
 		// (nil, nil); the built-in chain machinery never does.
-		return protocol.PushAck{}, fmt.Errorf("worker %d: task: service returned no response", w.cfg.ID)
+		return nil, fmt.Errorf("worker %d: task: service returned no response", w.cfg.ID)
 	}
 	if !resp.Accepted {
 		w.Rejections++
-		return protocol.PushAck{}, nil
+		return resp, nil
 	}
-
 	if err := w.absorbModel(resp); err != nil {
-		return protocol.PushAck{}, fmt.Errorf("worker %d: task: %w", w.cfg.ID, err)
+		return nil, fmt.Errorf("worker %d: task: %w", w.cfg.ID, err)
 	}
+	return resp, nil
+}
+
+// Compute executes the learning task for an accepted pull: sample a batch
+// of the prescribed size, compute the gradient on the pulled model, apply
+// the configured transform, compress, and simulate the device execution.
+// It performs no service calls.
+func (w *Worker) Compute(resp *protocol.TaskResponse) *Prepared {
 	w.net.SetParams(w.params)
 	batchSize := resp.BatchSize
 	if batchSize < 1 {
@@ -131,8 +175,11 @@ func (w *Worker) Step(ctx context.Context, svc service.Service) (protocol.PushAc
 	}
 	batch := data.SampleBatch(w.cfg.Rng, w.cfg.Local, batchSize)
 	grad, _ := w.net.Gradient(batch)
+	if w.cfg.GradientTransform != nil {
+		w.cfg.GradientTransform(grad)
+	}
 
-	push := protocol.GradientPush{
+	push := &protocol.GradientPush{
 		WorkerID:     w.cfg.ID,
 		ModelVersion: resp.ModelVersion,
 		BatchSize:    batchSize,
@@ -146,15 +193,21 @@ func (w *Worker) Step(ctx context.Context, svc service.Service) (protocol.PushAc
 	} else {
 		push.Gradient = grad
 	}
+	out := &Prepared{Push: push}
 	if w.cfg.Device != nil {
-		res := w.cfg.Device.Execute(batchSize)
+		out.Exec = w.cfg.Device.Execute(batchSize)
 		push.DeviceModel = w.cfg.Device.Model.Name
-		push.CompTimeSec = res.LatencySec
-		push.EnergyPct = res.EnergyPct
+		push.CompTimeSec = out.Exec.LatencySec
+		push.EnergyPct = out.Exec.EnergyPct
 		push.TimeFeatures = iprof.FeaturesOf(w.cfg.Device, iprof.KindTime)
 		push.EnergyFeatures = iprof.FeaturesOf(w.cfg.Device, iprof.KindEnergy)
 	}
-	ack, err := svc.PushGradient(ctx, &push)
+	return out
+}
+
+// Push sends a prepared gradient, step (5).
+func (w *Worker) Push(ctx context.Context, svc service.Service, push *protocol.GradientPush) (protocol.PushAck, error) {
+	ack, err := svc.PushGradient(ctx, push)
 	if err != nil {
 		return protocol.PushAck{}, fmt.Errorf("worker %d: push: %w", w.cfg.ID, err)
 	}
@@ -164,6 +217,11 @@ func (w *Worker) Step(ctx context.Context, svc service.Service) (protocol.PushAc
 	w.Tasks++
 	return *ack, nil
 }
+
+// ResetModelCache drops the cached model, forcing the next pull to download
+// the full parameter vector — what happens when a churned worker rejoins
+// after its app restarted.
+func (w *Worker) ResetModelCache() { w.cached = false }
 
 // absorbModel updates the worker's cached parameter vector from an
 // accepted task response: either patching the changed coordinates from a
