@@ -27,6 +27,20 @@
 // accepting, in-flight pushes commit, and the process exits once idle or
 // after the -drain deadline.
 //
+// Crash safety: with -checkpoint-dir the server writes atomic, checksummed
+// checkpoints of everything it has learned (model+clock, AdaSGD staleness
+// history, LD_global, I-Prof models) every -checkpoint-every aggregation
+// windows and at graceful shutdown, and boots from the latest valid one:
+//
+//	fleet-server -checkpoint-dir /var/lib/fleet -checkpoint-every 8
+//
+// A first boot has no checkpoint; that must be said out loud rather than
+// silently losing state, so -checkpoint-recover=fresh is required to
+// initialize a new model (the default, "latest", refuses to start). After
+// a hard kill (SIGKILL, OOM, node loss) simply restart with the same
+// -checkpoint-dir: the server restores the newest durable state as a new
+// incarnation and live workers resync on their own (see internal/worker).
+//
 // Workers (cmd/fleet-worker) connect with matching -arch.
 package main
 
@@ -49,6 +63,7 @@ import (
 	"fleet/internal/iprof"
 	"fleet/internal/learning"
 	"fleet/internal/nn"
+	"fleet/internal/persist"
 	"fleet/internal/pipeline"
 	"fleet/internal/sched"
 	"fleet/internal/server"
@@ -79,6 +94,11 @@ type serverSetup struct {
 	svc    service.Service
 	banner string
 	logf   func(format string, args ...interface{})
+	// checkpoint writes a durable state snapshot (nil when -checkpoint-dir
+	// is unset). serve calls it on SIGINT/SIGTERM before draining, and
+	// again after a clean drain so the very last committed pushes are
+	// durable too.
+	checkpoint func() (string, error)
 }
 
 // buildServer parses args and composes the server: architecture, update
@@ -107,6 +127,11 @@ func buildServer(args []string, stderr io.Writer) (*serverSetup, error) {
 		deadline  = fs.Duration("deadline", 0, "per-request server-side deadline (0 disables)")
 		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
 		verbose   = fs.Bool("verbose", false, "log every request")
+
+		ckptDir     = fs.String("checkpoint-dir", "", "durable checkpoint directory; empty disables crash safety")
+		ckptEvery   = fs.Int("checkpoint-every", 8, "periodic checkpoint cadence in aggregation windows (0: only at graceful shutdown)")
+		ckptKeep    = fs.Int("checkpoint-keep", 3, "checkpoint files retained in -checkpoint-dir")
+		ckptRecover = fs.String("checkpoint-recover", "latest", `startup policy with -checkpoint-dir: "latest" restores the newest valid checkpoint and refuses to boot without one; "fresh" additionally allows initializing a new model when the directory holds no checkpoint at all (corruption still refuses)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -200,9 +225,45 @@ func buildServer(args []string, stderr io.Writer) (*serverSetup, error) {
 	}
 	cfg.Admission = chain
 
-	srv, err := server.New(cfg)
-	if err != nil {
-		return nil, err
+	// Crash safety: wire the checkpointer in, then boot from durable state
+	// per the recovery policy. A missing checkpoint is a first boot — that
+	// must be said out loud (-checkpoint-recover=fresh), never silently
+	// decided; a corrupt-only directory always refuses (the operator
+	// deletes or repairs, the server does not guess).
+	var srv *server.Server
+	if *ckptDir != "" {
+		ckpt, err := persist.NewCheckpointer(*ckptDir, *ckptKeep)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Checkpointer = ckpt
+		cfg.CheckpointEvery = *ckptEvery
+		switch *ckptRecover {
+		case "latest":
+			srv, err = server.RestoreLatest(cfg, *ckptDir)
+			if errors.Is(err, persist.ErrNoCheckpoint) {
+				return nil, fmt.Errorf("%w (first boot? pass -checkpoint-recover=fresh to initialize a new model)", err)
+			}
+			if err != nil {
+				return nil, err
+			}
+		case "fresh":
+			srv, err = server.RestoreLatest(cfg, *ckptDir)
+			if errors.Is(err, persist.ErrNoCheckpoint) {
+				srv, err = server.New(cfg)
+			}
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("unknown -checkpoint-recover %q (want latest or fresh)", *ckptRecover)
+		}
+	} else {
+		var err error
+		srv, err = server.New(cfg)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Compose the interceptor chain around the server: recovery outermost,
@@ -218,14 +279,20 @@ func buildServer(args []string, stderr io.Writer) (*serverSetup, error) {
 		interceptors = append(interceptors, service.RateLimit(*rateLimit, *rateBurst))
 	}
 
-	return &serverSetup{
+	setup := &serverSetup{
 		addr:  *addr,
 		drain: *drain,
 		svc:   service.Chain(srv, interceptors...),
 		banner: fmt.Sprintf("FLeet server listening on %s (arch=%s, lr=%g, K=%d, pipeline: %s, admission: [%s])",
 			*addr, arch, *lr, *k, pipe, strings.Join(chain.Names(), " -> ")),
 		logf: log.Printf,
-	}, nil
+	}
+	if *ckptDir != "" {
+		setup.checkpoint = srv.Checkpoint
+		setup.banner += fmt.Sprintf(", checkpoints: %s every %d windows, incarnation %d at version %d",
+			*ckptDir, *ckptEvery, srv.Epoch(), srv.RestoredVersion())
+	}
+	return setup, nil
 }
 
 // serve runs the HTTP server until ctx is cancelled (SIGINT/SIGTERM in
@@ -263,12 +330,32 @@ func serve(ctx context.Context, st *serverSetup, ready chan<- net.Addr) int {
 		logf("fleet-server: %v", err)
 		return 1
 	case <-ctx.Done():
+		// Checkpoint before draining: if the drain deadline is exceeded
+		// (or the process is killed mid-drain) the state as of the signal
+		// is already durable.
+		if st.checkpoint != nil {
+			if path, err := st.checkpoint(); err != nil {
+				logf("fleet-server: pre-drain checkpoint failed: %v", err)
+			} else {
+				logf("fleet-server: checkpointed to %s", path)
+			}
+		}
 		logf("fleet-server: shutting down, draining in-flight requests (deadline %s)", st.drain)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), st.drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			logf("fleet-server: drain deadline exceeded: %v", err)
 			return 1
+		}
+		// Re-checkpoint after the drain so the pushes that committed
+		// during it are durable too.
+		if st.checkpoint != nil {
+			path, err := st.checkpoint()
+			if err != nil {
+				logf("fleet-server: post-drain checkpoint failed: %v", err)
+				return 1
+			}
+			logf("fleet-server: final checkpoint %s", path)
 		}
 		logf("fleet-server: drained cleanly")
 		return 0

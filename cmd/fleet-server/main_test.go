@@ -2,13 +2,20 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"net"
+	"os"
+	"os/exec"
 	"strings"
 	"testing"
 	"time"
 
+	"fleet/internal/data"
 	"fleet/internal/nn"
+	"fleet/internal/persist"
 	"fleet/internal/protocol"
 	"fleet/internal/service"
 	"fleet/internal/simrand"
@@ -175,5 +182,205 @@ func TestServeExitsOnListenerFailure(t *testing.T) {
 	setup.addr = ln.Addr().String()
 	if code := serve(context.Background(), setup, nil); code != 1 {
 		t.Fatalf("serve on occupied port exited %d, want 1", code)
+	}
+}
+
+// TestHelperServe is not a real test: it is the child process of
+// TestHardKillThenRestore, re-executing the test binary as a fleet-server
+// so the parent can SIGKILL a real OS process (a goroutine cannot be
+// hard-killed). Args arrive JSON-encoded in the environment.
+func TestHelperServe(t *testing.T) {
+	if os.Getenv("FLEET_SERVER_HELPER") != "1" {
+		t.Skip("helper process for TestHardKillThenRestore")
+	}
+	var args []string
+	if err := json.Unmarshal([]byte(os.Getenv("FLEET_SERVER_ARGS")), &args); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	setup, err := buildServer(args, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	os.Exit(serve(context.Background(), setup, nil))
+}
+
+// TestHardKillThenRestore is the end-to-end crash drill: a real
+// fleet-server process takes live traffic and periodic checkpoints, dies
+// by SIGKILL (no drain, no shutdown checkpoint), and a successor booted
+// from the same -checkpoint-dir restores the durable state — after which
+// the same live worker resyncs and keeps training without operator action.
+func TestHardKillThenRestore(t *testing.T) {
+	dir := t.TempDir()
+
+	// A free port for the child (racy in principle, fine for a test).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	args := []string{
+		"-addr", addr, "-arch", "softmax-mnist", "-time-slo", "0",
+		"-k", "1", "-checkpoint-dir", dir, "-checkpoint-every", "1",
+		"-checkpoint-recover", "fresh", // first boot: an empty dir is expected
+	}
+	argsJSON, err := json.Marshal(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := exec.Command(os.Args[0], "-test.run", "TestHelperServe")
+	child.Env = append(os.Environ(), "FLEET_SERVER_HELPER=1", "FLEET_SERVER_ARGS="+string(argsJSON))
+	if err := child.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = child.Process.Kill(); _, _ = child.Process.Wait() }()
+
+	// Wait for the child to serve.
+	client := &worker.Client{BaseURL: "http://" + addr}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := client.Stats(context.Background()); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("child fleet-server never came up")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Live training traffic: every push drains a window (K=1) and
+	// checkpoints (every=1), so durable state exists before the kill.
+	ctx := context.Background()
+	ds := data.TinyMNIST(1, 6, 2)
+	w, err := worker.New(worker.Config{ID: 1, Arch: nn.ArchSoftmaxMNIST, Local: ds.Train, Rng: simrand.New(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.Step(ctx, client); err != nil {
+			t.Fatalf("pre-kill round %d: %v", i, err)
+		}
+	}
+	// The worker holds a version it pulled from incarnation 0, mid-round.
+	resp, err := w.Pull(ctx, client)
+	if err != nil || !resp.Accepted {
+		t.Fatalf("pre-kill pull: %v %+v", err, resp)
+	}
+	prep := w.Compute(resp)
+
+	// kill -9: no drain, no shutdown checkpoint, in-flight window lost.
+	if err := child.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = child.Process.Wait()
+
+	// The successor boots from the same directory. Default recovery
+	// ("latest") suffices now — a checkpoint exists.
+	setup, err := buildServer([]string{
+		"-addr", "127.0.0.1:0", "-arch", "softmax-mnist", "-time-slo", "0",
+		"-k", "1", "-checkpoint-dir", dir, "-checkpoint-every", "1", "-drain", "5s",
+	}, io.Discard)
+	if err != nil {
+		t.Fatalf("restore boot: %v", err)
+	}
+	setup.logf = t.Logf
+	serveCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan net.Addr, 1)
+	exit := make(chan int, 1)
+	go func() { exit <- serve(serveCtx, setup, ready) }()
+	addr2 := (<-ready).String()
+	client2 := &worker.Client{BaseURL: "http://" + addr2}
+
+	stats, err := client2.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ServerEpoch != 1 {
+		t.Fatalf("restored incarnation = %d, want 1", stats.ServerEpoch)
+	}
+	if stats.RestoredVersion == 0 || stats.ModelVersion != stats.RestoredVersion {
+		t.Fatalf("restored at version %d (stats model %d): durable state lost", stats.RestoredVersion, stats.ModelVersion)
+	}
+
+	// The in-flight gradient from incarnation 0 must trigger a resync, and
+	// the worker must recover on its own.
+	if _, err := w.Push(ctx, client2, prep.Push); !protocol.IsCode(err, protocol.CodeVersionConflict) {
+		t.Fatalf("stale-incarnation push: %v, want version_conflict", err)
+	}
+	if w.Resyncs != 1 {
+		t.Fatalf("resyncs = %d, want 1", w.Resyncs)
+	}
+	if _, err := w.Step(ctx, client2); err != nil {
+		t.Fatalf("post-restore round: %v", err)
+	}
+	after, err := client2.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.GradientsIn != stats.GradientsIn+1 {
+		t.Fatalf("post-restore push did not commit: gradients %d -> %d", stats.GradientsIn, after.GradientsIn)
+	}
+
+	// Graceful exit writes a final checkpoint at the drained state.
+	before, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("restored server exited %d", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("restored server did not exit")
+	}
+	st, _, err := persist.LoadLatest(dir)
+	if err != nil {
+		t.Fatalf("no checkpoint after graceful exit (had %d files): %v", len(before), err)
+	}
+	if st.Version != after.ModelVersion || st.Epoch != 1 {
+		t.Fatalf("final checkpoint at version %d epoch %d, want %d/1", st.Version, st.Epoch, after.ModelVersion)
+	}
+}
+
+// TestCheckpointRecoverPolicy: a first boot (empty dir) must be explicit —
+// "latest" refuses, "fresh" initializes, anything else is a flag error.
+func TestCheckpointRecoverPolicy(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-arch", "softmax-mnist", "-time-slo", "0", "-checkpoint-dir", dir}
+
+	if _, err := buildServer(base, io.Discard); !errors.Is(err, persist.ErrNoCheckpoint) {
+		t.Fatalf("default recovery on empty dir: %v, want ErrNoCheckpoint", err)
+	}
+	if _, err := buildServer(append(base, "-checkpoint-recover", "bogus"), io.Discard); err == nil {
+		t.Fatal("bogus -checkpoint-recover accepted")
+	}
+	setup, err := buildServer(append(base, "-checkpoint-recover", "fresh"), io.Discard)
+	if err != nil {
+		t.Fatalf("fresh recovery on empty dir: %v", err)
+	}
+	if setup.checkpoint == nil {
+		t.Fatal("checkpoint hook missing despite -checkpoint-dir")
+	}
+	// The fresh boot can checkpoint; a second "latest" boot then works and
+	// reports the next incarnation.
+	if _, err := setup.checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	setup2, err := buildServer(base, io.Discard)
+	if err != nil {
+		t.Fatalf("latest recovery with a checkpoint present: %v", err)
+	}
+	stats, err := setup2.svc.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ServerEpoch != 1 {
+		t.Fatalf("second boot incarnation = %d, want 1", stats.ServerEpoch)
 	}
 }

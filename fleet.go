@@ -42,6 +42,7 @@ import (
 	"fleet/internal/loadgen"
 	"fleet/internal/metrics"
 	"fleet/internal/nn"
+	"fleet/internal/persist"
 	"fleet/internal/pipeline"
 	"fleet/internal/protocol"
 	"fleet/internal/robust"
@@ -121,6 +122,51 @@ func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 // NewHandler exposes a Service over the versioned HTTP wire protocol
 // (/v1/task, /v1/gradient, /v1/stats plus the legacy unversioned routes).
 func NewHandler(svc Service) http.Handler { return server.NewHandler(svc) }
+
+// ---------------------------------------------------------------------------
+// Crash safety (internal/persist): the server survives hard restarts.
+
+// Checkpointer writes versioned, atomic (temp+rename), checksummed
+// checkpoints of a server's learned state — model+clock, AdaSGD staleness
+// history, LD_global, I-Prof models — into one directory, pruning old
+// files. Wire one into ServerConfig.Checkpointer (cadence
+// ServerConfig.CheckpointEvery, in aggregation windows) and call
+// (*Server).Checkpoint at graceful shutdown.
+type Checkpointer = persist.Checkpointer
+
+// ServerState is the deserialized content of one checkpoint.
+type ServerState = persist.State
+
+// ErrNoCheckpoint reports an empty checkpoint directory (a first boot);
+// CheckpointCorruptError a checkpoint that exists but cannot be trusted.
+// Every load failure is one of the two — restores never silently boot
+// fresh.
+var ErrNoCheckpoint = persist.ErrNoCheckpoint
+
+// CheckpointCorruptError is a truncated, bit-flipped or undecodable
+// checkpoint file.
+type CheckpointCorruptError = persist.CorruptError
+
+// NewCheckpointer opens (creating if needed) a checkpoint directory,
+// retaining the newest keep files (keep <= 0 means the default, 3).
+func NewCheckpointer(dir string, keep int) (*Checkpointer, error) {
+	return persist.NewCheckpointer(dir, keep)
+}
+
+// RestoreServer boots a server from checkpointed state as a new
+// incarnation: workers holding models from the dead instance resync on
+// their own (their pushes come back version_conflict, they re-pull full).
+func RestoreServer(cfg ServerConfig, st *ServerState) (*Server, error) {
+	return server.Restore(cfg, st)
+}
+
+// RestoreServerLatest boots from the newest valid checkpoint in dir.
+func RestoreServerLatest(cfg ServerConfig, dir string) (*Server, error) {
+	return server.RestoreLatest(cfg, dir)
+}
+
+// LoadCheckpoint reads and verifies one checkpoint file.
+func LoadCheckpoint(path string) (*ServerState, error) { return persist.Load(path) }
 
 // Worker is the client library executing learning tasks on (simulated)
 // mobile devices.

@@ -362,3 +362,71 @@ func TestPublicAPILoadHarness(t *testing.T) {
 		t.Fatalf("self-comparison failed:\n%s", rep)
 	}
 }
+
+// TestPublicAPICrashSafety exercises the crash-safety facade: checkpoint a
+// live server, hard-drop it, restore with RestoreServerLatest, and watch a
+// worker resync through the incarnation conflict.
+func TestPublicAPICrashSafety(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	ckpt, err := fleet.NewCheckpointer(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkCfg := func() fleet.ServerConfig {
+		return fleet.ServerConfig{
+			Arch:             fleet.ArchSoftmaxMNIST,
+			Algorithm:        fleet.NewAdaSGD(fleet.AdaSGDConfig{NonStragglerPct: 99.7, BootstrapSteps: 5}),
+			LearningRate:     0.3,
+			DefaultBatchSize: 8,
+			Checkpointer:     ckpt,
+			CheckpointEvery:  1,
+		}
+	}
+	srv, err := fleet.NewServer(mkCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := fleet.TinyMNIST(2, 12, 4)
+	w, err := fleet.NewWorker(fleet.WorkerConfig{
+		ID: 1, Arch: fleet.ArchSoftmaxMNIST, Local: ds.Train, Rng: simrand.New(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.Step(ctx, srv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// In-flight round at the crash.
+	resp, err := w.Pull(ctx, srv)
+	if err != nil || !resp.Accepted {
+		t.Fatalf("pull: %v", err)
+	}
+	prep := w.Compute(resp)
+
+	restored, err := fleet.RestoreServerLatest(mkCfg(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Push(ctx, restored, prep.Push); err == nil {
+		t.Fatal("stale-incarnation push accepted")
+	} else {
+		var apiErr *fleet.APIError
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("untyped error: %v", err)
+		}
+	}
+	if w.Resyncs != 1 {
+		t.Fatalf("resyncs = %d", w.Resyncs)
+	}
+	if _, err := w.Step(ctx, restored); err != nil {
+		t.Fatalf("post-restore step: %v", err)
+	}
+
+	// The empty-dir failure mode is a typed sentinel.
+	if _, err := fleet.RestoreServerLatest(mkCfg(), t.TempDir()); !errors.Is(err, fleet.ErrNoCheckpoint) {
+		t.Fatalf("empty dir: %v, want fleet.ErrNoCheckpoint", err)
+	}
+}

@@ -20,6 +20,7 @@ package iprof
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"fleet/internal/regression"
@@ -193,6 +194,86 @@ func (p *IProf) Observe(o Observation) {
 		}
 		p.sinceFit = 0
 	}
+}
+
+// PersonalState is one personalized Passive-Aggressive model's serialized
+// weights.
+type PersonalState struct {
+	Model string
+	Theta []float64
+}
+
+// State is the serializable mutable state of an I-Prof instance: the
+// cold-start OLS weights, every personalized PA model (sorted by device
+// model name, so exports are deterministic), the accumulated observation
+// set behind periodic retraining, and the plausibility clamps. The Config
+// (epsilon, retrain cadence, batch clamps) is not part of the state — it
+// comes from the deployment that restores it.
+type State struct {
+	Global   []float64
+	Personal []PersonalState
+	ObsX     [][]float64
+	ObsY     []float64
+	SinceFit int
+	MinAlpha float64
+	MaxAlpha float64
+}
+
+// ExportState snapshots the profiler's mutable state for checkpointing.
+func (p *IProf) ExportState() *State {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := &State{
+		Global:   append([]float64(nil), p.global...),
+		ObsX:     make([][]float64, len(p.obsX)),
+		ObsY:     append([]float64(nil), p.obsY...),
+		SinceFit: p.sinceFit,
+		MinAlpha: p.minAlpha,
+		MaxAlpha: p.maxAlpha,
+	}
+	for i, x := range p.obsX {
+		st.ObsX[i] = append([]float64(nil), x...)
+	}
+	names := make([]string, 0, len(p.personal))
+	for name := range p.personal {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st.Personal = append(st.Personal, PersonalState{Model: name, Theta: p.personal[name].Theta()})
+	}
+	return st
+}
+
+// RestoreState replaces the profiler's mutable state with a checkpointed
+// one; the instance keeps its own Config. It errors on an internally
+// inconsistent state (the checkpoint is corrupt, not merely stale).
+func (p *IProf) RestoreState(st *State) error {
+	if st == nil {
+		return fmt.Errorf("iprof: nil state")
+	}
+	if len(st.Global) == 0 {
+		return fmt.Errorf("iprof: state has no cold-start weights")
+	}
+	if len(st.ObsX) != len(st.ObsY) {
+		return fmt.Errorf("iprof: state has %d observation rows but %d targets", len(st.ObsX), len(st.ObsY))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.global = append([]float64(nil), st.Global...)
+	p.personal = make(map[string]*regression.PassiveAggressive, len(st.Personal))
+	for _, ps := range st.Personal {
+		p.personal[ps.Model] = regression.NewPassiveAggressive(ps.Theta, p.cfg.Epsilon)
+	}
+	p.obsX = make([][]float64, len(st.ObsX))
+	for i, x := range st.ObsX {
+		p.obsX[i] = append([]float64(nil), x...)
+	}
+	p.obsY = append([]float64(nil), st.ObsY...)
+	p.sinceFit = st.SinceFit
+	p.minAlpha = st.MinAlpha
+	p.maxAlpha = st.MaxAlpha
+	return nil
 }
 
 // PersonalModels returns the names of device models that have personalized

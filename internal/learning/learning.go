@@ -241,6 +241,32 @@ func (a *AdaSGD) Observe(meta GradientMeta) {
 	a.seen++
 }
 
+// AdaSGDState is the serializable mutable state of an AdaSGD instance: the
+// staleness history behind the τ_thres quantile plus the bootstrap counter.
+// The configuration (percentile, bootstrap length) is not part of the state
+// — it comes from the deployment that restores it.
+type AdaSGDState struct {
+	Seen      int
+	Staleness StalenessState
+}
+
+// ExportState snapshots the algorithm's mutable state for checkpointing.
+func (a *AdaSGD) ExportState() AdaSGDState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdaSGDState{Seen: a.seen, Staleness: a.tracker.ExportState()}
+}
+
+// RestoreState replaces the algorithm's mutable state with a checkpointed
+// one. The tracker keeps its configured capacity; a history longer than the
+// capacity is truncated to its most recent values.
+func (a *AdaSGD) RestoreState(st AdaSGDState) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.seen = st.Seen
+	a.tracker.RestoreState(st.Staleness)
+}
+
 // StalenessTracker keeps a bounded history of staleness values and answers
 // quantile queries, implementing the paper's τ_thres estimation.
 type StalenessTracker struct {
@@ -274,6 +300,42 @@ func (s *StalenessTracker) Add(v int) {
 
 // Len returns the number of stored observations.
 func (s *StalenessTracker) Len() int { return len(s.values) }
+
+// StalenessState is the serializable form of a StalenessTracker: the
+// observation history in chronological order (oldest first).
+type StalenessState struct {
+	Values []int
+}
+
+// ExportState snapshots the history in chronological order, so restoring
+// into a tracker of any capacity keeps the most recent observations.
+func (s *StalenessTracker) ExportState() StalenessState {
+	out := make([]int, 0, len(s.values))
+	if len(s.values) == s.max {
+		out = append(out, s.values[s.next:]...)
+		out = append(out, s.values[:s.next]...)
+	} else {
+		out = append(out, s.values...)
+	}
+	return StalenessState{Values: out}
+}
+
+// RestoreState replaces the history with a checkpointed one, truncated to
+// the tracker's capacity (most recent values win).
+func (s *StalenessTracker) RestoreState(st StalenessState) {
+	vals := st.Values
+	if len(vals) > s.max {
+		vals = vals[len(vals)-s.max:]
+	}
+	s.values = make([]int, len(vals), s.max)
+	copy(s.values, vals)
+	s.next = 0
+	if len(s.values) == s.max {
+		s.full = true
+	} else {
+		s.full = false
+	}
+}
 
 // Quantile returns the q-quantile (q in [0, 1]) of the stored history, or 0
 // when empty.

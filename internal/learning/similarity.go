@@ -1,6 +1,7 @@
 package learning
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -115,6 +116,37 @@ func (l *LabelTracker) RecordWeighted(localCounts []int, weight float64) {
 		next.total += d
 	}
 	l.state.Store(next)
+}
+
+// LabelState is the serializable form of a LabelTracker: the raw weighted
+// counts of LD_global plus their running total.
+type LabelState struct {
+	Counts []float64
+	Total  float64
+}
+
+// ExportState snapshots LD_global for checkpointing. Lock-free.
+func (l *LabelTracker) ExportState() LabelState {
+	st := l.state.Load()
+	out := make([]float64, len(st.counts))
+	copy(out, st.counts)
+	return LabelState{Counts: out, Total: st.total}
+}
+
+// RestoreState replaces LD_global with a checkpointed one. The class count
+// must match the tracker's; a mismatch is a configuration error (the
+// checkpoint belongs to a different model shape).
+func (l *LabelTracker) RestoreState(st LabelState) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	old := l.state.Load()
+	if len(st.Counts) != len(old.counts) {
+		return fmt.Errorf("learning: label state has %d classes, tracker has %d", len(st.Counts), len(old.counts))
+	}
+	next := &labelState{counts: make([]float64, len(st.Counts)), total: st.Total}
+	copy(next.counts, st.Counts)
+	l.state.Store(next)
+	return nil
 }
 
 // Distribution returns a copy of the normalized global label distribution,

@@ -31,7 +31,7 @@ func runScenario(t *testing.T, sc Scenario, seed int64) *Result {
 
 func TestRegistryHasBuiltins(t *testing.T) {
 	names := Names()
-	for _, want := range []string{"uniform", "straggler-churn", "byzantine-krum", "delta-mix", "lossy-net"} {
+	for _, want := range []string{"uniform", "straggler-churn", "byzantine-krum", "delta-mix", "lossy-net", "server-restart"} {
 		found := false
 		for _, n := range names {
 			if n == want {
@@ -93,27 +93,162 @@ func TestUniformConvergesWithZeroErrors(t *testing.T) {
 
 // TestDeterministicReplay is the acceptance criterion: two runs of the same
 // seed agree on every field outside the Wallclock block — byte-for-byte.
+// The quota scenario covers the injected virtual clock (a wall-clock-read
+// quota policy would break replay), and the restart scenario covers the
+// checkpoint/restore/resync cycle.
 func TestDeterministicReplay(t *testing.T) {
-	sc := small(t, "straggler-churn", 10, 5)
-	a := runScenario(t, sc, 42)
-	b := runScenario(t, sc, 42)
-	same, err := Identical(a, b)
+	quota := small(t, "uniform", 8, 6)
+	quota.Server.Admission = "per-worker-quota(2,20)"
+	restart := small(t, "server-restart", 10, 6)
+	restart.Restart = RestartSpec{AtSec: 15, CheckpointEvery: 1}
+
+	for _, tc := range []struct {
+		name string
+		sc   Scenario
+	}{
+		{"straggler-churn", small(t, "straggler-churn", 10, 5)},
+		{"quota-policy", quota},
+		{"server-restart", restart},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := runScenario(t, tc.sc, 42)
+			b := runScenario(t, tc.sc, 42)
+			same, err := Identical(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !same {
+				aj, _ := a.StripWallclock().MarshalCanonical()
+				bj, _ := b.StripWallclock().MarshalCanonical()
+				t.Fatalf("same-seed runs differ:\n--- run A\n%s\n--- run B\n%s", aj, bj)
+			}
+			// A different seed must actually change the run (the engine is
+			// not ignoring its randomness).
+			c := runScenario(t, tc.sc, 43)
+			if same, _ := Identical(a, c); same {
+				t.Fatal("different seeds produced identical results")
+			}
+			if a.Wallclock == nil || a.Wallclock.ElapsedSec <= 0 {
+				t.Fatalf("wallclock block missing: %+v", a.Wallclock)
+			}
+		})
+	}
+}
+
+// TestQuotaScenarioUsesVirtualClock: the quota windows must be decided by
+// virtual time — over a 6-round run with ~5s virtual think time, a
+// 2-per-20-virtual-seconds quota must reject some rounds even though the
+// whole run takes well under 20 *wall* seconds.
+func TestQuotaScenarioUsesVirtualClock(t *testing.T) {
+	sc := small(t, "uniform", 4, 6)
+	sc.Server.Admission = "per-worker-quota(2,20)"
+	res := runScenario(t, sc, 11)
+	if res.Counts.Rejected == 0 {
+		t.Fatal("virtual-clock quota never rejected: the policy is reading the wall clock")
+	}
+	for policy := range res.Server.RejectsByPolicy {
+		if !strings.HasPrefix(policy, "per-worker-quota") {
+			t.Fatalf("reject attributed to %q", policy)
+		}
+	}
+	// And workers keep getting admitted again once virtual windows roll
+	// over: accepted rounds must also exist.
+	if res.Counts.Accepted == 0 {
+		t.Fatal("quota starved the whole run")
+	}
+}
+
+// TestServerRestartRecovers is the crash-recovery acceptance criterion:
+// hard-kill mid-training, restore from the latest checkpoint, and the live
+// fleet resyncs without operator action — zero permanent protocol errors,
+// every worker finishes its rounds, and final accuracy lands within 0.05
+// of the identical run without the restart.
+func TestServerRestartRecovers(t *testing.T) {
+	sc, err := ByName("server-restart")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !same {
-		aj, _ := a.StripWallclock().MarshalCanonical()
-		bj, _ := b.StripWallclock().MarshalCanonical()
-		t.Fatalf("same-seed runs differ:\n--- run A\n%s\n--- run B\n%s", aj, bj)
+	res := runScenario(t, sc, 42)
+	t.Logf("server-restart: %+v restored_v=%d ckpts=%d acc=%.3f",
+		res.Counts, res.Server.RestoredVersion, res.Server.Checkpoints, res.FinalAccuracy)
+
+	if res.Counts.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", res.Counts.Restarts)
 	}
-	// A different seed must actually change the run (the engine is not
-	// ignoring its randomness).
-	c := runScenario(t, sc, 43)
-	if same, _ := Identical(a, c); same {
-		t.Fatal("different seeds produced identical results")
+	if res.Counts.Resyncs == 0 {
+		t.Fatal("no worker resynced: the kill was invisible (restore too new, or no in-flight pushes)")
 	}
-	if a.Wallclock == nil || a.Wallclock.ElapsedSec <= 0 {
-		t.Fatalf("wallclock block missing: %+v", a.Wallclock)
+	if res.Counts.ProtocolErrors != 0 {
+		t.Fatalf("permanent protocol errors: %d (%v)", res.Counts.ProtocolErrors, res.Counts.ErrorSamples)
+	}
+	if res.Server.RestoredVersion == 0 {
+		t.Fatal("server block does not show a restored version")
+	}
+	// Every worker recovered and finished: each of the Workers×Rounds
+	// rounds ended as an accepted push or a quota rejection — none were
+	// abandoned to a wedge (resync retries don't consume rounds).
+	total := res.Workers * res.Rounds
+	if res.Counts.Pushes+res.Counts.Rejected != total {
+		t.Fatalf("rounds lost to the restart: pushes %d + rejected %d != %d (%+v)",
+			res.Counts.Pushes, res.Counts.Rejected, total, res.Counts)
+	}
+	// Accepted pulls are either acked pushes or bounded resync retries.
+	if res.Counts.Accepted != res.Counts.Pushes+res.Counts.Resyncs {
+		t.Fatalf("pull/push accounting broken: %+v", res.Counts)
+	}
+
+	// Accuracy must re-converge to within 0.05 of the undisturbed twin.
+	noRestart := sc
+	noRestart.Restart = RestartSpec{}
+	base := runScenario(t, noRestart, 42)
+	diff := base.FinalAccuracy - res.FinalAccuracy
+	if diff < 0 {
+		diff = -diff
+	}
+	t.Logf("accuracy: restart=%.4f no-restart=%.4f |diff|=%.4f", res.FinalAccuracy, base.FinalAccuracy, diff)
+	if diff > 0.05 {
+		t.Fatalf("restart cost %.4f accuracy (limit 0.05)", diff)
+	}
+	// The restored server must actually have lost progress (it booted from
+	// a checkpoint older than the kill point) yet kept checkpointing.
+	if res.Server.Checkpoints == 0 {
+		t.Fatal("restored server wrote no further checkpoints")
+	}
+}
+
+// TestServerRestartOverHTTP: the recovery story is transport-invariant —
+// the restored backend swaps in under the live HTTP handler and the wire
+// protocol carries the version conflicts and full re-pulls.
+func TestServerRestartOverHTTP(t *testing.T) {
+	sc := small(t, "server-restart", 10, 6)
+	sc.Restart = RestartSpec{AtSec: 15, CheckpointEvery: 1}
+	inproc := runScenario(t, sc, 7)
+	httpRes, err := (&Runner{Scenario: sc, Seed: 7, Transport: TransportHTTP}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if httpRes.Counts.Restarts != 1 || httpRes.Counts.Resyncs == 0 {
+		t.Fatalf("http restart run: %+v", httpRes.Counts)
+	}
+	if httpRes.Counts.ProtocolErrors != 0 {
+		t.Fatalf("http run errors: %v", httpRes.Counts.ErrorSamples)
+	}
+	if inproc.FinalAccuracy != httpRes.FinalAccuracy ||
+		inproc.Counts.Pushes != httpRes.Counts.Pushes ||
+		inproc.Counts.Resyncs != httpRes.Counts.Resyncs ||
+		inproc.Server.RestoredVersion != httpRes.Server.RestoredVersion {
+		t.Fatalf("transports diverge: %+v (acc %.4f) vs %+v (acc %.4f)",
+			inproc.Counts, inproc.FinalAccuracy, httpRes.Counts, httpRes.FinalAccuracy)
+	}
+}
+
+// TestRestartRequiresVirtualMode: realtime mode cannot place the kill
+// deterministically, so the combination is rejected up front.
+func TestRestartRequiresVirtualMode(t *testing.T) {
+	sc := small(t, "server-restart", 4, 2)
+	_, err := (&Runner{Scenario: sc, Seed: 1, Mode: ModeRealtime}).Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "virtual mode") {
+		t.Fatalf("realtime restart: %v", err)
 	}
 }
 

@@ -22,6 +22,13 @@ type Counts struct {
 	FullPulls    int `json:"full_pulls"`
 	Departures   int `json:"departures,omitempty"`
 	Rejoins      int `json:"rejoins,omitempty"`
+	// Restarts counts server hard-kill/restore events (RestartSpec);
+	// Resyncs counts worker recoveries from them — version-conflict pushes
+	// that dropped the cache and retried the round with a full pull.
+	// Resyncs are transient by design, so they are NOT protocol errors:
+	// the CI gate's "zero protocol errors" means zero *permanent* failures.
+	Restarts int `json:"restarts,omitempty"`
+	Resyncs  int `json:"resyncs,omitempty"`
 	// ProtocolErrors counts service calls that returned an error; the
 	// scenario-matrix CI gate asserts this stays zero. ErrorSamples keeps
 	// the first few messages for diagnosis.
@@ -53,7 +60,10 @@ type AccuracyPoint struct {
 	Accuracy    float64 `json:"accuracy"`
 }
 
-// ServerBlock echoes the server's own diagnostics at run end.
+// ServerBlock echoes the server's own diagnostics at run end. After a
+// RestartSpec kill it describes the *restored* instance: RestoredVersion is
+// the checkpointed clock it booted from, and the counters include the
+// carried-over pre-kill state the checkpoint preserved.
 type ServerBlock struct {
 	ModelVersion      int            `json:"model_version"`
 	GradientsIn       int            `json:"gradients_in"`
@@ -62,6 +72,10 @@ type ServerBlock struct {
 	Aggregator        string         `json:"aggregator,omitempty"`
 	AdmissionPolicies []string       `json:"admission_policies,omitempty"`
 	RejectsByPolicy   map[string]int `json:"rejects_by_policy,omitempty"`
+	DrainErrors       int            `json:"drain_errors,omitempty"`
+	Checkpoints       int            `json:"checkpoints,omitempty"`
+	RestoredVersion   int            `json:"restored_version,omitempty"`
+	ServerEpoch       int64          `json:"server_epoch,omitempty"`
 }
 
 // WallclockBlock holds everything measured with a real clock: the only part

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http/httptest"
+	"os"
 	"sync"
 	"time"
 
@@ -15,7 +16,9 @@ import (
 	"fleet/internal/learning"
 	"fleet/internal/metrics"
 	"fleet/internal/nn"
+	"fleet/internal/persist"
 	"fleet/internal/pipeline"
+	"fleet/internal/protocol"
 	"fleet/internal/sched"
 	"fleet/internal/server"
 	"fleet/internal/service"
@@ -79,6 +82,11 @@ type simWorker struct {
 	// rejoining marks a churned-out worker between its departure and the
 	// cold-cache pull that brings it back.
 	rejoining bool
+	// resyncBudget bounds how many version-conflict recoveries (server
+	// restarts observed mid-round) this worker absorbs before the conflict
+	// counts as a protocol error — the harness-side mirror of
+	// worker.Config.MaxResyncs for the event-driven engine.
+	resyncBudget int
 
 	// In-flight state between the pull and push events (virtual mode).
 	pending    *worker.Prepared
@@ -94,6 +102,161 @@ func (sw *simWorker) think(mean float64) float64 {
 	return simrand.Exponential(sw.thinkRng, 0.1*mean, mean)
 }
 
+// vclock is the harness's virtual clock, exposed to time-windowed
+// admission policies (sched.BuildOptions.Now) so quota windows are decided
+// by deterministic virtual time instead of the wall clock — PR 4's
+// bit-for-bit replay guarantee extended to quota scenarios.
+type vclock struct{ sec float64 }
+
+func (c *vclock) set(sec float64) { c.sec = sec }
+
+// Now maps virtual seconds onto a fixed epoch.
+func (c *vclock) Now() time.Time {
+	return time.Unix(0, 0).Add(time.Duration(c.sec * float64(time.Second)))
+}
+
+// swapService routes Service calls to a swappable backend — how the
+// harness replaces a hard-killed server with its restored successor while
+// the fleet keeps calling through the same front (in-process, or the HTTP
+// handler wrapping this).
+type swapService struct {
+	mu    sync.RWMutex
+	inner service.Service
+}
+
+func (s *swapService) set(svc service.Service) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner = svc
+}
+
+func (s *swapService) get() service.Service {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inner
+}
+
+func (s *swapService) RequestTask(ctx context.Context, req *protocol.TaskRequest) (*protocol.TaskResponse, error) {
+	return s.get().RequestTask(ctx, req)
+}
+
+func (s *swapService) PushGradient(ctx context.Context, push *protocol.GradientPush) (*protocol.PushAck, error) {
+	return s.get().PushGradient(ctx, push)
+}
+
+func (s *swapService) Stats(ctx context.Context) (*protocol.Stats, error) {
+	return s.get().Stats(ctx)
+}
+
+// srvFactory builds the scenario's server — and rebuilds it for the
+// restored instance after a RestartSpec kill. Stateful components (the
+// pipeline's aggregator windows, admission quota buckets, AdaSGD, the
+// profilers) must be fresh per instance, so every call constructs new
+// ones; the I-Prof pretraining observations are collected exactly once
+// (the sweep consumes the master-derived iprof RNG), so a rebuild is a
+// pure function of the scenario and seed — determinism survives the
+// restart.
+type srvFactory struct {
+	sc        Scenario
+	seed      int64
+	arch      nn.Arch
+	timeObs   []iprof.Observation
+	energyObs []iprof.Observation
+	now       func() time.Time
+	// ckptDir, when set, wires a persist.Checkpointer into every built
+	// instance (cadence Restart.CheckpointEvery) and is where restore
+	// loads the latest valid checkpoint from.
+	ckptDir string
+}
+
+func newSrvFactory(sc Scenario, seed int64, arch nn.Arch, iprofRng *rand.Rand, fleetModels []device.Model, now func() time.Time) *srvFactory {
+	f := &srvFactory{sc: sc, seed: seed, arch: arch, now: now}
+	// The offline sweep runs over the fleet's own (tier-scaled) device
+	// models; MaxBatch bounds it so an extreme fast tier cannot drag the
+	// pretraining into huge mini-batches.
+	sweep := iprof.CollectConfig{MaxBatch: 4096}
+	if slo, ok := admissionSLO(sc.Server.Admission, "iprof-time"); ok {
+		f.timeObs = iprof.CollectWith(iprofRng, fleetModels, iprof.KindTime, slo, sweep).Observations
+	}
+	if slo, ok := admissionSLO(sc.Server.Admission, "iprof-energy"); ok {
+		f.energyObs = iprof.CollectWith(iprofRng, fleetModels, iprof.KindEnergy, slo, sweep).Observations
+	}
+	return f
+}
+
+// config assembles one fresh server configuration.
+func (f *srvFactory) config() (server.Config, error) {
+	sc := f.sc
+	cfg := server.Config{
+		Arch:             f.arch,
+		Algorithm:        learning.NewAdaSGD(learning.AdaSGDConfig{NonStragglerPct: sc.Server.NonStragglerPct, BootstrapSteps: 50}),
+		LearningRate:     sc.Server.LearningRate,
+		K:                sc.Server.K,
+		DeltaHistory:     sc.Server.DeltaHistory,
+		DefaultBatchSize: sc.Server.DefaultBatchSize,
+		Seed:             f.seed,
+	}
+	var err error
+	cfg.Pipeline, err = pipeline.Build(sc.Server.Stages, sc.Server.Aggregator, pipeline.BuildOptions{
+		Algorithm: cfg.Algorithm,
+		Shards:    sc.Server.Shards,
+		Seed:      f.seed,
+	})
+	if err != nil {
+		return server.Config{}, err
+	}
+	if sc.Server.Admission != "" {
+		opts := sched.BuildOptions{Now: f.now}
+		if f.timeObs != nil {
+			prof, err := iprof.New(iprof.Config{Epsilon: 2e-4, RetrainEvery: 100}, f.timeObs)
+			if err != nil {
+				return server.Config{}, err
+			}
+			opts.TimeProfiler = prof
+			cfg.TimeProfiler = prof
+		}
+		if f.energyObs != nil {
+			prof, err := iprof.New(iprof.Config{Epsilon: 6e-5, RetrainEvery: 100}, f.energyObs)
+			if err != nil {
+				return server.Config{}, err
+			}
+			opts.EnergyProfiler = prof
+			cfg.EnergyProfiler = prof
+		}
+		cfg.Admission, err = sched.Build(sc.Server.Admission, opts)
+		if err != nil {
+			return server.Config{}, err
+		}
+	}
+	if f.ckptDir != "" {
+		ckpt, err := persist.NewCheckpointer(f.ckptDir, 0)
+		if err != nil {
+			return server.Config{}, err
+		}
+		cfg.Checkpointer = ckpt
+		cfg.CheckpointEvery = sc.Restart.CheckpointEvery
+	}
+	return cfg, nil
+}
+
+// fresh builds the scenario's initial server.
+func (f *srvFactory) fresh() (*server.Server, error) {
+	cfg, err := f.config()
+	if err != nil {
+		return nil, err
+	}
+	return server.New(cfg)
+}
+
+// restore builds the post-kill server from the latest valid checkpoint.
+func (f *srvFactory) restore() (*server.Server, error) {
+	cfg, err := f.config()
+	if err != nil {
+		return nil, err
+	}
+	return server.RestoreLatest(cfg, f.ckptDir)
+}
+
 // run is the mutable state of one execution.
 type run struct {
 	sc      Scenario
@@ -101,6 +264,13 @@ type run struct {
 	svc     service.Service
 	scratch *nn.Network
 	test    []nn.Sample
+
+	// Restart machinery (virtual mode): the factory rebuilds the server,
+	// swap reroutes the fleet to it, clock feeds virtual time to admission.
+	factory   *srvFactory
+	swap      *swapService
+	clock     *vclock
+	restarted bool
 
 	mu         sync.Mutex
 	counts     Counts
@@ -258,60 +428,38 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 		}
 	}
 
-	srvCfg := server.Config{
-		Arch:             arch,
-		Algorithm:        learning.NewAdaSGD(learning.AdaSGDConfig{NonStragglerPct: sc.Server.NonStragglerPct, BootstrapSteps: 50}),
-		LearningRate:     sc.Server.LearningRate,
-		K:                sc.Server.K,
-		DeltaHistory:     sc.Server.DeltaHistory,
-		DefaultBatchSize: sc.Server.DefaultBatchSize,
-		Seed:             r.Seed,
+	// The virtual clock backs time-windowed admission policies in virtual
+	// mode; realtime mode keeps the wall clock (BuildOptions.Now nil).
+	var clock *vclock
+	var now func() time.Time
+	if mode == ModeVirtual {
+		clock = &vclock{}
+		now = clock.Now
 	}
-	srvCfg.Pipeline, err = pipeline.Build(sc.Server.Stages, sc.Server.Aggregator, pipeline.BuildOptions{
-		Algorithm: srvCfg.Algorithm,
-		Shards:    sc.Server.Shards,
-		Seed:      r.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if sc.Server.Admission != "" {
-		opts := sched.BuildOptions{}
-		// The offline sweep runs over the fleet's own (tier-scaled) device
-		// models; MaxBatch bounds it so an extreme fast tier cannot drag
-		// the pretraining into huge mini-batches.
-		sweep := iprof.CollectConfig{MaxBatch: 4096}
-		if slo, ok := admissionSLO(sc.Server.Admission, "iprof-time"); ok {
-			prof, err := iprof.New(iprof.Config{Epsilon: 2e-4, RetrainEvery: 100},
-				iprof.CollectWith(iprofRng, fleetModels, iprof.KindTime, slo, sweep).Observations)
-			if err != nil {
-				return nil, err
-			}
-			opts.TimeProfiler = prof
-			srvCfg.TimeProfiler = prof
+	factory := newSrvFactory(sc, r.Seed, arch, iprofRng, fleetModels, now)
+	if sc.Restart.AtSec > 0 {
+		if mode != ModeVirtual {
+			return nil, fmt.Errorf("loadgen: server restart requires virtual mode (the kill lands at a deterministic virtual instant)")
 		}
-		if slo, ok := admissionSLO(sc.Server.Admission, "iprof-energy"); ok {
-			prof, err := iprof.New(iprof.Config{Epsilon: 6e-5, RetrainEvery: 100},
-				iprof.CollectWith(iprofRng, fleetModels, iprof.KindEnergy, slo, sweep).Observations)
-			if err != nil {
-				return nil, err
-			}
-			opts.EnergyProfiler = prof
-			srvCfg.EnergyProfiler = prof
-		}
-		srvCfg.Admission, err = sched.Build(sc.Server.Admission, opts)
+		ckptDir, err := os.MkdirTemp("", "fleet-loadgen-ckpt-*")
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("loadgen: checkpoint dir: %w", err)
 		}
+		defer func() { _ = os.RemoveAll(ckptDir) }()
+		factory.ckptDir = ckptDir
 	}
-	srv, err := server.New(srvCfg)
+	srv, err := factory.fresh()
 	if err != nil {
 		return nil, err
 	}
 
-	var svc service.Service = srv
+	// All fleet traffic routes through the swapper, so a restart replaces
+	// the backend under both transports without the workers noticing a
+	// different endpoint.
+	swap := &swapService{inner: srv}
+	var svc service.Service = swap
 	if transport == TransportHTTP {
-		ts := httptest.NewServer(server.NewHandler(srv))
+		ts := httptest.NewServer(server.NewHandler(swap))
 		defer ts.Close()
 		svc = &worker.Client{BaseURL: ts.URL}
 	}
@@ -328,14 +476,15 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 		base := workerSeeds[i]
 		local := parts[i]
 		sw := &simWorker{
-			id:         i,
-			netRng:     simrand.New(base + 1),
-			thinkRng:   simrand.New(base + 2),
-			churnRng:   simrand.New(base + 3),
-			byzRng:     simrand.New(base + 4),
-			tier:       sc.Tiers[tierOf[i]].Name,
-			byzantine:  byzantine[i],
-			roundsLeft: sc.Rounds,
+			id:           i,
+			netRng:       simrand.New(base + 1),
+			thinkRng:     simrand.New(base + 2),
+			churnRng:     simrand.New(base + 3),
+			byzRng:       simrand.New(base + 4),
+			tier:         sc.Tiers[tierOf[i]].Name,
+			byzantine:    byzantine[i],
+			roundsLeft:   sc.Rounds,
+			resyncBudget: 3, // mirrors worker.Config.MaxResyncs' default
 		}
 		var transform func([]float64)
 		if sw.byzantine {
@@ -385,6 +534,9 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 		test:    ds.Test,
 		stale:   metrics.NewIntHist(),
 		wall:    wall,
+		factory: factory,
+		swap:    swap,
+		clock:   clock,
 	}
 
 	wallStart := time.Now()
@@ -398,8 +550,9 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 	}
 	elapsed := time.Since(wallStart).Seconds()
 
-	// Final accuracy point, always.
-	final := srv.Evaluate(rn.scratch, ds.Test)
+	// Final accuracy point, always — against rn.srv, which a restart may
+	// have pointed at the restored instance.
+	final := rn.srv.Evaluate(rn.scratch, ds.Test)
 	if sc.EvalEvery > 0 && (len(rn.accuracy) == 0 || rn.accuracy[len(rn.accuracy)-1].AfterPushes != rn.counts.Pushes) {
 		rn.accuracy = append(rn.accuracy, AccuracyPoint{AfterPushes: rn.counts.Pushes, Accuracy: final})
 	}
@@ -441,6 +594,10 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 			Aggregator:        stats.Aggregator,
 			AdmissionPolicies: stats.AdmissionPolicies,
 			RejectsByPolicy:   stats.RejectsByPolicy,
+			DrainErrors:       stats.DrainErrors,
+			Checkpoints:       stats.Checkpoints,
+			RestoredVersion:   stats.RestoredVersion,
+			ServerEpoch:       stats.ServerEpoch,
 		},
 		Wallclock: &WallclockBlock{
 			ElapsedSec: elapsed,
@@ -476,8 +633,21 @@ func (r *Runner) runVirtual(ctx context.Context, rn *run, sims []*simWorker) err
 			return err
 		}
 		ev := heap.Pop(&rn.events).(event)
+		if rn.sc.Restart.AtSec > 0 && !rn.restarted && ev.at >= rn.sc.Restart.AtSec {
+			// The hard kill lands between events, mid-aggregation-window:
+			// the old instance is abandoned with its pending window and
+			// every update since the last checkpoint, and the restored
+			// successor takes over at the same endpoint. No worker state
+			// is touched — recovery must come from the protocol.
+			if err := rn.doRestart(); err != nil {
+				return err
+			}
+		}
 		if ev.at > rn.virtualEnd {
 			rn.virtualEnd = ev.at
+		}
+		if rn.clock != nil {
+			rn.clock.set(ev.at)
 		}
 		switch ev.kind {
 		case evtPull:
@@ -486,6 +656,21 @@ func (r *Runner) runVirtual(ctx context.Context, rn *run, sims []*simWorker) err
 			r.doPush(ctx, rn, ev.sw, ev.at)
 		}
 	}
+	return nil
+}
+
+// doRestart replaces the killed server with one restored from the latest
+// valid checkpoint. A missing checkpoint fails the run: the scenario's
+// cadence put the first checkpoint after the kill, a profile bug.
+func (rn *run) doRestart() error {
+	srv, err := rn.factory.restore()
+	if err != nil {
+		return fmt.Errorf("loadgen: server restart at t=%gs: %w", rn.sc.Restart.AtSec, err)
+	}
+	rn.srv = srv
+	rn.swap.set(srv)
+	rn.restarted = true
+	rn.counts.Restarts++
 	return nil
 }
 
@@ -538,6 +723,22 @@ func (r *Runner) doPush(ctx context.Context, rn *run, sw *simWorker, t float64) 
 	} else {
 		ack, err := sw.w.Push(ctx, rn.svc, sw.pending.Push)
 		if err != nil {
+			if protocol.IsCode(err, protocol.CodeVersionConflict) && sw.resyncBudget > 0 {
+				// The server restarted onto an older model version than
+				// this gradient claims. worker.Push already dropped the
+				// cache and counted Worker.Resyncs; the round is retried,
+				// not lost: the re-pull is a full download against the
+				// restored server. Bounded per worker, so a genuinely
+				// broken server still surfaces as a protocol error.
+				sw.resyncBudget--
+				rn.counts.Resyncs++
+				sw.roundsLeft++
+				sw.pending = nil
+				gap := sw.think(rn.sc.ThinkTimeSec)
+				sw.dev.Idle(gap)
+				rn.schedule(t+gap, evtPull, sw)
+				return
+			}
 			rn.recordError(err)
 		} else {
 			rn.counts.Pushes++
@@ -623,7 +824,15 @@ func (r *Runner) runRealtime(ctx context.Context, rn *run, sims []*simWorker) er
 				pushDur := time.Since(ws).Seconds()
 				rn.mu.Lock()
 				if err != nil {
-					rn.recordError(err)
+					if protocol.IsCode(err, protocol.CodeVersionConflict) && sw.resyncBudget > 0 {
+						// Same transient-recovery accounting as the virtual
+						// engine; realtime mode retries on its next round
+						// (the worker's cache is already dropped).
+						sw.resyncBudget--
+						rn.counts.Resyncs++
+					} else {
+						rn.recordError(err)
+					}
 				} else {
 					rn.counts.Pushes++
 					rn.stale.Add(ack.Staleness)

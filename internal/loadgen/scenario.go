@@ -63,6 +63,24 @@ type NetworkSpec struct {
 	LossRate   float64 `json:"loss_rate,omitempty"`
 }
 
+// RestartSpec hard-kills the server mid-run and restores it from the
+// latest durable checkpoint (internal/persist) — the crash-recovery
+// scenario. The kill is hard: no graceful drain, the in-flight aggregation
+// window and every model update since the last checkpoint are lost, and
+// workers holding models newer than the restored version must resync
+// (version-conflict pushes → cache drop → full re-pull, counted in
+// Counts.Resyncs). Virtual mode only: the kill lands at a deterministic
+// virtual instant, so the whole recovery replays bit-for-bit per seed.
+type RestartSpec struct {
+	// AtSec is the virtual time of the hard kill; 0 disables restarts.
+	AtSec float64 `json:"at_sec,omitempty"`
+	// CheckpointEvery is the server's periodic checkpoint cadence in
+	// aggregation windows (default 2 when AtSec is set). A checkpoint must
+	// have been written before AtSec, or the restore fails the run — the
+	// scenario author controls the cadence, so that is a profile bug.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
 // ChurnSpec makes workers leave mid-training and rejoin later with a cold
 // model cache (their next pull is a full download).
 type ChurnSpec struct {
@@ -122,6 +140,7 @@ type Scenario struct {
 	Byzantine ByzantineSpec `json:"byzantine,omitempty"`
 	Net       NetworkSpec   `json:"net"`
 	Churn     ChurnSpec     `json:"churn,omitempty"`
+	Restart   RestartSpec   `json:"restart,omitempty"`
 	Server    ServerSpec    `json:"server"`
 }
 
@@ -170,6 +189,9 @@ func (s Scenario) withDefaults() Scenario {
 	if s.Churn.LeaveProb > 0 && s.Churn.OfflineMeanSec <= 0 {
 		s.Churn.OfflineMeanSec = 30
 	}
+	if s.Restart.AtSec > 0 && s.Restart.CheckpointEvery <= 0 {
+		s.Restart.CheckpointEvery = 2
+	}
 	if s.Server.Arch == "" {
 		s.Server.Arch = "softmax-mnist"
 	}
@@ -212,6 +234,9 @@ func (s Scenario) validate() error {
 	}
 	if s.Churn.LeaveProb < 0 || s.Churn.LeaveProb > 1 {
 		return fmt.Errorf("loadgen: churn leave probability %g outside [0,1]", s.Churn.LeaveProb)
+	}
+	if s.Restart.AtSec < 0 {
+		return fmt.Errorf("loadgen: restart time %g is negative", s.Restart.AtSec)
 	}
 	total := 0.0
 	for _, t := range s.Tiers {
@@ -323,6 +348,36 @@ func init() {
 		CompressK:    8,
 		FullPullFrac: 0.5,
 		Server:       ServerSpec{DeltaHistory: 8},
+	})
+	Register(Scenario{
+		Name: "server-restart",
+		Description: "hard-kill the server mid-training and restore from the latest checkpoint: " +
+			"every in-flight worker resyncs on its own (incarnation conflict → full re-pull) and accuracy " +
+			"re-converges; a quota policy rides along so the admission clock replays deterministically too",
+		Workers: 20,
+		Rounds:  24,
+		// A larger train/test split and a gentle learning rate keep the
+		// accuracy trajectory smooth enough that "re-converges to within
+		// 0.05 of the undisturbed run" is a meaningful, replayable gate
+		// rather than SGD-oscillation roulette.
+		TrainPerClass: 100,
+		TestPerClass:  20,
+		EvalEvery:     40,
+		// Second-scale RTTs keep a meaningful slice of the fleet in-flight
+		// (pulled, computing, not yet pushed) at any instant, so the kill
+		// strands several old-incarnation gradients — the resync path under
+		// real load, not a lucky single straggler.
+		Net: NetworkSpec{MinRTTSec: 1, MeanRTTSec: 1.8},
+		Server: ServerSpec{
+			LearningRate: 0.1,
+			K:            2,
+			DeltaHistory: 8,
+			Admission:    "per-worker-quota(6,60)",
+		},
+		// Kill mid-training; checkpoint every 8 windows, so the restore
+		// genuinely loses progress (up to 8 model updates) and the restored
+		// clock sits behind what in-flight workers hold.
+		Restart: RestartSpec{AtSec: 40, CheckpointEvery: 8},
 	})
 	Register(Scenario{
 		Name: "lossy-net",

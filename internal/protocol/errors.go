@@ -100,6 +100,14 @@ func AsError(err error) *Error {
 	return Errorf(CodeInternal, "%v", err)
 }
 
+// IsCode reports whether err carries the given protocol error code,
+// unwrapping as needed — how callers branch on a specific failure (e.g.
+// the worker's resync on CodeVersionConflict) without string matching.
+func IsCode(err error, code ErrorCode) bool {
+	var pe *Error
+	return errors.As(err, &pe) && pe.Code == code
+}
+
 // ErrorFromHTTP reconstructs a structured error from an HTTP error reply.
 // JSON bodies produced by WriteError round-trip exactly; anything else is
 // classified by status code with the body as the message.

@@ -31,6 +31,14 @@ type TaskRequest struct {
 	// and servers must keep sending full params to them.
 	KnownVersion int  `json:"known_version,omitempty"`
 	WantDelta    bool `json:"want_delta,omitempty"`
+	// KnownEpoch is the server incarnation the cached model came from
+	// (TaskResponse.ServerEpoch, echoed back). A restarted server bumps
+	// its epoch, so version numbers from different incarnations are never
+	// confused: a delta request whose epoch does not match the server's
+	// falls back to a full pull — patching a new-incarnation delta onto an
+	// old-incarnation base would silently corrupt the cache, since the
+	// same version number names different parameters across a restore.
+	KnownEpoch int64 `json:"known_epoch,omitempty"`
 }
 
 // TaskResponse is steps (2)–(4): either a rejection by the controller, or
@@ -59,6 +67,12 @@ type TaskResponse struct {
 	// from pre-delta servers decode with Full == false yet still carry
 	// full params, so clients must key on ParamsDelta != nil, not Full.
 	Full bool `json:"full,omitempty"`
+	// ServerEpoch is the server's incarnation counter: 0 for a fresh
+	// boot, incremented by every checkpoint restore. Clients echo it in
+	// GradientPush.ModelEpoch and TaskRequest.KnownEpoch so the server
+	// can tell state learned from a previous incarnation apart from its
+	// own — the versioned protocol's crash-recovery dimension.
+	ServerEpoch int64 `json:"server_epoch,omitempty"`
 }
 
 // GradientPush is step (5): the computed gradient plus the measured task
@@ -66,9 +80,22 @@ type TaskResponse struct {
 // Gradient (dense) or SparseIndices/SparseValues (top-k compressed, see
 // internal/compress) is populated.
 type GradientPush struct {
-	WorkerID     int       `json:"worker_id"`
-	DeviceModel  string    `json:"device_model"`
+	WorkerID    int    `json:"worker_id"`
+	DeviceModel string `json:"device_model"`
+	// ModelVersion is the logical clock at model pull; ModelEpoch the
+	// server incarnation that served it. A push whose epoch is not the
+	// server's own is rejected as version_conflict — the gradient was
+	// computed on parameters a restored server cannot reason about — and
+	// the worker resyncs with a full re-pull.
+	//
+	// Compatibility: pre-epoch clients always send 0, which matches fresh
+	// servers (epoch 0) but is permanently rejected by a restored server
+	// (epoch >= 1) — accepting it would reintroduce the silent version-
+	// number collision this field exists to prevent. Such clients must be
+	// restarted after a server restore; epoch-aware clients recover on
+	// their own.
 	ModelVersion int       `json:"model_version"`
+	ModelEpoch   int64     `json:"model_epoch,omitempty"`
 	Gradient     []float64 `json:"gradient,omitempty"`
 	// Sparse form: GradientLen is the dense length, SparseIndices the kept
 	// coordinates, SparseValues their values.
@@ -117,6 +144,21 @@ type Stats struct {
 	TasksDropped      int            `json:"tasks_dropped,omitempty"`
 	AdmissionPolicies []string       `json:"admission_policies,omitempty"`
 	RejectsByPolicy   map[string]int `json:"rejects_by_policy,omitempty"`
+	// DrainErrors counts aggregation windows the pipeline failed to fold
+	// into the model (the window is discarded, the clock still advances).
+	// The gradients of a failed window were acked — their pushers must not
+	// retry — so this counter is the only place the failure is visible.
+	DrainErrors int `json:"drain_errors,omitempty"`
+	// Checkpoints counts durable state snapshots written since boot;
+	// CheckpointErrors counts failed attempts. RestoredVersion is the
+	// logical clock the server booted from (0 on a fresh boot). All
+	// omitempty, so old payloads decode unchanged.
+	Checkpoints      int `json:"checkpoints,omitempty"`
+	CheckpointErrors int `json:"checkpoint_errors,omitempty"`
+	RestoredVersion  int `json:"restored_version,omitempty"`
+	// ServerEpoch is the incarnation counter (restores since the state
+	// was first created).
+	ServerEpoch int64 `json:"server_epoch,omitempty"`
 }
 
 // Encode writes v to w as a gzip-compressed gob stream — the default wire

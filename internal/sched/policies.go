@@ -144,7 +144,18 @@ type quotaBucket struct {
 // n <= 0 or window <= 0 is a pass-through. The policy is stateful (one
 // bucket per worker id): build one per server.
 func PerWorkerQuota(n int, window time.Duration) AdmissionPolicy {
-	return &perWorkerQuota{n: n, window: window, now: time.Now, buckets: map[int]*quotaBucket{}}
+	return PerWorkerQuotaClock(n, window, nil)
+}
+
+// PerWorkerQuotaClock is PerWorkerQuota with an injected clock — what
+// deterministic harnesses (internal/loadgen's virtual time) use so quota
+// decisions replay bit-for-bit instead of reading the wall clock. A nil
+// now uses time.Now.
+func PerWorkerQuotaClock(n int, window time.Duration, now func() time.Time) AdmissionPolicy {
+	if now == nil {
+		now = time.Now
+	}
+	return &perWorkerQuota{n: n, window: window, now: now, buckets: map[int]*quotaBucket{}}
 }
 
 func (p *perWorkerQuota) Name() string {

@@ -20,6 +20,11 @@ type BuildOptions struct {
 	// pass-through.
 	TimeProfiler   Profiler
 	EnergyProfiler Profiler
+	// Now is the clock time-windowed policies ("per-worker-quota") read.
+	// Nil means time.Now. Deterministic harnesses inject their virtual
+	// clock here so admission decisions replay bit-for-bit per seed
+	// instead of depending on wall-clock scheduling noise.
+	Now func() time.Time
 }
 
 // PolicyCtor builds one admission policy from its parenthesized numeric
@@ -102,7 +107,7 @@ func init() {
 		}
 		return Similarity(args[0]), nil
 	})
-	RegisterPolicy("per-worker-quota", func(args []float64, _ BuildOptions) (AdmissionPolicy, error) {
+	RegisterPolicy("per-worker-quota", func(args []float64, opts BuildOptions) (AdmissionPolicy, error) {
 		if len(args) != 2 {
 			return nil, fmt.Errorf("per-worker-quota takes (n, windowSeconds), got %d args", len(args))
 		}
@@ -113,7 +118,7 @@ func init() {
 		if n <= 0 || args[1] <= 0 {
 			return nil, fmt.Errorf("per-worker-quota needs positive n and window, got (%d, %g)", n, args[1])
 		}
-		return PerWorkerQuota(n, time.Duration(args[1]*float64(time.Second))), nil
+		return PerWorkerQuotaClock(n, time.Duration(args[1]*float64(time.Second)), opts.Now), nil
 	})
 }
 

@@ -351,3 +351,30 @@ func TestPerWorkerQuotaSweepsExpiredBuckets(t *testing.T) {
 		t.Fatalf("buckets after sweep = %d, want 1", len(p.buckets))
 	}
 }
+
+// TestBuildInjectsClock: the spec path must thread BuildOptions.Now into
+// time-windowed policies, so a deterministic harness's virtual clock (not
+// the wall clock) decides quota windows.
+func TestBuildInjectsClock(t *testing.T) {
+	ctx := context.Background()
+	now := time.Unix(1000, 0)
+	chain, err := Build("per-worker-quota(1,60)", BuildOptions{Now: func() time.Time { return now }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := chain.Admit(ctx, req(1, "x")); !d.Accept {
+		t.Fatalf("first admit rejected: %+v", d)
+	}
+	if d, _ := chain.Admit(ctx, req(1, "x")); d.Accept {
+		t.Fatal("second admit in the same injected-clock window must reject")
+	}
+	// Real time passing changes nothing — only the injected clock counts.
+	time.Sleep(5 * time.Millisecond)
+	if d, _ := chain.Admit(ctx, req(1, "x")); d.Accept {
+		t.Fatal("wall clock leaked into an injected-clock policy")
+	}
+	now = now.Add(61 * time.Second)
+	if d, _ := chain.Admit(ctx, req(1, "x")); !d.Accept {
+		t.Fatal("injected-clock window rollover did not reset the quota")
+	}
+}

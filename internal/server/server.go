@@ -36,6 +36,7 @@ import (
 	"fleet/internal/iprof"
 	"fleet/internal/learning"
 	"fleet/internal/nn"
+	"fleet/internal/persist"
 	"fleet/internal/pipeline"
 	"fleet/internal/protocol"
 	"fleet/internal/sched"
@@ -116,6 +117,26 @@ type Config struct {
 	// discarded (the full pull is cheaper on the wire). Default 4;
 	// negative disables delta pulls.
 	DeltaHistory int
+	// Checkpointer, when non-nil, makes the server crash-safe: learned
+	// state (model, logical clock, AdaSGD staleness history, LD_global,
+	// I-Prof models) is written as atomic, checksummed checkpoint files
+	// (internal/persist) every CheckpointEvery windows and on explicit
+	// Checkpoint calls (graceful shutdown). Boot from one with Restore /
+	// RestoreLatest.
+	Checkpointer *persist.Checkpointer
+	// CheckpointEvery is the periodic cadence in aggregation windows
+	// (model updates): every N-th drain schedules a checkpoint, written
+	// outside the model lock by the push that completed the window. 0
+	// disables periodic checkpoints (explicit Checkpoint still works).
+	//
+	// The write is synchronous on that one push (encode + fsync land in
+	// its latency): a deliberate tradeoff — the durability point is then
+	// a deterministic function of the push sequence, which the replayable
+	// restart scenarios rely on, and the cadence amortizes the cost over
+	// N·K pushes. A background writer (with a flush barrier for restores)
+	// is the follow-on if the spike ever matters at production model
+	// sizes; see ROADMAP.
+	CheckpointEvery int
 	// Seed initializes the global model.
 	Seed int64
 }
@@ -175,6 +196,50 @@ type Server struct {
 	version     int
 	pending     int
 	history     []histEntry
+	gradientsIn int
+	staleSum    float64
+	drainErrors int
+	// windowsSinceCkpt counts drains toward the periodic checkpoint
+	// cadence; ckptDue is the core state captured under mu when one falls
+	// due, written to disk outside the lock by the push that drained.
+	windowsSinceCkpt int
+	ckptDue          *ckptCore
+
+	// restoredVersion is the logical clock the server booted from (0 on a
+	// fresh boot); epoch is the incarnation counter (0 fresh, +1 per
+	// restore). The epoch travels the wire so version numbers from
+	// different incarnations are never confused: a restored clock re-walks
+	// versions the dead instance already handed out, with different
+	// parameters behind them. Both immutable after New/Restore.
+	//
+	// Known limitation: a *checkpoint-less* restart (no Checkpointer, or
+	// a wiped directory) boots a fresh epoch 0 that collides with workers
+	// who cached epoch 0 from the dead instance — the pre-checkpoint
+	// hazard this PR exists to remove, still present on the unsupported
+	// path. Restart with checkpoints and the epoch always advances; a
+	// seeded boot nonce for fresh boots is a ROADMAP follow-on (a random
+	// one would break the harness's bit-for-bit replay).
+	restoredVersion int
+	epoch           int64
+	// ckptMu serializes checkpoint writes; the counters are atomic so
+	// Stats never waits on a write in flight. ckptVersion (under ckptMu)
+	// is the highest version already persisted: a writer holding an older
+	// captured core (it was descheduled between capture and write while
+	// newer pushes checkpointed) skips instead of clobbering recency —
+	// persist keys "latest" on a monotonic sequence number, so an
+	// out-of-order write would otherwise make an older state the newest.
+	ckptMu      sync.Mutex
+	ckptVersion int
+	checkpoints atomic.Int64
+	ckptErrors  atomic.Int64
+}
+
+// ckptCore is the model-critical slice of a checkpoint, captured atomically
+// under s.mu at drain time: version and params move together. params shares
+// the immutable snapshot storage, so the capture is O(1).
+type ckptCore struct {
+	version     int
+	params      []float64
 	gradientsIn int
 	staleSum    float64
 }
@@ -297,8 +362,13 @@ func (s *Server) RequestTask(ctx context.Context, req *protocol.TaskRequest) (*p
 		Accepted:     true,
 		ModelVersion: snap.version,
 		BatchSize:    decision.BatchSize,
+		ServerEpoch:  s.epoch,
 	}
-	if req.WantDelta {
+	// A delta is only meaningful against this incarnation's own version
+	// stream: after a restore, a client's cached "version 33" names the
+	// dead instance's parameters, not ours — patching our delta onto it
+	// would silently corrupt the cache. Epoch mismatch → full pull.
+	if req.WantDelta && req.KnownEpoch == s.epoch {
 		if req.KnownVersion == snap.version {
 			// Already current: the empty delta.
 			resp.ParamsDelta = &compress.Sparse{Len: len(snap.params)}
@@ -386,6 +456,16 @@ func (s *Server) PushGradient(ctx context.Context, push *protocol.GradientPush) 
 		return nil, protocol.AsError(err)
 	}
 
+	// A gradient from another incarnation was computed on parameters this
+	// server cannot reason about (the same version number names different
+	// params across a restore): version_conflict, the resync signal — the
+	// worker drops its cache, re-pulls full and recomputes.
+	if push.ModelEpoch != s.epoch {
+		return nil, protocol.Errorf(protocol.CodeVersionConflict,
+			"server: gradient from server incarnation %d (this is incarnation %d, restored after a restart); re-pull and recompute",
+			push.ModelEpoch, s.epoch)
+	}
+
 	// Staleness against the logical clock, read lock-free from the
 	// published snapshot (version and snapshot move together under mu
 	// inside drainLocked, so the snapshot's clock is never ahead).
@@ -433,14 +513,20 @@ func (s *Server) PushGradient(ctx context.Context, push *protocol.GradientPush) 
 	// acked mass. The logical clock advances inside drainLocked, after the
 	// model is updated, keeping (params, version) consistent for
 	// RequestTask.
+	//
+	// A drain failure does NOT fail the push: this gradient was already
+	// counted and accumulated, so returning an error would invite a retry
+	// that double-contributes. The window is discarded, the failure is
+	// surfaced through Stats.DrainErrors, and the pusher gets its ack.
 	s.mu.Lock()
 	s.gradientsIn++
 	s.staleSum += float64(staleness)
 	s.pending++
-	var drainErr error
 	if s.pending >= s.cfg.K {
 		s.pending = 0
-		drainErr = s.drainLocked()
+		if err := s.drainLocked(); err != nil {
+			s.drainErrors++
+		}
 	}
 	ack := &protocol.PushAck{
 		Applied:    true,
@@ -448,9 +534,14 @@ func (s *Server) PushGradient(ctx context.Context, push *protocol.GradientPush) 
 		Scale:      g.Scale,
 		NewVersion: s.version,
 	}
+	due := s.ckptDue
+	s.ckptDue = nil
 	s.mu.Unlock()
-	if drainErr != nil {
-		return nil, drainErr
+	if due != nil {
+		// The periodic checkpoint the drain scheduled: written here, after
+		// the model lock is released, so concurrent pushes never stall on
+		// disk I/O.
+		s.writeCheckpoint(*due)
 	}
 	return ack, nil
 }
@@ -460,10 +551,10 @@ func (s *Server) PushGradient(ctx context.Context, push *protocol.GradientPush) 
 // parameters move together under s.mu. Callers hold s.mu; the aggregator
 // takes its own locks inside (lock order s.mu → aggregator, acyclic). The
 // clock advances even when the drain errors (the window is discarded), so
-// a poisoned window cannot stall the version stream. The error reaches the
-// push that completed the window — that pusher's own gradient stays
-// counted, so it must not retry; built-in aggregators never error on
-// server-validated windows.
+// a poisoned window cannot stall the version stream. The error is counted
+// by the caller into Stats.DrainErrors and never surfaced to the pusher —
+// its gradient is committed either way, so the push is not retriable;
+// built-in aggregators never error on server-validated windows.
 //
 // This is also where the O(params) cost of the lock-free pull path lives:
 // one ParamVector copy for the new snapshot plus up to DeltaHistory sparse
@@ -491,8 +582,196 @@ func (s *Server) drainLocked() error {
 		}
 	}
 	s.snap.Store(next)
+
+	// Periodic crash safety: every CheckpointEvery-th window schedules a
+	// durable snapshot. Only the O(1) core capture happens here (params
+	// shares the just-published immutable storage); the push that drained
+	// writes the file after releasing s.mu.
+	if s.cfg.Checkpointer != nil && s.cfg.CheckpointEvery > 0 {
+		s.windowsSinceCkpt++
+		if s.windowsSinceCkpt >= s.cfg.CheckpointEvery {
+			s.windowsSinceCkpt = 0
+			s.ckptDue = &ckptCore{
+				version:     s.version,
+				params:      next.params,
+				gradientsIn: s.gradientsIn,
+				staleSum:    s.staleSum,
+			}
+		}
+	}
 	return err
 }
+
+// captureState assembles the full persist.State around a core capture. The
+// auxiliary blocks (AdaSGD history, LD_global, profilers) snapshot
+// themselves under their own locks, so they may trail the core by the few
+// pushes that landed since the drain — they tune scaling heuristics, not
+// model correctness (see persist.State).
+func (s *Server) captureState(core ckptCore) *persist.State {
+	st := &persist.State{
+		Arch:         s.cfg.Arch.String(),
+		Epoch:        s.epoch,
+		Version:      core.version,
+		Params:       core.params,
+		GradientsIn:  core.gradientsIn,
+		StaleSum:     core.staleSum,
+		TasksServed:  s.tasksServed.Load(),
+		TasksDropped: s.tasksDropped.Load(),
+	}
+	if a, ok := s.cfg.Algorithm.(*learning.AdaSGD); ok {
+		ada := a.ExportState()
+		st.AdaSGD = &ada
+	}
+	labels := s.labels.ExportState()
+	st.Labels = &labels
+	if s.cfg.TimeProfiler != nil {
+		st.TimeProfiler = s.cfg.TimeProfiler.ExportState()
+	}
+	if s.cfg.EnergyProfiler != nil {
+		st.EnergyProfiler = s.cfg.EnergyProfiler.ExportState()
+	}
+	return st
+}
+
+// writeCheckpoint persists one captured core; failures are counted (and
+// visible in Stats.CheckpointErrors), never propagated onto the push path.
+// A core older than what is already durable is dropped: writing it would
+// register as the newest checkpoint and roll a future restore backwards.
+func (s *Server) writeCheckpoint(core ckptCore) {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	if core.version < s.ckptVersion {
+		return
+	}
+	if _, err := s.cfg.Checkpointer.Save(s.captureState(core)); err != nil {
+		s.ckptErrors.Add(1)
+		return
+	}
+	s.ckptVersion = core.version
+	s.checkpoints.Add(1)
+}
+
+// Checkpoint writes a durable snapshot of the current state now — the
+// graceful-shutdown path (fleet-server checkpoints on SIGTERM before
+// draining), also useful around risky operations. It requires a configured
+// Checkpointer.
+func (s *Server) Checkpoint() (string, error) {
+	if s.cfg.Checkpointer == nil {
+		return "", protocol.Errorf(protocol.CodeInvalidArgument, "server: no Checkpointer configured")
+	}
+	// ckptMu first, capture second: the capture is then guaranteed at
+	// least as new as anything already persisted, so the recency guard
+	// never fires on the explicit path. The order is acyclic with the
+	// push path, which releases s.mu before taking ckptMu.
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	s.mu.Lock()
+	snap := s.snap.Load()
+	core := ckptCore{
+		version:     snap.version,
+		params:      snap.params,
+		gradientsIn: s.gradientsIn,
+		staleSum:    s.staleSum,
+	}
+	s.ckptDue = nil // an explicit checkpoint supersedes a scheduled one
+	s.mu.Unlock()
+
+	path, err := s.cfg.Checkpointer.Save(s.captureState(core))
+	if err != nil {
+		s.ckptErrors.Add(1)
+		return "", err
+	}
+	s.ckptVersion = core.version
+	s.checkpoints.Add(1)
+	return path, nil
+}
+
+// Restore builds a server whose learned state comes from a checkpoint
+// instead of a fresh initialization: the model and logical clock resume at
+// the checkpointed version, AdaSGD's staleness history, LD_global and the
+// I-Prof models (where configured) are reinstated, and the push/task
+// counters carry over. The delta history is intentionally NOT restored —
+// deltas reference exact parameter vectors the restarted process no longer
+// holds — so version-aware pulls fall back to full downloads until the
+// history refills at drain time.
+//
+// Validation is strict and structured: an architecture or parameter-count
+// mismatch against cfg.Arch fails with invalid_argument rather than booting
+// a silently wrong model.
+func Restore(cfg Config, st *persist.State) (*Server, error) {
+	if st == nil {
+		return nil, protocol.Errorf(protocol.CodeInvalidArgument, "server: Restore with nil state")
+	}
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if st.Arch != s.cfg.Arch.String() {
+		return nil, protocol.Errorf(protocol.CodeInvalidArgument,
+			"server: checkpoint is for architecture %q, config wants %q", st.Arch, s.cfg.Arch.String())
+	}
+	if len(st.Params) != s.paramCount {
+		return nil, protocol.Errorf(protocol.CodeInvalidArgument,
+			"server: checkpoint has %d params, architecture %q needs %d", len(st.Params), s.cfg.Arch, s.paramCount)
+	}
+	if st.Version < 0 {
+		return nil, protocol.Errorf(protocol.CodeInvalidArgument,
+			"server: checkpoint has negative version %d", st.Version)
+	}
+	s.model.SetParams(st.Params)
+	s.version = st.Version
+	s.gradientsIn = st.GradientsIn
+	s.staleSum = st.StaleSum
+	s.restoredVersion = st.Version
+	// A new incarnation: pushes and delta requests carrying the old epoch
+	// are detected instead of colliding with our re-walked version stream.
+	s.epoch = st.Epoch + 1
+	s.tasksServed.Store(st.TasksServed)
+	s.tasksDropped.Store(st.TasksDropped)
+	s.snap.Store(&modelSnapshot{version: st.Version, params: s.model.ParamVector()})
+	if st.AdaSGD != nil {
+		if a, ok := s.cfg.Algorithm.(*learning.AdaSGD); ok {
+			a.RestoreState(*st.AdaSGD)
+		}
+	}
+	if st.Labels != nil {
+		if err := s.labels.RestoreState(*st.Labels); err != nil {
+			return nil, protocol.Errorf(protocol.CodeInvalidArgument, "server: %v", err)
+		}
+	}
+	if st.TimeProfiler != nil && s.cfg.TimeProfiler != nil {
+		if err := s.cfg.TimeProfiler.RestoreState(st.TimeProfiler); err != nil {
+			return nil, protocol.Errorf(protocol.CodeInvalidArgument, "server: time profiler: %v", err)
+		}
+	}
+	if st.EnergyProfiler != nil && s.cfg.EnergyProfiler != nil {
+		if err := s.cfg.EnergyProfiler.RestoreState(st.EnergyProfiler); err != nil {
+			return nil, protocol.Errorf(protocol.CodeInvalidArgument, "server: energy profiler: %v", err)
+		}
+	}
+	return s, nil
+}
+
+// RestoreLatest boots from the newest valid checkpoint in dir — what
+// fleet-server -checkpoint-dir does on startup. The error is structured:
+// persist.ErrNoCheckpoint for an empty directory (callers explicitly
+// allowing fresh boots test for it), a *persist.CorruptError when files
+// exist but none loads.
+func RestoreLatest(cfg Config, dir string) (*Server, error) {
+	st, _, err := persist.LoadLatest(dir)
+	if err != nil {
+		return nil, err
+	}
+	return Restore(cfg, st)
+}
+
+// RestoredVersion returns the logical clock the server booted from: 0 for
+// a fresh boot, the checkpoint's version after Restore.
+func (s *Server) RestoredVersion() int { return s.restoredVersion }
+
+// Epoch returns the server's incarnation counter: 0 for a fresh boot,
+// incremented by every checkpoint restore.
+func (s *Server) Epoch() int64 { return s.epoch }
 
 // Stats returns a diagnostic snapshot, including the composed update
 // pipeline (stage names in chain order plus the window aggregator) and the
@@ -530,6 +809,11 @@ func (s *Server) Stats(ctx context.Context) (*protocol.Stats, error) {
 		Aggregator:        s.pipe.AggregatorName(),
 		AdmissionPolicies: sched.Names(s.admit),
 		RejectsByPolicy:   rejects,
+		DrainErrors:       s.drainErrors,
+		Checkpoints:       int(s.checkpoints.Load()),
+		CheckpointErrors:  int(s.ckptErrors.Load()),
+		RestoredVersion:   s.restoredVersion,
+		ServerEpoch:       s.epoch,
 	}, nil
 }
 

@@ -51,6 +51,13 @@ type Config struct {
 	// full parameter vector even when a model is cached. The load harness
 	// uses it to mix delta-pulling and full-pulling fleets.
 	FullPullOnly bool
+	// MaxResyncs bounds how many consecutive resync rounds one Step
+	// attempts when the server rejects a push as version_conflict — the
+	// worker computed on a model version the server no longer acknowledges
+	// (it restarted and restored an older checkpoint). Each resync drops
+	// the cached model, re-pulls full, recomputes and re-pushes. Default 3;
+	// negative disables resyncing (Step surfaces the conflict).
+	MaxResyncs int
 }
 
 // Worker is a FLeet client. Not safe for concurrent use; one goroutine per
@@ -60,13 +67,16 @@ type Worker struct {
 	net         *nn.Network
 	labelCounts []int
 	feedback    *compress.ErrorFeedback
-	// params/version cache the last pulled model so subsequent task
-	// requests can advertise KnownVersion and download a sparse delta
-	// instead of the full vector (transparently falling back when the
-	// server is pre-delta or the version is too old). params is owned by
-	// the worker — server responses are copied in, never aliased.
+	// params/version/epoch cache the last pulled model so subsequent task
+	// requests can advertise KnownVersion (and the server incarnation it
+	// belongs to) and download a sparse delta instead of the full vector,
+	// transparently falling back when the server is pre-delta, the version
+	// is too old, or the server restarted onto a new incarnation. params
+	// is owned by the worker — server responses are copied in, never
+	// aliased.
 	params  []float64
 	version int
+	epoch   int64
 	cached  bool
 	// Rejections counts tasks the controller refused.
 	Rejections int
@@ -75,6 +85,11 @@ type Worker struct {
 	// DeltaPulls counts task responses served as sparse deltas instead of
 	// full parameter vectors (downlink savings diagnostics).
 	DeltaPulls int
+	// Resyncs counts version-conflict recoveries: pushes the server
+	// rejected because it restarted onto an older model version, after
+	// which this worker dropped its cache and re-pulled. A non-zero value
+	// means the worker survived a server restart without operator action.
+	Resyncs int
 }
 
 // New builds a worker.
@@ -84,6 +99,12 @@ func New(cfg Config) (*Worker, error) {
 	}
 	if cfg.Rng == nil {
 		return nil, fmt.Errorf("worker: Rng is required")
+	}
+	if cfg.MaxResyncs == 0 {
+		cfg.MaxResyncs = 3
+	}
+	if cfg.MaxResyncs < 0 {
+		cfg.MaxResyncs = 0
 	}
 	net := cfg.Arch.Build(cfg.Rng)
 	w := &Worker{
@@ -111,15 +132,29 @@ type Prepared struct {
 // Step performs one full protocol round against the service: request a
 // task, compute the gradient, push it. It returns the ack (zero-valued
 // when the task was rejected by the controller).
+//
+// Step is also where the resync protocol lives: when the push comes back
+// as version_conflict — the server restarted and restored a checkpoint
+// older than the model this worker computed on — Push has already dropped
+// the cached model, so Step simply runs the round again (the re-pull is a
+// full download against the restored server) up to MaxResyncs times. The
+// recoveries are counted in Resyncs; a conflict persisting past the bound
+// surfaces as the error it is.
 func (w *Worker) Step(ctx context.Context, svc service.Service) (protocol.PushAck, error) {
-	resp, err := w.Pull(ctx, svc)
-	if err != nil {
-		return protocol.PushAck{}, err
+	for attempt := 0; ; attempt++ {
+		resp, err := w.Pull(ctx, svc)
+		if err != nil {
+			return protocol.PushAck{}, err
+		}
+		if !resp.Accepted {
+			return protocol.PushAck{}, nil
+		}
+		ack, err := w.Push(ctx, svc, w.Compute(resp).Push)
+		if err != nil && protocol.IsCode(err, protocol.CodeVersionConflict) && attempt < w.cfg.MaxResyncs {
+			continue
+		}
+		return ack, err
 	}
-	if !resp.Accepted {
-		return protocol.PushAck{}, nil
-	}
-	return w.Push(ctx, svc, w.Compute(resp).Push)
 }
 
 // Pull performs steps (1)–(4): request a task and, when accepted, absorb
@@ -134,6 +169,7 @@ func (w *Worker) Pull(ctx context.Context, svc service.Service) (*protocol.TaskR
 	}
 	if w.cached && !w.cfg.FullPullOnly {
 		req.KnownVersion = w.version
+		req.KnownEpoch = w.epoch
 		req.WantDelta = true
 	}
 	if w.cfg.Device != nil {
@@ -155,6 +191,11 @@ func (w *Worker) Pull(ctx context.Context, svc service.Service) (*protocol.TaskR
 		return resp, nil
 	}
 	if err := w.absorbModel(resp); err != nil {
+		// The cached vector is now suspect (a delta may have half-applied,
+		// or the response contradicted the cache). Drop it so the next pull
+		// self-heals with a full download instead of re-requesting deltas
+		// against bad state forever.
+		w.cached = false
 		return nil, fmt.Errorf("worker %d: task: %w", w.cfg.ID, err)
 	}
 	return resp, nil
@@ -182,6 +223,7 @@ func (w *Worker) Compute(resp *protocol.TaskResponse) *Prepared {
 	push := &protocol.GradientPush{
 		WorkerID:     w.cfg.ID,
 		ModelVersion: resp.ModelVersion,
+		ModelEpoch:   resp.ServerEpoch,
 		BatchSize:    batchSize,
 		LabelCounts:  data.LabelCounts(batch, w.cfg.Arch.Classes()),
 	}
@@ -205,10 +247,19 @@ func (w *Worker) Compute(resp *protocol.TaskResponse) *Prepared {
 	return out
 }
 
-// Push sends a prepared gradient, step (5).
+// Push sends a prepared gradient, step (5). A version_conflict rejection
+// (the server restarted onto an older checkpoint, so this gradient claims
+// a version "from the future") begins a resync: the cached model is
+// dropped — the server's version stream restarted, so the cache is
+// unpatchable — Resyncs is counted, and the error is returned for the
+// caller (Step, or an event-driven harness) to schedule the fresh round.
 func (w *Worker) Push(ctx context.Context, svc service.Service, push *protocol.GradientPush) (protocol.PushAck, error) {
 	ack, err := svc.PushGradient(ctx, push)
 	if err != nil {
+		if protocol.IsCode(err, protocol.CodeVersionConflict) {
+			w.cached = false
+			w.Resyncs++
+		}
 		return protocol.PushAck{}, fmt.Errorf("worker %d: push: %w", w.cfg.ID, err)
 	}
 	if ack == nil {
@@ -233,6 +284,12 @@ func (w *Worker) absorbModel(resp *protocol.TaskResponse) error {
 		if !w.cached {
 			return fmt.Errorf("delta response without a cached model")
 		}
+		if resp.ServerEpoch != w.epoch {
+			// Belt and braces: a correct server never deltas across its
+			// own restore, because the cached version number names the
+			// dead incarnation's parameters.
+			return fmt.Errorf("delta from server incarnation %d, cached model from %d", resp.ServerEpoch, w.epoch)
+		}
 		if resp.DeltaBase != w.version {
 			return fmt.Errorf("delta from version %d, cached model at %d", resp.DeltaBase, w.version)
 		}
@@ -251,6 +308,7 @@ func (w *Worker) absorbModel(resp *protocol.TaskResponse) error {
 	}
 	copy(w.params, resp.Params)
 	w.version = resp.ModelVersion
+	w.epoch = resp.ServerEpoch
 	w.cached = true
 	return nil
 }
