@@ -68,6 +68,12 @@ type benchOptions struct {
 	minAccuracy       float64
 	maxProtocolErrors int
 
+	// Transport head-to-head: run the same scenario+seed again over the
+	// named twin transport and embed the comparison into the result.
+	compareTransport string
+	assertWin        bool
+	maxAccuracyDelta float64
+
 	// Compare mode.
 	compare         string
 	against         string
@@ -86,7 +92,7 @@ func parseBench(args []string, stderr io.Writer) (*benchOptions, error) {
 	fs.Int64Var(&o.seed, "seed", 1, "master seed; every random stream derives from it")
 	fs.StringVar(&o.out, "out", "", `output path (default BENCH_<scenario>.json; "-" for stdout)`)
 	fs.BoolVar(&o.list, "list", false, "list registered scenarios and exit")
-	fs.StringVar(&o.transport, "transport", "inproc", "inproc (direct service calls) or http (live v1 wire protocol)")
+	fs.StringVar(&o.transport, "transport", "inproc", "inproc (direct service calls), http (per-request v1 wire protocol) or stream (persistent sessions with server-pushed announces)")
 	fs.StringVar(&o.mode, "mode", "virtual", "virtual (deterministic event loop) or realtime (goroutine-per-worker)")
 	fs.IntVar(&o.workers, "workers", 0, "override the scenario's fleet size")
 	fs.IntVar(&o.rounds, "rounds", 0, "override the rounds per worker")
@@ -99,6 +105,9 @@ func parseBench(args []string, stderr io.Writer) (*benchOptions, error) {
 	fs.StringVar(&o.admission, "admission", "", "override the admission-chain spec")
 	fs.Float64Var(&o.minAccuracy, "min-accuracy", 0, "fail unless final accuracy reaches this (0 disables)")
 	fs.IntVar(&o.maxProtocolErrors, "max-protocol-errors", -1, "fail when protocol errors exceed this (-1 disables; CI uses 0)")
+	fs.StringVar(&o.compareTransport, "compare-transport", "", "also run the scenario over this twin transport (same seed) and embed the poll-vs-push comparison")
+	fs.BoolVar(&o.assertWin, "assert-transport-win", false, "with -compare-transport: fail unless this transport wins round p95 and connections per worker at equal accuracy")
+	fs.Float64Var(&o.maxAccuracyDelta, "max-accuracy-delta", 0.01, "with -assert-transport-win: max absolute final-accuracy gap between the transports")
 	fs.StringVar(&o.compare, "compare", "", "baseline BENCH_*.json: compare instead of running")
 	fs.StringVar(&o.against, "against", "", "current BENCH_*.json compared to -compare")
 	fs.BoolVar(&o.identical, "identical", false, "with -compare: require bit-for-bit equality modulo wallclock")
@@ -112,6 +121,22 @@ func parseBench(args []string, stderr io.Writer) (*benchOptions, error) {
 	}
 	if o.compare != "" && o.against == "" {
 		return nil, fmt.Errorf("-compare needs -against")
+	}
+	if o.assertWin && o.compareTransport == "" {
+		return nil, fmt.Errorf("-assert-transport-win needs -compare-transport")
+	}
+	if o.compareTransport != "" {
+		switch o.compareTransport {
+		case string(loadgen.TransportInProc), string(loadgen.TransportHTTP), string(loadgen.TransportStream):
+		default:
+			return nil, fmt.Errorf("unknown -compare-transport %q (want inproc, http or stream)", o.compareTransport)
+		}
+		if o.compareTransport == o.transport {
+			return nil, fmt.Errorf("-compare-transport %q is the run's own transport", o.compareTransport)
+		}
+	}
+	if o.assertWin && o.maxAccuracyDelta <= 0 {
+		return nil, fmt.Errorf("-max-accuracy-delta must be positive, got %g", o.maxAccuracyDelta)
 	}
 	if o.compare == "" && !o.list && o.scenario == "" {
 		return nil, fmt.Errorf("one of -scenario, -list or -compare is required")
@@ -195,6 +220,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	if o.compareTransport != "" {
+		// The twin rides the identical scenario and seed over the other
+		// transport, so every difference in the embedded comparison is the
+		// transport's doing, not the workload's.
+		twinRunner := *runner
+		twinRunner.Transport = loadgen.Transport(o.compareTransport)
+		twin, err := twinRunner.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(stderr, "twin transport %s: %v\n", o.compareTransport, err)
+			return 1
+		}
+		tc, err := loadgen.CompareTransports(res, twin)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		res.TransportComparison = tc
+		fmt.Fprintf(stdout, "%s vs %s: round p95 %+.1f%%, %.3g vs %.3g conns/worker, accuracy delta %+.4f\n",
+			o.transport, o.compareTransport, -100*tc.RoundP95Improvement,
+			connsPerWorker(res), tc.ConnsPerWorker, tc.AccuracyDelta)
+	}
+
 	out := o.out
 	if out == "" {
 		out = fmt.Sprintf("BENCH_%s.json", o.scenario)
@@ -226,10 +273,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			res.Counts.ProtocolErrors, o.maxProtocolErrors, res.Counts.ErrorSamples)
 		failed = true
 	}
+	if o.assertWin {
+		if err := loadgen.GateTransportWin(res, o.maxAccuracyDelta); err != nil {
+			fmt.Fprintf(stderr, "ASSERT FAIL: %v\n", err)
+			failed = true
+		}
+	}
 	if failed {
 		return 1
 	}
 	return 0
+}
+
+// connsPerWorker digs the run's own connection count out of the result (0
+// for the in-process transport, which opens none).
+func connsPerWorker(res *loadgen.Result) float64 {
+	if res.TransportStats == nil {
+		return 0
+	}
+	return res.TransportStats.ConnsPerWorker
 }
 
 func runCompare(o *benchOptions, stdout, stderr io.Writer) int {

@@ -18,6 +18,11 @@ func TestParseBenchValidation(t *testing.T) {
 		{"-compare", "a.json"},             // missing -against
 		{"-scenario", "uniform", "stray"},  // positional junk
 		{"-scenario", "uniform", "-bogus"}, // unknown flag
+		{"-scenario", "uniform", "-assert-transport-win"},                                                            // needs -compare-transport
+		{"-scenario", "uniform", "-transport", "stream", "-compare-transport", "stream"},                             // twin = self
+		{"-scenario", "uniform", "-compare-transport", "inproc", "-transport", "inproc"},                             // twin = self (default spelled out)
+		{"-scenario", "uniform", "-compare-transport", "semaphore-flags"},                                            // unknown twin transport
+		{"-scenario", "uniform", "-compare-transport", "http", "-max-accuracy-delta", "-1", "-assert-transport-win"}, // negative gate width
 	} {
 		if _, err := parseBench(args, io.Discard); err == nil {
 			t.Errorf("args %v parsed without error", args)

@@ -65,10 +65,12 @@ import (
 	"fleet/internal/nn"
 	"fleet/internal/persist"
 	"fleet/internal/pipeline"
+	"fleet/internal/protocol"
 	"fleet/internal/sched"
 	"fleet/internal/server"
 	"fleet/internal/service"
 	"fleet/internal/simrand"
+	"fleet/internal/stream"
 )
 
 func main() {
@@ -89,16 +91,26 @@ func main() {
 // composed service plus the HTTP-serving knobs. serve consumes it, and
 // tests construct doctored ones.
 type serverSetup struct {
-	addr   string
-	drain  time.Duration
-	svc    service.Service
-	banner string
-	logf   func(format string, args ...interface{})
+	addr  string
+	drain time.Duration
+	svc   service.Service
+	// transport is which listeners serve: "http", "stream" or "both".
+	// streamAddr is the persistent-session listener's address, and announce
+	// registers the stream server's broadcast hook on the parameter server
+	// (nil when the stream listener is disabled).
+	transport  string
+	streamAddr string
+	announce   func(func(protocol.ModelAnnounce))
+	banner     string
+	logf       func(format string, args ...interface{})
 	// checkpoint writes a durable state snapshot (nil when -checkpoint-dir
 	// is unset). serve calls it on SIGINT/SIGTERM before draining, and
 	// again after a clean drain so the very last committed pushes are
 	// durable too.
 	checkpoint func() (string, error)
+	// streamReady, when non-nil, receives the stream listener's bound
+	// address once it is up (tests bind ":0").
+	streamReady chan<- net.Addr
 }
 
 // buildServer parses args and composes the server: architecture, update
@@ -108,25 +120,27 @@ func buildServer(args []string, stderr io.Writer) (*serverSetup, error) {
 	fs := flag.NewFlagSet("fleet-server", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr      = fs.String("addr", ":8080", "listen address")
-		archName  = fs.String("arch", "tiny-mnist", "model architecture")
-		lr        = fs.Float64("lr", 0.03, "learning rate")
-		k         = fs.Int("k", 1, "gradients aggregated per model update")
-		sPct      = fs.Float64("s-pct", 99.7, "AdaSGD non-straggler percentage")
-		timeSLO   = fs.Float64("time-slo", 3.0, "computation-time SLO in seconds (0 disables)")
-		energySLO = fs.Float64("energy-slo", 0, "energy SLO in %battery (0 disables)")
-		minBatch  = fs.Int("min-batch", 0, "controller mini-batch size threshold (0 disables); routed through the admission registry")
-		maxSim    = fs.Float64("max-similarity", 0, "controller similarity threshold (0 disables); routed through the admission registry")
-		admission = fs.String("admission", "", "admission-policy chain spec (e.g. iprof-time(3),min-batch(5),similarity(0.9)); empty synthesizes the chain from -time-slo/-energy-slo/-min-batch/-max-similarity")
-		seed      = fs.Int64("seed", 1, "model initialization seed")
-		shards    = fs.Int("shards", 1, "gradient accumulator shards (striped locking; 1 = single mutex)")
-		stages    = fs.String("stages", "staleness", "comma-separated update-pipeline stage specs (e.g. staleness,norm-filter(100),dp(1,0.5))")
-		agg       = fs.String("aggregator", "mean", "window-aggregation rule spec (mean, median, trimmed(b), krum(f))")
-		rateLimit = fs.Float64("rate-limit", 0, "per-worker request rate limit in req/s (0 disables)")
-		rateBurst = fs.Int("rate-burst", 10, "per-worker rate-limit burst")
-		deadline  = fs.Duration("deadline", 0, "per-request server-side deadline (0 disables)")
-		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
-		verbose   = fs.Bool("verbose", false, "log every request")
+		addr       = fs.String("addr", ":8080", "listen address")
+		archName   = fs.String("arch", "tiny-mnist", "model architecture")
+		lr         = fs.Float64("lr", 0.03, "learning rate")
+		k          = fs.Int("k", 1, "gradients aggregated per model update")
+		sPct       = fs.Float64("s-pct", 99.7, "AdaSGD non-straggler percentage")
+		timeSLO    = fs.Float64("time-slo", 3.0, "computation-time SLO in seconds (0 disables)")
+		energySLO  = fs.Float64("energy-slo", 0, "energy SLO in %battery (0 disables)")
+		minBatch   = fs.Int("min-batch", 0, "controller mini-batch size threshold (0 disables); routed through the admission registry")
+		maxSim     = fs.Float64("max-similarity", 0, "controller similarity threshold (0 disables); routed through the admission registry")
+		admission  = fs.String("admission", "", "admission-policy chain spec (e.g. iprof-time(3),min-batch(5),similarity(0.9)); empty synthesizes the chain from -time-slo/-energy-slo/-min-batch/-max-similarity")
+		seed       = fs.Int64("seed", 1, "model initialization seed")
+		shards     = fs.Int("shards", 1, "gradient accumulator shards (striped locking; 1 = single mutex)")
+		stages     = fs.String("stages", "staleness", "comma-separated update-pipeline stage specs (e.g. staleness,norm-filter(100),dp(1,0.5))")
+		agg        = fs.String("aggregator", "mean", "window-aggregation rule spec (mean, median, trimmed(b), krum(f))")
+		rateLimit  = fs.Float64("rate-limit", 0, "per-worker request rate limit in req/s (0 disables)")
+		rateBurst  = fs.Int("rate-burst", 10, "per-worker rate-limit burst")
+		deadline   = fs.Duration("deadline", 0, "per-request server-side deadline (0 disables)")
+		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
+		transport  = fs.String("transport", "http", `served transports: "http" (per-request v1 wire protocol), "stream" (persistent sessions with server-pushed model announces) or "both"`)
+		streamAddr = fs.String("stream-addr", ":8081", "stream-transport listen address (with -transport stream|both)")
+		verbose    = fs.Bool("verbose", false, "log every request")
 
 		ckptDir     = fs.String("checkpoint-dir", "", "durable checkpoint directory; empty disables crash safety")
 		ckptEvery   = fs.Int("checkpoint-every", 8, "periodic checkpoint cadence in aggregation windows (0: only at graceful shutdown)")
@@ -138,6 +152,11 @@ func buildServer(args []string, stderr io.Writer) (*serverSetup, error) {
 	}
 	if fs.NArg() > 0 {
 		return nil, fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	switch *transport {
+	case "http", "stream", "both":
+	default:
+		return nil, fmt.Errorf("unknown -transport %q (want http, stream or both)", *transport)
 	}
 
 	arch, err := nn.ArchByName(*archName)
@@ -280,12 +299,18 @@ func buildServer(args []string, stderr io.Writer) (*serverSetup, error) {
 	}
 
 	setup := &serverSetup{
-		addr:  *addr,
-		drain: *drain,
-		svc:   service.Chain(srv, interceptors...),
+		addr:       *addr,
+		drain:      *drain,
+		svc:        service.Chain(srv, interceptors...),
+		transport:  *transport,
+		streamAddr: *streamAddr,
+		announce:   srv.OnSnapshot,
 		banner: fmt.Sprintf("FLeet server listening on %s (arch=%s, lr=%g, K=%d, pipeline: %s, admission: [%s])",
 			*addr, arch, *lr, *k, pipe, strings.Join(chain.Names(), " -> ")),
 		logf: log.Printf,
+	}
+	if *transport != "http" {
+		setup.banner += fmt.Sprintf(", stream sessions on %s", *streamAddr)
 	}
 	if *ckptDir != "" {
 		setup.checkpoint = srv.Checkpoint
@@ -306,22 +331,52 @@ func serve(ctx context.Context, st *serverSetup, ready chan<- net.Addr) int {
 	if logf == nil {
 		logf = log.Printf
 	}
-	ln, err := net.Listen("tcp", st.addr)
-	if err != nil {
-		logf("fleet-server: %v", err)
-		return 1
+	transport := st.transport
+	if transport == "" {
+		transport = "http"
 	}
-	httpSrv := &http.Server{
-		Handler:           server.NewHandler(st.svc),
-		ReadHeaderTimeout: 10 * time.Second,
+	errc := make(chan error, 2)
+	var httpSrv *http.Server
+	var boundAddr net.Addr
+	if transport != "stream" {
+		ln, err := net.Listen("tcp", st.addr)
+		if err != nil {
+			logf("fleet-server: %v", err)
+			return 1
+		}
+		httpSrv = &http.Server{
+			Handler:           server.NewHandler(st.svc),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() { errc <- httpSrv.Serve(ln) }()
+		boundAddr = ln.Addr()
 	}
-	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.Serve(ln) }()
+	var streamSrv *stream.Server
+	if transport != "http" {
+		sln, err := net.Listen("tcp", st.streamAddr)
+		if err != nil {
+			logf("fleet-server: %v", err)
+			return 1
+		}
+		streamSrv = stream.NewServer(st.svc, stream.Options{Logf: logf})
+		if st.announce != nil {
+			// Drain-time model snapshots broadcast to every subscribed
+			// session — the push half of the streaming transport.
+			st.announce(streamSrv.Broadcast)
+		}
+		go func() { errc <- streamSrv.Serve(sln) }()
+		if boundAddr == nil {
+			boundAddr = sln.Addr()
+		}
+		if st.streamReady != nil {
+			st.streamReady <- sln.Addr()
+		}
+	}
 	if st.banner != "" {
 		logf("%s", st.banner)
 	}
 	if ready != nil {
-		ready <- ln.Addr()
+		ready <- boundAddr
 	}
 	select {
 	case err := <-errc:
@@ -343,9 +398,20 @@ func serve(ctx context.Context, st *serverSetup, ready chan<- net.Addr) int {
 		logf("fleet-server: shutting down, draining in-flight requests (deadline %s)", st.drain)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), st.drain)
 		defer cancel()
-		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			logf("fleet-server: drain deadline exceeded: %v", err)
-			return 1
+		if streamSrv != nil {
+			// Streaming sessions drain first, each told "server draining"
+			// with a final goaway frame, so workers reconnect to the next
+			// incarnation instead of timing out on a dead socket.
+			if err := streamSrv.Shutdown(shutdownCtx); err != nil {
+				logf("fleet-server: stream drain deadline exceeded: %v", err)
+				return 1
+			}
+		}
+		if httpSrv != nil {
+			if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+				logf("fleet-server: drain deadline exceeded: %v", err)
+				return 1
+			}
 		}
 		// Re-checkpoint after the drain so the pushes that committed
 		// during it are durable too.

@@ -19,6 +19,7 @@ import (
 	"fleet/internal/protocol"
 	"fleet/internal/service"
 	"fleet/internal/simrand"
+	"fleet/internal/stream"
 	"fleet/internal/worker"
 )
 
@@ -28,6 +29,7 @@ func TestBuildServerFlagValidation(t *testing.T) {
 		{"-stages", "no-such-stage"},
 		{"-aggregator", "krum(0.5)"}, // non-integral f
 		{"-admission", "no-such-policy(1)"},
+		{"-transport", "carrier-pigeon"},
 		{"-bogus"},
 		{"stray-positional"},
 	} {
@@ -162,6 +164,73 @@ func TestGracefulShutdownDrainsInFlightPush(t *testing.T) {
 	// And the listener is really gone.
 	if _, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
 		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// TestStreamServeAndDrain: -transport both serves persistent sessions next
+// to the HTTP listener against the same service, and the signal-triggered
+// drain tells every session "server draining" with a final goaway before
+// the process exits 0.
+func TestStreamServeAndDrain(t *testing.T) {
+	setup, err := buildServer([]string{
+		"-addr", "127.0.0.1:0", "-stream-addr", "127.0.0.1:0", "-transport", "both",
+		"-arch", "softmax-mnist", "-time-slo", "0", "-drain", "5s",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.logf = t.Logf
+	streamReady := make(chan net.Addr, 1)
+	setup.streamReady = streamReady
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	exit := make(chan int, 1)
+	go func() { exit <- serve(ctx, setup, ready) }()
+	httpAddr := (<-ready).String()
+	streamAddr := (<-streamReady).String()
+
+	cl := &stream.Client{Addr: streamAddr, WorkerID: 1, Subscribe: true}
+	defer func() { _ = cl.Close() }()
+	params := nn.ArchSoftmaxMNIST.Build(simrand.New(1)).ParamCount()
+	if _, err := cl.PushGradient(context.Background(), &protocol.GradientPush{
+		WorkerID:    1,
+		Gradient:    make([]float64, params),
+		BatchSize:   1,
+		LabelCounts: make([]int, nn.ArchSoftmaxMNIST.Classes()),
+	}); err != nil {
+		t.Fatalf("push over stream: %v", err)
+	}
+	// Both listeners front the same service: the HTTP side sees the
+	// gradient the stream session pushed.
+	stats, err := (&worker.Client{BaseURL: "http://" + httpAddr}).Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.GradientsIn != 1 {
+		t.Fatalf("gradients_in = %d over HTTP after a stream push", stats.GradientsIn)
+	}
+
+	cancel() // deliver the "signal"
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("serve exited %d after a clean drain", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not exit after drain")
+	}
+	// The goaway landed and the session ended; the client's reader may
+	// still be processing the close, so poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for cl.Connected() && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if cl.Connected() {
+		t.Fatal("session still connected after server drain")
+	}
+	if _, err := net.DialTimeout("tcp", streamAddr, 200*time.Millisecond); err == nil {
+		t.Fatal("stream listener still accepting after shutdown")
 	}
 }
 

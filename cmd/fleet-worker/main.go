@@ -15,13 +15,16 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"fleet/internal/data"
 	"fleet/internal/device"
 	"fleet/internal/nn"
 	"fleet/internal/protocol"
+	"fleet/internal/service"
 	"fleet/internal/simrand"
+	"fleet/internal/stream"
 	"fleet/internal/worker"
 )
 
@@ -40,8 +43,12 @@ func main() {
 // workerSetup is the parsed-and-composed command line: the client, the
 // worker and the loop parameters.
 type workerSetup struct {
-	w        *worker.Worker
-	client   *worker.Client
+	w      *worker.Worker
+	client service.Service
+	// strm is the persistent-session client when -transport stream: the
+	// same client as above, kept typed so the round loop can absorb
+	// server-pushed model announces and close the session at exit.
+	strm     *stream.Client
 	rounds   int
 	interval time.Duration
 	timeout  time.Duration
@@ -52,7 +59,8 @@ func buildWorker(args []string, stderr io.Writer) (*workerSetup, error) {
 	fs := flag.NewFlagSet("fleet-worker", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		serverURL  = fs.String("server", "http://localhost:8080", "FLeet server base URL")
+		serverURL  = fs.String("server", "http://localhost:8080", "FLeet server base URL (http transport) or host:port (stream transport)")
+		transport  = fs.String("transport", "http", `transport: "http" (per-request polling) or "stream" (one persistent session with server-pushed model announces)`)
 		deviceName = fs.String("device", "Galaxy S7", "device model from the catalogue")
 		workerID   = fs.Int("id", 0, "worker id")
 		rounds     = fs.Int("rounds", 50, "learning-task rounds to run")
@@ -83,6 +91,14 @@ func buildWorker(args []string, stderr io.Writer) (*workerSetup, error) {
 	if *legacy && *codecName != "gob" {
 		return nil, fmt.Errorf("-legacy speaks the pre-v1 gob+gzip dialect only; drop -codec or -legacy")
 	}
+	switch *transport {
+	case "http", "stream":
+	default:
+		return nil, fmt.Errorf("unknown -transport %q (want http or stream)", *transport)
+	}
+	if *transport == "stream" && *legacy {
+		return nil, fmt.Errorf("-legacy speaks the pre-v1 HTTP routes; the stream transport has no legacy dialect")
+	}
 
 	model, err := device.ModelByName(*deviceName)
 	if err != nil {
@@ -107,17 +123,42 @@ func buildWorker(args []string, stderr io.Writer) (*workerSetup, error) {
 		return nil, err
 	}
 
-	return &workerSetup{
+	st := &workerSetup{
 		w:        w,
-		client:   &worker.Client{BaseURL: *serverURL, Codec: codec, Legacy: *legacy},
 		rounds:   *rounds,
 		interval: *interval,
 		timeout:  *timeout,
-	}, nil
+	}
+	if *transport == "stream" {
+		st.strm = &stream.Client{
+			Addr:      strings.TrimPrefix(strings.TrimPrefix(*serverURL, "http://"), "tcp://"),
+			Codec:     codec,
+			WorkerID:  *workerID,
+			Subscribe: true,
+		}
+		st.client = st.strm
+	} else {
+		st.client = &worker.Client{BaseURL: *serverURL, Codec: codec, Legacy: *legacy}
+	}
+	return st, nil
 }
 
 func runWorker(st *workerSetup) int {
+	if st.strm != nil {
+		defer func() { _ = st.strm.Close() }()
+	}
 	for i := 0; i < st.rounds; i++ {
+		if st.strm != nil {
+			// Fold server-pushed announces into the cached model first, so
+			// the coming pull advertises the freshest version we hold — on
+			// an up-to-date cache the server answers with a tiny delta (or
+			// nothing new at all) instead of a full download.
+			for _, ann := range st.strm.TakeAnnounces() {
+				if !st.w.AbsorbAnnounce(ann) {
+					break
+				}
+			}
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), st.timeout)
 		ack, err := st.w.Step(ctx, st.client)
 		cancel()
@@ -139,6 +180,7 @@ func runWorker(st *workerSetup) int {
 	if err == nil {
 		log.Printf("server stats: %+v", stats)
 	}
-	log.Printf("worker done: %d tasks, %d rejections (%d delta pulls)", st.w.Tasks, st.w.Rejections, st.w.DeltaPulls)
+	log.Printf("worker done: %d tasks, %d rejections (%d delta pulls, %d announce refreshes)",
+		st.w.Tasks, st.w.Rejections, st.w.DeltaPulls, st.w.Refreshes)
 	return 0
 }

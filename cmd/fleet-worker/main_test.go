@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"io"
+	"net"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -11,15 +12,19 @@ import (
 	"fleet/internal/nn"
 	"fleet/internal/protocol"
 	"fleet/internal/server"
+	"fleet/internal/stream"
+	"fleet/internal/worker"
 )
 
 func TestBuildWorkerFlagValidation(t *testing.T) {
 	for _, args := range [][]string{
-		{"-codec", "xml"},             // unknown codec
-		{"-legacy", "-codec", "json"}, // legacy is gob-only
-		{"-device", "No Such Phone"},  // not in the catalogue
-		{"-bogus"},                    // unknown flag
-		{"stray"},                     // positional junk
+		{"-codec", "xml"},                   // unknown codec
+		{"-legacy", "-codec", "json"},       // legacy is gob-only
+		{"-device", "No Such Phone"},        // not in the catalogue
+		{"-transport", "telegraph"},         // unknown transport
+		{"-transport", "stream", "-legacy"}, // stream has no legacy dialect
+		{"-bogus"},                          // unknown flag
+		{"stray"},                           // positional junk
 	} {
 		if _, err := buildWorker(args, io.Discard); err == nil {
 			t.Errorf("args %v built without error", args)
@@ -36,11 +41,15 @@ func TestBuildWorkerRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.client.BaseURL != "http://example.test:9" || st.client.Legacy {
-		t.Fatalf("client = %+v", st.client)
+	cl, ok := st.client.(*worker.Client)
+	if !ok {
+		t.Fatalf("http transport built client %T, want *worker.Client", st.client)
 	}
-	if st.client.Codec.ContentType() != protocol.JSON.ContentType() {
-		t.Fatalf("codec = %v", st.client.Codec.ContentType())
+	if cl.BaseURL != "http://example.test:9" || cl.Legacy {
+		t.Fatalf("client = %+v", cl)
+	}
+	if cl.Codec.ContentType() != protocol.JSON.ContentType() {
+		t.Fatalf("codec = %v", cl.Codec.ContentType())
 	}
 	if st.rounds != 7 || st.interval != time.Millisecond || st.timeout != 2*time.Second {
 		t.Fatalf("loop params = %+v", st)
@@ -70,6 +79,69 @@ func TestWorkerRunsAgainstLiveServer(t *testing.T) {
 	}
 	if st.w.Tasks != 3 {
 		t.Fatalf("worker pushed %d tasks, want 3", st.w.Tasks)
+	}
+	stats, err := srv.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.GradientsIn != 3 {
+		t.Fatalf("server saw %d gradients", stats.GradientsIn)
+	}
+}
+
+// TestWorkerStreamTransport: -transport stream builds a persistent-session
+// client (scheme prefixes stripped from -server), and the built worker
+// trains over a live stream listener, absorbing server-pushed announces.
+func TestWorkerStreamTransport(t *testing.T) {
+	st, err := buildWorker([]string{
+		"-server", "http://example.test:9", "-transport", "stream", "-codec", "json",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.strm == nil || st.strm.Addr != "example.test:9" {
+		t.Fatalf("stream client = %+v", st.strm)
+	}
+	if st.strm.Codec.ContentType() != protocol.JSON.ContentType() || !st.strm.Subscribe {
+		t.Fatalf("stream client misconfigured: %+v", st.strm)
+	}
+
+	srv, err := server.New(server.Config{
+		Arch:         nn.ArchTinyMNIST,
+		Algorithm:    learning.NewAdaSGD(learning.AdaSGDConfig{NonStragglerPct: 99.7, BootstrapSteps: 5}),
+		LearningRate: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamSrv := stream.NewServer(srv, stream.Options{})
+	srv.OnSnapshot(streamSrv.Broadcast)
+	go func() { _ = streamSrv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = streamSrv.Shutdown(ctx)
+	}()
+
+	st, err = buildWorker([]string{
+		"-server", ln.Addr().String(), "-transport", "stream",
+		"-rounds", "3", "-interval", "0s", "-device", "Pixel",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := runWorker(st); code != 0 {
+		t.Fatalf("runWorker exited %d", code)
+	}
+	if st.w.Tasks != 3 {
+		t.Fatalf("worker pushed %d tasks, want 3", st.w.Tasks)
+	}
+	if st.strm.Dials() != 1 {
+		t.Fatalf("stream client dialed %d times over 3 rounds, want 1 persistent session", st.strm.Dials())
 	}
 	stats, err := srv.Stats(context.Background())
 	if err != nil {

@@ -49,6 +49,7 @@ import (
 	"fleet/internal/sched"
 	"fleet/internal/server"
 	"fleet/internal/service"
+	"fleet/internal/stream"
 	"fleet/internal/worker"
 )
 
@@ -208,7 +209,40 @@ type (
 	PushAck = protocol.PushAck
 	// Stats is the server's diagnostic snapshot.
 	Stats = protocol.Stats
+	// ModelAnnounce is the server-pushed model-update notification of the
+	// streaming transport: new version and epoch, plus the sparse delta
+	// from the previous version when it is compact enough to ship.
+	ModelAnnounce = protocol.ModelAnnounce
 )
+
+// WireCounter tallies transport payload bytes (uplink/downlink); plug one
+// into Client.Wire or StreamClient.Wire to measure wire cost.
+type WireCounter = protocol.WireCounter
+
+// ---------------------------------------------------------------------------
+// Streaming transport (internal/stream): one persistent, multiplexed
+// session per worker with server-pushed model announces.
+
+// StreamServer serves the persistent-session transport: length-prefixed
+// frames over TCP, per-frame correlation IDs, heartbeats, and drain-time
+// ModelAnnounce broadcasts to every subscribed session. Run it alongside
+// (or instead of) the HTTP handler; wire announces with
+// (*Server).OnSnapshot(streamServer.Broadcast).
+type StreamServer = stream.Server
+
+// StreamOptions tunes a StreamServer (idle timeout, logging).
+type StreamOptions = stream.Options
+
+// NewStreamServer builds a stream-transport server around any Service.
+func NewStreamServer(svc Service, opts StreamOptions) *StreamServer {
+	return stream.NewServer(svc, opts)
+}
+
+// StreamClient is the worker-side persistent session: it implements
+// Service over one long-lived connection, redials transparently after a
+// server drain, and collects server-pushed announces for
+// (*Worker).AbsorbAnnounce.
+type StreamClient = stream.Client
 
 // ---------------------------------------------------------------------------
 // Learning algorithms (§2.3).
@@ -627,7 +661,9 @@ type Series = metrics.Series
 type LoadScenario = loadgen.Scenario
 
 // LoadRunner executes a LoadScenario deterministically (virtual time) or
-// goroutine-per-worker (realtime), in-process or over the live HTTP wire.
+// goroutine-per-worker (realtime) — in-process, over the live HTTP wire,
+// or over the persistent-session stream transport with server-pushed
+// model announces.
 type LoadRunner = loadgen.Runner
 
 // BenchResult is the machine-readable outcome of a load run — what
@@ -672,6 +708,20 @@ func LoadScenarioByName(name string) (LoadScenario, error) { return loadgen.ByNa
 // regression gate as a library call.
 func CompareBench(baseline, current *BenchResult, opts loadgen.CompareOptions) loadgen.CompareReport {
 	return loadgen.Compare(baseline, current, opts)
+}
+
+// CompareTransports builds the poll-vs-push comparison between a streaming
+// run and a per-request twin of the same scenario, seed and mode — what
+// `fleet-bench -compare-transport` embeds into the result.
+func CompareTransports(streaming, polling *BenchResult) (*loadgen.TransportComparison, error) {
+	return loadgen.CompareTransports(streaming, polling)
+}
+
+// GateTransportWin asserts a streaming result beats its embedded polling
+// twin on round p95 latency and connections per worker at equal final
+// accuracy (±maxAccuracyDelta; <= 0 uses 0.01) — the stream-push CI gate.
+func GateTransportWin(streaming *BenchResult, maxAccuracyDelta float64) error {
+	return loadgen.GateTransportWin(streaming, maxAccuracyDelta)
 }
 
 // ---------------------------------------------------------------------------

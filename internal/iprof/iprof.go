@@ -70,7 +70,20 @@ type Config struct {
 	// means no upper clamp.
 	MinBatch int
 	MaxBatch int
+	// MaxObservations bounds the retraining observation set: once the set
+	// reaches this size, each new observation overwrites the oldest one
+	// (a sliding window over the observation stream), so a long-lived
+	// server's memory — and every checkpoint it writes — stops growing
+	// with fleet lifetime. The window always contains the most recent
+	// MaxObservations points, which is also what periodic OLS retraining
+	// should fit: recent device behavior, not the full history. 0 means
+	// the default (1024); negative disables the bound.
+	MaxObservations int
 }
+
+// DefaultMaxObservations is the observation-window bound applied when
+// Config.MaxObservations is 0.
+const DefaultMaxObservations = 1024
 
 // IProf is the profiler. It is safe for concurrent use.
 type IProf struct {
@@ -81,6 +94,10 @@ type IProf struct {
 	personal map[string]*regression.PassiveAggressive
 	obsX     [][]float64
 	obsY     []float64
+	// obsNext is the ring cursor of the bounded observation window: once
+	// obsX is full (cfg.MaxObservations), it indexes the oldest entry —
+	// the one the next observation overwrites.
+	obsNext  int
 	sinceFit int
 	// minAlpha/maxAlpha bound predictions to the plausible range observed
 	// during pre-training; linear extrapolation to unseen devices can
@@ -101,6 +118,12 @@ func New(cfg Config, pretrain []Observation) (*IProf, error) {
 	}
 	if cfg.MinBatch <= 0 {
 		cfg.MinBatch = 1
+	}
+	if cfg.MaxObservations == 0 {
+		cfg.MaxObservations = DefaultMaxObservations
+	}
+	if cfg.MaxObservations < 0 {
+		cfg.MaxObservations = 0 // negative disables; 0 internally means unbounded
 	}
 	p := &IProf{
 		cfg:      cfg,
@@ -185,8 +208,19 @@ func (p *IProf) Observe(o Observation) {
 		p.maxAlpha = o.Alpha
 	}
 
-	p.obsX = append(p.obsX, o.Features)
-	p.obsY = append(p.obsY, o.Alpha)
+	if n := p.cfg.MaxObservations; n > 0 && len(p.obsX) >= n {
+		// Window full: overwrite the oldest observation in place. The
+		// modulo guards a restored window larger than the current bound
+		// (checkpoint written under a bigger MaxObservations) — the ring
+		// then cycles over that larger-but-still-bounded buffer.
+		i := p.obsNext % len(p.obsX)
+		p.obsX[i] = o.Features
+		p.obsY[i] = o.Alpha
+		p.obsNext = (i + 1) % len(p.obsX)
+	} else {
+		p.obsX = append(p.obsX, o.Features)
+		p.obsY = append(p.obsY, o.Alpha)
+	}
 	p.sinceFit++
 	if p.cfg.RetrainEvery > 0 && p.sinceFit >= p.cfg.RetrainEvery {
 		if theta, err := regression.OLS(p.obsX, p.obsY); err == nil {
@@ -214,6 +248,10 @@ type State struct {
 	Personal []PersonalState
 	ObsX     [][]float64
 	ObsY     []float64
+	// ObsNext is the observation ring cursor (see Config.MaxObservations).
+	// Absent in pre-compaction checkpoints, which decodes as 0 — the ring
+	// then starts overwriting from the front, preserving window semantics.
+	ObsNext  int
 	SinceFit int
 	MinAlpha float64
 	MaxAlpha float64
@@ -227,6 +265,7 @@ func (p *IProf) ExportState() *State {
 		Global:   append([]float64(nil), p.global...),
 		ObsX:     make([][]float64, len(p.obsX)),
 		ObsY:     append([]float64(nil), p.obsY...),
+		ObsNext:  p.obsNext,
 		SinceFit: p.sinceFit,
 		MinAlpha: p.minAlpha,
 		MaxAlpha: p.maxAlpha,
@@ -270,6 +309,7 @@ func (p *IProf) RestoreState(st *State) error {
 		p.obsX[i] = append([]float64(nil), x...)
 	}
 	p.obsY = append([]float64(nil), st.ObsY...)
+	p.obsNext = st.ObsNext
 	p.sinceFit = st.SinceFit
 	p.minAlpha = st.MinAlpha
 	p.maxAlpha = st.MaxAlpha

@@ -261,3 +261,76 @@ func TestCollectWithConfigurableSweep(t *testing.T) {
 		t.Fatal("scaled tier kept the base model name")
 	}
 }
+
+// TestObservationWindowCompaction proves the retraining observation set is
+// a bounded sliding window: once MaxObservations points are held, each new
+// observation overwrites the oldest in place, the ring cursor survives a
+// checkpoint round-trip, and a negative bound disables compaction.
+func TestObservationWindowCompaction(t *testing.T) {
+	pretrain := []Observation{
+		{DeviceModel: "seed", Features: []float64{1, 1}, Alpha: 0.010},
+		{DeviceModel: "seed", Features: []float64{1, 2}, Alpha: 0.020},
+		{DeviceModel: "seed", Features: []float64{1, 3}, Alpha: 0.030},
+	}
+	alpha := func(i int) float64 { return 0.01 + float64(i)*1e-4 }
+
+	p, err := New(Config{Epsilon: 0.1, RetrainEvery: 5, MaxObservations: 8}, pretrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		p.Observe(Observation{DeviceModel: "live", Features: []float64{1, float64(10 + i)}, Alpha: alpha(i)})
+	}
+	st := p.ExportState()
+	if len(st.ObsX) != 8 || len(st.ObsY) != 8 {
+		t.Fatalf("window grew to %d/%d observations, want 8 after compaction", len(st.ObsX), len(st.ObsY))
+	}
+	if st.ObsNext < 0 || st.ObsNext >= 8 {
+		t.Fatalf("ring cursor %d out of range [0,8)", st.ObsNext)
+	}
+	// Only the 8 newest observations survive; pretraining points and early
+	// live observations must all have been displaced.
+	newest := map[float64]bool{}
+	for i := 32; i < 40; i++ {
+		newest[alpha(i)] = true
+	}
+	for k, y := range st.ObsY {
+		if !newest[y] {
+			t.Errorf("window slot %d holds stale alpha %v; want one of the 8 newest", k, y)
+		}
+	}
+
+	// The cursor must round-trip through a checkpoint: the next observation
+	// after a restore overwrites exactly the slot the ring had reached.
+	q, err := New(Config{Epsilon: 0.1, RetrainEvery: 5, MaxObservations: 8}, pretrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	q.Observe(Observation{DeviceModel: "live", Features: []float64{1, 99}, Alpha: 0.5})
+	st2 := q.ExportState()
+	if len(st2.ObsX) != 8 {
+		t.Fatalf("restored window grew to %d observations", len(st2.ObsX))
+	}
+	if st2.ObsY[st.ObsNext] != 0.5 {
+		t.Errorf("post-restore observation landed at alpha %v in slot %d; want 0.5 (oldest slot overwritten)",
+			st2.ObsY[st.ObsNext], st.ObsNext)
+	}
+	if want := (st.ObsNext + 1) % 8; st2.ObsNext != want {
+		t.Errorf("ring cursor after restore+observe = %d, want %d", st2.ObsNext, want)
+	}
+
+	// Negative MaxObservations disables the bound entirely.
+	u, err := New(Config{Epsilon: 0.1, MaxObservations: -1}, pretrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		u.Observe(Observation{DeviceModel: "live", Features: []float64{1, float64(10 + i)}, Alpha: alpha(i)})
+	}
+	if got := len(u.ExportState().ObsX); got != len(pretrain)+40 {
+		t.Fatalf("unbounded profiler holds %d observations, want %d", got, len(pretrain)+40)
+	}
+}

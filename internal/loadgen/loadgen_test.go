@@ -31,7 +31,7 @@ func runScenario(t *testing.T, sc Scenario, seed int64) *Result {
 
 func TestRegistryHasBuiltins(t *testing.T) {
 	names := Names()
-	for _, want := range []string{"uniform", "straggler-churn", "byzantine-krum", "delta-mix", "lossy-net", "server-restart"} {
+	for _, want := range []string{"uniform", "straggler-churn", "byzantine-krum", "delta-mix", "lossy-net", "server-restart", "stream-push"} {
 		found := false
 		for _, n := range names {
 			if n == want {
@@ -465,5 +465,132 @@ func TestConcurrentRunsDoNotMutateRegistry(t *testing.T) {
 	}
 	if sc.Tiers[0].SpeedFactor != 0 {
 		t.Fatalf("registered scenario mutated: SpeedFactor = %v", sc.Tiers[0].SpeedFactor)
+	}
+}
+
+// TestStreamTransportMatchesInProc: the persistent-session transport carries
+// the same deterministic projection — with free connection setup the learning
+// outcome is identical to in-process, while the session stats prove the
+// poll-vs-push shape: one dial per worker, server-pushed announces flowing.
+func TestStreamTransportMatchesInProc(t *testing.T) {
+	sc := small(t, "uniform", 6, 4)
+	// Sparse top-k uplinks keep the v−1→v model diff sparse, so broadcast
+	// announces carry an absorbable delta (dense gradients exceed Diff's
+	// half-vector bound and the announce degrades to delta-less).
+	sc.CompressK = 8
+	inproc := runScenario(t, sc, 7)
+	strRes, err := (&Runner{Scenario: sc, Seed: 7, Transport: TransportStream}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strRes.Counts.ProtocolErrors != 0 {
+		t.Fatalf("stream run errors: %v", strRes.Counts.ErrorSamples)
+	}
+	if inproc.FinalAccuracy != strRes.FinalAccuracy {
+		t.Fatalf("accuracy differs across transports: %v vs %v", inproc.FinalAccuracy, strRes.FinalAccuracy)
+	}
+	if inproc.Counts.Pushes != strRes.Counts.Pushes || inproc.Staleness.Mean != strRes.Staleness.Mean {
+		t.Fatalf("counts/staleness differ: %+v vs %+v", inproc.Counts, strRes.Counts)
+	}
+	if inproc.Server.ModelVersion != strRes.Server.ModelVersion {
+		t.Fatalf("model version differs: %d vs %d", inproc.Server.ModelVersion, strRes.Server.ModelVersion)
+	}
+	ts := strRes.TransportStats
+	if ts == nil {
+		t.Fatal("stream run carries no transport stats block")
+	}
+	t.Logf("stream stats: %+v", ts)
+	if ts.Connections != int64(sc.Workers) || ts.ConnsPerWorker != 1 {
+		t.Fatalf("stream dialed %d connections (%.2f/worker), want one persistent session per worker",
+			ts.Connections, ts.ConnsPerWorker)
+	}
+	if ts.WireUplinkBytes <= 0 || ts.WireDownlinkBytes <= 0 {
+		t.Fatalf("wire byte counters did not move: up=%d down=%d", ts.WireUplinkBytes, ts.WireDownlinkBytes)
+	}
+	if ts.Announces == 0 {
+		t.Fatal("no server-pushed model announces were delivered")
+	}
+	if ts.Refreshes == 0 {
+		t.Fatal("no announce was absorbed into a worker cache")
+	}
+}
+
+// TestStreamDeterministicReplay: churn (sessions torn down and redialed) plus
+// priced connection setup over the stream transport still replays
+// byte-for-byte, and a different seed still changes the run.
+func TestStreamDeterministicReplay(t *testing.T) {
+	sc := small(t, "straggler-churn", 10, 5)
+	sc.Net.ConnSetupSec = 0.2
+	run := func(seed int64) *Result {
+		res, err := (&Runner{Scenario: sc, Seed: seed, Transport: TransportStream}).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(42), run(42)
+	same, err := Identical(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		aj, _ := a.StripWallclock().MarshalCanonical()
+		bj, _ := b.StripWallclock().MarshalCanonical()
+		t.Fatalf("same-seed stream runs differ:\n--- run A\n%s\n--- run B\n%s", aj, bj)
+	}
+	if same, _ := Identical(a, run(43)); same {
+		t.Fatal("different seeds produced identical stream runs")
+	}
+	// Churned workers redial: strictly more dials than workers.
+	if a.TransportStats == nil || a.TransportStats.Connections <= int64(sc.Workers) {
+		t.Fatalf("churn should force redials beyond the initial %d sessions: %+v", sc.Workers, a.TransportStats)
+	}
+}
+
+// TestServerRestartOverStream: the PR-5 crash-recovery cycle — checkpoint,
+// hard kill, incarnation bump, worker resync — is carried unchanged by the
+// persistent-session transport, and lands on the same numbers as in-process.
+func TestServerRestartOverStream(t *testing.T) {
+	sc := small(t, "server-restart", 10, 6)
+	sc.Restart = RestartSpec{AtSec: 15, CheckpointEvery: 1}
+	inproc := runScenario(t, sc, 7)
+	strRes, err := (&Runner{Scenario: sc, Seed: 7, Transport: TransportStream}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strRes.Counts.Restarts != 1 || strRes.Counts.Resyncs == 0 {
+		t.Fatalf("stream restart run: %+v", strRes.Counts)
+	}
+	if strRes.Counts.ProtocolErrors != 0 {
+		t.Fatalf("stream run errors: %v", strRes.Counts.ErrorSamples)
+	}
+	if inproc.FinalAccuracy != strRes.FinalAccuracy ||
+		inproc.Counts.Pushes != strRes.Counts.Pushes ||
+		inproc.Counts.Resyncs != strRes.Counts.Resyncs ||
+		inproc.Server.RestoredVersion != strRes.Server.RestoredVersion {
+		t.Fatalf("transports diverge: %+v (acc %.4f) vs %+v (acc %.4f)",
+			inproc.Counts, inproc.FinalAccuracy, strRes.Counts, strRes.FinalAccuracy)
+	}
+}
+
+// TestCompareTransportsRejectsMismatch: the poll-vs-push comparison refuses
+// apples-to-oranges inputs instead of emitting a misleading headline.
+func TestCompareTransportsRejectsMismatch(t *testing.T) {
+	stream := &Result{Scenario: "uniform", Seed: 1, Mode: string(ModeVirtual), Transport: string(TransportStream)}
+	for _, tc := range []struct {
+		name string
+		twin *Result
+	}{
+		{"seed", &Result{Scenario: "uniform", Seed: 2, Mode: string(ModeVirtual), Transport: string(TransportHTTP)}},
+		{"scenario", &Result{Scenario: "lossy-net", Seed: 1, Mode: string(ModeVirtual), Transport: string(TransportHTTP)}},
+		{"mode", &Result{Scenario: "uniform", Seed: 1, Mode: string(ModeRealtime), Transport: string(TransportHTTP)}},
+		{"same-transport", &Result{Scenario: "uniform", Seed: 1, Mode: string(ModeVirtual), Transport: string(TransportStream)}},
+	} {
+		if _, err := CompareTransports(stream, tc.twin); err == nil {
+			t.Errorf("%s mismatch accepted", tc.name)
+		}
+	}
+	if err := GateTransportWin(stream, 0.01); err == nil {
+		t.Error("gate passed a result with no embedded comparison")
 	}
 }

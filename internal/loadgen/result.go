@@ -54,6 +54,122 @@ type StalenessBlock struct {
 	Hist []metrics.IntBucket `json:"hist,omitempty"`
 }
 
+// TransportBlock digests the transport-level cost of one wire run (HTTP or
+// stream; in-process runs have no wire and omit the block). Everything here
+// is deterministic in virtual mode: connection counts follow the event
+// order, and wire bytes are encoded frame/payload sizes, not TCP overhead.
+type TransportBlock struct {
+	// Connections is the fleet-wide transport connection count: HTTP
+	// dials (one per request — mobile polling keeps no pooled sockets) or
+	// stream sessions established (one per worker, plus churn redials).
+	Connections    int64   `json:"connections"`
+	ConnsPerWorker float64 `json:"conns_per_worker"`
+	// WireUplinkBytes/WireDownlinkBytes tally encoded bytes crossing the
+	// wire in each direction, from the workers' point of view.
+	WireUplinkBytes   int64 `json:"wire_uplink_bytes"`
+	WireDownlinkBytes int64 `json:"wire_downlink_bytes"`
+	// Announces counts server-pushed model announcements delivered to
+	// subscribed sessions; Refreshes counts the announces workers absorbed
+	// into their cached model ahead of any pull. Stream transport only.
+	Announces int64 `json:"announces,omitempty"`
+	Refreshes int   `json:"refreshes,omitempty"`
+	// PullStaleness is the distribution of how many model versions each
+	// accepted pull was behind (served version − cached version): the
+	// freshness metric server-pushed announces exist to improve.
+	PullStaleness StalenessBlock `json:"pull_staleness"`
+}
+
+// TransportComparison embeds the polling twin's numbers into a streaming
+// run's result — what `fleet-bench -compare-transport` writes, and what the
+// CI stream-push gate asserts on. The twin is the same scenario, seed and
+// mode re-run over the named transport.
+type TransportComparison struct {
+	// Transport is the polling twin compared against (e.g. "http").
+	Transport string `json:"transport"`
+	// The twin's headline numbers.
+	RoundP95Sec       float64 `json:"round_p95_sec"`
+	ConnsPerWorker    float64 `json:"conns_per_worker"`
+	WireUplinkBytes   int64   `json:"wire_uplink_bytes"`
+	WireDownlinkBytes int64   `json:"wire_downlink_bytes"`
+	PullStalenessP95  int     `json:"pull_staleness_p95"`
+	FinalAccuracy     float64 `json:"final_accuracy"`
+	// RoundP95Improvement is 1 − self/twin on round p95 latency (positive:
+	// streaming is faster). AccuracyDelta is self − twin.
+	RoundP95Improvement float64 `json:"round_p95_improvement"`
+	AccuracyDelta       float64 `json:"accuracy_delta"`
+	// The verdicts the stream-push gate asserts.
+	RoundP95Win bool `json:"round_p95_win"`
+	ConnWin     bool `json:"conn_win"`
+}
+
+// CompareTransports builds the poll-vs-push comparison: streaming is the
+// run under test, polling the same scenario/seed re-run over a per-request
+// transport. Mismatched runs are rejected — the numbers would be
+// meaningless.
+func CompareTransports(streaming, polling *Result) (*TransportComparison, error) {
+	if streaming.Scenario != polling.Scenario || streaming.Seed != polling.Seed || streaming.Mode != polling.Mode {
+		return nil, fmt.Errorf("loadgen: transport comparison needs the same scenario/seed/mode (%s/%d/%s vs %s/%d/%s)",
+			streaming.Scenario, streaming.Seed, streaming.Mode, polling.Scenario, polling.Seed, polling.Mode)
+	}
+	if streaming.Transport == polling.Transport {
+		return nil, fmt.Errorf("loadgen: transport comparison of %s against itself", streaming.Transport)
+	}
+	tc := &TransportComparison{
+		Transport:     polling.Transport,
+		RoundP95Sec:   polling.Latency.RoundSec.P95,
+		FinalAccuracy: polling.FinalAccuracy,
+		AccuracyDelta: streaming.FinalAccuracy - polling.FinalAccuracy,
+	}
+	if ts := polling.TransportStats; ts != nil {
+		tc.ConnsPerWorker = ts.ConnsPerWorker
+		tc.WireUplinkBytes = ts.WireUplinkBytes
+		tc.WireDownlinkBytes = ts.WireDownlinkBytes
+		tc.PullStalenessP95 = ts.PullStaleness.P95
+	}
+	selfP95 := streaming.Latency.RoundSec.P95
+	if tc.RoundP95Sec > 0 {
+		tc.RoundP95Improvement = 1 - selfP95/tc.RoundP95Sec
+	}
+	tc.RoundP95Win = selfP95 < tc.RoundP95Sec
+	tc.ConnWin = streaming.TransportStats != nil && polling.TransportStats != nil &&
+		streaming.TransportStats.ConnsPerWorker < polling.TransportStats.ConnsPerWorker
+	return tc, nil
+}
+
+// GateTransportWin asserts the streaming result beats its embedded polling
+// twin: lower round p95 latency, fewer connections per worker, and a final
+// accuracy within maxAccuracyDelta (absolute; <= 0 means the default 0.01).
+// It returns every violated condition in one error.
+func GateTransportWin(streaming *Result, maxAccuracyDelta float64) error {
+	if maxAccuracyDelta <= 0 {
+		maxAccuracyDelta = 0.01
+	}
+	tc := streaming.TransportComparison
+	if tc == nil {
+		return fmt.Errorf("loadgen: result carries no transport comparison (run with -compare-transport)")
+	}
+	var fails []string
+	if !tc.RoundP95Win {
+		fails = append(fails, fmt.Sprintf("round p95 %.4gs did not beat %s's %.4gs",
+			streaming.Latency.RoundSec.P95, tc.Transport, tc.RoundP95Sec))
+	}
+	if !tc.ConnWin {
+		self := 0.0
+		if streaming.TransportStats != nil {
+			self = streaming.TransportStats.ConnsPerWorker
+		}
+		fails = append(fails, fmt.Sprintf("connections per worker %.3g did not beat %s's %.3g",
+			self, tc.Transport, tc.ConnsPerWorker))
+	}
+	if d := tc.AccuracyDelta; d > maxAccuracyDelta || d < -maxAccuracyDelta {
+		fails = append(fails, fmt.Sprintf("final accuracy delta %+.4f outside ±%.4f", d, maxAccuracyDelta))
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("loadgen: transport win gate: %s", strings.Join(fails, "; "))
+	}
+	return nil
+}
+
 // AccuracyPoint is one point of the accuracy-vs-round series.
 type AccuracyPoint struct {
 	AfterPushes int     `json:"after_pushes"`
@@ -114,6 +230,12 @@ type Result struct {
 	Accuracy           []AccuracyPoint `json:"accuracy,omitempty"`
 	FinalAccuracy      float64         `json:"final_accuracy"`
 	Server             ServerBlock     `json:"server"`
+	// TransportStats digests connection counts and wire bytes for wire
+	// transports (nil for in-process runs). TransportComparison, when
+	// present, embeds the polling twin a streaming run was compared to
+	// (fleet-bench -compare-transport).
+	TransportStats      *TransportBlock      `json:"transport_stats,omitempty"`
+	TransportComparison *TransportComparison `json:"transport_comparison,omitempty"`
 
 	Wallclock *WallclockBlock `json:"wallclock,omitempty"`
 }

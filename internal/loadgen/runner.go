@@ -5,9 +5,12 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fleet/internal/data"
@@ -24,6 +27,7 @@ import (
 	"fleet/internal/service"
 	"fleet/internal/simrand"
 	"fleet/internal/spec"
+	"fleet/internal/stream"
 	"fleet/internal/worker"
 )
 
@@ -36,7 +40,19 @@ const (
 	TransportInProc Transport = "inproc"
 	// TransportHTTP drives the real v1 wire protocol (gob+gzip) through a
 	// loopback HTTP server, exercising codecs, routing and error mapping.
+	// Polling semantics: every request dials a fresh connection (mobile
+	// fleets hold no pooled sockets across think time), so the harness
+	// counts one connection per call and, when the scenario prices
+	// connection setup, charges it on every pull and push.
 	TransportHTTP Transport = "http"
+	// TransportStream drives the persistent-session stream transport
+	// (internal/stream) over a loopback TCP listener: one multiplexed
+	// session per worker, server-pushed model announces absorbed into the
+	// worker cache before each pull, and connection setup paid once per
+	// session instead of per call. In virtual mode announce delivery is
+	// fenced into the deterministic event order, so stream runs replay
+	// bit-for-bit like every other transport.
+	TransportStream Transport = "stream"
 )
 
 // Mode selects the execution engine.
@@ -68,6 +84,14 @@ type simWorker struct {
 	id  int
 	w   *worker.Worker
 	dev *device.Device
+	// svc is the worker's own view of the service: the shared client for
+	// per-request transports, or this worker's persistent stream client.
+	svc service.Service
+	// strm is the persistent session client (stream transport only, nil
+	// otherwise); needsConn marks that the next pull pays connection setup
+	// (session not yet established, or closed by a churn departure).
+	strm      *stream.Client
+	needsConn bool
 	// Independent deterministic streams: network delay, think time, churn
 	// decisions, Byzantine noise. Separate streams keep one knob's draws
 	// from perturbing another's replay.
@@ -259,11 +283,12 @@ func (f *srvFactory) restore() (*server.Server, error) {
 
 // run is the mutable state of one execution.
 type run struct {
-	sc      Scenario
-	srv     *server.Server
-	svc     service.Service
-	scratch *nn.Network
-	test    []nn.Sample
+	sc        Scenario
+	transport Transport
+	srv       *server.Server
+	scratch   *nn.Network
+	test      []nn.Sample
+	sims      []*simWorker
 
 	// Restart machinery (virtual mode): the factory rebuilds the server,
 	// swap reroutes the fleet to it, clock feeds virtual time to admission.
@@ -271,6 +296,10 @@ type run struct {
 	swap      *swapService
 	clock     *vclock
 	restarted bool
+	// streamSrv is the stream transport's session registry; doRestart
+	// re-attaches the restored server's snapshot hook to it so announces
+	// keep flowing after a crash-recovery swap.
+	streamSrv *stream.Server
 
 	mu         sync.Mutex
 	counts     Counts
@@ -279,6 +308,7 @@ type run struct {
 	roundVirt  []float64
 	scaleSum   float64
 	stale      *metrics.IntHist
+	pullStale  *metrics.IntHist
 	accuracy   []AccuracyPoint
 	virtualEnd float64
 
@@ -363,7 +393,7 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 		mode = ModeVirtual
 	}
 	switch transport {
-	case TransportInProc, TransportHTTP:
+	case TransportInProc, TransportHTTP, TransportStream:
 	default:
 		return nil, fmt.Errorf("loadgen: unknown transport %q", transport)
 	}
@@ -454,20 +484,72 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 	}
 
 	// All fleet traffic routes through the swapper, so a restart replaces
-	// the backend under both transports without the workers noticing a
+	// the backend under every transport without the workers noticing a
 	// different endpoint.
 	swap := &swapService{inner: srv}
-	var svc service.Service = swap
-	if transport == TransportHTTP {
-		ts := httptest.NewServer(server.NewHandler(swap))
-		defer ts.Close()
-		svc = &worker.Client{BaseURL: ts.URL}
-	}
 	// Per-request wall timing rides the standard Metrics interceptor, so
 	// the harness measures exactly what an instrumented deployment would
-	// (in-process cost, or the full wire round-trip over HTTP).
+	// (in-process cost, or the full wire round-trip).
 	wall := service.NewSampledCallMetrics(0)
-	svc = service.Chain(svc, service.Metrics(wall))
+	var (
+		// svc is the shared client of per-request transports and the final
+		// stats route; stream workers each hold their own session client.
+		svc        service.Service
+		wire       *protocol.WireCounter
+		httpDials  atomic.Int64
+		announces  atomic.Int64
+		streamSrv  *stream.Server
+		streamAddr string
+	)
+	switch transport {
+	case TransportInProc:
+		svc = service.Chain(swap, service.Metrics(wall))
+	case TransportHTTP:
+		wire = &protocol.WireCounter{}
+		ts := httptest.NewServer(server.NewHandler(swap))
+		defer ts.Close()
+		// Polling fleets dial per request — a phone holds no pooled socket
+		// across think time — so keep-alives are off and every dial is
+		// counted: the connection-cost side of the poll-vs-push comparison.
+		tr := &http.Transport{
+			DisableKeepAlives: true,
+			DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+				httpDials.Add(1)
+				var d net.Dialer
+				return d.DialContext(ctx, network, addr)
+			},
+		}
+		defer tr.CloseIdleConnections()
+		svc = service.Chain(&worker.Client{
+			BaseURL:    ts.URL,
+			HTTPClient: &http.Client{Transport: tr},
+			Wire:       wire,
+		}, service.Metrics(wall))
+	case TransportStream:
+		wire = &protocol.WireCounter{}
+		ln, lnErr := net.Listen("tcp", "127.0.0.1:0")
+		if lnErr != nil {
+			return nil, fmt.Errorf("loadgen: stream listener: %w", lnErr)
+		}
+		opts := stream.Options{}
+		if mode == ModeVirtual {
+			// Virtual runs disable client heartbeats so wire bytes stay a
+			// pure function of the event order; the idle reaper must stand
+			// down with them — a large fleet's sessions legitimately sit
+			// idle in wall time while other workers' events execute.
+			opts.IdleTimeout = -1
+		}
+		streamSrv = stream.NewServer(swap, opts)
+		go func() { _ = streamSrv.Serve(ln) }()
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_ = streamSrv.Shutdown(sctx)
+			cancel()
+		}()
+		// Every drain's published snapshot fans out to subscribed sessions.
+		srv.OnSnapshot(streamSrv.Broadcast)
+		streamAddr = ln.Addr().String()
+	}
 
 	// Build the fleet.
 	classes := arch.Classes()
@@ -523,20 +605,53 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 			return nil, fmt.Errorf("loadgen: worker %d: %w", i, err)
 		}
 		sw.w = w
+		if transport == TransportStream {
+			cl := &stream.Client{
+				Addr:      streamAddr,
+				WorkerID:  i,
+				Subscribe: true,
+				Wire:      wire,
+				OnAnnounce: func(protocol.ModelAnnounce) {
+					announces.Add(1)
+				},
+			}
+			if mode == ModeVirtual {
+				// Heartbeats are wall-clock traffic; a virtual run's wire
+				// bytes must be a pure function of the event order.
+				cl.PingInterval = -1
+			}
+			sw.strm = cl
+			sw.needsConn = true
+			sw.svc = service.Chain(cl, service.Metrics(wall))
+		} else {
+			sw.svc = svc
+		}
 		sims[i] = sw
+	}
+	if transport == TransportStream {
+		defer func() {
+			for _, sw := range sims {
+				_ = sw.strm.Close()
+			}
+		}()
+		// Final stats ride worker 0's session.
+		svc = sims[0].svc
 	}
 
 	rn := &run{
-		sc:      sc,
-		srv:     srv,
-		svc:     svc,
-		scratch: arch.Build(simrand.New(r.Seed)),
-		test:    ds.Test,
-		stale:   metrics.NewIntHist(),
-		wall:    wall,
-		factory: factory,
-		swap:    swap,
-		clock:   clock,
+		sc:        sc,
+		transport: transport,
+		srv:       srv,
+		scratch:   arch.Build(simrand.New(r.Seed)),
+		test:      ds.Test,
+		sims:      sims,
+		stale:     metrics.NewIntHist(),
+		pullStale: metrics.NewIntHist(),
+		wall:      wall,
+		factory:   factory,
+		swap:      swap,
+		clock:     clock,
+		streamSrv: streamSrv,
 	}
 
 	wallStart := time.Now()
@@ -605,6 +720,33 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 			PushSec:    wallSummary(rn.wall, "PushGradient"),
 		},
 	}
+	if transport != TransportInProc {
+		tb := &TransportBlock{
+			WireUplinkBytes:   wire.Uplink(),
+			WireDownlinkBytes: wire.Downlink(),
+			PullStaleness: StalenessBlock{
+				Mean: rn.pullStale.Mean(),
+				P50:  rn.pullStale.Quantile(0.50),
+				P95:  rn.pullStale.Quantile(0.95),
+				P99:  rn.pullStale.Quantile(0.99),
+				Hist: rn.pullStale.Buckets(),
+			},
+		}
+		switch transport {
+		case TransportHTTP:
+			tb.Connections = httpDials.Load()
+		case TransportStream:
+			for _, sw := range sims {
+				tb.Connections += sw.strm.Dials()
+				tb.Refreshes += sw.w.Refreshes
+			}
+			tb.Announces = announces.Load()
+		}
+		if sc.Workers > 0 {
+			tb.ConnsPerWorker = float64(tb.Connections) / float64(sc.Workers)
+		}
+		res.TransportStats = tb
+	}
 	if rn.counts.Pushes > 0 {
 		res.MeanScale = rn.scaleSum / float64(rn.counts.Pushes)
 	}
@@ -653,7 +795,9 @@ func (r *Runner) runVirtual(ctx context.Context, rn *run, sims []*simWorker) err
 		case evtPull:
 			r.doPull(ctx, rn, ev.sw, ev.at)
 		case evtPush:
-			r.doPush(ctx, rn, ev.sw, ev.at)
+			if err := r.doPush(ctx, rn, ev.sw, ev.at); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -669,8 +813,71 @@ func (rn *run) doRestart() error {
 	}
 	rn.srv = srv
 	rn.swap.set(srv)
+	if rn.streamSrv != nil {
+		// The restored instance must announce its drains to the existing
+		// sessions too; clients that cached the dead epoch simply fail the
+		// quiet absorb and recover through the pull path.
+		srv.OnSnapshot(rn.streamSrv.Broadcast)
+	}
 	rn.restarted = true
 	rn.counts.Restarts++
+	return nil
+}
+
+// absorbAnnounces folds the server-pushed announces a worker's session has
+// collected into its cached model before the next pull, so the pull
+// advertises the freshest version the worker can prove it holds. The chain
+// is consecutive by construction; the first inapplicable announce (gap,
+// epoch change, cold cache) means the rest cannot apply either, and the
+// pull's delta/full path recovers.
+func (rn *run) absorbAnnounces(sw *simWorker) {
+	if sw.strm == nil {
+		return
+	}
+	for _, ann := range sw.strm.TakeAnnounces() {
+		if !sw.w.AbsorbAnnounce(ann) {
+			break
+		}
+	}
+}
+
+// connSetup prices connection establishment for one network leg:
+// per-request transports (inproc models the same polling cadence) pay it
+// on every call; the stream transport pays once per session — on the first
+// pull, and again after a churn departure tears the session down.
+func (rn *run) connSetup(sw *simWorker) float64 {
+	cs := rn.sc.Net.ConnSetupSec
+	if cs <= 0 {
+		return 0
+	}
+	if rn.transport == TransportStream {
+		if !sw.needsConn {
+			return 0
+		}
+		sw.needsConn = false
+	}
+	return cs
+}
+
+// fenceAnnounces blocks until every live subscribed session has observed
+// the model clock (epoch, version) the just-acked push produced. Announce
+// frames travel on per-session goroutines; without this fence their
+// arrival would race the next virtual event and break bit-for-bit replay.
+// The broadcast itself is synchronous with the drain (it runs before the
+// draining push's ack returns), so the frames are already in flight.
+func (rn *run) fenceAnnounces(ctx context.Context, epoch int64, version int) error {
+	for _, other := range rn.sims {
+		if other.strm == nil || !other.strm.Connected() {
+			continue
+		}
+		fctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		err := other.strm.WaitAnnounced(fctx, epoch, version)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("loadgen: announce fence for worker %d at epoch %d version %d: %w",
+				other.id, epoch, version, err)
+		}
+	}
 	return nil
 }
 
@@ -681,7 +888,9 @@ func (r *Runner) doPull(ctx context.Context, rn *run, sw *simWorker, t float64) 
 		sw.rejoining = false
 		rn.counts.Rejoins++
 	}
-	resp, err := sw.w.Pull(ctx, rn.svc)
+	rn.absorbAnnounces(sw)
+	prevVer, prevEpoch, prevCached := sw.w.CachedVersion()
+	resp, err := sw.w.Pull(ctx, sw.svc)
 	if err != nil {
 		rn.recordError(err)
 		sw.roundsLeft--
@@ -704,24 +913,36 @@ func (r *Runner) doPull(ctx context.Context, rn *run, sw *simWorker, t float64) 
 	} else {
 		rn.counts.FullPulls++
 	}
-	pullNet := sw.rtt(rn.sc.Net)
+	// Pull staleness: how far the fleet's cached model had fallen behind
+	// the version this pull handed back — the push transport's headline
+	// freshness win, since absorbed announces close the gap before asking.
+	if prevCached && resp.ServerEpoch == prevEpoch && resp.ModelVersion >= prevVer {
+		rn.pullStale.Add(resp.ModelVersion - prevVer)
+	}
+	pullNet := sw.rtt(rn.sc.Net) + rn.connSetup(sw)
 	rn.pullVirt = append(rn.pullVirt, pullNet)
 	sw.pending = sw.w.Compute(resp)
 	sw.roundStart = t
-	sw.pushNet = sw.rtt(rn.sc.Net)
+	sw.pushNet = sw.rtt(rn.sc.Net) + rn.connSetup(sw)
 	// The gradient lands on the server after the downlink delay, the
 	// device's computation and the uplink delay.
 	rn.schedule(t+pullNet+sw.pending.Exec.LatencySec+sw.pushNet, evtPush, sw)
 }
 
 // doPush executes step (5) at virtual time t, then think/churn-schedules
-// the next round.
-func (r *Runner) doPush(ctx context.Context, rn *run, sw *simWorker, t float64) {
+// the next round. Its only error is a broken announce fence (stream
+// transport, virtual mode) — a determinism violation, fatal to the run.
+func (r *Runner) doPush(ctx context.Context, rn *run, sw *simWorker, t float64) error {
 	sw.roundsLeft--
 	if rn.sc.Net.LossRate > 0 && sw.netRng.Float64() < rn.sc.Net.LossRate {
 		rn.counts.LostPushes++
 	} else {
-		ack, err := sw.w.Push(ctx, rn.svc, sw.pending.Push)
+		pushEpoch := sw.pending.Push.ModelEpoch
+		var preBcast int64
+		if rn.streamSrv != nil {
+			preBcast = rn.streamSrv.Broadcasts()
+		}
+		ack, err := sw.w.Push(ctx, sw.svc, sw.pending.Push)
 		if err != nil {
 			if protocol.IsCode(err, protocol.CodeVersionConflict) && sw.resyncBudget > 0 {
 				// The server restarted onto an older model version than
@@ -737,7 +958,7 @@ func (r *Runner) doPush(ctx context.Context, rn *run, sw *simWorker, t float64) 
 				gap := sw.think(rn.sc.ThinkTimeSec)
 				sw.dev.Idle(gap)
 				rn.schedule(t+gap, evtPull, sw)
-				return
+				return nil
 			}
 			rn.recordError(err)
 		} else {
@@ -747,27 +968,44 @@ func (r *Runner) doPush(ctx context.Context, rn *run, sw *simWorker, t float64) 
 			rn.pushVirt = append(rn.pushVirt, sw.pushNet)
 			rn.roundVirt = append(rn.roundVirt, t-sw.roundStart)
 			rn.maybeEval()
+			// Determinism fence: when this push drained a window, the drain
+			// broadcast the new model clock to every session before acking
+			// (Broadcasts() moved), so wait here until every live session
+			// has observed it — announce delivery becomes part of the event
+			// order instead of racing the next event.
+			if rn.clock != nil && rn.streamSrv != nil && rn.streamSrv.Broadcasts() > preBcast {
+				if err := rn.fenceAnnounces(ctx, pushEpoch, ack.NewVersion); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	sw.pending = nil
 	if sw.roundsLeft <= 0 {
-		return
+		return nil
 	}
 	if rn.sc.Churn.LeaveProb > 0 && sw.churnRng.Float64() < rn.sc.Churn.LeaveProb {
 		// Depart and rejoin later with a cold cache: the next pull is a
 		// full download regardless of the server's delta history. The
 		// rejoin is counted when that pull actually executes.
 		sw.w.ResetModelCache()
+		if sw.strm != nil {
+			// The departing app tears its session down too; the rejoin
+			// dials afresh and pays connection setup again.
+			_ = sw.strm.Close()
+			sw.needsConn = true
+		}
 		sw.rejoining = true
 		rn.counts.Departures++
 		offline := simrand.Exponential(sw.churnRng, rn.sc.Churn.OfflineMeanSec*0.2, rn.sc.Churn.OfflineMeanSec)
 		sw.dev.Idle(offline)
 		rn.schedule(t+offline, evtPull, sw)
-		return
+		return nil
 	}
 	gap := sw.think(rn.sc.ThinkTimeSec)
 	sw.dev.Idle(gap)
 	rn.schedule(t+gap, evtPull, sw)
+	return nil
 }
 
 // runRealtime runs goroutine-per-worker at full speed: no virtual clock, no
@@ -785,8 +1023,10 @@ func (r *Runner) runRealtime(ctx context.Context, rn *run, sims []*simWorker) er
 					return
 				}
 				sw.roundsLeft--
+				rn.absorbAnnounces(sw)
+				prevVer, prevEpoch, prevCached := sw.w.CachedVersion()
 				ws := time.Now()
-				resp, err := sw.w.Pull(ctx, rn.svc)
+				resp, err := sw.w.Pull(ctx, sw.svc)
 				pullDur := time.Since(ws).Seconds()
 				rn.mu.Lock()
 				rn.counts.PullAttempts++
@@ -810,6 +1050,9 @@ func (r *Runner) runRealtime(ctx context.Context, rn *run, sims []*simWorker) er
 				} else {
 					rn.counts.FullPulls++
 				}
+				if prevCached && resp.ServerEpoch == prevEpoch && resp.ModelVersion >= prevVer {
+					rn.pullStale.Add(resp.ModelVersion - prevVer)
+				}
 				rn.mu.Unlock()
 
 				prep := sw.w.Compute(resp)
@@ -820,7 +1063,7 @@ func (r *Runner) runRealtime(ctx context.Context, rn *run, sims []*simWorker) er
 					continue
 				}
 				ws = time.Now()
-				ack, err := sw.w.Push(ctx, rn.svc, prep.Push)
+				ack, err := sw.w.Push(ctx, sw.svc, prep.Push)
 				pushDur := time.Since(ws).Seconds()
 				rn.mu.Lock()
 				if err != nil {
@@ -843,6 +1086,10 @@ func (r *Runner) runRealtime(ctx context.Context, rn *run, sims []*simWorker) er
 				rn.mu.Unlock()
 				if rn.sc.Churn.LeaveProb > 0 && sw.churnRng.Float64() < rn.sc.Churn.LeaveProb {
 					sw.w.ResetModelCache()
+					if sw.strm != nil {
+						_ = sw.strm.Close()
+						sw.needsConn = true
+					}
 					sw.rejoining = true
 					rn.mu.Lock()
 					rn.counts.Departures++

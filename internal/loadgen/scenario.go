@@ -1,10 +1,11 @@
 // Package loadgen is FLeet's deterministic fleet-scale load and scenario
 // harness: it spins up N simulated workers — heterogeneous device tiers
 // feeding I-Prof, mid-training churn, Byzantine pushers, lossy high-latency
-// networks, mixed delta/full pulls — against a real *server.Server (either
-// in-process or over the live v1 HTTP wire protocol) and measures what the
-// paper's claims are about: throughput, staleness, latency percentiles,
-// rejects-by-policy and accuracy-vs-round.
+// networks, mixed delta/full pulls — against a real *server.Server
+// (in-process, over the live v1 HTTP wire protocol, or over the
+// persistent-session stream transport with server-pushed model announces)
+// and measures what the paper's claims are about: throughput, staleness,
+// latency percentiles, rejects-by-policy, wire bytes and accuracy-vs-round.
 //
 // Every scenario is seeded through internal/simrand and, in the default
 // virtual-time mode, driven by a discrete-event loop whose event order is a
@@ -61,6 +62,14 @@ type NetworkSpec struct {
 	MinRTTSec  float64 `json:"min_rtt_sec"`
 	MeanRTTSec float64 `json:"mean_rtt_sec"`
 	LossRate   float64 `json:"loss_rate,omitempty"`
+	// ConnSetupSec is the connection-establishment cost (TCP+TLS handshake
+	// and radio wake-up) a worker pays to reach the server. Per-request
+	// transports pay it on every pull and every push; the streaming
+	// transport pays it once per session — at the first call after joining
+	// and again after a churn rejoin — which is exactly the poll-vs-push
+	// latency asymmetry the stream-push scenario measures. 0 disables it,
+	// leaving every pre-existing scenario's event timing untouched.
+	ConnSetupSec float64 `json:"conn_setup_sec,omitempty"`
 }
 
 // RestartSpec hard-kills the server mid-run and restores it from the
@@ -378,6 +387,38 @@ func init() {
 		// genuinely loses progress (up to 8 model updates) and the restored
 		// clock sits behind what in-flight workers hold.
 		Restart: RestartSpec{AtSec: 40, CheckpointEvery: 8},
+	})
+	Register(Scenario{
+		Name: "stream-push",
+		Description: "poll-vs-push head-to-head profile: a persistent-session streaming fleet whose model " +
+			"updates arrive as server-pushed sparse-delta announces, against per-request polling that pays " +
+			"connection setup on every pull and push — run it under both transports with the same seed to " +
+			"measure the round-latency, connection-count and staleness win",
+		Workers: 24,
+		// Long enough that both transports' trajectories converge to the
+		// same plateau: the head-to-head gate demands equal final accuracy,
+		// so the win must come from latency, connections and staleness —
+		// not from the polling twin being starved of steps.
+		Rounds:    40,
+		EvalEvery: 160,
+		// Enough data and steps that BOTH transports saturate the task: the
+		// head-to-head gate demands equal final accuracy (±0.01), so the
+		// plateau must be interleaving-insensitive — the win comes from
+		// latency, connections and pull staleness, not from starving the
+		// polling twin of fresh models. The finer-grained test set keeps
+		// the accuracy quantum (1/500) well below the gate width.
+		TrainPerClass: 80,
+		TestPerClass:  50,
+		// Top-k sparse uplink keeps each drain's version-to-version delta
+		// sparse enough to ride the announce frames; dense pushes would
+		// change more than half the coordinates per window and degrade every
+		// announce to a version-only notification.
+		CompressK: 12,
+		// Sub-second RTTs with a connection setup that dominates them: the
+		// regime where a persistent session visibly beats per-request
+		// connections (the polling twin pays ConnSetupSec twice per round).
+		Net:    NetworkSpec{MinRTTSec: 0.05, MeanRTTSec: 0.2, ConnSetupSec: 0.3},
+		Server: ServerSpec{K: 2, DeltaHistory: 8},
 	})
 	Register(Scenario{
 		Name: "lossy-net",

@@ -122,6 +122,27 @@ type PushAck struct {
 	NewVersion int `json:"new_version"`
 }
 
+// ModelAnnounce is the streaming transport's server-push message: when a
+// drain publishes a new model snapshot, the server broadcasts the new
+// version (and the sparse delta from the immediately preceding one) to
+// every subscribed session, so workers refresh proactively instead of
+// discovering staleness on their next poll. Announces are advisory — a
+// worker that missed one (gap in the delta chain, different epoch, no
+// cached model) simply falls back to the pull path.
+type ModelAnnounce struct {
+	// ModelVersion is the just-published logical clock value.
+	ModelVersion int `json:"model_version"`
+	// ServerEpoch is the incarnation that minted the version; deltas never
+	// apply across epochs.
+	ServerEpoch int64 `json:"server_epoch,omitempty"`
+	// Delta, when non-nil, is the exact sparse delta DeltaBase →
+	// ModelVersion (always ModelVersion-1 → ModelVersion from the drain
+	// that minted it). Nil when the server keeps no delta history or the
+	// drain rewrote too much of the vector to be worth sparsifying.
+	Delta     *compress.Sparse `json:"delta,omitempty"`
+	DeltaBase int              `json:"delta_base,omitempty"`
+}
+
 // Stats is the server's diagnostic snapshot.
 type Stats struct {
 	ModelVersion  int     `json:"model_version"`

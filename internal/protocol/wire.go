@@ -1,0 +1,46 @@
+package protocol
+
+import "sync/atomic"
+
+// WireCounter tallies encoded payload bytes crossing a transport boundary,
+// split by direction from the worker's point of view (uplink = worker →
+// server). Clients accept an optional *WireCounter and add every message
+// they encode or decode; the load harness aggregates one counter across a
+// whole fleet. Counts are codec-level payload sizes — what compression and
+// delta pulls actually save — not TCP or HTTP framing overhead, so they are
+// deterministic across runs. All methods are safe for concurrent use and
+// no-ops on a nil receiver.
+type WireCounter struct {
+	up   atomic.Int64
+	down atomic.Int64
+}
+
+// AddUplink records n worker→server payload bytes.
+func (c *WireCounter) AddUplink(n int64) {
+	if c != nil {
+		c.up.Add(n)
+	}
+}
+
+// AddDownlink records n server→worker payload bytes.
+func (c *WireCounter) AddDownlink(n int64) {
+	if c != nil {
+		c.down.Add(n)
+	}
+}
+
+// Uplink returns the total worker→server payload bytes recorded.
+func (c *WireCounter) Uplink() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.up.Load()
+}
+
+// Downlink returns the total server→worker payload bytes recorded.
+func (c *WireCounter) Downlink() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.down.Load()
+}

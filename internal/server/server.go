@@ -204,6 +204,14 @@ type Server struct {
 	// due, written to disk outside the lock by the push that drained.
 	windowsSinceCkpt int
 	ckptDue          *ckptCore
+	// snapHook is the snapshot-publish notification (OnSnapshot): the
+	// streaming transport broadcasts model announcements from it. Like the
+	// checkpoint, the announce is captured under mu in drainLocked
+	// (announceDue) and delivered by the draining push after unlock, so
+	// the hook never runs inside the model lock yet observes (version,
+	// epoch, delta) exactly as published.
+	snapHook    atomic.Pointer[func(protocol.ModelAnnounce)]
+	announceDue *protocol.ModelAnnounce
 
 	// restoredVersion is the logical clock the server booted from (0 on a
 	// fresh boot); epoch is the incarnation counter (0 fresh, +1 per
@@ -536,7 +544,14 @@ func (s *Server) PushGradient(ctx context.Context, push *protocol.GradientPush) 
 	}
 	due := s.ckptDue
 	s.ckptDue = nil
+	ann := s.announceDue
+	s.announceDue = nil
 	s.mu.Unlock()
+	if ann != nil {
+		if fn := s.snapHook.Load(); fn != nil {
+			(*fn)(*ann)
+		}
+	}
 	if due != nil {
 		// The periodic checkpoint the drain scheduled: written here, after
 		// the model lock is released, so concurrent pushes never stall on
@@ -544,6 +559,21 @@ func (s *Server) PushGradient(ctx context.Context, push *protocol.GradientPush) 
 		s.writeCheckpoint(*due)
 	}
 	return ack, nil
+}
+
+// OnSnapshot registers fn to be called after every drain that publishes a
+// new model snapshot, with the just-published version, epoch and (when the
+// delta history retains one) the sparse delta from the immediately
+// preceding version — exactly what a streaming transport broadcasts to
+// subscribed workers. fn runs on the goroutine of the push that drained,
+// outside the model lock, strictly before that push's ack returns; keep it
+// non-blocking (the stream server's Broadcast is). A nil fn unregisters.
+func (s *Server) OnSnapshot(fn func(protocol.ModelAnnounce)) {
+	if fn == nil {
+		s.snapHook.Store(nil)
+		return
+	}
+	s.snapHook.Store(&fn)
 }
 
 // drainLocked folds the aggregator's window into the model, advances the
@@ -582,6 +612,22 @@ func (s *Server) drainLocked() error {
 		}
 	}
 	s.snap.Store(next)
+
+	// Snapshot-publish notification: captured here so the announce carries
+	// the same immutable state just stored, delivered by the draining push
+	// after it releases s.mu (see OnSnapshot). The v−1→v delta, when the
+	// history kept one, is shared with the snapshot — immutable, so the
+	// transport may encode it concurrently with further drains.
+	if s.snapHook.Load() != nil {
+		s.announceDue = &protocol.ModelAnnounce{
+			ModelVersion: s.version,
+			ServerEpoch:  s.epoch,
+		}
+		if d, ok := next.deltas[old.version]; ok {
+			s.announceDue.Delta = d
+			s.announceDue.DeltaBase = old.version
+		}
+	}
 
 	// Periodic crash safety: every CheckpointEvery-th window schedules a
 	// durable snapshot. Only the O(1) core capture happens here (params

@@ -1,0 +1,549 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fleet/internal/protocol"
+	"fleet/internal/service"
+)
+
+// Client is the worker side of the stream transport: one persistent
+// session to the server, multiplexing RequestTask/PushGradient/Stats by
+// correlation ID and absorbing server-pushed model announcements on the
+// side. It implements service.Service, so workers (and the whole
+// interceptor machinery) run unchanged over it — including the
+// epoch-conflict resync path, because error frames reconstruct the exact
+// *protocol.Error the server returned.
+//
+// The session is dialed lazily on the first call and redialed
+// transparently on the next call after it breaks or the server announces a
+// drain (goaway) — a worker never wedges on a dead socket. Safe for
+// concurrent use.
+type Client struct {
+	// Addr is the server's stream listener address (host:port).
+	Addr string
+	// Codec selects the wire representation (nil: protocol.GobGzip).
+	Codec protocol.Codec
+	// WorkerID identifies the worker in the session handshake.
+	WorkerID int
+	// Subscribe asks the server for model announcements on this session.
+	Subscribe bool
+	// DialTimeout bounds session establishment, handshake included
+	// (0: 10s).
+	DialTimeout time.Duration
+	// PingInterval is the idle heartbeat period (0: a third of the
+	// server's default idle timeout; negative: no heartbeats).
+	PingInterval time.Duration
+	// Wire, when non-nil, tallies frame bytes in both directions.
+	Wire *protocol.WireCounter
+	// OnAnnounce, when non-nil, observes every model announcement as it
+	// arrives (called from the session's read loop; keep it brief).
+	OnAnnounce func(protocol.ModelAnnounce)
+
+	mu    sync.Mutex // guards sess lifecycle
+	sess  *clientSession
+	dials atomic.Int64
+
+	// Announce state: the latest announced (epoch, version) plus the
+	// longest consecutive delta chain ending there, for proactive absorb.
+	annMu     sync.Mutex
+	annNotify chan struct{}
+	annRun    []protocol.ModelAnnounce
+	annVer    int
+	annEpoch  int64
+	annSeen   bool
+}
+
+var _ service.Service = (*Client)(nil)
+
+// RequestTask implements service.Service over the stream.
+func (c *Client) RequestTask(ctx context.Context, req *protocol.TaskRequest) (*protocol.TaskResponse, error) {
+	var resp protocol.TaskResponse
+	if err := c.call(ctx, fTask, fTaskResp, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// PushGradient implements service.Service over the stream.
+func (c *Client) PushGradient(ctx context.Context, push *protocol.GradientPush) (*protocol.PushAck, error) {
+	var ack protocol.PushAck
+	if err := c.call(ctx, fPush, fPushAck, push, &ack); err != nil {
+		return nil, err
+	}
+	return &ack, nil
+}
+
+// Stats implements service.Service over the stream.
+func (c *Client) Stats(ctx context.Context) (*protocol.Stats, error) {
+	var stats protocol.Stats
+	if err := c.call(ctx, fStats, fStatsResp, nil, &stats); err != nil {
+		return nil, err
+	}
+	return &stats, nil
+}
+
+// Dials returns how many sessions this client has established — the
+// worker's transport connection count (1 for a healthy lifetime; each
+// server drain or broken session adds a redial).
+func (c *Client) Dials() int64 { return c.dials.Load() }
+
+// Connected reports whether a live, non-draining session is currently held.
+func (c *Client) Connected() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sess != nil && !c.sess.dead() && !c.sess.draining.Load()
+}
+
+// Close tears the session down (a final goaway tells the server this is
+// deliberate). The client remains usable: the next call dials fresh.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	sess := c.sess
+	c.sess = nil
+	c.mu.Unlock()
+	if sess != nil {
+		sess.sendGoAway("client closing")
+		sess.fail(protocol.Errorf(protocol.CodeUnavailable, "stream: client closed session"))
+	}
+	return nil
+}
+
+// TakeAnnounces returns (and clears) the pending consecutive delta chain:
+// every announcement since the last take whose deltas chain gap-free up to
+// the latest announced version. A chain broken by a dropped announce, an
+// epoch change or a delta-less drain resets to the announcements after the
+// break — callers absorb what applies and pull for the rest.
+func (c *Client) TakeAnnounces() []protocol.ModelAnnounce {
+	c.annMu.Lock()
+	defer c.annMu.Unlock()
+	run := c.annRun
+	c.annRun = nil
+	return run
+}
+
+// AnnouncedVersion returns the latest announced model clock (or the
+// session-setup floor), with ok=false before any session was established.
+func (c *Client) AnnouncedVersion() (version int, epoch int64, ok bool) {
+	c.annMu.Lock()
+	defer c.annMu.Unlock()
+	return c.annVer, c.annEpoch, c.annSeen
+}
+
+// WaitAnnounced blocks until the announced model clock reaches (epoch,
+// version) — same epoch at that version or beyond, or any later epoch — or
+// ctx expires. The load harness uses it as a determinism fence: a push
+// that minted version v has broadcast v before acking, so waiting for v
+// makes announce delivery part of the deterministic event order.
+func (c *Client) WaitAnnounced(ctx context.Context, epoch int64, version int) error {
+	for {
+		c.annMu.Lock()
+		reached := c.annSeen && (c.annEpoch > epoch || (c.annEpoch == epoch && c.annVer >= version))
+		ch := c.notifyLocked()
+		c.annMu.Unlock()
+		if reached {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return protocol.AsError(ctx.Err())
+		case <-ch:
+		}
+	}
+}
+
+// notifyLocked returns the channel closed on the next announce-state
+// change. Callers hold annMu.
+func (c *Client) notifyLocked() chan struct{} {
+	if c.annNotify == nil {
+		c.annNotify = make(chan struct{})
+	}
+	return c.annNotify
+}
+
+// noteAnnounce folds one announcement into the client's announce state.
+func (c *Client) noteAnnounce(ann protocol.ModelAnnounce) {
+	c.annMu.Lock()
+	chained := c.annSeen && ann.ServerEpoch == c.annEpoch && ann.ModelVersion == c.annVer+1 && ann.Delta != nil
+	if !chained {
+		c.annRun = c.annRun[:0]
+	}
+	if ann.Delta != nil {
+		c.annRun = append(c.annRun, ann)
+	}
+	c.annSeen = true
+	c.annEpoch = ann.ServerEpoch
+	c.annVer = ann.ModelVersion
+	close(c.notifyLocked())
+	c.annNotify = nil
+	c.annMu.Unlock()
+	if c.OnAnnounce != nil {
+		c.OnAnnounce(ann)
+	}
+}
+
+// noteFloor records the session-setup model clock from the welcome frame:
+// the subscriber will only be announced versions beyond it.
+func (c *Client) noteFloor(version int, epoch int64) {
+	c.annMu.Lock()
+	defer c.annMu.Unlock()
+	if c.annSeen && (epoch < c.annEpoch || (epoch == c.annEpoch && version <= c.annVer)) {
+		return
+	}
+	c.annRun = c.annRun[:0]
+	c.annSeen = true
+	c.annEpoch = epoch
+	c.annVer = version
+	close(c.notifyLocked())
+	c.annNotify = nil
+}
+
+// call performs one request/response exchange, (re)establishing the
+// session as needed.
+func (c *Client) call(ctx context.Context, reqType, respType frameType, in, out interface{}) error {
+	sess, err := c.session(ctx)
+	if err != nil {
+		return err
+	}
+	var payload []byte
+	if in != nil {
+		var buf bytes.Buffer
+		if err := sess.codec.Encode(&buf, in); err != nil {
+			return err
+		}
+		payload = buf.Bytes()
+	}
+	corr, ch, err := sess.register()
+	if err != nil {
+		return err
+	}
+	defer sess.unregister(corr)
+	if err := sess.write(frame{typ: reqType, corr: corr, payload: payload}); err != nil {
+		err = protocol.Errorf(protocol.CodeUnavailable, "stream: write %s: %v", reqType, err)
+		sess.fail(err)
+		return err
+	}
+	select {
+	case <-ctx.Done():
+		return protocol.AsError(ctx.Err())
+	case res := <-ch:
+		if res.err != nil {
+			return res.err
+		}
+		switch res.f.typ {
+		case fError:
+			return decodeErrorFrame(res.f.payload)
+		case respType:
+			return sess.decode(res.f.payload, out)
+		}
+		return protocol.Errorf(protocol.CodeInternal,
+			"stream: got %s in response to %s", res.f.typ, reqType)
+	}
+}
+
+// session returns the live session, dialing a fresh one when there is none
+// or the current one is dead or draining.
+func (c *Client) session(ctx context.Context) (*clientSession, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sess != nil && !c.sess.dead() {
+		if !c.sess.draining.Load() {
+			return c.sess, nil
+		}
+		// The server said goaway: let in-flight calls finish on the old
+		// session, but route new calls over a fresh one.
+		old := c.sess
+		c.sess = nil
+		go func() {
+			time.Sleep(c.dialTimeout())
+			old.fail(protocol.Errorf(protocol.CodeUnavailable, "stream: session drained"))
+		}()
+	}
+	sess, err := c.dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	c.sess = sess
+	c.dials.Add(1)
+	return sess, nil
+}
+
+func (c *Client) dialTimeout() time.Duration {
+	if c.DialTimeout > 0 {
+		return c.DialTimeout
+	}
+	return 10 * time.Second
+}
+
+func (c *Client) codec() protocol.Codec {
+	if c.Codec == nil {
+		return protocol.GobGzip
+	}
+	return c.Codec
+}
+
+// dial establishes a session: connect, hello, welcome, then start the read
+// and heartbeat loops.
+func (c *Client) dial(ctx context.Context) (*clientSession, error) {
+	dialer := net.Dialer{Timeout: c.dialTimeout()}
+	conn, err := dialer.DialContext(ctx, "tcp", c.Addr)
+	if err != nil {
+		return nil, protocol.Errorf(protocol.CodeUnavailable, "stream: dial %s: %v", c.Addr, err)
+	}
+	sess := &clientSession{
+		client:  c,
+		conn:    conn,
+		codec:   c.codec(),
+		pending: make(map[uint32]chan callResult),
+		done:    make(chan struct{}),
+	}
+	hello, _ := json.Marshal(helloPayload{
+		WorkerID:    c.WorkerID,
+		ContentType: sess.codec.ContentType(),
+		Subscribe:   c.Subscribe,
+	})
+	_ = conn.SetDeadline(time.Now().Add(c.dialTimeout()))
+	if err := sess.write(frame{typ: fHello, corr: 1, payload: hello}); err != nil {
+		_ = conn.Close()
+		return nil, protocol.Errorf(protocol.CodeUnavailable, "stream: hello: %v", err)
+	}
+	f, err := sess.read()
+	if err != nil {
+		_ = conn.Close()
+		return nil, readErr("welcome", err)
+	}
+	switch f.typ {
+	case fError:
+		_ = conn.Close()
+		return nil, decodeErrorFrame(f.payload)
+	case fWelcome:
+	default:
+		_ = conn.Close()
+		return nil, protocol.Errorf(protocol.CodeInternal, "stream: expected welcome, got %s", f.typ)
+	}
+	var welcome welcomePayload
+	if err := json.Unmarshal(f.payload, &welcome); err != nil {
+		_ = conn.Close()
+		return nil, protocol.Errorf(protocol.CodeInternal, "stream: malformed welcome: %v", err)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	if c.Subscribe {
+		c.noteFloor(welcome.ModelVersion, welcome.ServerEpoch)
+	}
+	go sess.readLoop()
+	if interval := c.pingInterval(); interval > 0 {
+		go sess.pingLoop(interval)
+	}
+	return sess, nil
+}
+
+func (c *Client) pingInterval() time.Duration {
+	switch {
+	case c.PingInterval > 0:
+		return c.PingInterval
+	case c.PingInterval < 0:
+		return 0
+	}
+	return DefaultIdleTimeout / 3
+}
+
+// callResult is what a pending call receives: a response frame or the
+// session-fatal error that killed it.
+type callResult struct {
+	f   frame
+	err error
+}
+
+// clientSession is one established stream session.
+type clientSession struct {
+	client *Client
+	conn   net.Conn
+	codec  protocol.Codec
+
+	writeMu sync.Mutex
+	corr    atomic.Uint32
+
+	pmu      sync.Mutex
+	pending  map[uint32]chan callResult
+	closed   bool
+	closeErr error
+
+	draining atomic.Bool
+	done     chan struct{}
+	once     sync.Once
+}
+
+// register allocates a correlation ID and its response channel; it fails
+// when the session already died (the caller redials on its next call).
+func (s *clientSession) register() (uint32, chan callResult, error) {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if s.closed {
+		return 0, nil, s.closeErr
+	}
+	corr := s.corr.Add(1)
+	for corr == 0 || corr == 1 { // 0 is unsolicited, 1 was the hello
+		corr = s.corr.Add(1)
+	}
+	ch := make(chan callResult, 1)
+	s.pending[corr] = ch
+	return corr, ch, nil
+}
+
+func (s *clientSession) unregister(corr uint32) {
+	s.pmu.Lock()
+	delete(s.pending, corr)
+	s.pmu.Unlock()
+}
+
+// deliver routes a response frame to its waiting call.
+func (s *clientSession) deliver(f frame) {
+	s.pmu.Lock()
+	ch, ok := s.pending[f.corr]
+	if ok {
+		delete(s.pending, f.corr)
+	}
+	s.pmu.Unlock()
+	if ok {
+		ch <- callResult{f: f}
+	}
+}
+
+// fail terminates the session: every pending call gets err, the connection
+// closes, and the client dials fresh on its next call.
+func (s *clientSession) fail(err error) {
+	s.pmu.Lock()
+	if s.closed {
+		s.pmu.Unlock()
+		return
+	}
+	s.closed = true
+	s.closeErr = err
+	pending := s.pending
+	s.pending = nil
+	s.pmu.Unlock()
+	for _, ch := range pending {
+		ch <- callResult{err: err}
+	}
+	s.once.Do(func() { close(s.done) })
+	_ = s.conn.Close()
+}
+
+func (s *clientSession) dead() bool {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	return s.closed
+}
+
+// readLoop demultiplexes inbound frames until the session dies.
+func (s *clientSession) readLoop() {
+	for {
+		f, err := s.read()
+		if err != nil {
+			if errors.Is(err, errSessionClosed) || errors.Is(err, net.ErrClosed) {
+				err = protocol.Errorf(protocol.CodeUnavailable, "stream: session closed by server")
+			}
+			s.fail(readErr("response", err))
+			return
+		}
+		switch f.typ {
+		case fAnnounce:
+			var ann protocol.ModelAnnounce
+			if err := s.decode(f.payload, &ann); err == nil {
+				s.client.noteAnnounce(ann)
+			}
+		case fGoAway:
+			// The server is draining: in-flight responses still arrive on
+			// this connection, but the client's next call redials.
+			s.draining.Store(true)
+			var ga goAwayPayload
+			_ = json.Unmarshal(f.payload, &ga)
+		case fPong:
+			// Heartbeat answered; any inbound frame proves liveness.
+		case fError:
+			if f.corr == 0 {
+				// Session-level error (protocol violation report): the
+				// server hangs up after sending it.
+				s.fail(decodeErrorFrame(f.payload))
+				return
+			}
+			s.deliver(f)
+		default:
+			s.deliver(f)
+		}
+	}
+}
+
+// pingLoop heartbeats an idle session so the server's idle timeout only
+// fires for peers that are actually gone.
+func (s *clientSession) pingLoop(interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+			if err := s.write(frame{typ: fPing}); err != nil {
+				s.fail(protocol.Errorf(protocol.CodeUnavailable, "stream: heartbeat: %v", err))
+				return
+			}
+		}
+	}
+}
+
+// write serializes one frame onto the connection, counting uplink bytes.
+func (s *clientSession) write(f frame) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if err := writeFrame(s.conn, f); err != nil {
+		return err
+	}
+	s.client.Wire.AddUplink(int64(headerSize + len(f.payload)))
+	return nil
+}
+
+// read reads one frame, counting downlink bytes.
+func (s *clientSession) read() (frame, error) {
+	f, err := readFrame(s.conn)
+	if err != nil {
+		return f, err
+	}
+	s.client.Wire.AddDownlink(int64(headerSize + len(f.payload)))
+	return f, nil
+}
+
+func (s *clientSession) decode(payload []byte, v interface{}) error {
+	if err := s.codec.Decode(bytes.NewReader(payload), v); err != nil {
+		var pe *protocol.Error
+		if errors.As(err, &pe) {
+			return pe
+		}
+		return fmt.Errorf("stream: decode response: %w", err)
+	}
+	return nil
+}
+
+func (s *clientSession) sendGoAway(reason string) {
+	body, _ := json.Marshal(goAwayPayload{Reason: reason})
+	_ = s.write(frame{typ: fGoAway, payload: body})
+}
+
+// decodeErrorFrame reconstructs the structured error carried by an fError
+// frame, so callers observe the same *protocol.Error the server returned
+// (the resync path branches on its code).
+func decodeErrorFrame(payload []byte) error {
+	var pe protocol.Error
+	if err := json.Unmarshal(payload, &pe); err == nil && pe.Code != "" {
+		return &pe
+	}
+	return protocol.Errorf(protocol.CodeInternal, "stream: malformed error frame: %q", payload)
+}

@@ -1,0 +1,98 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"fleet/internal/protocol"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := frame{typ: fPush, corr: 42, payload: []byte("gradient bytes")}
+	if err := writeFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.typ != in.typ || out.corr != in.corr || !bytes.Equal(out.payload, in.payload) {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+	// Empty payload too.
+	buf.Reset()
+	if err := writeFrame(&buf, frame{typ: fPing, corr: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if out, err = readFrame(&buf); err != nil || out.typ != fPing || len(out.payload) != 0 {
+		t.Fatalf("empty frame: %+v, %v", out, err)
+	}
+}
+
+func TestReadFrameCleanEOF(t *testing.T) {
+	if _, err := readFrame(bytes.NewReader(nil)); err != errSessionClosed {
+		t.Fatalf("clean EOF: %v, want errSessionClosed", err)
+	}
+}
+
+func TestReadFrameBadMagic(t *testing.T) {
+	raw := make([]byte, headerSize)
+	binary.BigEndian.PutUint16(raw[0:2], 0xDEAD)
+	_, err := readFrame(bytes.NewReader(raw))
+	if !protocol.IsCode(err, protocol.CodeInvalidArgument) {
+		t.Fatalf("bad magic: %v, want invalid_argument", err)
+	}
+}
+
+func TestReadFrameReservedFlags(t *testing.T) {
+	raw := make([]byte, headerSize)
+	binary.BigEndian.PutUint16(raw[0:2], frameMagic)
+	raw[2] = byte(fPing)
+	raw[3] = 0x80
+	_, err := readFrame(bytes.NewReader(raw))
+	if !protocol.IsCode(err, protocol.CodeInvalidArgument) {
+		t.Fatalf("reserved flags: %v, want invalid_argument", err)
+	}
+}
+
+// TestReadFrameOversized: a hostile length prefix is rejected before any
+// payload allocation, with a structured error.
+func TestReadFrameOversized(t *testing.T) {
+	raw := make([]byte, headerSize)
+	binary.BigEndian.PutUint16(raw[0:2], frameMagic)
+	raw[2] = byte(fPush)
+	binary.BigEndian.PutUint32(raw[8:12], uint32(MaxFrameBytes+1))
+	_, err := readFrame(bytes.NewReader(raw))
+	if !protocol.IsCode(err, protocol.CodePayloadTooLarge) {
+		t.Fatalf("oversized: %v, want payload_too_large", err)
+	}
+}
+
+func TestWriteFrameOversized(t *testing.T) {
+	old := MaxFrameBytes
+	MaxFrameBytes = 16
+	defer func() { MaxFrameBytes = old }()
+	err := writeFrame(io.Discard, frame{typ: fPush, payload: make([]byte, 17)})
+	if !protocol.IsCode(err, protocol.CodePayloadTooLarge) {
+		t.Fatalf("oversized write: %v, want payload_too_large", err)
+	}
+}
+
+// TestReadFrameTruncated: EOF mid-header and mid-payload both surface as
+// structured errors, never io.ErrUnexpectedEOF leaking through or a hang.
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frame{typ: fPush, corr: 7, payload: []byte("0123456789")}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for _, cut := range []int{1, headerSize - 1, headerSize + 3, len(whole) - 1} {
+		_, err := readFrame(bytes.NewReader(whole[:cut]))
+		if !protocol.IsCode(err, protocol.CodeUnavailable) {
+			t.Fatalf("truncated at %d: %v, want unavailable", cut, err)
+		}
+	}
+}

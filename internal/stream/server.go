@@ -1,0 +1,472 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fleet/internal/protocol"
+	"fleet/internal/service"
+)
+
+// Options parameterizes a stream Server.
+type Options struct {
+	// IdleTimeout closes a session that has sent no frame for this long;
+	// clients heartbeat with pings to keep idle sessions alive. 0 means
+	// the default (2 minutes); negative disables the timeout.
+	IdleTimeout time.Duration
+	// Logf, when non-nil, receives one line per session lifecycle event
+	// and protocol violation (fmt.Printf-style).
+	Logf func(format string, args ...interface{})
+}
+
+// DefaultIdleTimeout is the session idle timeout when Options doesn't set
+// one. Client heartbeats default to a third of it.
+const DefaultIdleTimeout = 2 * time.Minute
+
+// Server accepts persistent worker sessions and serves the learning-task
+// protocol over them, dispatching every request frame to the wrapped
+// service.Service. It is the streaming sibling of server.NewHandler: both
+// are thin transport shells around the same service boundary, so
+// interceptors and the learning core are shared unchanged.
+type Server struct {
+	svc  service.Service
+	opts Options
+
+	// ctx cancels in-flight service calls at (forced) shutdown.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	sessions  map[*session]struct{}
+	listeners map[net.Listener]struct{}
+	draining  bool
+
+	inflight sync.WaitGroup // request frames being handled
+	loops    sync.WaitGroup // session read loops
+
+	accepted   atomic.Int64
+	broadcasts atomic.Int64
+}
+
+// NewServer builds a stream server around svc.
+func NewServer(svc service.Service, opts Options) *Server {
+	if opts.IdleTimeout == 0 {
+		opts.IdleTimeout = DefaultIdleTimeout
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		svc:       svc,
+		opts:      opts,
+		ctx:       ctx,
+		cancel:    cancel,
+		sessions:  make(map[*session]struct{}),
+		listeners: make(map[net.Listener]struct{}),
+	}
+}
+
+// Serve accepts sessions on ln until the listener is closed (typically by
+// Shutdown). It always returns a non-nil error, net.ErrClosed after a
+// clean shutdown — the same contract as http.Server.Serve.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return net.ErrClosed
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.accepted.Add(1)
+		s.loops.Add(1)
+		go func() {
+			defer s.loops.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Sessions returns the number of currently registered sessions.
+func (s *Server) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Accepted returns the total connections accepted since the server started.
+func (s *Server) Accepted() int64 { return s.accepted.Load() }
+
+// Broadcasts returns the total announce frames enqueued across all
+// sessions (a per-session-delivery count, not a per-Broadcast-call count).
+func (s *Server) Broadcasts() int64 { return s.broadcasts.Load() }
+
+// Broadcast fans one model announcement out to every subscribed session.
+// It never blocks on a slow session: each session holds a small announce
+// buffer and drops the oldest pending announcement on overflow — a worker
+// that missed intermediate deltas falls back to a delta or full pull, which
+// the pull path handles anyway. Safe for concurrent use; the parameter
+// server invokes it from its snapshot-publish hook (Server.OnSnapshot).
+func (s *Server) Broadcast(ann protocol.ModelAnnounce) {
+	s.mu.Lock()
+	targets := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		if sess.subscribe {
+			targets = append(targets, sess)
+		}
+	}
+	s.mu.Unlock()
+	for _, sess := range targets {
+		sess.enqueueAnnounce(ann)
+		s.broadcasts.Add(1)
+	}
+}
+
+// Shutdown drains the server gracefully: stop accepting, tell every live
+// session "server draining" with a final goaway frame (so workers reconnect
+// instead of timing out on a dead socket), wait for in-flight request
+// frames to finish and their responses to be written, then close all
+// sessions. ctx bounds the wait; on expiry remaining service calls are
+// canceled and connections closed immediately.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	lns := make([]net.Listener, 0, len(s.listeners))
+	for ln := range s.listeners {
+		lns = append(lns, ln)
+	}
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+
+	for _, ln := range lns {
+		_ = ln.Close()
+	}
+	for _, sess := range sessions {
+		sess.sendGoAway("server draining")
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	// Cancel whatever is still running (no-op after a clean drain), then
+	// tear the connections down and wait for the session loops to exit.
+	s.cancel()
+	s.mu.Lock()
+	sessions = sessions[:0]
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.close()
+	}
+	s.loops.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// session is one worker's persistent connection on the server side.
+type session struct {
+	srv       *Server
+	conn      net.Conn
+	codec     protocol.Codec
+	workerID  int
+	subscribe bool
+
+	writeMu sync.Mutex // serializes frames onto the connection
+
+	// ann buffers pending announcements for the dedicated writer
+	// goroutine; enqueueAnnounce drops the oldest on overflow.
+	ann  chan protocol.ModelAnnounce
+	done chan struct{}
+	once sync.Once
+}
+
+// announceBuffer is the per-session announce queue depth. Deep enough that
+// a healthy session keeps a full consecutive delta chain through a burst of
+// drains; overflow degrades to a pull, never blocks the broadcaster.
+const announceBuffer = 16
+
+// serveConn runs one session: hello/welcome handshake, then the multiplexed
+// frame loop until the peer leaves, errs, or the server shuts down.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+
+	sess, ok := s.handshake(conn)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		sess.sendGoAway("server draining")
+		return
+	}
+	s.sessions[sess] = struct{}{}
+	s.mu.Unlock()
+	s.logf("stream: worker %d session open (%s, subscribe=%v)", sess.workerID, sess.codec.ContentType(), sess.subscribe)
+
+	go sess.announceLoop()
+	defer func() {
+		s.mu.Lock()
+		delete(s.sessions, sess)
+		s.mu.Unlock()
+		sess.close()
+		s.logf("stream: worker %d session closed", sess.workerID)
+	}()
+
+	for {
+		s.armIdleDeadline(conn)
+		f, err := readFrame(conn)
+		if err != nil {
+			if !errors.Is(err, errSessionClosed) && !errors.Is(err, net.ErrClosed) {
+				// Protocol violation or transport failure: tell the peer
+				// why (best effort — the stream may be desynchronized, but
+				// the error frame is self-contained) and hang up.
+				s.logf("stream: worker %d: %v", sess.workerID, err)
+				sess.writeError(0, err)
+			}
+			return
+		}
+		switch f.typ {
+		case fPing:
+			if err := sess.write(frame{typ: fPong, corr: f.corr, payload: f.payload}); err != nil {
+				return
+			}
+		case fGoAway:
+			return
+		case fTask, fPush, fStats:
+			s.inflight.Add(1)
+			go func(f frame) {
+				defer s.inflight.Done()
+				sess.handle(f)
+			}(f)
+		default:
+			// Unknown or unexpected type on an intact frame boundary:
+			// answer with a structured error, keep the session.
+			sess.writeError(f.corr, protocol.Errorf(protocol.CodeInvalidArgument,
+				"stream: unexpected %s frame", f.typ))
+		}
+	}
+}
+
+// handshake performs hello → welcome and returns the prepared session.
+// On failure it writes a structured error frame and reports !ok.
+func (s *Server) handshake(conn net.Conn) (*session, bool) {
+	sess := &session{
+		srv:   s,
+		conn:  conn,
+		codec: protocol.GobGzip,
+		ann:   make(chan protocol.ModelAnnounce, announceBuffer),
+		done:  make(chan struct{}),
+	}
+	s.armIdleDeadline(conn)
+	f, err := readFrame(conn)
+	if err != nil {
+		if !errors.Is(err, errSessionClosed) {
+			s.logf("stream: handshake: %v", err)
+			sess.writeError(0, err)
+		}
+		return nil, false
+	}
+	if f.typ != fHello {
+		sess.writeError(f.corr, protocol.Errorf(protocol.CodeInvalidArgument,
+			"stream: expected hello, got %s", f.typ))
+		return nil, false
+	}
+	var hello helloPayload
+	if err := json.Unmarshal(f.payload, &hello); err != nil {
+		sess.writeError(f.corr, protocol.Errorf(protocol.CodeInvalidArgument,
+			"stream: malformed hello: %v", err))
+		return nil, false
+	}
+	codec, err := protocol.CodecForContentType(hello.ContentType)
+	if err != nil {
+		sess.writeError(f.corr, err)
+		return nil, false
+	}
+	sess.codec = codec
+	sess.workerID = hello.WorkerID
+	sess.subscribe = hello.Subscribe
+
+	welcome := welcomePayload{ContentType: codec.ContentType()}
+	if stats, err := s.svc.Stats(s.ctx); err == nil {
+		welcome.ModelVersion = stats.ModelVersion
+		welcome.ServerEpoch = stats.ServerEpoch
+	}
+	body, _ := json.Marshal(welcome)
+	if err := sess.write(frame{typ: fWelcome, corr: f.corr, payload: body}); err != nil {
+		return nil, false
+	}
+	return sess, true
+}
+
+func (s *Server) armIdleDeadline(conn net.Conn) {
+	if s.opts.IdleTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+	}
+}
+
+// handle decodes one request frame, dispatches it to the service, and
+// writes the response (or a structured error) under the frame's
+// correlation ID. A payload that fails to decode only fails this request —
+// frame boundaries are length-delimited, so the session survives.
+func (sess *session) handle(f frame) {
+	resp, err := sess.dispatch(f)
+	if err != nil {
+		sess.writeError(f.corr, err)
+		return
+	}
+	if err := sess.write(resp); err != nil {
+		sess.srv.logf("stream: worker %d: write %s: %v", sess.workerID, resp.typ, err)
+		sess.close()
+	}
+}
+
+func (sess *session) dispatch(f frame) (frame, error) {
+	ctx := sess.srv.ctx
+	switch f.typ {
+	case fTask:
+		var req protocol.TaskRequest
+		if err := sess.decode(f.payload, &req); err != nil {
+			return frame{}, err
+		}
+		resp, err := sess.srv.svc.RequestTask(ctx, &req)
+		if err != nil {
+			return frame{}, err
+		}
+		return sess.encode(fTaskResp, f.corr, resp)
+	case fPush:
+		var push protocol.GradientPush
+		if err := sess.decode(f.payload, &push); err != nil {
+			return frame{}, err
+		}
+		ack, err := sess.srv.svc.PushGradient(ctx, &push)
+		if err != nil {
+			return frame{}, err
+		}
+		return sess.encode(fPushAck, f.corr, ack)
+	case fStats:
+		stats, err := sess.srv.svc.Stats(ctx)
+		if err != nil {
+			return frame{}, err
+		}
+		return sess.encode(fStatsResp, f.corr, stats)
+	}
+	return frame{}, protocol.Errorf(protocol.CodeInvalidArgument, "stream: unexpected %s frame", f.typ)
+}
+
+func (sess *session) decode(payload []byte, v interface{}) error {
+	if err := sess.codec.Decode(bytes.NewReader(payload), v); err != nil {
+		var pe *protocol.Error
+		if errors.As(err, &pe) {
+			return pe
+		}
+		return protocol.Errorf(protocol.CodeInvalidArgument, "stream: undecodable payload: %v", err)
+	}
+	return nil
+}
+
+func (sess *session) encode(typ frameType, corr uint32, v interface{}) (frame, error) {
+	var buf bytes.Buffer
+	if err := sess.codec.Encode(&buf, v); err != nil {
+		return frame{}, err
+	}
+	return frame{typ: typ, corr: corr, payload: buf.Bytes()}, nil
+}
+
+// write serializes one frame onto the connection.
+func (sess *session) write(f frame) error {
+	sess.writeMu.Lock()
+	defer sess.writeMu.Unlock()
+	return writeFrame(sess.conn, f)
+}
+
+// writeError answers corr with a structured error frame (best effort).
+func (sess *session) writeError(corr uint32, err error) {
+	body, _ := json.Marshal(protocol.AsError(err))
+	_ = sess.write(frame{typ: fError, corr: corr, payload: body})
+}
+
+// sendGoAway tells the client this session is ending (best effort).
+func (sess *session) sendGoAway(reason string) {
+	body, _ := json.Marshal(goAwayPayload{Reason: reason})
+	_ = sess.write(frame{typ: fGoAway, payload: body})
+}
+
+// enqueueAnnounce hands an announcement to the session's writer without
+// ever blocking the broadcaster: on a full buffer the oldest pending
+// announcement is dropped (the client detects the gap in the delta chain
+// and falls back to a pull).
+func (sess *session) enqueueAnnounce(ann protocol.ModelAnnounce) {
+	for {
+		select {
+		case <-sess.done:
+			return
+		case sess.ann <- ann:
+			return
+		default:
+		}
+		select {
+		case <-sess.ann:
+		default:
+		}
+	}
+}
+
+// announceLoop writes queued announcements in order until the session ends.
+func (sess *session) announceLoop() {
+	for {
+		select {
+		case <-sess.done:
+			return
+		case ann := <-sess.ann:
+			f, err := sess.encode(fAnnounce, 0, &ann)
+			if err != nil {
+				sess.srv.logf("stream: worker %d: encode announce: %v", sess.workerID, err)
+				continue
+			}
+			if err := sess.write(f); err != nil {
+				sess.close()
+				return
+			}
+		}
+	}
+}
+
+func (sess *session) close() {
+	sess.once.Do(func() {
+		close(sess.done)
+		_ = sess.conn.Close()
+	})
+}

@@ -23,6 +23,9 @@ type Client struct {
 	Codec protocol.Codec
 	// Legacy speaks the unversioned /task, /gradient and /stats routes.
 	Legacy bool
+	// Wire, when non-nil, tallies encoded payload bytes in both directions
+	// (request and response bodies; HTTP header overhead is not counted).
+	Wire *protocol.WireCounter
 }
 
 var _ service.Service = (*Client)(nil)
@@ -62,7 +65,7 @@ func (c *Client) Stats(ctx context.Context) (*protocol.Stats, error) {
 		return nil, c.readError(resp)
 	}
 	var stats protocol.Stats
-	if err := codec.Decode(resp.Body, &stats); err != nil {
+	if err := codec.Decode(c.countBody(resp.Body), &stats); err != nil {
 		return nil, err
 	}
 	return &stats, nil
@@ -74,6 +77,7 @@ func (c *Client) post(ctx context.Context, path string, in, out interface{}) err
 	if err := codec.Encode(&buf, in); err != nil {
 		return err
 	}
+	c.Wire.AddUplink(int64(buf.Len()))
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+c.route(path), &buf)
 	if err != nil {
 		return fmt.Errorf("worker: POST %s: %w", path, err)
@@ -88,7 +92,27 @@ func (c *Client) post(ctx context.Context, path string, in, out interface{}) err
 	if resp.StatusCode != http.StatusOK {
 		return c.readError(resp)
 	}
-	return codec.Decode(resp.Body, out)
+	return codec.Decode(c.countBody(resp.Body), out)
+}
+
+// countBody wraps a response body so decoded bytes land in the downlink
+// tally; a nil counter reads straight through.
+func (c *Client) countBody(r io.Reader) io.Reader {
+	if c.Wire == nil {
+		return r
+	}
+	return &countingReader{r: r, wire: c.Wire}
+}
+
+type countingReader struct {
+	r    io.Reader
+	wire *protocol.WireCounter
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.wire.AddDownlink(int64(n))
+	return n, err
 }
 
 // readError reconstructs the structured error from an HTTP error reply, so

@@ -90,6 +90,10 @@ type Worker struct {
 	// which this worker dropped its cache and re-pulled. A non-zero value
 	// means the worker survived a server restart without operator action.
 	Resyncs int
+	// Refreshes counts server-pushed announcements absorbed into the
+	// cached model (AbsorbAnnounce) — proactive updates the streaming
+	// transport delivered before the worker's next pull asked for them.
+	Refreshes int
 }
 
 // New builds a worker.
@@ -273,6 +277,44 @@ func (w *Worker) Push(ctx context.Context, svc service.Service, push *protocol.G
 // the full parameter vector — what happens when a churned worker rejoins
 // after its app restarted.
 func (w *Worker) ResetModelCache() { w.cached = false }
+
+// CachedVersion reports the model clock of the cached parameter vector;
+// ok is false when no model is cached (never pulled, cache reset, or
+// dropped by a resync).
+func (w *Worker) CachedVersion() (version int, epoch int64, ok bool) {
+	return w.version, w.epoch, w.cached
+}
+
+// AbsorbAnnounce applies one server-pushed model announcement to the
+// cached parameter vector. The return value tells a caller walking an
+// announce chain whether the chain can continue: true when the delta
+// applied, and also when the announcement is stale — same incarnation at
+// or below the cached version, which happens every round because the
+// chain accumulates while the worker's own pull advances the cache past
+// its head. Announcements are advisory, so everything else is a quiet
+// false rather than an error: no cached model, delta pulls disabled, a
+// delta-less announce, a different server incarnation, or a gap ahead of
+// the cache (the worker missed an announce; its next pull recovers via
+// the ordinary delta/full path). A patch failure invalidates the cache
+// exactly like a poisoned delta pull would.
+func (w *Worker) AbsorbAnnounce(ann protocol.ModelAnnounce) bool {
+	if !w.cached || w.cfg.FullPullOnly {
+		return false
+	}
+	if ann.ServerEpoch == w.epoch && ann.ModelVersion <= w.version {
+		return true // stale: the cache already covers this version
+	}
+	if ann.Delta == nil || ann.ServerEpoch != w.epoch || ann.DeltaBase != w.version || ann.ModelVersion != w.version+1 {
+		return false
+	}
+	if err := ann.Delta.Patch(w.params); err != nil {
+		w.cached = false
+		return false
+	}
+	w.version = ann.ModelVersion
+	w.Refreshes++
+	return true
+}
 
 // absorbModel updates the worker's cached parameter vector from an
 // accepted task response: either patching the changed coordinates from a

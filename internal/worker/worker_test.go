@@ -480,3 +480,54 @@ func TestWorkerDeltaPullsEndToEndHTTP(t *testing.T) {
 		t.Fatalf("delta pulls = %d, want %d", total, 2*5-2)
 	}
 }
+
+// TestAbsorbAnnounceChainSemantics pins the contract callers walking an
+// announce chain rely on: stale announces (already covered by the cache)
+// keep the chain going without counting a refresh, an adjacent delta
+// applies, and gaps, epoch changes, missing deltas and cold caches all
+// break the chain quietly.
+func TestAbsorbAnnounceChainSemantics(t *testing.T) {
+	ctx := context.Background()
+	ds := data.TinyMNIST(3, 8, 4)
+	srv := newServer(t, server.Config{})
+	w := newWorkers(t, 1, ds)[0]
+	if _, err := w.Pull(ctx, srv); err != nil {
+		t.Fatal(err)
+	}
+	ver, epoch, ok := w.CachedVersion()
+	if !ok {
+		t.Fatal("no cached model after pull")
+	}
+	noop := &compress.Sparse{Len: len(nn.ArchSoftmaxMNIST.Build(simrand.New(1)).ParamVector())}
+
+	// Stale (at or below the cache): chain continues, nothing applied.
+	if !w.AbsorbAnnounce(protocol.ModelAnnounce{ModelVersion: ver, ServerEpoch: epoch}) {
+		t.Error("stale announce broke the chain")
+	}
+	if w.Refreshes != 0 {
+		t.Fatalf("stale announce counted as refresh: %d", w.Refreshes)
+	}
+	// Adjacent with a delta: applies and advances the cache clock.
+	if !w.AbsorbAnnounce(protocol.ModelAnnounce{ModelVersion: ver + 1, DeltaBase: ver, ServerEpoch: epoch, Delta: noop}) {
+		t.Fatal("adjacent announce did not absorb")
+	}
+	if v, _, _ := w.CachedVersion(); v != ver+1 || w.Refreshes != 1 {
+		t.Fatalf("cache at v%d refreshes=%d after absorb, want v%d refreshes=1", v, w.Refreshes, ver+1)
+	}
+	// A version gap, a different incarnation, and a delta-less adjacent
+	// announce all break the chain.
+	if w.AbsorbAnnounce(protocol.ModelAnnounce{ModelVersion: ver + 3, DeltaBase: ver + 2, ServerEpoch: epoch, Delta: noop}) {
+		t.Error("gapped announce absorbed")
+	}
+	if w.AbsorbAnnounce(protocol.ModelAnnounce{ModelVersion: ver + 2, DeltaBase: ver + 1, ServerEpoch: epoch + 1, Delta: noop}) {
+		t.Error("cross-incarnation announce absorbed")
+	}
+	if w.AbsorbAnnounce(protocol.ModelAnnounce{ModelVersion: ver + 2, DeltaBase: ver + 1, ServerEpoch: epoch}) {
+		t.Error("delta-less announce absorbed")
+	}
+	// Cold cache: nothing applies, not even stale skips.
+	w.ResetModelCache()
+	if w.AbsorbAnnounce(protocol.ModelAnnounce{ModelVersion: ver, ServerEpoch: epoch}) {
+		t.Error("cold-cache announce absorbed")
+	}
+}
