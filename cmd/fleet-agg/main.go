@@ -1,0 +1,308 @@
+// fleet-agg runs a FLeet edge aggregator: a hierarchical-aggregation tier
+// node that serves the full worker protocol to leaf workers, fans their
+// gradients into a local update pipeline, and forwards ONE aggregated
+// direction per K-window upstream — to the root parameter server, or to
+// another edge (tiers stack).
+//
+// Usage:
+//
+//	fleet-agg -upstream http://root:8080 -addr :8090 -arch tiny-mnist -k 8
+//
+// Leaf workers point at the edge exactly as they would at the root — same
+// routes, same transports, same resync protocol:
+//
+//	fleet-worker -server http://edge:8090 -arch tiny-mnist
+//
+// The edge's pipeline and admission chain compose from the same registries
+// as the server's:
+//
+//	fleet-agg -k 8 -aggregator 'trimmed(1)' -stages staleness -admission 'min-batch(5)'
+//
+// With -upstream-transport stream the edge holds a persistent session to
+// the upstream and absorbs server-pushed model announces without pull
+// round trips; with -transport stream|both it pushes its own relay
+// announces to subscribed leaves the same way.
+//
+// On SIGINT/SIGTERM the edge drains gracefully: listeners stop accepting,
+// in-flight leaf pushes commit, stream sessions get a goaway frame, and a
+// partial aggregation window is flushed upstream so no acked leaf gradient
+// is stranded.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"fleet/internal/aggtree"
+	"fleet/internal/learning"
+	"fleet/internal/nn"
+	"fleet/internal/pipeline"
+	"fleet/internal/protocol"
+	"fleet/internal/sched"
+	"fleet/internal/server"
+	"fleet/internal/service"
+	"fleet/internal/stream"
+	"fleet/internal/worker"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	setup, err := buildAgg(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0) // -h: usage already printed, a successful exit
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	os.Exit(serve(ctx, setup, nil))
+}
+
+// aggSetup is everything buildAgg derives from the command line. serve
+// consumes it, and tests construct doctored ones.
+type aggSetup struct {
+	addr       string
+	drain      time.Duration
+	node       *aggtree.Node
+	svc        service.Service
+	transport  string
+	streamAddr string
+	// upstream, when non-nil, is the persistent upstream stream client to
+	// close at shutdown (nil over HTTP).
+	upstream *stream.Client
+	banner   string
+	logf     func(format string, args ...interface{})
+	// ready channels receive bound addresses once listeners are up (tests
+	// bind ":0").
+	httpReady   chan<- net.Addr
+	streamReady chan<- net.Addr
+}
+
+// buildAgg parses args and composes the edge node: architecture, local
+// update pipeline, admission chain and the upstream client — all through
+// the same spec registries as fleet-server.
+func buildAgg(args []string, stderr io.Writer) (*aggSetup, error) {
+	fs := flag.NewFlagSet("fleet-agg", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		upstream    = fs.String("upstream", "", "upstream base URL (http transport, e.g. http://root:8080) or host:port (stream transport)")
+		upTransport = fs.String("upstream-transport", "http", `upstream transport: "http" (per-request) or "stream" (persistent session absorbing server-pushed model announces)`)
+		addr        = fs.String("addr", ":8090", "leaf-facing HTTP listen address")
+		transport   = fs.String("transport", "http", `leaf-facing transports: "http", "stream" or "both"`)
+		streamAddr  = fs.String("stream-addr", ":8091", "leaf-facing stream listen address (with -transport stream|both)")
+		archName    = fs.String("arch", "tiny-mnist", "model architecture (must match the upstream's)")
+		k           = fs.Int("k", 4, "leaf gradients aggregated per upstream push (the edge window)")
+		shards      = fs.Int("shards", 1, "local gradient accumulator shards")
+		sPct        = fs.Float64("s-pct", 99.7, "AdaSGD non-straggler percentage for the local staleness stage")
+		stages      = fs.String("stages", "staleness", "comma-separated local update-pipeline stage specs")
+		agg         = fs.String("aggregator", "mean", "local window-aggregation rule spec (mean, median, trimmed(b), krum(f))")
+		admission   = fs.String("admission", "", "local admission-policy chain spec (e.g. min-batch(5),similarity(0.9)); empty admits everything")
+		batchSize   = fs.Int("batch-size", 100, "mini-batch size served to admitted leaf tasks")
+		deltaHist   = fs.Int("delta-history", 4, "upstream versions retained as sparse deltas for version-aware leaf pulls (negative disables)")
+		id          = fs.Int("id", 1_000_000, "worker ID this edge identifies as upstream")
+		seed        = fs.Int64("seed", 1, "pipeline stage seed (DP noise etc.)")
+		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
+		verbose     = fs.Bool("verbose", false, "log every request")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	if *upstream == "" {
+		return nil, fmt.Errorf("-upstream is required")
+	}
+	switch *transport {
+	case "http", "stream", "both":
+	default:
+		return nil, fmt.Errorf("unknown -transport %q (want http, stream or both)", *transport)
+	}
+
+	arch, err := nn.ArchByName(*archName)
+	if err != nil {
+		return nil, err
+	}
+	algo := learning.NewAdaSGD(learning.AdaSGDConfig{NonStragglerPct: *sPct, BootstrapSteps: 50})
+	pipe, err := pipeline.Build(*stages, *agg, pipeline.BuildOptions{
+		Algorithm: algo,
+		Shards:    *shards,
+		Seed:      *seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w\nknown stages: %s; known aggregators: %s",
+			err, strings.Join(pipeline.Stages(), ", "), strings.Join(pipeline.Aggregators(), ", "))
+	}
+	chain, err := sched.Build(*admission, sched.BuildOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("%w\nknown admission policies: %s", err, strings.Join(sched.Policies(), ", "))
+	}
+
+	cfg := aggtree.Config{
+		Arch:             arch,
+		Algorithm:        algo,
+		K:                *k,
+		Pipeline:         pipe,
+		Admission:        chain,
+		DefaultBatchSize: *batchSize,
+		DeltaHistory:     *deltaHist,
+		ID:               *id,
+	}
+	var upClient *stream.Client
+	switch *upTransport {
+	case "http":
+		cfg.Upstream = &worker.Client{BaseURL: strings.TrimSuffix(*upstream, "/")}
+	case "stream":
+		upClient = &stream.Client{Addr: *upstream, WorkerID: *id, Subscribe: true}
+		cfg.Upstream = upClient
+	default:
+		return nil, fmt.Errorf("unknown -upstream-transport %q (want http or stream)", *upTransport)
+	}
+
+	node, err := aggtree.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if upClient != nil {
+		// Server-pushed model announces refresh the edge cache (and relay
+		// downstream) without a pull round trip.
+		upClient.OnAnnounce = func(ann protocol.ModelAnnounce) { node.AbsorbUpstreamAnnounce(ann) }
+	}
+
+	interceptors := []service.Interceptor{service.Recovery()}
+	if *verbose {
+		interceptors = append(interceptors, service.Logging(nil))
+	}
+
+	setup := &aggSetup{
+		addr:       *addr,
+		drain:      *drain,
+		node:       node,
+		svc:        service.Chain(node, interceptors...),
+		transport:  *transport,
+		streamAddr: *streamAddr,
+		upstream:   upClient,
+		banner: fmt.Sprintf("FLeet edge aggregator on %s (upstream=%s via %s, arch=%s, K=%d, pipeline: %s, admission: [%s])",
+			*addr, *upstream, *upTransport, arch, *k, pipe, strings.Join(chain.Names(), " -> ")),
+		logf: log.Printf,
+	}
+	if *transport != "http" {
+		setup.banner += fmt.Sprintf(", stream sessions on %s", *streamAddr)
+	}
+	return setup, nil
+}
+
+// serve runs the edge until ctx is cancelled (SIGINT/SIGTERM in main), then
+// drains gracefully: listeners close, in-flight leaf requests — gradient
+// pushes included — run to completion, stream sessions get a final goaway,
+// and a partial aggregation window is flushed upstream before exit.
+func serve(ctx context.Context, st *aggSetup, ready chan<- net.Addr) int {
+	logf := st.logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	transport := st.transport
+	if transport == "" {
+		transport = "http"
+	}
+	// Fail fast: an edge that cannot reach its upstream refuses to serve
+	// leaves a model it does not have.
+	if err := st.node.Sync(ctx); err != nil {
+		logf("fleet-agg: upstream sync: %v", err)
+		return 1
+	}
+	errc := make(chan error, 2)
+	var httpSrv *http.Server
+	var boundAddr net.Addr
+	if transport != "stream" {
+		ln, err := net.Listen("tcp", st.addr)
+		if err != nil {
+			logf("fleet-agg: %v", err)
+			return 1
+		}
+		httpSrv = &http.Server{
+			Handler:           server.NewHandler(st.svc),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() { errc <- httpSrv.Serve(ln) }()
+		boundAddr = ln.Addr()
+		if st.httpReady != nil {
+			st.httpReady <- ln.Addr()
+		}
+	}
+	var streamSrv *stream.Server
+	if transport != "http" {
+		sln, err := net.Listen("tcp", st.streamAddr)
+		if err != nil {
+			logf("fleet-agg: %v", err)
+			return 1
+		}
+		streamSrv = stream.NewServer(st.svc, stream.Options{Logf: logf})
+		// Every edge model refresh relays downstream as an announce to
+		// subscribed leaf sessions — the push half of the tree.
+		st.node.OnAnnounce(streamSrv.Broadcast)
+		go func() { errc <- streamSrv.Serve(sln) }()
+		if boundAddr == nil {
+			boundAddr = sln.Addr()
+		}
+		if st.streamReady != nil {
+			st.streamReady <- sln.Addr()
+		}
+	}
+	if st.banner != "" {
+		logf("%s", st.banner)
+	}
+	if ready != nil {
+		ready <- boundAddr
+	}
+	select {
+	case err := <-errc:
+		logf("fleet-agg: %v", err)
+		return 1
+	case <-ctx.Done():
+		logf("fleet-agg: shutting down, draining in-flight requests (deadline %s)", st.drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), st.drain)
+		defer cancel()
+		code := 0
+		if streamSrv != nil {
+			// Leaf sessions drain first, each told "server draining" with a
+			// final goaway frame, so leaves reconnect instead of timing out.
+			if err := streamSrv.Shutdown(shutdownCtx); err != nil {
+				logf("fleet-agg: stream drain deadline exceeded: %v", err)
+				code = 1
+			}
+		}
+		if httpSrv != nil {
+			if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+				logf("fleet-agg: drain deadline exceeded: %v", err)
+				code = 1
+			}
+		}
+		// Every leaf push is committed now; flush the partial window so its
+		// acked gradients reach the root.
+		if err := st.node.Flush(shutdownCtx); err != nil {
+			logf("fleet-agg: final window flush: %v", err)
+			code = 1
+		}
+		if st.upstream != nil {
+			_ = st.upstream.Close()
+		}
+		if code == 0 {
+			logf("fleet-agg: drained cleanly (%d windows forwarded, %d lost)",
+				st.node.UpstreamPushes(), st.node.LostWindows())
+		}
+		return code
+	}
+}

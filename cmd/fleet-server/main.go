@@ -143,6 +143,7 @@ func buildServer(args []string, stderr io.Writer) (*serverSetup, error) {
 		verbose    = fs.Bool("verbose", false, "log every request")
 
 		ckptDir     = fs.String("checkpoint-dir", "", "durable checkpoint directory; empty disables crash safety")
+		nonceDir    = fs.String("boot-nonce-dir", "", "directory persisting the boot counter that bumps the incarnation epoch on checkpoint-less boots (default: -checkpoint-dir; empty with no -checkpoint-dir disables the nonce)")
 		ckptEvery   = fs.Int("checkpoint-every", 8, "periodic checkpoint cadence in aggregation windows (0: only at graceful shutdown)")
 		ckptKeep    = fs.Int("checkpoint-keep", 3, "checkpoint files retained in -checkpoint-dir")
 		ckptRecover = fs.String("checkpoint-recover", "latest", `startup policy with -checkpoint-dir: "latest" restores the newest valid checkpoint and refuses to boot without one; "fresh" additionally allows initializing a new model when the directory holds no checkpoint at all (corruption still refuses)`)
@@ -249,6 +250,31 @@ func buildServer(args []string, stderr io.Writer) (*serverSetup, error) {
 	// must be said out loud (-checkpoint-recover=fresh), never silently
 	// decided; a corrupt-only directory always refuses (the operator
 	// deletes or repairs, the server does not guess).
+	// The boot nonce covers the restart paths checkpoints do not: a boot
+	// that ends up with a freshly initialized model (no -checkpoint-dir,
+	// or -checkpoint-recover=fresh on an empty directory) still bumps the
+	// incarnation epoch, so workers that cached state from a previous
+	// instance resync instead of colliding on epoch 0. freshConfig
+	// consults (and advances) the persisted counter only when the fresh
+	// path is actually taken — a checkpoint restore derives its epoch from
+	// the checkpoint itself.
+	bootDir := *nonceDir
+	if bootDir == "" {
+		bootDir = *ckptDir
+	}
+	freshConfig := func() (server.Config, error) {
+		if bootDir == "" {
+			return cfg, nil
+		}
+		nonce, err := persist.BootNonce(bootDir, *seed)
+		if err != nil {
+			return cfg, err
+		}
+		fresh := cfg
+		fresh.BootEpoch = nonce
+		return fresh, nil
+	}
+
 	var srv *server.Server
 	if *ckptDir != "" {
 		ckpt, err := persist.NewCheckpointer(*ckptDir, *ckptKeep)
@@ -269,7 +295,11 @@ func buildServer(args []string, stderr io.Writer) (*serverSetup, error) {
 		case "fresh":
 			srv, err = server.RestoreLatest(cfg, *ckptDir)
 			if errors.Is(err, persist.ErrNoCheckpoint) {
-				srv, err = server.New(cfg)
+				var fresh server.Config
+				fresh, err = freshConfig()
+				if err == nil {
+					srv, err = server.New(fresh)
+				}
 			}
 			if err != nil {
 				return nil, err
@@ -278,8 +308,11 @@ func buildServer(args []string, stderr io.Writer) (*serverSetup, error) {
 			return nil, fmt.Errorf("unknown -checkpoint-recover %q (want latest or fresh)", *ckptRecover)
 		}
 	} else {
-		var err error
-		srv, err = server.New(cfg)
+		fresh, err := freshConfig()
+		if err != nil {
+			return nil, err
+		}
+		srv, err = server.New(fresh)
 		if err != nil {
 			return nil, err
 		}

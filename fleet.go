@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"time"
 
+	"fleet/internal/aggtree"
 	"fleet/internal/core"
 	"fleet/internal/data"
 	"fleet/internal/device"
@@ -169,6 +170,13 @@ func RestoreServerLatest(cfg ServerConfig, dir string) (*Server, error) {
 // LoadCheckpoint reads and verifies one checkpoint file.
 func LoadCheckpoint(path string) (*ServerState, error) { return persist.Load(path) }
 
+// BootNonce persists a boot counter in dir and returns a deterministic
+// incarnation-epoch nonce for ServerConfig.BootEpoch: 0 on the very first
+// boot, a seed-derived nonzero value on every later one — so a server
+// restarted without (or refusing) a checkpoint still changes epoch and
+// workers caching the dead incarnation resync instead of colliding.
+func BootNonce(dir string, seed int64) (int64, error) { return persist.BootNonce(dir, seed) }
+
 // Worker is the client library executing learning tasks on (simulated)
 // mobile devices.
 type Worker = worker.Worker
@@ -243,6 +251,26 @@ func NewStreamServer(svc Service, opts StreamOptions) *StreamServer {
 // server drain, and collects server-pushed announces for
 // (*Worker).AbsorbAnnounce.
 type StreamClient = stream.Client
+
+// ---------------------------------------------------------------------------
+// Hierarchical aggregation tier (internal/aggtree, cmd/fleet-agg).
+
+// AggNode is one edge aggregator of the hierarchical aggregation tier: it
+// implements Service for leaf workers (local admission, model served from
+// a cached upstream snapshot), fans every K leaf gradients into ONE
+// aggregated upstream push weighted by its contributing-gradient count
+// (the Equation-3 K-sum is preserved end-to-end — the mean path is
+// bit-for-bit equivalent to a flat topology), and relays upstream model
+// refreshes downstream as sparse-delta announces. Root restarts cascade
+// through the tier as ordinary version-conflict resyncs.
+type AggNode = aggtree.Node
+
+// AggConfig parameterizes an AggNode.
+type AggConfig = aggtree.Config
+
+// NewAggNode builds an edge aggregator. The upstream model is pulled
+// lazily on first use; call (*AggNode).Sync to fail fast at boot.
+func NewAggNode(cfg AggConfig) (*AggNode, error) { return aggtree.New(cfg) }
 
 // ---------------------------------------------------------------------------
 // Learning algorithms (§2.3).
@@ -681,6 +709,11 @@ type (
 	LoadNetwork = loadgen.NetworkSpec
 	// LoadChurn makes workers leave and rejoin with cold caches.
 	LoadChurn = loadgen.ChurnSpec
+	// LoadTree inserts a hierarchical aggregation tier (edge aggregators
+	// with a FanIn window) between the fleet and the root server.
+	LoadTree = loadgen.TreeSpec
+	// LoadTreeBlock is the tree digest a TreeSpec run reports.
+	LoadTreeBlock = loadgen.TreeBlock
 )
 
 // RunLoadScenario runs a registered scenario by name with the given seed —

@@ -1,0 +1,420 @@
+package aggtree
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"fleet/internal/learning"
+	"fleet/internal/nn"
+	"fleet/internal/protocol"
+	"fleet/internal/server"
+	"fleet/internal/service"
+)
+
+func newAlgo() learning.Algorithm {
+	return learning.NewAdaSGD(learning.AdaSGDConfig{NonStragglerPct: 99.7, BootstrapSteps: 5})
+}
+
+func newRoot(t testing.TB, cfg server.Config) *server.Server {
+	t.Helper()
+	if cfg.Arch == 0 {
+		cfg.Arch = nn.ArchSoftmaxMNIST
+	}
+	if cfg.Algorithm == nil {
+		cfg.Algorithm = newAlgo()
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 0.1
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newEdge(t testing.TB, cfg Config) *Node {
+	t.Helper()
+	if cfg.Arch == 0 {
+		cfg.Arch = nn.ArchSoftmaxMNIST
+	}
+	if cfg.Algorithm == nil {
+		cfg.Algorithm = newAlgo()
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// sparseGrad builds the deterministic test gradient for leaf push i: a few
+// nonzero entries, so the drained model updates stay sparse enough for the
+// delta history to retain them (the announce-relay chain the tree's
+// staleness-0 invariant rides on).
+func sparseGrad(i, paramCount int) []float64 {
+	g := make([]float64, paramCount)
+	for k := 0; k < 5; k++ {
+		idx := (i*37 + k*11) % paramCount
+		g[idx] = float64(i%7+1)*0.01 + float64(k)*0.003
+	}
+	return g
+}
+
+// TestTreeMeanEquivalentToFlat is the tree's correctness anchor: on the mean
+// path, E edges with fan-in Ke in front of a root with K=E and Shards=E
+// produce bit-for-bit the same model as a flat server with K=E·Ke and
+// Shards=E receiving the same leaf gradients edge-interleaved. Equation 3's
+// K-sum is preserved exactly — an edge forwards the raw sum of its window
+// (no division), the root's shard accumulates it with scale exactly 1
+// (staleness 0, AdaSGD), and the per-shard floating-point addition order is
+// identical in both topologies.
+func TestTreeMeanEquivalentToFlat(t *testing.T) {
+	ctx := context.Background()
+	const (
+		edgesN = 3
+		fanIn  = 2
+		rounds = 4
+		seed   = 7
+	)
+	leafPushes := edgesN * fanIn * rounds
+
+	// Flat twin: one server, window E·Ke, E accumulator shards.
+	flat := newRoot(t, server.Config{K: edgesN * fanIn, Shards: edgesN, Seed: seed, DeltaHistory: 4})
+
+	// Tree: root with window E (one push per edge per round) and E shards,
+	// E edges with fan-in Ke each, announce fan-out keeping every edge's
+	// cached snapshot current the moment the root drains.
+	root := newRoot(t, server.Config{K: edgesN, Shards: edgesN, Seed: seed, DeltaHistory: 4})
+	edges := make([]*Node, edgesN)
+	for e := range edges {
+		edges[e] = newEdge(t, Config{Upstream: root, K: fanIn, ID: 1_000_000 + e})
+		if err := edges[e].Sync(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root.OnSnapshot(func(ann protocol.ModelAnnounce) {
+		for _, ed := range edges {
+			ed.AbsorbUpstreamAnnounce(ann)
+		}
+	})
+
+	flatParams0, _ := flat.Model()
+	rootParams0, _ := root.Model()
+	paramCount := len(flatParams0)
+	for i := range flatParams0 {
+		if flatParams0[i] != rootParams0[i] {
+			t.Fatal("same seed must initialize identical models")
+		}
+	}
+
+	for i := 0; i < leafPushes; i++ {
+		grad := sparseGrad(i, paramCount)
+
+		// Flat: push straight at the server, always current.
+		_, fv := flat.Model()
+		if _, err := flat.PushGradient(ctx, &protocol.GradientPush{
+			WorkerID: i, ModelVersion: fv, Gradient: grad, BatchSize: 10,
+		}); err != nil {
+			t.Fatalf("flat push %d: %v", i, err)
+		}
+
+		// Tree: the same gradient lands on edge i mod E at the edge's
+		// cached clock — which the announce fan-out holds at the root's.
+		ed := edges[i%edgesN]
+		ev, ee := ed.Version()
+		ack, err := ed.PushGradient(ctx, &protocol.GradientPush{
+			WorkerID: i, ModelVersion: ev, ModelEpoch: ee, Gradient: grad, BatchSize: 10,
+		})
+		if err != nil {
+			t.Fatalf("tree push %d: %v", i, err)
+		}
+		if ack.Staleness != 0 {
+			t.Fatalf("tree push %d: staleness %d, want 0 (edge cache fell behind the root)", i, ack.Staleness)
+		}
+		if ack.Scale != 1 {
+			t.Fatalf("tree push %d: scale %v, want exactly 1", i, ack.Scale)
+		}
+	}
+
+	flatParams, flatV := flat.Model()
+	rootParams, rootV := root.Model()
+	if flatV != rounds || rootV != rounds {
+		t.Fatalf("versions flat=%d tree-root=%d, want %d", flatV, rootV, rounds)
+	}
+	for i := range flatParams {
+		if flatParams[i] != rootParams[i] {
+			t.Fatalf("param %d diverged: flat=%v tree=%v (mean path must be bit-for-bit)",
+				i, flatParams[i], rootParams[i])
+		}
+	}
+
+	// The push-reduction bookkeeping: the root saw E pushes per round but
+	// E·Ke leaf gradients per round.
+	st, err := root.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GradientsIn != edgesN*rounds {
+		t.Errorf("root GradientsIn = %d, want %d", st.GradientsIn, edgesN*rounds)
+	}
+	if st.LeafGradients != leafPushes {
+		t.Errorf("root LeafGradients = %d, want %d", st.LeafGradients, leafPushes)
+	}
+	for e, ed := range edges {
+		if got := ed.UpstreamPushes(); got != rounds {
+			t.Errorf("edge %d forwarded %d windows, want %d", e, got, rounds)
+		}
+		if got := ed.LostWindows(); got != 0 {
+			t.Errorf("edge %d lost %d windows", e, got)
+		}
+	}
+}
+
+// swapSvc is a mutable upstream: the test's stand-in for a root that
+// restarts behind the edge.
+type swapSvc struct {
+	mu    sync.Mutex
+	inner service.Service
+}
+
+func (s *swapSvc) get() service.Service {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner
+}
+
+func (s *swapSvc) set(svc service.Service) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner = svc
+}
+
+func (s *swapSvc) RequestTask(ctx context.Context, req *protocol.TaskRequest) (*protocol.TaskResponse, error) {
+	return s.get().RequestTask(ctx, req)
+}
+
+func (s *swapSvc) PushGradient(ctx context.Context, push *protocol.GradientPush) (*protocol.PushAck, error) {
+	return s.get().PushGradient(ctx, push)
+}
+
+func (s *swapSvc) Stats(ctx context.Context) (*protocol.Stats, error) {
+	return s.get().Stats(ctx)
+}
+
+// TestEpochCascadeOverTree walks a root restart down the tier: the edge's
+// next upstream forward conflicts on the new incarnation epoch and resyncs,
+// then a leaf still pushing the old epoch conflicts at the edge and resyncs
+// with the ordinary worker protocol — one tier at a time, no side channel.
+func TestEpochCascadeOverTree(t *testing.T) {
+	ctx := context.Background()
+	root1 := newRoot(t, server.Config{K: 1, Seed: 3})
+	up := &swapSvc{inner: root1}
+	edge := newEdge(t, Config{Upstream: up, K: 2, ID: 1_000_000})
+	if err := edge.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	params, _ := root1.Model()
+	paramCount := len(params)
+
+	push := func(i int) (*protocol.PushAck, error) {
+		v, e := edge.Version()
+		return edge.PushGradient(ctx, &protocol.GradientPush{
+			WorkerID: i, ModelVersion: v, ModelEpoch: e,
+			Gradient: sparseGrad(i, paramCount), BatchSize: 10,
+		})
+	}
+
+	// A full window lands on the live root.
+	for i := 0; i < 2; i++ {
+		if _, err := push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if edge.UpstreamPushes() != 1 {
+		t.Fatalf("forwarded %d windows, want 1", edge.UpstreamPushes())
+	}
+
+	// The root "restarts" without a checkpoint: a fresh incarnation at a
+	// nonzero boot epoch, version stream rewound to 0.
+	root2 := newRoot(t, server.Config{K: 1, Seed: 3, BootEpoch: 9})
+	up.set(root2)
+
+	// The leaf, unaware, keeps pushing against the edge's cached clock; the
+	// edge's next forward is the first domino: upstream version_conflict,
+	// window lost, full re-pull onto incarnation 9.
+	oldV, oldE := edge.Version()
+	for i := 2; i < 4; i++ {
+		if _, err := edge.PushGradient(ctx, &protocol.GradientPush{
+			WorkerID: i, ModelVersion: oldV, ModelEpoch: oldE,
+			Gradient: sparseGrad(i, paramCount), BatchSize: 10,
+		}); err != nil {
+			t.Fatalf("push %d (pre-cascade, edge still on old incarnation): %v", i, err)
+		}
+	}
+	if edge.UpstreamConflicts() != 1 || edge.Resyncs() != 1 || edge.LostWindows() != 1 {
+		t.Fatalf("after restart: conflicts=%d resyncs=%d lost=%d, want 1/1/1",
+			edge.UpstreamConflicts(), edge.Resyncs(), edge.LostWindows())
+	}
+	if _, e := edge.Version(); e != 9 {
+		t.Fatalf("edge resynced onto epoch %d, want 9", e)
+	}
+
+	// Second domino: the leaf's stale-epoch push is rejected by the edge
+	// exactly as the root would reject it.
+	_, err := edge.PushGradient(ctx, &protocol.GradientPush{
+		WorkerID: 4, ModelVersion: oldV, ModelEpoch: oldE,
+		Gradient: sparseGrad(4, paramCount), BatchSize: 10,
+	})
+	if !protocol.IsCode(err, protocol.CodeVersionConflict) {
+		t.Fatalf("stale-epoch leaf push: want version_conflict, got %v", err)
+	}
+
+	// The ordinary resync: re-pull from the edge, recompute, push clean.
+	resp, err := edge.RequestTask(ctx, &protocol.TaskRequest{WorkerID: 4})
+	if err != nil || !resp.Accepted {
+		t.Fatalf("leaf re-pull: %v (resp %+v)", err, resp)
+	}
+	if resp.ServerEpoch != 9 {
+		t.Fatalf("re-pull served epoch %d, want 9", resp.ServerEpoch)
+	}
+	if _, err := edge.PushGradient(ctx, &protocol.GradientPush{
+		WorkerID: 4, ModelVersion: resp.ModelVersion, ModelEpoch: resp.ServerEpoch,
+		Gradient: sparseGrad(4, paramCount), BatchSize: 10,
+	}); err != nil {
+		t.Fatalf("post-resync push: %v", err)
+	}
+}
+
+// TestAnnounceRelayAndDeltaServing covers the downstream half of the tier:
+// every edge refresh relays as a {version, epoch, sparse-delta} announce,
+// and the retained history serves version-aware leaf pulls as exact deltas.
+func TestAnnounceRelayAndDeltaServing(t *testing.T) {
+	ctx := context.Background()
+	root := newRoot(t, server.Config{K: 1, Seed: 5, DeltaHistory: 4})
+	edge := newEdge(t, Config{Upstream: root, K: 2, DeltaHistory: 4, ID: 1_000_000})
+	if err := edge.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var relayed []protocol.ModelAnnounce
+	edge.OnAnnounce(func(ann protocol.ModelAnnounce) {
+		mu.Lock()
+		relayed = append(relayed, ann)
+		mu.Unlock()
+	})
+
+	base, err := edge.RequestTask(ctx, &protocol.TaskRequest{WorkerID: 1})
+	if err != nil || !base.Accepted || !base.Full {
+		t.Fatalf("initial full pull: %v (resp %+v)", err, base)
+	}
+	params0 := append([]float64(nil), base.Params...)
+
+	// One edge window: root (K=1) drains on the forward, the edge refreshes
+	// by delta from the ack and relays downstream.
+	for i := 0; i < 2; i++ {
+		v, e := edge.Version()
+		if _, err := edge.PushGradient(ctx, &protocol.GradientPush{
+			WorkerID: 2, ModelVersion: v, ModelEpoch: e,
+			Gradient: sparseGrad(i, len(params0)), BatchSize: 10,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, _ := edge.Version(); v != 1 {
+		t.Fatalf("edge cache at version %d after the forward, want 1", v)
+	}
+	mu.Lock()
+	got := append([]protocol.ModelAnnounce(nil), relayed...)
+	mu.Unlock()
+	if len(got) != 1 {
+		t.Fatalf("relayed %d announces, want 1", len(got))
+	}
+	ann := got[0]
+	if ann.ModelVersion != 1 || ann.ServerEpoch != 0 {
+		t.Fatalf("announce (version %d, epoch %d), want (1, 0)", ann.ModelVersion, ann.ServerEpoch)
+	}
+	if ann.Delta == nil || ann.DeltaBase != 0 {
+		t.Fatalf("announce must carry the 0→1 delta, got delta=%v base=%d", ann.Delta, ann.DeltaBase)
+	}
+
+	// Version-aware pull: a leaf at version 0 downloads the exact delta and
+	// reconstructs the root's current parameters.
+	resp, err := edge.RequestTask(ctx, &protocol.TaskRequest{
+		WorkerID: 1, WantDelta: true, KnownVersion: 0, KnownEpoch: 0,
+	})
+	if err != nil || !resp.Accepted {
+		t.Fatalf("delta pull: %v (resp %+v)", err, resp)
+	}
+	if resp.ParamsDelta == nil || resp.DeltaBase != 0 {
+		t.Fatalf("want a retained 0→1 delta, got %+v", resp)
+	}
+	patched := append([]float64(nil), params0...)
+	if err := resp.ParamsDelta.Patch(patched); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := root.Model()
+	for i := range want {
+		if patched[i] != want[i] {
+			t.Fatalf("param %d: delta pull reconstructed %v, root has %v", i, patched[i], want[i])
+		}
+	}
+}
+
+// TestAbsorbUpstreamAnnounceRepair: an announce that cannot chain onto the
+// cache (epoch change, gap) never corrupts it — the cache is flagged and the
+// next upstream exchange repairs it.
+func TestAbsorbUpstreamAnnounceRepair(t *testing.T) {
+	ctx := context.Background()
+	root := newRoot(t, server.Config{K: 1, Seed: 11, DeltaHistory: 4})
+	edge := newEdge(t, Config{Upstream: root, K: 1, ID: 1_000_000})
+	if err := edge.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// A delta-less announce from a foreign epoch is refused.
+	if edge.AbsorbUpstreamAnnounce(protocol.ModelAnnounce{ModelVersion: 3, ServerEpoch: 42}) {
+		t.Fatal("foreign-epoch announce must not be absorbed")
+	}
+	if v, e := edge.Version(); v != 0 || e != 0 {
+		t.Fatalf("cache moved to (%d, %d) on a refused announce", v, e)
+	}
+
+	// A stale announce is a no-op, not a repair flag.
+	if edge.AbsorbUpstreamAnnounce(protocol.ModelAnnounce{ModelVersion: 0, ServerEpoch: 0}) {
+		t.Fatal("stale announce must not be absorbed")
+	}
+
+	// The flagged cache repairs on the next upstream exchange: push one
+	// gradient (K=1 forwards immediately) and the edge lands current.
+	params, _ := root.Model()
+	v, e := edge.Version()
+	if _, err := edge.PushGradient(ctx, &protocol.GradientPush{
+		WorkerID: 1, ModelVersion: v, ModelEpoch: e,
+		Gradient: sparseGrad(0, len(params)), BatchSize: 10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rv, _ := root.Model()
+	_ = rv
+	if ev, _ := edge.Version(); ev != 1 {
+		t.Fatalf("edge at version %d after forward, want 1", ev)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Arch: nn.ArchSoftmaxMNIST, Algorithm: newAlgo()}); err == nil {
+		t.Error("nil upstream must error")
+	}
+	root := newRoot(t, server.Config{})
+	if _, err := New(Config{Upstream: root, Arch: nn.ArchSoftmaxMNIST}); err == nil {
+		t.Error("nil algorithm must error")
+	}
+	var apiErr *protocol.Error
+	_, err := New(Config{Arch: nn.ArchSoftmaxMNIST, Algorithm: newAlgo()})
+	if !errors.As(err, &apiErr) || apiErr.Code != protocol.CodeInvalidArgument {
+		t.Errorf("want structured invalid_argument, got %v", err)
+	}
+}

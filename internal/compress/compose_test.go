@@ -1,0 +1,82 @@
+package compress
+
+import (
+	"testing"
+)
+
+// TestComposeExactAsSequentialPatch: composing two consecutive overwrite
+// deltas must reconstruct exactly what patching them in sequence would —
+// bit-for-bit, since composition copies target values without arithmetic.
+func TestComposeExactAsSequentialPatch(t *testing.T) {
+	base := []float64{1, 2, 3, 4, 5, 6}
+	mid := []float64{1, 2.5, 3, 4, 5.5, 6}
+	target := []float64{1.5, 2.5, 3, 4, 5.25, 6}
+
+	d1, ok := Diff(base, mid, 0)
+	if !ok {
+		t.Fatal("diff base→mid")
+	}
+	d2, ok := Diff(mid, target, 0)
+	if !ok {
+		t.Fatal("diff mid→target")
+	}
+	composed, ok := Compose(d1, d2)
+	if !ok {
+		t.Fatal("compose failed on chaining deltas")
+	}
+
+	sequential := append([]float64(nil), base...)
+	if err := d1.Patch(sequential); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Patch(sequential); err != nil {
+		t.Fatal(err)
+	}
+	oneShot := append([]float64(nil), base...)
+	if err := composed.Patch(oneShot); err != nil {
+		t.Fatal(err)
+	}
+	for i := range sequential {
+		if sequential[i] != oneShot[i] {
+			t.Fatalf("index %d: sequential=%v composed=%v", i, sequential[i], oneShot[i])
+		}
+		if sequential[i] != target[i] {
+			t.Fatalf("index %d: patched=%v, want %v", i, sequential[i], target[i])
+		}
+	}
+}
+
+// TestComposeOverlapNewerWins: on an index both deltas touch, the later
+// delta's target value must win — overwrite semantics, not accumulation.
+func TestComposeOverlapNewerWins(t *testing.T) {
+	a := Sparse{Len: 4, Indices: []int32{0, 2}, Values: []float64{10, 20}}
+	b := Sparse{Len: 4, Indices: []int32{2, 3}, Values: []float64{99, 30}}
+	out, ok := Compose(a, b)
+	if !ok {
+		t.Fatal("compose failed")
+	}
+	want := map[int32]float64{0: 10, 2: 99, 3: 30}
+	if len(out.Indices) != len(want) {
+		t.Fatalf("composed nnz = %d, want %d", len(out.Indices), len(want))
+	}
+	prev := int32(-1)
+	for i, idx := range out.Indices {
+		if idx <= prev {
+			t.Fatalf("indices not strictly ascending at %d: %v", i, out.Indices)
+		}
+		prev = idx
+		if out.Values[i] != want[idx] {
+			t.Fatalf("index %d: value %v, want %v", idx, out.Values[i], want[idx])
+		}
+	}
+}
+
+// TestComposeLenMismatch: deltas over different dense lengths come from
+// different models and must refuse to merge.
+func TestComposeLenMismatch(t *testing.T) {
+	a := Sparse{Len: 4, Indices: []int32{0}, Values: []float64{1}}
+	b := Sparse{Len: 5, Indices: []int32{0}, Values: []float64{1}}
+	if _, ok := Compose(a, b); ok {
+		t.Fatal("composed deltas of mismatched dense length")
+	}
+}

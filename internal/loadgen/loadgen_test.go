@@ -31,7 +31,7 @@ func runScenario(t *testing.T, sc Scenario, seed int64) *Result {
 
 func TestRegistryHasBuiltins(t *testing.T) {
 	names := Names()
-	for _, want := range []string{"uniform", "straggler-churn", "byzantine-krum", "delta-mix", "lossy-net", "server-restart", "stream-push"} {
+	for _, want := range []string{"uniform", "straggler-churn", "byzantine-krum", "delta-mix", "lossy-net", "server-restart", "stream-push", "agg-tree"} {
 		found := false
 		for _, n := range names {
 			if n == want {

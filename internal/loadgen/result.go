@@ -79,6 +79,28 @@ type TransportBlock struct {
 	PullStaleness StalenessBlock `json:"pull_staleness"`
 }
 
+// TreeBlock digests the hierarchical aggregation tier of a TreeSpec run:
+// how much fan-in compressed the root's push load, and what the epoch
+// cascade cost when a restart rode along.
+type TreeBlock struct {
+	Edges int `json:"edges"`
+	FanIn int `json:"fan_in"`
+	// RootPushes is how many aggregated window directions the edges landed
+	// on the root — ≈ accepted leaf pushes / FanIn.
+	RootPushes int64 `json:"root_pushes"`
+	// LeafGradients is the root's count of individual worker gradients
+	// those pushes sum (Contributing-weighted), vs its GradientsIn which
+	// counts the aggregated pushes themselves.
+	LeafGradients int `json:"leaf_gradients"`
+	// UpstreamConflicts counts edge forwards the root rejected across an
+	// incarnation change; EdgeResyncs the full re-pulls that recovered;
+	// LostWindows every drained window that failed to land (conflicts
+	// included — their leaf gradients were acked and are gone).
+	UpstreamConflicts int64 `json:"upstream_conflicts,omitempty"`
+	EdgeResyncs       int64 `json:"edge_resyncs,omitempty"`
+	LostWindows       int64 `json:"lost_windows,omitempty"`
+}
+
 // TransportComparison embeds the polling twin's numbers into a streaming
 // run's result — what `fleet-bench -compare-transport` writes, and what the
 // CI stream-push gate asserts on. The twin is the same scenario, seed and
@@ -236,6 +258,8 @@ type Result struct {
 	// (fleet-bench -compare-transport).
 	TransportStats      *TransportBlock      `json:"transport_stats,omitempty"`
 	TransportComparison *TransportComparison `json:"transport_comparison,omitempty"`
+	// Tree digests the hierarchical aggregation tier (TreeSpec runs only).
+	Tree *TreeBlock `json:"tree,omitempty"`
 
 	Wallclock *WallclockBlock `json:"wallclock,omitempty"`
 }

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fleet/internal/aggtree"
 	"fleet/internal/data"
 	"fleet/internal/device"
 	"fleet/internal/iprof"
@@ -300,6 +301,11 @@ type run struct {
 	// re-attaches the restored server's snapshot hook to it so announces
 	// keep flowing after a crash-recovery swap.
 	streamSrv *stream.Server
+	// edges is the hierarchical aggregation tier (TreeSpec; nil for flat
+	// runs); treeAnnounce is the root's snapshot fan-out to every edge,
+	// re-registered by doRestart on the restored instance.
+	edges        []*aggtree.Node
+	treeAnnounce func(protocol.ModelAnnounce)
 
 	mu         sync.Mutex
 	counts     Counts
@@ -327,6 +333,10 @@ const (
 	evtPull = iota
 	evtPush
 )
+
+// treeEdgeIDBase offsets edge-aggregator worker IDs far above any leaf's,
+// so per-worker server state (quotas, rate limits) never collides.
+const treeEdgeIDBase = 1_000_000
 
 type event struct {
 	at   float64
@@ -551,6 +561,44 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 		streamAddr = ln.Addr().String()
 	}
 
+	// Hierarchical aggregation tier: edge nodes front the root through the
+	// swapper (so a restart reroutes them too), and the root's snapshot
+	// hook fans every drain out to the edges as a delta announce — edges
+	// stay current without pull round trips, exactly like stream
+	// subscribers would. In-process only: the edge services are direct
+	// call targets for their worker slices.
+	var edges []*aggtree.Node
+	var treeAnnounce func(protocol.ModelAnnounce)
+	if sc.Tree.Edges > 0 {
+		if transport != TransportInProc {
+			return nil, fmt.Errorf("loadgen: aggregation tree requires the in-process transport (got %q)", transport)
+		}
+		edges = make([]*aggtree.Node, sc.Tree.Edges)
+		for e := range edges {
+			node, err := aggtree.New(aggtree.Config{
+				Upstream: swap,
+				Arch:     arch,
+				// Tier-local AdaSGD: the staleness history an edge damps
+				// with is its own, never shared with the root's.
+				Algorithm:        learning.NewAdaSGD(learning.AdaSGDConfig{NonStragglerPct: sc.Server.NonStragglerPct, BootstrapSteps: 50}),
+				K:                sc.Tree.FanIn,
+				DeltaHistory:     sc.Server.DeltaHistory,
+				DefaultBatchSize: sc.Server.DefaultBatchSize,
+				ID:               treeEdgeIDBase + e,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: edge %d: %w", e, err)
+			}
+			edges[e] = node
+		}
+		treeAnnounce = func(ann protocol.ModelAnnounce) {
+			for _, ed := range edges {
+				ed.AbsorbUpstreamAnnounce(ann)
+			}
+		}
+		srv.OnSnapshot(treeAnnounce)
+	}
+
 	// Build the fleet.
 	classes := arch.Classes()
 	sims := make([]*simWorker, sc.Workers)
@@ -623,6 +671,10 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 			sw.strm = cl
 			sw.needsConn = true
 			sw.svc = service.Chain(cl, service.Metrics(wall))
+		} else if edges != nil {
+			// Worker i reports to edge i mod Edges — a fixed, seed-free
+			// assignment, so adding the tier never reshuffles any stream.
+			sw.svc = service.Chain(edges[i%len(edges)], service.Metrics(wall))
 		} else {
 			sw.svc = svc
 		}
@@ -639,19 +691,21 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 	}
 
 	rn := &run{
-		sc:        sc,
-		transport: transport,
-		srv:       srv,
-		scratch:   arch.Build(simrand.New(r.Seed)),
-		test:      ds.Test,
-		sims:      sims,
-		stale:     metrics.NewIntHist(),
-		pullStale: metrics.NewIntHist(),
-		wall:      wall,
-		factory:   factory,
-		swap:      swap,
-		clock:     clock,
-		streamSrv: streamSrv,
+		sc:           sc,
+		transport:    transport,
+		srv:          srv,
+		scratch:      arch.Build(simrand.New(r.Seed)),
+		test:         ds.Test,
+		sims:         sims,
+		stale:        metrics.NewIntHist(),
+		pullStale:    metrics.NewIntHist(),
+		wall:         wall,
+		factory:      factory,
+		swap:         swap,
+		clock:        clock,
+		streamSrv:    streamSrv,
+		edges:        edges,
+		treeAnnounce: treeAnnounce,
 	}
 
 	wallStart := time.Now()
@@ -662,6 +716,12 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	// Flush partial edge windows so no acked leaf gradient is stranded in
+	// the tier — the same courtesy a draining fleet-agg extends. Ordered,
+	// so the replayed event stream stays identical.
+	for _, ed := range rn.edges {
+		_ = ed.Flush(ctx)
 	}
 	elapsed := time.Since(wallStart).Seconds()
 
@@ -747,6 +807,20 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 		}
 		res.TransportStats = tb
 	}
+	if rn.edges != nil {
+		tb := &TreeBlock{
+			Edges:         len(rn.edges),
+			FanIn:         sc.Tree.FanIn,
+			LeafGradients: stats.LeafGradients,
+		}
+		for _, ed := range rn.edges {
+			tb.RootPushes += ed.UpstreamPushes()
+			tb.UpstreamConflicts += ed.UpstreamConflicts()
+			tb.EdgeResyncs += ed.Resyncs()
+			tb.LostWindows += ed.LostWindows()
+		}
+		res.Tree = tb
+	}
 	if rn.counts.Pushes > 0 {
 		res.MeanScale = rn.scaleSum / float64(rn.counts.Pushes)
 	}
@@ -818,6 +892,12 @@ func (rn *run) doRestart() error {
 		// sessions too; clients that cached the dead epoch simply fail the
 		// quiet absorb and recover through the pull path.
 		srv.OnSnapshot(rn.streamSrv.Broadcast)
+	}
+	if rn.treeAnnounce != nil {
+		// Same for the aggregation tier: edges flag the epoch change on the
+		// first announce and repair through their upstream exchange, and the
+		// conflict cascades to the leaves from there.
+		srv.OnSnapshot(rn.treeAnnounce)
 	}
 	rn.restarted = true
 	rn.counts.Restarts++

@@ -99,6 +99,21 @@ type ChurnSpec struct {
 	OfflineMeanSec float64 `json:"offline_mean_sec,omitempty"`
 }
 
+// TreeSpec inserts a hierarchical aggregation tier between the fleet and
+// the root server: Edges edge aggregators (internal/aggtree) each serve a
+// slice of the workers (worker i reports to edge i mod Edges), fan every
+// FanIn leaf gradients into one upstream push, and relay the root's model
+// announces downstream. The root then sees O(Edges) pushes per aggregate
+// window instead of O(Workers). In-process transport only: the tree's value
+// is measured against the same virtual-clock event order as a flat run.
+type TreeSpec struct {
+	// Edges is the number of edge aggregators (0 disables the tree).
+	Edges int `json:"edges,omitempty"`
+	// FanIn is each edge's local window: leaf gradients aggregated per
+	// upstream push (default 4).
+	FanIn int `json:"fan_in,omitempty"`
+}
+
 // ServerSpec selects the server configuration through the same spec grammar
 // as the fleet-server flags, so every pipeline/admission combination the
 // live server supports is benchable.
@@ -150,6 +165,7 @@ type Scenario struct {
 	Net       NetworkSpec   `json:"net"`
 	Churn     ChurnSpec     `json:"churn,omitempty"`
 	Restart   RestartSpec   `json:"restart,omitempty"`
+	Tree      TreeSpec      `json:"tree,omitempty"`
 	Server    ServerSpec    `json:"server"`
 }
 
@@ -201,6 +217,9 @@ func (s Scenario) withDefaults() Scenario {
 	if s.Restart.AtSec > 0 && s.Restart.CheckpointEvery <= 0 {
 		s.Restart.CheckpointEvery = 2
 	}
+	if s.Tree.Edges > 0 && s.Tree.FanIn <= 0 {
+		s.Tree.FanIn = 4
+	}
 	if s.Server.Arch == "" {
 		s.Server.Arch = "softmax-mnist"
 	}
@@ -246,6 +265,9 @@ func (s Scenario) validate() error {
 	}
 	if s.Restart.AtSec < 0 {
 		return fmt.Errorf("loadgen: restart time %g is negative", s.Restart.AtSec)
+	}
+	if s.Tree.Edges < 0 {
+		return fmt.Errorf("loadgen: tree edge count %d is negative", s.Tree.Edges)
 	}
 	total := 0.0
 	for _, t := range s.Tiers {
@@ -419,6 +441,38 @@ func init() {
 		// connections (the polling twin pays ConnSetupSec twice per round).
 		Net:    NetworkSpec{MinRTTSec: 0.05, MeanRTTSec: 0.2, ConnSetupSec: 0.3},
 		Server: ServerSpec{K: 2, DeltaHistory: 8},
+	})
+	Register(Scenario{
+		Name: "agg-tree",
+		Description: "hierarchical aggregation tier: 3 edge aggregators fan leaf gradients 4:1 into the " +
+			"root (K=3, one root window per full edge sweep), relaying model announces downstream — the " +
+			"root sees Workers/FanIn pushes and accuracy must match the flat topology",
+		Workers: 24,
+		// Long enough (672 leaf pushes, 56 aggregate windows) that both
+		// topologies converge: the within-0.02-of-flat gate compares settled
+		// trajectories, not mid-climb snapshots.
+		Rounds: 28,
+		// Enough data and a fine-grained test split (quantum 1/1000) that
+		// "within 0.02 of the flat topology" is a meaningful gate rather than
+		// eval-quantum or small-sample SGD noise.
+		TrainPerClass: 120,
+		TestPerClass:  100,
+		EvalEvery:     40,
+		// Top-k sparse uplink keeps each root drain's version-to-version
+		// delta under the announce threshold, so the relay announces carry
+		// patchable deltas and the edges stay current between their own
+		// forwards — dense pushes would blind the edges to most drains and
+		// their forwards would arrive a version stale, re-damped by the root.
+		CompressK: 48,
+		Tree:      TreeSpec{Edges: 3, FanIn: 4},
+		// Root K equals the edge count: one root window per sweep of edge
+		// pushes, mirroring the flat Edges×FanIn aggregate window. The delta
+		// history keeps relay announces sparse, so edges stay current without
+		// full pulls. The learning rate is scaled down for the 12-gradient
+		// K-sum windows (Equation 3 applies the sum, not the mean): the
+		// default 0.3 would take 12× steps, and the within-0.02-of-flat gate
+		// needs a smooth trajectory, not oscillation roulette.
+		Server: ServerSpec{LearningRate: 0.02, K: 3, DeltaHistory: 8},
 	})
 	Register(Scenario{
 		Name: "lossy-net",

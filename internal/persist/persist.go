@@ -93,10 +93,14 @@ type State struct {
 	Params  []float64
 
 	// Push-path counters, so diagnostics survive a restart.
-	GradientsIn  int
-	StaleSum     float64
-	TasksServed  int64
-	TasksDropped int64
+	// LeafGradients counts the individual worker gradients behind
+	// GradientsIn (they diverge when an edge-aggregator tier fronts this
+	// server); zero in pre-tree checkpoints, which gob decodes fine.
+	GradientsIn   int
+	LeafGradients int
+	StaleSum      float64
+	TasksServed   int64
+	TasksDropped  int64
 
 	// AdaSGD is the staleness history behind τ_thres (nil when the server's
 	// algorithm keeps no state).

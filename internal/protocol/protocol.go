@@ -109,6 +109,19 @@ type GradientPush struct {
 	EnergyPct      float64   `json:"energy_pct"`
 	TimeFeatures   []float64 `json:"time_features"`
 	EnergyFeatures []float64 `json:"energy_features"`
+	// Contributing marks an aggregated push from an edge-aggregator tier
+	// (internal/aggtree): the carried gradient is the window K-sum of that
+	// many leaf gradients, so the receiver counts it with this weight to
+	// preserve Equation 3's magnitude accounting end-to-end. 0 (absent, or
+	// a pre-tree client) means an ordinary single-gradient push.
+	Contributing int `json:"contributing,omitempty"`
+	// StalenessMin/StalenessMax bound the leaf-local staleness of the
+	// gradients folded into an aggregated push, measured against the
+	// edge's cached model clock — the upstream sees only the edge's own
+	// staleness, so these carry the leaf-side spread for diagnostics.
+	// Meaningful only when Contributing > 0.
+	StalenessMin int `json:"staleness_min,omitempty"`
+	StalenessMax int `json:"staleness_max,omitempty"`
 }
 
 // PushAck acknowledges a gradient push.
@@ -180,6 +193,12 @@ type Stats struct {
 	// ServerEpoch is the incarnation counter (restores since the state
 	// was first created).
 	ServerEpoch int64 `json:"server_epoch,omitempty"`
+	// LeafGradients counts the individual worker gradients behind
+	// GradientsIn: an aggregated push from an edge tier contributes its
+	// Contributing count here but 1 to GradientsIn, so the two diverge
+	// exactly when a tree is in front of this server. Equal to GradientsIn
+	// on a flat topology (omitted when zero for old payloads).
+	LeafGradients int `json:"leaf_gradients,omitempty"`
 }
 
 // Encode writes v to w as a gzip-compressed gob stream — the default wire

@@ -139,6 +139,14 @@ type Config struct {
 	CheckpointEvery int
 	// Seed initializes the global model.
 	Seed int64
+	// BootEpoch, when positive, is the incarnation epoch a freshly built
+	// server starts at instead of 0. cmd/fleet-server derives it from a
+	// persisted boot count (persist.BootNonce) so even a checkpoint-less
+	// restart — -checkpoint-recover=fresh, or no checkpoint directory at
+	// all — bumps the incarnation and forces live workers to resync,
+	// instead of colliding with epoch 0 cached from the dead instance.
+	// Ignored by Restore (the checkpoint's epoch + 1 wins).
+	BootEpoch int64
 }
 
 // modelSnapshot is one immutable published state of the global model. The
@@ -197,8 +205,12 @@ type Server struct {
 	pending     int
 	history     []histEntry
 	gradientsIn int
-	staleSum    float64
-	drainErrors int
+	// leafGradients counts individual worker gradients: an aggregated
+	// push from an edge tier (GradientPush.Contributing > 0) adds its
+	// contributing count here but 1 to gradientsIn.
+	leafGradients int
+	staleSum      float64
+	drainErrors   int
 	// windowsSinceCkpt counts drains toward the periodic checkpoint
 	// cadence; ckptDue is the core state captured under mu when one falls
 	// due, written to disk outside the lock by the push that drained.
@@ -214,19 +226,20 @@ type Server struct {
 	announceDue *protocol.ModelAnnounce
 
 	// restoredVersion is the logical clock the server booted from (0 on a
-	// fresh boot); epoch is the incarnation counter (0 fresh, +1 per
-	// restore). The epoch travels the wire so version numbers from
-	// different incarnations are never confused: a restored clock re-walks
-	// versions the dead instance already handed out, with different
-	// parameters behind them. Both immutable after New/Restore.
+	// fresh boot); epoch is the incarnation counter (Config.BootEpoch on
+	// a fresh boot — 0 unless a boot nonce is wired in — and the
+	// checkpoint's epoch + 1 after a restore). The epoch travels the wire
+	// so version numbers from different incarnations are never confused:
+	// a restored clock re-walks versions the dead instance already handed
+	// out, with different parameters behind them. Both immutable after
+	// New/Restore.
 	//
-	// Known limitation: a *checkpoint-less* restart (no Checkpointer, or
-	// a wiped directory) boots a fresh epoch 0 that collides with workers
-	// who cached epoch 0 from the dead instance — the pre-checkpoint
-	// hazard this PR exists to remove, still present on the unsupported
-	// path. Restart with checkpoints and the epoch always advances; a
-	// seeded boot nonce for fresh boots is a ROADMAP follow-on (a random
-	// one would break the harness's bit-for-bit replay).
+	// Checkpoint-less restarts are covered too: cmd/fleet-server persists
+	// a seed-derived boot count (persist.BootNonce) and passes the nonce
+	// as BootEpoch, so a -recover=fresh boot still forces worker resync
+	// instead of colliding with epoch 0 cached from the dead instance.
+	// (The nonce is deterministic per (seed, boot count), keeping the
+	// harness's bit-for-bit replay intact.)
 	restoredVersion int
 	epoch           int64
 	// ckptMu serializes checkpoint writes; the counters are atomic so
@@ -246,10 +259,11 @@ type Server struct {
 // under s.mu at drain time: version and params move together. params shares
 // the immutable snapshot storage, so the capture is O(1).
 type ckptCore struct {
-	version     int
-	params      []float64
-	gradientsIn int
-	staleSum    float64
+	version       int
+	params        []float64
+	gradientsIn   int
+	leafGradients int
+	staleSum      float64
 }
 
 // New builds a server with a freshly initialized global model.
@@ -304,6 +318,9 @@ func New(cfg Config) (*Server, error) {
 		}
 		cfg.Admission = sched.NewChain(policies...)
 	}
+	if cfg.BootEpoch < 0 {
+		cfg.BootEpoch = 0
+	}
 	model := cfg.Arch.Build(simrand.New(cfg.Seed))
 	s := &Server{
 		cfg:        cfg,
@@ -314,6 +331,7 @@ func New(cfg Config) (*Server, error) {
 		pipe:       cfg.Pipeline,
 		admit:      cfg.Admission,
 		rejects:    map[string]int{},
+		epoch:      cfg.BootEpoch,
 	}
 	s.snap.Store(&modelSnapshot{version: 0, params: model.ParamVector()})
 	return s, nil
@@ -526,8 +544,17 @@ func (s *Server) PushGradient(ctx context.Context, push *protocol.GradientPush) 
 	// counted and accumulated, so returning an error would invite a retry
 	// that double-contributes. The window is discarded, the failure is
 	// surfaced through Stats.DrainErrors, and the pusher gets its ack.
+	// Leaf-gradient accounting: an edge-aggregator push carries the count
+	// of worker gradients its direction sums, so the K-sum bookkeeping
+	// (and the O(fan-in) push reduction it proves) stays visible here.
+	contrib := push.Contributing
+	if contrib <= 0 {
+		contrib = 1
+	}
+
 	s.mu.Lock()
 	s.gradientsIn++
+	s.leafGradients += contrib
 	s.staleSum += float64(staleness)
 	s.pending++
 	if s.pending >= s.cfg.K {
@@ -638,10 +665,11 @@ func (s *Server) drainLocked() error {
 		if s.windowsSinceCkpt >= s.cfg.CheckpointEvery {
 			s.windowsSinceCkpt = 0
 			s.ckptDue = &ckptCore{
-				version:     s.version,
-				params:      next.params,
-				gradientsIn: s.gradientsIn,
-				staleSum:    s.staleSum,
+				version:       s.version,
+				params:        next.params,
+				gradientsIn:   s.gradientsIn,
+				leafGradients: s.leafGradients,
+				staleSum:      s.staleSum,
 			}
 		}
 	}
@@ -655,14 +683,15 @@ func (s *Server) drainLocked() error {
 // model correctness (see persist.State).
 func (s *Server) captureState(core ckptCore) *persist.State {
 	st := &persist.State{
-		Arch:         s.cfg.Arch.String(),
-		Epoch:        s.epoch,
-		Version:      core.version,
-		Params:       core.params,
-		GradientsIn:  core.gradientsIn,
-		StaleSum:     core.staleSum,
-		TasksServed:  s.tasksServed.Load(),
-		TasksDropped: s.tasksDropped.Load(),
+		Arch:          s.cfg.Arch.String(),
+		Epoch:         s.epoch,
+		Version:       core.version,
+		Params:        core.params,
+		GradientsIn:   core.gradientsIn,
+		LeafGradients: core.leafGradients,
+		StaleSum:      core.staleSum,
+		TasksServed:   s.tasksServed.Load(),
+		TasksDropped:  s.tasksDropped.Load(),
 	}
 	if a, ok := s.cfg.Algorithm.(*learning.AdaSGD); ok {
 		ada := a.ExportState()
@@ -714,10 +743,11 @@ func (s *Server) Checkpoint() (string, error) {
 	s.mu.Lock()
 	snap := s.snap.Load()
 	core := ckptCore{
-		version:     snap.version,
-		params:      snap.params,
-		gradientsIn: s.gradientsIn,
-		staleSum:    s.staleSum,
+		version:       snap.version,
+		params:        snap.params,
+		gradientsIn:   s.gradientsIn,
+		leafGradients: s.leafGradients,
+		staleSum:      s.staleSum,
 	}
 	s.ckptDue = nil // an explicit checkpoint supersedes a scheduled one
 	s.mu.Unlock()
@@ -767,6 +797,7 @@ func Restore(cfg Config, st *persist.State) (*Server, error) {
 	s.model.SetParams(st.Params)
 	s.version = st.Version
 	s.gradientsIn = st.GradientsIn
+	s.leafGradients = st.LeafGradients
 	s.staleSum = st.StaleSum
 	s.restoredVersion = st.Version
 	// A new incarnation: pushes and delta requests carrying the old epoch
@@ -850,6 +881,7 @@ func (s *Server) Stats(ctx context.Context) (*protocol.Stats, error) {
 		TasksRejected:     dropped,
 		TasksDropped:      dropped,
 		GradientsIn:       s.gradientsIn,
+		LeafGradients:     s.leafGradients,
 		MeanStaleness:     mean,
 		PipelineStages:    s.pipe.StageNames(),
 		Aggregator:        s.pipe.AggregatorName(),

@@ -172,7 +172,10 @@ func (c *Client) notifyLocked() chan struct{} {
 // noteAnnounce folds one announcement into the client's announce state.
 func (c *Client) noteAnnounce(ann protocol.ModelAnnounce) {
 	c.annMu.Lock()
-	chained := c.annSeen && ann.ServerEpoch == c.annEpoch && ann.ModelVersion == c.annVer+1 && ann.Delta != nil
+	// A coalesced announce spans several versions in one delta; it chains
+	// whenever its base matches the last version seen, not only for +1.
+	chained := c.annSeen && ann.ServerEpoch == c.annEpoch && ann.Delta != nil &&
+		ann.DeltaBase == c.annVer && ann.ModelVersion > c.annVer
 	if !chained {
 		c.annRun = c.annRun[:0]
 	}

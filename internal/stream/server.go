@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fleet/internal/compress"
 	"fleet/internal/protocol"
 	"fleet/internal/service"
 )
@@ -52,6 +53,7 @@ type Server struct {
 
 	accepted   atomic.Int64
 	broadcasts atomic.Int64
+	coalesced  atomic.Int64
 }
 
 // NewServer builds a stream server around svc.
@@ -115,12 +117,19 @@ func (s *Server) Accepted() int64 { return s.accepted.Load() }
 // sessions (a per-session-delivery count, not a per-Broadcast-call count).
 func (s *Server) Broadcasts() int64 { return s.broadcasts.Load() }
 
+// Coalesced returns how many pending announcements were merged into a
+// composed delta on queue overflow instead of being dropped.
+func (s *Server) Coalesced() int64 { return s.coalesced.Load() }
+
 // Broadcast fans one model announcement out to every subscribed session.
 // It never blocks on a slow session: each session holds a small announce
-// buffer and drops the oldest pending announcement on overflow — a worker
-// that missed intermediate deltas falls back to a delta or full pull, which
-// the pull path handles anyway. Safe for concurrent use; the parameter
-// server invokes it from its snapshot-publish hook (Server.OnSnapshot).
+// queue, and on overflow the two oldest pending announcements are coalesced
+// into one batched v→v+k delta (overwrite deltas compose exactly, see
+// compress.Compose) so a lagging worker keeps chaining instead of falling
+// back to a full pull. Only when the pair cannot compose — an epoch change
+// or a delta-less drain in between — is the oldest dropped, and the client
+// detects the gap and pulls. Safe for concurrent use; the parameter server
+// invokes it from its snapshot-publish hook (Server.OnSnapshot).
 func (s *Server) Broadcast(ann protocol.ModelAnnounce) {
 	s.mu.Lock()
 	targets := make([]*session, 0, len(s.sessions))
@@ -205,16 +214,21 @@ type session struct {
 
 	writeMu sync.Mutex // serializes frames onto the connection
 
-	// ann buffers pending announcements for the dedicated writer
-	// goroutine; enqueueAnnounce drops the oldest on overflow.
-	ann  chan protocol.ModelAnnounce
-	done chan struct{}
-	once sync.Once
+	// annQueue buffers pending announcements for the dedicated writer
+	// goroutine. On overflow enqueueAnnounce coalesces the two oldest
+	// entries into one composed delta when they chain, and drops the
+	// oldest otherwise. annReady (capacity 1) wakes the writer.
+	annMu    sync.Mutex
+	annQueue []protocol.ModelAnnounce
+	annReady chan struct{}
+	done     chan struct{}
+	once     sync.Once
 }
 
 // announceBuffer is the per-session announce queue depth. Deep enough that
 // a healthy session keeps a full consecutive delta chain through a burst of
-// drains; overflow degrades to a pull, never blocks the broadcaster.
+// drains; overflow coalesces chained deltas (or, failing that, degrades to
+// a pull) and never blocks the broadcaster.
 const announceBuffer = 16
 
 // serveConn runs one session: hello/welcome handshake, then the multiplexed
@@ -284,11 +298,11 @@ func (s *Server) serveConn(conn net.Conn) {
 // On failure it writes a structured error frame and reports !ok.
 func (s *Server) handshake(conn net.Conn) (*session, bool) {
 	sess := &session{
-		srv:   s,
-		conn:  conn,
-		codec: protocol.GobGzip,
-		ann:   make(chan protocol.ModelAnnounce, announceBuffer),
-		done:  make(chan struct{}),
+		srv:      s,
+		conn:     conn,
+		codec:    protocol.GobGzip,
+		annReady: make(chan struct{}, 1),
+		done:     make(chan struct{}),
 	}
 	s.armIdleDeadline(conn)
 	f, err := readFrame(conn)
@@ -425,23 +439,53 @@ func (sess *session) sendGoAway(reason string) {
 }
 
 // enqueueAnnounce hands an announcement to the session's writer without
-// ever blocking the broadcaster: on a full buffer the oldest pending
-// announcement is dropped (the client detects the gap in the delta chain
-// and falls back to a pull).
+// ever blocking the broadcaster. A full queue first tries to coalesce its
+// two oldest entries into one composed v→v+k delta — the chain the client
+// sees stays intact, just batched — and only drops the oldest when the pair
+// cannot compose (epoch change or delta-less announce in between; the
+// client then detects the gap and falls back to a pull).
 func (sess *session) enqueueAnnounce(ann protocol.ModelAnnounce) {
-	for {
-		select {
-		case <-sess.done:
-			return
-		case sess.ann <- ann:
-			return
-		default:
-		}
-		select {
-		case <-sess.ann:
-		default:
-		}
+	select {
+	case <-sess.done:
+		return
+	default:
 	}
+	sess.annMu.Lock()
+	for len(sess.annQueue) >= announceBuffer {
+		if merged, ok := coalesceAnnounces(sess.annQueue[0], sess.annQueue[1]); ok {
+			sess.annQueue[1] = merged
+			sess.srv.coalesced.Add(1)
+		}
+		sess.annQueue = append(sess.annQueue[:0], sess.annQueue[1:]...)
+	}
+	sess.annQueue = append(sess.annQueue, ann)
+	sess.annMu.Unlock()
+	select {
+	case sess.annReady <- struct{}{}:
+	default:
+	}
+}
+
+// coalesceAnnounces merges two consecutive pending announcements into one
+// spanning delta, oldest first. Sparse deltas store target values, so
+// composing is a union where the newer delta wins (compress.Compose) — the
+// result is the exact delta a.DeltaBase → b.ModelVersion. Reports !ok when
+// the pair doesn't chain: different incarnations, a delta-less announce, or
+// a base mismatch (which a dropped sibling in between would cause).
+func coalesceAnnounces(a, b protocol.ModelAnnounce) (protocol.ModelAnnounce, bool) {
+	if a.ServerEpoch != b.ServerEpoch || a.Delta == nil || b.Delta == nil || b.DeltaBase != a.ModelVersion {
+		return protocol.ModelAnnounce{}, false
+	}
+	delta, ok := compress.Compose(*a.Delta, *b.Delta)
+	if !ok {
+		return protocol.ModelAnnounce{}, false
+	}
+	return protocol.ModelAnnounce{
+		ModelVersion: b.ModelVersion,
+		ServerEpoch:  b.ServerEpoch,
+		Delta:        &delta,
+		DeltaBase:    a.DeltaBase,
+	}, true
 }
 
 // announceLoop writes queued announcements in order until the session ends.
@@ -450,7 +494,17 @@ func (sess *session) announceLoop() {
 		select {
 		case <-sess.done:
 			return
-		case ann := <-sess.ann:
+		case <-sess.annReady:
+		}
+		for {
+			sess.annMu.Lock()
+			if len(sess.annQueue) == 0 {
+				sess.annMu.Unlock()
+				break
+			}
+			ann := sess.annQueue[0]
+			sess.annQueue = append(sess.annQueue[:0], sess.annQueue[1:]...)
+			sess.annMu.Unlock()
 			f, err := sess.encode(fAnnounce, 0, &ann)
 			if err != nil {
 				sess.srv.logf("stream: worker %d: encode announce: %v", sess.workerID, err)

@@ -1,0 +1,58 @@
+package worker
+
+import (
+	"context"
+	"testing"
+
+	"fleet/internal/compress"
+	"fleet/internal/data"
+	"fleet/internal/protocol"
+	"fleet/internal/server"
+)
+
+// TestAbsorbCoalescedAnnounce: a multi-version announce — one composed
+// v→v+k delta, what the stream server's overflow coalescing (and an edge
+// aggregator's multi-step relay) produces — absorbs exactly like a chain of
+// single steps, as long as its base anchors on the cached version.
+func TestAbsorbCoalescedAnnounce(t *testing.T) {
+	ctx := context.Background()
+	ds := data.TinyMNIST(3, 8, 4)
+	srv := newServer(t, server.Config{})
+	w := newWorkers(t, 1, ds)[0]
+	if _, err := w.Pull(ctx, srv); err != nil {
+		t.Fatal(err)
+	}
+	ver, epoch, ok := w.CachedVersion()
+	if !ok {
+		t.Fatal("no cached model after pull")
+	}
+	paramLen := len(w.params)
+
+	d1 := compress.Sparse{Len: paramLen, Indices: []int32{0}, Values: []float64{0.5}}
+	d2 := compress.Sparse{Len: paramLen, Indices: []int32{0, 1}, Values: []float64{0.75, -1}}
+	composed, ok := compress.Compose(d1, d2)
+	if !ok {
+		t.Fatal("compose")
+	}
+
+	// The composed jump ver→ver+2 absorbs in one step.
+	if !w.AbsorbAnnounce(protocol.ModelAnnounce{
+		ModelVersion: ver + 2, DeltaBase: ver, ServerEpoch: epoch, Delta: &composed,
+	}) {
+		t.Fatal("anchored composed announce did not absorb")
+	}
+	v, _, _ := w.CachedVersion()
+	if v != ver+2 || w.Refreshes != 1 {
+		t.Fatalf("cache at v%d refreshes=%d, want v%d refreshes=1", v, w.Refreshes, ver+2)
+	}
+	if w.params[0] != 0.75 || w.params[1] != -1 {
+		t.Fatalf("composed delta applied wrong: params[0]=%v params[1]=%v", w.params[0], w.params[1])
+	}
+
+	// A composed jump whose base is NOT the cached version is still a gap.
+	if w.AbsorbAnnounce(protocol.ModelAnnounce{
+		ModelVersion: ver + 5, DeltaBase: ver + 3, ServerEpoch: epoch, Delta: &composed,
+	}) {
+		t.Fatal("unanchored composed announce absorbed")
+	}
+}

@@ -304,7 +304,10 @@ func (w *Worker) AbsorbAnnounce(ann protocol.ModelAnnounce) bool {
 	if ann.ServerEpoch == w.epoch && ann.ModelVersion <= w.version {
 		return true // stale: the cache already covers this version
 	}
-	if ann.Delta == nil || ann.ServerEpoch != w.epoch || ann.DeltaBase != w.version || ann.ModelVersion != w.version+1 {
+	// ModelVersion may be more than version+1 ahead: a coalesced announce
+	// (stream-transport queue overflow) spans several drains in one delta.
+	// DeltaBase anchoring is what makes the patch exact either way.
+	if ann.Delta == nil || ann.ServerEpoch != w.epoch || ann.DeltaBase != w.version || ann.ModelVersion <= w.version {
 		return false
 	}
 	if err := ann.Delta.Patch(w.params); err != nil {
