@@ -74,6 +74,12 @@ type benchOptions struct {
 	assertWin        bool
 	maxAccuracyDelta float64
 
+	// Multi-tenant isolation: re-run each tenant's derived sub-scenario
+	// solo (no tenant layer, same derived seed) and embed the comparison;
+	// optionally gate on the noisy-neighbor contract.
+	compareSolo     bool
+	assertIsolation bool
+
 	// Compare mode.
 	compare         string
 	against         string
@@ -108,6 +114,8 @@ func parseBench(args []string, stderr io.Writer) (*benchOptions, error) {
 	fs.StringVar(&o.compareTransport, "compare-transport", "", "also run the scenario over this twin transport (same seed) and embed the poll-vs-push comparison")
 	fs.BoolVar(&o.assertWin, "assert-transport-win", false, "with -compare-transport: fail unless this transport wins round p95 and connections per worker at equal accuracy")
 	fs.Float64Var(&o.maxAccuracyDelta, "max-accuracy-delta", 0.01, "with -assert-transport-win: max absolute final-accuracy gap between the transports")
+	fs.BoolVar(&o.compareSolo, "compare-solo", false, "multi-tenant scenarios: re-run each tenant's sub-scenario solo (same derived seed, no tenant layer) and embed the isolation comparison")
+	fs.BoolVar(&o.assertIsolation, "assert-isolation", false, "with -compare-solo: fail unless unconstrained tenants replay their solo twins bit-for-bit and constrained tenants show attributed throttling with zero protocol errors")
 	fs.StringVar(&o.compare, "compare", "", "baseline BENCH_*.json: compare instead of running")
 	fs.StringVar(&o.against, "against", "", "current BENCH_*.json compared to -compare")
 	fs.BoolVar(&o.identical, "identical", false, "with -compare: require bit-for-bit equality modulo wallclock")
@@ -137,6 +145,9 @@ func parseBench(args []string, stderr io.Writer) (*benchOptions, error) {
 	}
 	if o.assertWin && o.maxAccuracyDelta <= 0 {
 		return nil, fmt.Errorf("-max-accuracy-delta must be positive, got %g", o.maxAccuracyDelta)
+	}
+	if o.assertIsolation && !o.compareSolo {
+		return nil, fmt.Errorf("-assert-isolation needs -compare-solo")
 	}
 	if o.compare == "" && !o.list && o.scenario == "" {
 		return nil, fmt.Errorf("one of -scenario, -list or -compare is required")
@@ -242,6 +253,37 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			connsPerWorker(res), tc.ConnsPerWorker, tc.AccuracyDelta)
 	}
 
+	if o.compareSolo {
+		if len(res.Tenants) == 0 {
+			fmt.Fprintf(stderr, "-compare-solo: scenario %s is not multi-tenant\n", o.scenario)
+			return 1
+		}
+		specOf := map[string]loadgen.TenantSpec{}
+		for _, ts := range res.Config.Tenants {
+			specOf[ts.Name] = ts
+		}
+		for _, tr := range res.Tenants {
+			// The solo twin runs the tenant's exact derived scenario and
+			// seed with no tenant layer and no neighbors — the isolation
+			// baseline every difference is measured against.
+			sub, seed := loadgen.TenantSubScenario(res.Config, specOf[tr.Name], res.Seed)
+			twin := &loadgen.Runner{Scenario: sub, Seed: seed, Transport: loadgen.TransportInProc, Mode: loadgen.ModeVirtual}
+			solo, err := twin.Run(ctx)
+			if err != nil {
+				fmt.Fprintf(stderr, "solo twin for tenant %s: %v\n", tr.Name, err)
+				return 1
+			}
+			tc, err := loadgen.CompareTenantSolo(tr, solo)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			tr.Solo = tc
+			fmt.Fprintf(stdout, "tenant %s vs solo: accuracy delta %+.4f, identical=%v\n",
+				tr.Name, tc.AccuracyDelta, tc.Identical)
+		}
+	}
+
 	out := o.out
 	if out == "" {
 		out = fmt.Sprintf("BENCH_%s.json", o.scenario)
@@ -275,6 +317,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if o.assertWin {
 		if err := loadgen.GateTransportWin(res, o.maxAccuracyDelta); err != nil {
+			fmt.Fprintf(stderr, "ASSERT FAIL: %v\n", err)
+			failed = true
+		}
+	}
+	if o.assertIsolation {
+		if err := loadgen.GateTenantIsolation(res, o.maxAccuracyDelta); err != nil {
 			fmt.Fprintf(stderr, "ASSERT FAIL: %v\n", err)
 			failed = true
 		}

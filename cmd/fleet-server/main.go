@@ -55,6 +55,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -71,7 +72,17 @@ import (
 	"fleet/internal/service"
 	"fleet/internal/simrand"
 	"fleet/internal/stream"
+	"fleet/internal/tenant"
 )
+
+// stringList is a repeatable string flag (e.g. -tenant a -tenant b).
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+func (l *stringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -84,7 +95,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if setup.printOnly != "" {
+		fmt.Print(setup.printOnly)
+		os.Exit(0)
+	}
 	os.Exit(serve(ctx, setup, nil))
+}
+
+// mintTenantToken resolves the -mint-token operator utility: spec is
+// "tenant:workerID", minted against that tenant's declared secret.
+func mintTenantToken(cfgs []tenant.Config, spec string) (string, error) {
+	name, idStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return "", fmt.Errorf("-mint-token wants tenant:workerID, got %q", spec)
+	}
+	id, err := strconv.Atoi(idStr)
+	if err != nil || id < 0 {
+		return "", fmt.Errorf("-mint-token %q: worker id must be a non-negative integer", spec)
+	}
+	for _, c := range cfgs {
+		if c.Name != name {
+			continue
+		}
+		if c.Secret == "" {
+			return "", fmt.Errorf("tenant %s declares no secret; it does not authenticate workers", name)
+		}
+		return tenant.MintToken([]byte(c.Secret), name, id) + "\n", nil
+	}
+	return "", fmt.Errorf("no tenant %q declared", name)
 }
 
 // serverSetup is everything buildServer derives from the command line: the
@@ -108,9 +146,25 @@ type serverSetup struct {
 	// again after a clean drain so the very last committed pushes are
 	// durable too.
 	checkpoint func() (string, error)
+	// closer flushes and stops background checkpoint writers after the
+	// final checkpoint (nil when there is nothing to flush).
+	closer func() error
+	// handler overrides the HTTP handler (multi-tenant routing); nil serves
+	// server.NewHandler(svc).
+	handler http.Handler
+	// resolver maps a stream hello's tenant name onto its serving unit
+	// (multi-tenant); nil serves every session with svc.
+	resolver func(tenant string) (service.Service, string, error)
+	// announceTenants registers per-tenant snapshot hooks against the
+	// stream server's tenant-scoped broadcast (multi-tenant sibling of
+	// announce).
+	announceTenants func(broadcast func(tenant string, ann protocol.ModelAnnounce))
 	// streamReady, when non-nil, receives the stream listener's bound
 	// address once it is up (tests bind ":0").
 	streamReady chan<- net.Addr
+	// printOnly short-circuits serving: main prints it to stdout and exits
+	// 0 (operator utilities like -mint-token).
+	printOnly string
 }
 
 // buildServer parses args and composes the server: architecture, update
@@ -147,7 +201,13 @@ func buildServer(args []string, stderr io.Writer) (*serverSetup, error) {
 		ckptEvery   = fs.Int("checkpoint-every", 8, "periodic checkpoint cadence in aggregation windows (0: only at graceful shutdown)")
 		ckptKeep    = fs.Int("checkpoint-keep", 3, "checkpoint files retained in -checkpoint-dir")
 		ckptRecover = fs.String("checkpoint-recover", "latest", `startup policy with -checkpoint-dir: "latest" restores the newest valid checkpoint and refuses to boot without one; "fresh" additionally allows initializing a new model when the directory holds no checkpoint at all (corruption still refuses)`)
+
+		tenantsFile   = fs.String("tenants", "", "JSON file declaring the tenant fleet (array of tenant configs); switches the server to multi-tenant mode")
+		defaultTenant = fs.String("default-tenant", "", "tenant that legacy/un-tenanted routes alias to (default: the first declared tenant)")
+		mintToken     = fs.String("mint-token", "", "mint the bearer token for tenant:workerID against the declared tenant's secret, print it and exit (operator utility; requires the same -tenant/-tenants flags as the server boot)")
 	)
+	var tenantSpecs stringList
+	fs.Var(&tenantSpecs, "tenant", "declare one tenant as name:arch:stages:aggregator:admission[:key=value...] (repeatable; empty fields keep defaults; options: eps, delta, q, secret, workers, seed, lr, k); switches the server to multi-tenant mode")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -209,6 +269,106 @@ func buildServer(args []string, stderr io.Writer) (*serverSetup, error) {
 			return nil, err
 		}
 		cfg.EnergyProfiler = prof
+	}
+
+	// Compose the interceptor chain wrapped around the serving surface:
+	// recovery outermost, then observability, then policy. Shared by the
+	// single-tenant path and (per unit) the multi-tenant registry.
+	interceptors := []service.Interceptor{service.Recovery()}
+	if *verbose {
+		interceptors = append(interceptors, service.Logging(nil))
+	}
+	if *deadline > 0 {
+		interceptors = append(interceptors, service.Deadline(*deadline))
+	}
+	if *rateLimit > 0 {
+		interceptors = append(interceptors, service.RateLimit(*rateLimit, *rateBurst))
+	}
+
+	// Multi-tenant mode: the declared tenants replace the single-server
+	// model/pipeline flags entirely — each unit builds its own from its
+	// config — while the transport, drain, interceptor and checkpoint flags
+	// apply deployment-wide.
+	if len(tenantSpecs) > 0 || *tenantsFile != "" {
+		var cfgs []tenant.Config
+		if *tenantsFile != "" {
+			cfgs, err = tenant.LoadFile(*tenantsFile)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, s := range tenantSpecs {
+			tc, err := tenant.ParseSpec(s)
+			if err != nil {
+				return nil, err
+			}
+			cfgs = append(cfgs, tc)
+		}
+		if *mintToken != "" {
+			out, err := mintTenantToken(cfgs, *mintToken)
+			if err != nil {
+				return nil, err
+			}
+			return &serverSetup{printOnly: out}, nil
+		}
+		topts := tenant.Options{
+			Default:         *defaultTenant,
+			CheckpointDir:   *ckptDir,
+			CheckpointEvery: *ckptEvery,
+			CheckpointKeep:  *ckptKeep,
+			Interceptors:    interceptors,
+		}
+		if cfg.TimeProfiler != nil {
+			topts.TimeProfiler = cfg.TimeProfiler
+		}
+		if cfg.EnergyProfiler != nil {
+			topts.EnergyProfiler = cfg.EnergyProfiler
+		}
+		reg, err := tenant.NewRegistry(cfgs, topts)
+		if err != nil {
+			return nil, err
+		}
+		names := make([]string, 0, len(reg.Units()))
+		for _, u := range reg.Units() {
+			names = append(names, u.Name())
+		}
+		setup := &serverSetup{
+			addr:       *addr,
+			drain:      *drain,
+			svc:        reg.Default().Service(),
+			transport:  *transport,
+			streamAddr: *streamAddr,
+			handler:    reg.Handler(),
+			resolver: func(name string) (service.Service, string, error) {
+				u, err := reg.Resolve(name)
+				if err != nil {
+					return nil, "", err
+				}
+				return u.Service(), u.Name(), nil
+			},
+			announceTenants: func(broadcast func(string, protocol.ModelAnnounce)) {
+				for _, u := range reg.Units() {
+					name := u.Name()
+					u.Server().OnSnapshot(func(ann protocol.ModelAnnounce) { broadcast(name, ann) })
+				}
+			},
+			closer: reg.Close,
+			banner: fmt.Sprintf("FLeet multi-tenant server listening on %s (tenants: %s; default %s)",
+				*addr, strings.Join(names, ", "), reg.Default().Name()),
+			logf: log.Printf,
+		}
+		if *transport != "http" {
+			setup.banner += fmt.Sprintf(", stream sessions on %s", *streamAddr)
+		}
+		if *ckptDir != "" {
+			setup.checkpoint = func() (string, error) { return *ckptDir, reg.CheckpointAll() }
+			setup.banner += fmt.Sprintf(", per-tenant checkpoints under %s every %d windows", *ckptDir, *ckptEvery)
+		}
+		return setup, nil
+	}
+
+	if *mintToken != "" {
+		return nil, fmt.Errorf("-mint-token needs the tenant fleet declared alongside it (-tenant/-tenants): tokens are minted against a declared tenant's secret")
 	}
 
 	// Compose the admission chain from the registry. Every Figure-2
@@ -318,19 +478,6 @@ func buildServer(args []string, stderr io.Writer) (*serverSetup, error) {
 		}
 	}
 
-	// Compose the interceptor chain around the server: recovery outermost,
-	// then observability, then policy.
-	interceptors := []service.Interceptor{service.Recovery()}
-	if *verbose {
-		interceptors = append(interceptors, service.Logging(nil))
-	}
-	if *deadline > 0 {
-		interceptors = append(interceptors, service.Deadline(*deadline))
-	}
-	if *rateLimit > 0 {
-		interceptors = append(interceptors, service.RateLimit(*rateLimit, *rateBurst))
-	}
-
 	setup := &serverSetup{
 		addr:       *addr,
 		drain:      *drain,
@@ -347,6 +494,9 @@ func buildServer(args []string, stderr io.Writer) (*serverSetup, error) {
 	}
 	if *ckptDir != "" {
 		setup.checkpoint = srv.Checkpoint
+		// Close flushes the background checkpoint writer at exit so the
+		// final enqueued cores are durable before the process dies.
+		setup.closer = srv.Close
 		setup.banner += fmt.Sprintf(", checkpoints: %s every %d windows, incarnation %d at version %d",
 			*ckptDir, *ckptEvery, srv.Epoch(), srv.RestoredVersion())
 	}
@@ -377,8 +527,12 @@ func serve(ctx context.Context, st *serverSetup, ready chan<- net.Addr) int {
 			logf("fleet-server: %v", err)
 			return 1
 		}
+		handler := st.handler
+		if handler == nil {
+			handler = server.NewHandler(st.svc)
+		}
 		httpSrv = &http.Server{
-			Handler:           server.NewHandler(st.svc),
+			Handler:           handler,
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		go func() { errc <- httpSrv.Serve(ln) }()
@@ -391,11 +545,16 @@ func serve(ctx context.Context, st *serverSetup, ready chan<- net.Addr) int {
 			logf("fleet-server: %v", err)
 			return 1
 		}
-		streamSrv = stream.NewServer(st.svc, stream.Options{Logf: logf})
+		streamSrv = stream.NewServer(st.svc, stream.Options{Logf: logf, Resolver: st.resolver})
 		if st.announce != nil {
 			// Drain-time model snapshots broadcast to every subscribed
 			// session — the push half of the streaming transport.
 			st.announce(streamSrv.Broadcast)
+		}
+		if st.announceTenants != nil {
+			// Multi-tenant: each unit's snapshots fan out only to the
+			// sessions of its own tenant.
+			st.announceTenants(streamSrv.BroadcastTenant)
 		}
 		go func() { errc <- streamSrv.Serve(sln) }()
 		if boundAddr == nil {
@@ -437,12 +596,14 @@ func serve(ctx context.Context, st *serverSetup, ready chan<- net.Addr) int {
 			// incarnation instead of timing out on a dead socket.
 			if err := streamSrv.Shutdown(shutdownCtx); err != nil {
 				logf("fleet-server: stream drain deadline exceeded: %v", err)
+				st.closeUnits(logf)
 				return 1
 			}
 		}
 		if httpSrv != nil {
 			if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 				logf("fleet-server: drain deadline exceeded: %v", err)
+				st.closeUnits(logf)
 				return 1
 			}
 		}
@@ -452,11 +613,23 @@ func serve(ctx context.Context, st *serverSetup, ready chan<- net.Addr) int {
 			path, err := st.checkpoint()
 			if err != nil {
 				logf("fleet-server: post-drain checkpoint failed: %v", err)
+				st.closeUnits(logf)
 				return 1
 			}
 			logf("fleet-server: final checkpoint %s", path)
 		}
+		st.closeUnits(logf)
 		logf("fleet-server: drained cleanly")
 		return 0
+	}
+}
+
+// closeUnits flushes background checkpoint writers at exit (best effort).
+func (st *serverSetup) closeUnits(logf func(format string, args ...interface{})) {
+	if st.closer == nil {
+		return
+	}
+	if err := st.closer(); err != nil {
+		logf("fleet-server: closing checkpoint writers: %v", err)
 	}
 }

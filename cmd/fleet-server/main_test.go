@@ -20,6 +20,7 @@ import (
 	"fleet/internal/service"
 	"fleet/internal/simrand"
 	"fleet/internal/stream"
+	"fleet/internal/tenant"
 	"fleet/internal/worker"
 )
 
@@ -451,5 +452,81 @@ func TestCheckpointRecoverPolicy(t *testing.T) {
 	}
 	if stats.ServerEpoch != 1 {
 		t.Fatalf("second boot incarnation = %d, want 1", stats.ServerEpoch)
+	}
+}
+
+// TestMintTokenUtility: -mint-token is a print-and-exit operator mode —
+// the token it prints must verify against the declared tenant's secret for
+// exactly the requested worker identity.
+func TestMintTokenUtility(t *testing.T) {
+	setup, err := buildServer([]string{
+		"-time-slo", "0",
+		"-tenant", "open",
+		"-tenant", "ads:softmax-mnist:secret=s3:workers=5",
+		"-mint-token", "ads:7",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := strings.TrimSuffix(setup.printOnly, "\n")
+	if tok == setup.printOnly {
+		t.Fatal("printed token must be newline-terminated")
+	}
+	id, err := tenant.VerifyToken([]byte("s3"), "ads", tok)
+	if err != nil || id != 7 {
+		t.Fatalf("minted token verifies as (%d, %v), want (7, nil)", id, err)
+	}
+	if _, err := tenant.VerifyToken([]byte("s3"), "open", tok); err == nil {
+		t.Error("minted token verified against the wrong tenant")
+	}
+
+	for _, args := range [][]string{
+		{"-mint-token", "ads:7"},                                 // no tenants declared
+		{"-tenant", "ads:secret=s3", "-mint-token", "ghost:7"},   // unknown tenant
+		{"-tenant", "open", "-mint-token", "open:7"},             // tenant has no secret
+		{"-tenant", "ads:secret=s3", "-mint-token", "ads"},       // no worker id
+		{"-tenant", "ads:secret=s3", "-mint-token", "ads:-1"},    // negative id
+		{"-tenant", "ads:secret=s3", "-mint-token", "ads:seven"}, // non-integer id
+	} {
+		if _, err := buildServer(append([]string{"-time-slo", "0"}, args...), io.Discard); err == nil {
+			t.Errorf("args %v minted without error", args)
+		}
+	}
+}
+
+// TestMultiTenantBuild: the -tenant flags must switch buildServer into
+// registry mode — tenant-routing handler, stream resolver, per-tenant
+// announce wiring — with the declared default aliased for legacy routes.
+func TestMultiTenantBuild(t *testing.T) {
+	setup, err := buildServer([]string{
+		"-time-slo", "0",
+		"-tenant", "analytics",
+		"-tenant", "ads:softmax-mnist:dp(1,1.2),staleness:mean:secret=s3:eps=2",
+		"-default-tenant", "analytics",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer setup.closer()
+	if setup.handler == nil || setup.resolver == nil || setup.announceTenants == nil {
+		t.Fatal("multi-tenant setup must carry handler, resolver and announce wiring")
+	}
+	if !strings.Contains(setup.banner, "analytics") || !strings.Contains(setup.banner, "ads") {
+		t.Fatalf("banner %q does not name the tenants", setup.banner)
+	}
+	// The default unit serves un-tenanted callers without credentials…
+	if _, err := setup.svc.Stats(context.Background()); err != nil {
+		t.Fatalf("default tenant stats: %v", err)
+	}
+	// …while the locked tenant resolved through the stream path enforces.
+	svc, name, err := setup.resolver("ads")
+	if err != nil || name != "ads" {
+		t.Fatalf("resolver(ads) = %q, %v", name, err)
+	}
+	if _, err := svc.RequestTask(context.Background(), &protocol.TaskRequest{WorkerID: 0}); !protocol.IsCode(err, protocol.CodeUnauthenticated) {
+		t.Fatalf("credential-less call on locked tenant: got %v, want unauthenticated", err)
+	}
+	if _, _, err := setup.resolver("ghost"); !protocol.IsCode(err, protocol.CodeUnauthenticated) {
+		t.Fatalf("resolver(ghost): got %v, want unauthenticated", err)
 	}
 }

@@ -62,6 +62,7 @@ func buildWorker(args []string, stderr io.Writer) (*workerSetup, error) {
 		serverURL  = fs.String("server", "http://localhost:8080", "FLeet server base URL (http transport) or host:port (stream transport)")
 		transport  = fs.String("transport", "http", `transport: "http" (per-request polling) or "stream" (one persistent session with server-pushed model announces)`)
 		deviceName = fs.String("device", "Galaxy S7", "device model from the catalogue")
+		archName   = fs.String("arch", "tiny-mnist", "model architecture; must match the server's (or the tenant's, on a multi-tenant server)")
 		workerID   = fs.Int("id", 0, "worker id")
 		rounds     = fs.Int("rounds", 50, "learning-task rounds to run")
 		interval   = fs.Duration("interval", 200*time.Millisecond, "pause between rounds")
@@ -71,6 +72,8 @@ func buildWorker(args []string, stderr io.Writer) (*workerSetup, error) {
 		fullPull   = fs.Bool("full-pull", false, "always download the full model (disable delta pulls)")
 		legacy     = fs.Bool("legacy", false, "speak the unversioned pre-v1 routes")
 		timeout    = fs.Duration("timeout", 30*time.Second, "per-round deadline")
+		tenantName = fs.String("tenant", "", "tenant to serve on a multi-tenant server (empty: the server's default tenant)")
+		token      = fs.String("token", "", "bearer token minted for (tenant, worker id); required when the tenant enforces authentication")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -99,20 +102,34 @@ func buildWorker(args []string, stderr io.Writer) (*workerSetup, error) {
 	if *transport == "stream" && *legacy {
 		return nil, fmt.Errorf("-legacy speaks the pre-v1 HTTP routes; the stream transport has no legacy dialect")
 	}
+	if *legacy && (*tenantName != "" || *token != "") {
+		return nil, fmt.Errorf("-legacy speaks the pre-v1 routes, which carry no tenant credentials; drop -tenant/-token or -legacy")
+	}
 
 	model, err := device.ModelByName(*deviceName)
 	if err != nil {
 		return nil, err
 	}
+	arch, err := nn.ArchByName(*archName)
+	if err != nil {
+		return nil, err
+	}
 
-	// Local data: two non-IID shards of a synthetic dataset, as in §3.2.
-	ds := data.TinyMNIST(*seed, 40, 1)
+	// Local data: two non-IID shards of a synthetic dataset shaped for the
+	// architecture, as in §3.2.
+	c, h, wd := arch.InputShape()
+	ds := data.Generate(data.SyntheticConfig{
+		Name: arch.String(), Classes: arch.Classes(),
+		TrainPerClass: 40, TestPerClass: 1,
+		C: c, H: h, W: wd,
+		NoiseStd: 0.3, Seed: *seed,
+	})
 	parts := data.PartitionNonIID(simrand.New(*seed), ds.Train, 10, 2)
 	local := parts[*workerID%len(parts)]
 
 	w, err := worker.New(worker.Config{
 		ID:           *workerID,
-		Arch:         nn.ArchTinyMNIST,
+		Arch:         arch,
 		Local:        local,
 		Device:       device.New(model, simrand.New(*seed+1)),
 		Rng:          simrand.New(*seed + 2),
@@ -135,10 +152,12 @@ func buildWorker(args []string, stderr io.Writer) (*workerSetup, error) {
 			Codec:     codec,
 			WorkerID:  *workerID,
 			Subscribe: true,
+			Tenant:    *tenantName,
+			Token:     *token,
 		}
 		st.client = st.strm
 	} else {
-		st.client = &worker.Client{BaseURL: *serverURL, Codec: codec, Legacy: *legacy}
+		st.client = &worker.Client{BaseURL: *serverURL, Codec: codec, Legacy: *legacy, Tenant: *tenantName, Token: *token}
 	}
 	return st, nil
 }

@@ -51,6 +51,7 @@ import (
 	"fleet/internal/server"
 	"fleet/internal/service"
 	"fleet/internal/stream"
+	"fleet/internal/tenant"
 	"fleet/internal/worker"
 )
 
@@ -271,6 +272,52 @@ type AggConfig = aggtree.Config
 // NewAggNode builds an edge aggregator. The upstream model is pulled
 // lazily on first use; call (*AggNode).Sync to fail fast at boot.
 func NewAggNode(cfg AggConfig) (*AggNode, error) { return aggtree.New(cfg) }
+
+// ---------------------------------------------------------------------------
+// Multi-tenant fleets (internal/tenant).
+
+// TenantRegistry maps tenant IDs onto isolated serving units — each with
+// its own model, update pipeline, admission chain, worker quota, DP
+// epsilon budget and checkpoint subdirectory — and routes both transports
+// through per-unit enforcement (HMAC worker authentication, quota, budget).
+type TenantRegistry = tenant.Registry
+
+// TenantConfig declares one tenant's serving unit; every zero field except
+// Name keeps the single-fleet server's defaults.
+type TenantConfig = tenant.Config
+
+// TenantOptions carries the deployment-wide dependencies units share
+// (default tenant, clock, profilers, operator interceptors, checkpointing).
+type TenantOptions = tenant.Options
+
+// TenantUnit is one tenant's isolated serving stack.
+type TenantUnit = tenant.Unit
+
+// TenantStatsBlock is the per-tenant attribution stamped into Stats
+// responses: enrolled workers, auth/quota/budget reject counters and the
+// epsilon ledger.
+type TenantStatsBlock = protocol.TenantStats
+
+// NewTenantRegistry builds the registry from declarative tenant configs.
+func NewTenantRegistry(cfgs []TenantConfig, opts TenantOptions) (*TenantRegistry, error) {
+	return tenant.NewRegistry(cfgs, opts)
+}
+
+// ParseTenantSpec parses the repeatable -tenant flag form
+// "name:arch:stages:aggregator:admission[:key=value...]".
+func ParseTenantSpec(s string) (TenantConfig, error) { return tenant.ParseSpec(s) }
+
+// MintTenantToken mints the HMAC-SHA256 bearer token authenticating
+// (tenant, worker) against the tenant's shared secret.
+func MintTenantToken(secret []byte, tenantName string, workerID int) string {
+	return tenant.MintToken(secret, tenantName, workerID)
+}
+
+// VerifyTenantToken validates a bearer token and returns the worker
+// identity it was minted for.
+func VerifyTenantToken(secret []byte, tenantName, token string) (int, error) {
+	return tenant.VerifyToken(secret, tenantName, token)
+}
 
 // ---------------------------------------------------------------------------
 // Learning algorithms (§2.3).

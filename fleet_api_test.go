@@ -399,7 +399,9 @@ func TestPublicAPICrashSafety(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// In-flight round at the crash.
+	// In-flight round at the crash. Flush first: checkpoints are written by
+	// a background goroutine, and the barrier is the durability point.
+	srv.Flush()
 	resp, err := w.Pull(ctx, srv)
 	if err != nil || !resp.Accepted {
 		t.Fatalf("pull: %v", err)

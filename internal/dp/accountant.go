@@ -1,0 +1,70 @@
+package dp
+
+import "math"
+
+// Accountant is the incremental form of Epsilon for online budget tracking:
+// it precomputes the per-step log-moments α(λ) once (the expensive numerical
+// integration), after which EpsilonAt(T) is a 64-iteration minimum — cheap
+// enough to call on every push. The composition theorem behind Epsilon is
+// linear in T (logMoment returns T·α₁(λ)), so EpsilonAt(T) agrees with
+// Epsilon(q, σ, T, δ) exactly.
+type Accountant struct {
+	delta float64
+	// alpha1[λ-1] is the per-step log-moment α(λ) for λ ∈ [1, 64].
+	alpha1 [64]float64
+}
+
+// NewAccountant validates (q, σ, δ) and precomputes the per-step moments.
+func NewAccountant(q, sigma, delta float64) (*Accountant, error) {
+	// Reuse Epsilon's validation by probing one step.
+	if _, err := Epsilon(q, sigma, 1, delta); err != nil {
+		return nil, err
+	}
+	a := &Accountant{delta: delta}
+	for lambda := 1; lambda <= 64; lambda++ {
+		a.alpha1[lambda-1] = logMoment(q, sigma, lambda, 1)
+	}
+	return a, nil
+}
+
+// EpsilonAt returns the ε spent after steps compositions; zero for
+// non-positive steps.
+func (a *Accountant) EpsilonAt(steps int) float64 {
+	if steps <= 0 {
+		return 0
+	}
+	best := math.Inf(1)
+	for lambda := 1; lambda <= 64; lambda++ {
+		eps := (float64(steps)*a.alpha1[lambda-1] + math.Log(1/a.delta)) / float64(lambda)
+		if eps < best {
+			best = eps
+		}
+	}
+	return best
+}
+
+// StepsFor returns the largest step count whose ε stays within target
+// (0 when even one step overshoots). ε is monotone in T, so this is a
+// binary search over EpsilonAt.
+func (a *Accountant) StepsFor(target float64) int {
+	if a.EpsilonAt(1) > target {
+		return 0
+	}
+	lo, hi := 1, 2
+	for a.EpsilonAt(hi) <= target {
+		lo = hi
+		hi *= 2
+		if hi > 1<<30 {
+			return hi
+		}
+	}
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if a.EpsilonAt(mid) <= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

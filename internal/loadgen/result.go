@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"fleet/internal/metrics"
+	"fleet/internal/protocol"
 )
 
 // Counts are the protocol-level event counters of one run. Everything here
@@ -34,6 +35,12 @@ type Counts struct {
 	// the first few messages for diagnosis.
 	ProtocolErrors int      `json:"protocol_errors"`
 	ErrorSamples   []string `json:"error_samples,omitempty"`
+	// TenantRejects counts calls the tenant enforcement layer refused —
+	// worker-quota and DP-budget throttles in a multi-tenant run. Like
+	// Resyncs, these are expected behavior, not protocol errors: the noisy
+	// neighbor being throttled is the feature under test, and each reject
+	// is attributed in the tenant's stats block.
+	TenantRejects int `json:"tenant_rejects,omitempty"`
 }
 
 // LatencyBlock digests the simulated (virtual-time) latencies: the network
@@ -192,6 +199,113 @@ func GateTransportWin(streaming *Result, maxAccuracyDelta float64) error {
 	return nil
 }
 
+// TenantResult is one tenant's slice of a multi-tenant run: the tenant's
+// own sub-run result (wall-clock stripped — the parent result carries the
+// only wallclock block) plus the serving unit's enforcement attribution.
+type TenantResult struct {
+	Name string `json:"name"`
+	// Seed is the tenant's derived sub-run seed (master seed ⊕ name hash) —
+	// what a solo twin must run with to reproduce this tenant's stream.
+	Seed   int64   `json:"seed"`
+	Result *Result `json:"result"`
+	// Stats is the unit's per-tenant attribution: enrolled workers and the
+	// auth/worker-cap/budget reject counters, plus the ε ledger.
+	Stats *protocol.TenantStats `json:"stats"`
+	// Solo embeds the solo-twin comparison (fleet-bench -compare-solo).
+	Solo *TenantComparison `json:"solo,omitempty"`
+}
+
+// TenantComparison compares a tenant's sub-run against its solo twin: the
+// same derived scenario and seed run directly against a server, with no
+// tenant layer and no neighbors. For an unconstrained tenant the two must
+// be identical — the pass-through and isolation guarantee at once.
+type TenantComparison struct {
+	// FinalAccuracy is the twin's; AccuracyDelta is tenant − twin.
+	FinalAccuracy float64 `json:"final_accuracy"`
+	AccuracyDelta float64 `json:"accuracy_delta"`
+	// Identical reports bit-for-bit equality of the deterministic
+	// projections (wallclock stripped).
+	Identical bool `json:"identical"`
+}
+
+// CompareTenantSolo builds the tenant-vs-solo-twin comparison. The twin
+// must have run the tenant's own derived scenario and seed
+// (TenantSubScenario) — anything else is rejected.
+func CompareTenantSolo(tr *TenantResult, solo *Result) (*TenantComparison, error) {
+	if tr.Result == nil {
+		return nil, fmt.Errorf("loadgen: tenant %s carries no sub-run result", tr.Name)
+	}
+	if solo.Scenario != tr.Result.Scenario || solo.Seed != tr.Seed || solo.Mode != tr.Result.Mode {
+		return nil, fmt.Errorf("loadgen: solo twin for tenant %s needs scenario/seed/mode %s/%d/%s, got %s/%d/%s",
+			tr.Name, tr.Result.Scenario, tr.Seed, tr.Result.Mode, solo.Scenario, solo.Seed, solo.Mode)
+	}
+	same, err := Identical(tr.Result, solo)
+	if err != nil {
+		return nil, err
+	}
+	return &TenantComparison{
+		FinalAccuracy: solo.FinalAccuracy,
+		AccuracyDelta: tr.Result.FinalAccuracy - solo.FinalAccuracy,
+		Identical:     same,
+	}, nil
+}
+
+// GateTenantIsolation asserts the noisy-neighbor contract on a multi-tenant
+// result: zero protocol errors fleet-wide; every constrained tenant (one
+// whose fleet exceeds its worker quota, or that carries an ε budget) shows
+// its throttling attributed in per-tenant stats; and every unconstrained
+// tenant matches its solo twin within maxAccuracyDelta (absolute; <= 0
+// means the default 0.01) — with the comparison present, i.e. the run used
+// -compare-solo. It returns every violated condition in one error.
+func GateTenantIsolation(res *Result, maxAccuracyDelta float64) error {
+	if maxAccuracyDelta <= 0 {
+		maxAccuracyDelta = 0.01
+	}
+	if len(res.Tenants) == 0 {
+		return fmt.Errorf("loadgen: result carries no tenant blocks (not a multi-tenant run)")
+	}
+	var fails []string
+	if res.Counts.ProtocolErrors > 0 {
+		fails = append(fails, fmt.Sprintf("%d protocol errors (samples: %v)", res.Counts.ProtocolErrors, res.Counts.ErrorSamples))
+	}
+	specOf := map[string]TenantSpec{}
+	for _, ts := range res.Config.Tenants {
+		specOf[ts.Name] = ts
+	}
+	for _, tr := range res.Tenants {
+		ts, ok := specOf[tr.Name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("tenant %s has no spec in the result's config", tr.Name))
+			continue
+		}
+		workers := res.Config.Workers
+		if ts.Workers > 0 {
+			workers = ts.Workers
+		}
+		constrained := (ts.MaxWorkers > 0 && workers > ts.MaxWorkers) || ts.Epsilon > 0
+		if constrained {
+			if tr.Stats == nil || tr.Stats.WorkerCapRejects+tr.Stats.BudgetRejects == 0 {
+				fails = append(fails, fmt.Sprintf("constrained tenant %s shows no attributed throttling", tr.Name))
+			}
+			continue
+		}
+		if tr.Solo == nil {
+			fails = append(fails, fmt.Sprintf("tenant %s has no solo-twin comparison (run with -compare-solo)", tr.Name))
+			continue
+		}
+		if d := tr.Solo.AccuracyDelta; d > maxAccuracyDelta || d < -maxAccuracyDelta {
+			fails = append(fails, fmt.Sprintf("tenant %s accuracy delta %+.4f vs solo twin outside ±%.4f", tr.Name, d, maxAccuracyDelta))
+		}
+		if !tr.Solo.Identical {
+			fails = append(fails, fmt.Sprintf("tenant %s sub-run is not bit-for-bit identical to its solo twin", tr.Name))
+		}
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("loadgen: tenant isolation gate: %s", strings.Join(fails, "; "))
+	}
+	return nil
+}
+
 // AccuracyPoint is one point of the accuracy-vs-round series.
 type AccuracyPoint struct {
 	AfterPushes int     `json:"after_pushes"`
@@ -260,6 +374,11 @@ type Result struct {
 	TransportComparison *TransportComparison `json:"transport_comparison,omitempty"`
 	// Tree digests the hierarchical aggregation tier (TreeSpec runs only).
 	Tree *TreeBlock `json:"tree,omitempty"`
+	// Tenants holds the per-tenant slices of a multi-tenant run, in spec
+	// order: each tenant's own sub-run result plus its serving unit's
+	// enforcement attribution. The parent's Counts/FinalAccuracy aggregate
+	// across them (see runTenants).
+	Tenants []*TenantResult `json:"tenants,omitempty"`
 
 	Wallclock *WallclockBlock `json:"wallclock,omitempty"`
 }

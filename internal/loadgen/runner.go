@@ -77,6 +77,15 @@ type Runner struct {
 	Seed      int64
 	Transport Transport
 	Mode      Mode
+
+	// enforced, when set, routes every in-process service call through an
+	// externally built enforcement layer wrapped around the run's own
+	// server — the multi-tenant path (tenants.go): it receives the freshly
+	// built server once and returns a per-worker service factory (workerID
+	// −1 is the final stats caller). Enforcement rejections with
+	// resource-exhausted or budget-exhausted codes are then counted as
+	// Counts.TenantRejects, not protocol errors.
+	enforced func(*server.Server) (func(workerID int) service.Service, error)
 }
 
 // simWorker is one simulated fleet member: the real client library plus the
@@ -306,6 +315,9 @@ type run struct {
 	// re-registered by doRestart on the restored instance.
 	edges        []*aggtree.Node
 	treeAnnounce func(protocol.ModelAnnounce)
+	// tenantScoped marks a run flowing through a tenant enforcement layer
+	// (Runner.enforced): quota/budget rejections count as TenantRejects.
+	tenantScoped bool
 
 	mu         sync.Mutex
 	counts     Counts
@@ -370,6 +382,14 @@ func (r *run) schedule(at float64, kind int, sw *simWorker) {
 }
 
 func (r *run) recordError(err error) {
+	// Tenant enforcement throttles (worker quota, DP budget) are the
+	// behavior under test in a multi-tenant run, attributed in per-tenant
+	// stats — expected, like resyncs, not permanent protocol failures.
+	if r.tenantScoped &&
+		(protocol.IsCode(err, protocol.CodeResourceExhausted) || protocol.IsCode(err, protocol.CodeBudgetExhausted)) {
+		r.counts.TenantRejects++
+		return
+	}
 	r.counts.ProtocolErrors++
 	if len(r.counts.ErrorSamples) < 5 {
 		r.counts.ErrorSamples = append(r.counts.ErrorSamples, err.Error())
@@ -393,6 +413,12 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 	sc := r.Scenario.withDefaults()
 	if err := sc.validate(); err != nil {
 		return nil, err
+	}
+	if len(sc.Tenants) > 0 {
+		if r.enforced != nil {
+			return nil, fmt.Errorf("loadgen: a tenant sub-run cannot itself declare tenants")
+		}
+		return r.runTenants(ctx, sc)
 	}
 	transport := r.Transport
 	if transport == "" {
@@ -493,6 +519,19 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 
+	// The tenant enforcement layer wraps the freshly built server before
+	// any traffic routes: auth, quota and budget see every call exactly as
+	// a fleet-server deployment's unit would.
+	var perWorker func(int) service.Service
+	if r.enforced != nil {
+		if transport != TransportInProc {
+			return nil, fmt.Errorf("loadgen: tenant enforcement requires the in-process transport (got %q)", transport)
+		}
+		if perWorker, err = r.enforced(srv); err != nil {
+			return nil, err
+		}
+	}
+
 	// All fleet traffic routes through the swapper, so a restart replaces
 	// the backend under every transport without the workers noticing a
 	// different endpoint.
@@ -513,7 +552,13 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 	)
 	switch transport {
 	case TransportInProc:
-		svc = service.Chain(swap, service.Metrics(wall))
+		if perWorker != nil {
+			// The final stats route carries the −1 caller's credentials;
+			// Stats is identity-free, so any valid tenant token passes.
+			svc = service.Chain(perWorker(-1), service.Metrics(wall))
+		} else {
+			svc = service.Chain(swap, service.Metrics(wall))
+		}
 	case TransportHTTP:
 		wire = &protocol.WireCounter{}
 		ts := httptest.NewServer(server.NewHandler(swap))
@@ -675,6 +720,10 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 			// Worker i reports to edge i mod Edges — a fixed, seed-free
 			// assignment, so adding the tier never reshuffles any stream.
 			sw.svc = service.Chain(edges[i%len(edges)], service.Metrics(wall))
+		} else if perWorker != nil {
+			// Each worker presents its own minted credentials through the
+			// tenant enforcement chain.
+			sw.svc = service.Chain(perWorker(i), service.Metrics(wall))
 		} else {
 			sw.svc = svc
 		}
@@ -706,7 +755,13 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 		streamSrv:    streamSrv,
 		edges:        edges,
 		treeAnnounce: treeAnnounce,
+		tenantScoped: r.enforced != nil,
 	}
+
+	// The current server's background checkpoint writer is stopped at run
+	// end (rn.srv may point at a restored successor by then); the kill path
+	// closes the abandoned instance itself in doRestart.
+	defer func() { _ = rn.srv.Close() }()
 
 	wallStart := time.Now()
 	if mode == ModeVirtual {
@@ -732,6 +787,10 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 		rn.accuracy = append(rn.accuracy, AccuracyPoint{AfterPushes: rn.counts.Pushes, Accuracy: final})
 	}
 
+	// Flush the background checkpoint writer before reading final stats, so
+	// the checkpoint counter reflects every core captured during the run —
+	// the same value the synchronous writer reported, deterministically.
+	rn.srv.Flush()
 	stats, err := svc.Stats(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: final stats: %w", err)
@@ -881,6 +940,13 @@ func (r *Runner) runVirtual(ctx context.Context, rn *run, sims []*simWorker) err
 // valid checkpoint. A missing checkpoint fails the run: the scenario's
 // cadence put the first checkpoint after the kill, a profile bug.
 func (rn *run) doRestart() error {
+	// Close the doomed instance first: its background checkpoint writer
+	// drains, so exactly the cores that fell due before the kill are
+	// durable — the same durability point the synchronous writer had,
+	// which is what keeps this scenario's replay bit-for-bit. (A real
+	// SIGKILL could lose the queued tail; the harness models the
+	// conservative cut deterministically.)
+	_ = rn.srv.Close()
 	srv, err := rn.factory.restore()
 	if err != nil {
 		return fmt.Errorf("loadgen: server restart at t=%gs: %w", rn.sc.Restart.AtSec, err)

@@ -114,6 +114,37 @@ type TreeSpec struct {
 	FanIn int `json:"fan_in,omitempty"`
 }
 
+// TenantSpec is one tenant of a multi-tenant run: a named slice of the base
+// scenario, executed against its own isolated serving unit (internal/tenant)
+// with authenticated workers, and optionally constrained by the unit's
+// worker quota and DP epsilon budget — the noisy-neighbor knobs. Tenants
+// run concurrently; each derives its own seed from the master seed and the
+// tenant name, so one tenant's behavior can never perturb another's event
+// stream — the isolation property GateTenantIsolation asserts.
+type TenantSpec struct {
+	// Name is the tenant's registry key (tenant.Config.Name rules apply).
+	Name string `json:"name"`
+	// Workers/Rounds override the base scenario's fleet shape for this
+	// tenant (0: inherit the base value).
+	Workers int `json:"workers,omitempty"`
+	Rounds  int `json:"rounds,omitempty"`
+	// MaxWorkers is the tenant's identity quota (tenant.Config.MaxWorkers):
+	// a fleet larger than it has its surplus workers throttled with
+	// attributed worker-cap rejects, not failed.
+	MaxWorkers int `json:"max_workers,omitempty"`
+	// Epsilon, with Delta and SamplingRatio, gives the tenant a DP budget
+	// (requires a dp(clip,σ) stage in the tenant's pipeline): once admitted
+	// pushes compose past Epsilon the unit goes read-only and further
+	// pushes are budget rejects.
+	Epsilon       float64 `json:"epsilon,omitempty"`
+	Delta         float64 `json:"delta,omitempty"`
+	SamplingRatio float64 `json:"sampling_ratio,omitempty"`
+	// Byzantine/Server, when non-nil, replace the base scenario's blocks
+	// wholesale for this tenant.
+	Byzantine *ByzantineSpec `json:"byzantine,omitempty"`
+	Server    *ServerSpec    `json:"server,omitempty"`
+}
+
 // ServerSpec selects the server configuration through the same spec grammar
 // as the fleet-server flags, so every pipeline/admission combination the
 // live server supports is benchable.
@@ -167,6 +198,11 @@ type Scenario struct {
 	Restart   RestartSpec   `json:"restart,omitempty"`
 	Tree      TreeSpec      `json:"tree,omitempty"`
 	Server    ServerSpec    `json:"server"`
+	// Tenants, when non-empty, turns the run multi-tenant: each entry is a
+	// named sub-fleet executed against its own tenant serving unit (see
+	// TenantSpec); the base scenario is every tenant's template. In-process
+	// transport, virtual mode only.
+	Tenants []TenantSpec `json:"tenants,omitempty"`
 }
 
 // withDefaults returns a copy with every unset knob at its default.
@@ -278,6 +314,21 @@ func (s Scenario) validate() error {
 	}
 	if total <= 0 {
 		return fmt.Errorf("loadgen: tiers have no positive weight")
+	}
+	if len(s.Tenants) > 0 {
+		if s.Restart.AtSec > 0 || s.Tree.Edges > 0 {
+			return fmt.Errorf("loadgen: tenants cannot combine with restart or tree blocks (each tenant's sub-scenario may carry its own)")
+		}
+		seen := map[string]bool{}
+		for _, ts := range s.Tenants {
+			if ts.Name == "" {
+				return fmt.Errorf("loadgen: tenant with empty name")
+			}
+			if seen[ts.Name] {
+				return fmt.Errorf("loadgen: duplicate tenant %q", ts.Name)
+			}
+			seen[ts.Name] = true
+		}
 	}
 	return nil
 }
@@ -473,6 +524,41 @@ func init() {
 		// default 0.3 would take 12× steps, and the within-0.02-of-flat gate
 		// needs a smooth trajectory, not oscillation roulette.
 		Server: ServerSpec{LearningRate: 0.02, K: 3, DeltaHistory: 8},
+	})
+	Register(Scenario{
+		Name: "multi-tenant",
+		Description: "two fleets on one deployment: an honest victim tenant beside a noisy neighbor that " +
+			"over-enrolls past its worker quota and spends its DP epsilon budget dry — the victim's " +
+			"trajectory must be bit-for-bit what it runs solo, every throttle attributed in the " +
+			"neighbor's per-tenant stats, zero protocol errors",
+		Workers:   16,
+		Rounds:    10,
+		EvalEvery: 40,
+		Server:    ServerSpec{K: 2},
+		Tenants: []TenantSpec{
+			// The victim inherits the base profile untouched: its sub-run is
+			// the solo twin's scenario exactly, so the isolation gate can
+			// demand bit-for-bit equality, not mere accuracy proximity.
+			{Name: "victim"},
+			// The noisy neighbor over-enrolls 24 identities against a quota
+			// of 8 (surplus workers throttled on every pull) and pushes
+			// amplified noise through a dp pipeline whose ε budget runs dry
+			// mid-run, flipping the unit read-only — both throttles must
+			// land in its per-tenant stats, not in protocol errors.
+			// ε=0.95 exhausts after 59 composed pushes of the dp(1,1.2)
+			// mechanism at the default q=0.01, δ=1e-5 — mid-run for the 80
+			// pushes the 8 admitted workers attempt, so the run shows both
+			// throttle kinds: quota rejects from pull one, budget rejects
+			// once the ledger runs dry.
+			{
+				Name:       "noisy",
+				Workers:    24,
+				MaxWorkers: 8,
+				Epsilon:    0.95,
+				Byzantine:  &ByzantineSpec{Fraction: 0.3, Attack: AttackScaledNoise, Scale: 5},
+				Server:     &ServerSpec{K: 2, Stages: "dp(1,1.2),staleness"},
+			},
+		},
 	})
 	Register(Scenario{
 		Name: "lossy-net",

@@ -1,0 +1,244 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"fleet/internal/protocol"
+	"fleet/internal/server"
+	"fleet/internal/service"
+	"fleet/internal/tenant"
+)
+
+// Multi-tenant runs: each TenantSpec becomes its own complete sub-run — a
+// derived scenario with a derived seed, executed concurrently against its
+// own tenant serving unit (internal/tenant) wrapped around the sub-run's
+// server. Every call flows through the real enforcement chain with real
+// minted tokens, so the harness measures the same layer a fleet-server
+// deployment runs. Units share nothing, and each tenant's random streams
+// derive from (master seed ⊕ tenant-name hash) — so a neighbor's behavior,
+// however noisy, cannot perturb another tenant's event order. That is the
+// isolation property the noisy-neighbor scenario gates on: an unconstrained
+// tenant's sub-result must be bit-for-bit what it produces running solo.
+
+// tenantSeed derives a tenant's sub-run seed from the master seed and the
+// tenant name (FNV-1a, masked non-negative): stable across runs, distinct
+// across tenants, independent of spec order.
+func tenantSeed(master int64, name string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return master ^ int64(h.Sum64()&^(uint64(1)<<63))
+}
+
+// TenantSubScenario returns the standalone scenario tenant ts of sc runs —
+// the base scenario with the tenant's overrides applied and the Tenants
+// block dropped — plus the tenant's derived seed. A solo twin (the
+// isolation baseline) is exactly a Runner over this scenario and seed with
+// no tenant layer.
+func TenantSubScenario(sc Scenario, ts TenantSpec, masterSeed int64) (Scenario, int64) {
+	sub := sc
+	sub.Tenants = nil
+	sub.Name = sc.Name + ":" + ts.Name
+	sub.Description = "tenant " + ts.Name + " slice of " + sc.Name
+	if ts.Workers > 0 {
+		sub.Workers = ts.Workers
+	}
+	if ts.Rounds > 0 {
+		sub.Rounds = ts.Rounds
+	}
+	if ts.Byzantine != nil {
+		sub.Byzantine = *ts.Byzantine
+	}
+	if ts.Server != nil {
+		sub.Server = *ts.Server
+	}
+	return sub, tenantSeed(masterSeed, ts.Name)
+}
+
+// tenantSecret is the deterministic per-tenant HMAC secret the harness
+// mints worker tokens with — a harness fixture, not a production secret.
+func tenantSecret(name string) string {
+	return "loadgen-secret-" + name
+}
+
+// tenantUnitConfig maps a tenant's defaulted sub-scenario onto the
+// tenant.Config its serving unit is attached with: the model/pipeline
+// fields mirror how the sub-run's server is actually built (the budget
+// reads the dp stage's σ out of Stages), and the spec's quota and ε knobs
+// become the unit's constraints.
+func tenantUnitConfig(ts TenantSpec, sub Scenario, seed int64) tenant.Config {
+	d := sub.withDefaults()
+	return tenant.Config{
+		Name:             ts.Name,
+		Arch:             d.Server.Arch,
+		LearningRate:     d.Server.LearningRate,
+		K:                d.Server.K,
+		Shards:           d.Server.Shards,
+		DeltaHistory:     d.Server.DeltaHistory,
+		DefaultBatchSize: d.Server.DefaultBatchSize,
+		NonStragglerPct:  d.Server.NonStragglerPct,
+		Stages:           d.Server.Stages,
+		Aggregator:       d.Server.Aggregator,
+		Admission:        d.Server.Admission,
+		Seed:             seed,
+		Secret:           tenantSecret(ts.Name),
+		MaxWorkers:       ts.MaxWorkers,
+		Epsilon:          ts.Epsilon,
+		Delta:            ts.Delta,
+		SamplingRatio:    ts.SamplingRatio,
+	}
+}
+
+// credClient injects fixed credentials into every call's context — the
+// in-process analogue of the HTTP Authorization header and the stream
+// hello frame.
+type credClient struct {
+	inner service.Service
+	creds service.Credentials
+}
+
+func (c credClient) RequestTask(ctx context.Context, req *protocol.TaskRequest) (*protocol.TaskResponse, error) {
+	return c.inner.RequestTask(service.WithCredentials(ctx, c.creds), req)
+}
+
+func (c credClient) PushGradient(ctx context.Context, push *protocol.GradientPush) (*protocol.PushAck, error) {
+	return c.inner.PushGradient(service.WithCredentials(ctx, c.creds), push)
+}
+
+func (c credClient) Stats(ctx context.Context) (*protocol.Stats, error) {
+	return c.inner.Stats(service.WithCredentials(ctx, c.creds))
+}
+
+// add accumulates another run's counters (multi-tenant aggregation),
+// keeping at most five error samples.
+func (c *Counts) add(o Counts) {
+	c.PullAttempts += o.PullAttempts
+	c.Accepted += o.Accepted
+	c.Rejected += o.Rejected
+	c.Pushes += o.Pushes
+	c.LostPushes += o.LostPushes
+	c.DeltaPulls += o.DeltaPulls
+	c.FullPulls += o.FullPulls
+	c.Departures += o.Departures
+	c.Rejoins += o.Rejoins
+	c.Restarts += o.Restarts
+	c.Resyncs += o.Resyncs
+	c.ProtocolErrors += o.ProtocolErrors
+	c.TenantRejects += o.TenantRejects
+	for _, s := range o.ErrorSamples {
+		if len(c.ErrorSamples) >= 5 {
+			break
+		}
+		c.ErrorSamples = append(c.ErrorSamples, s)
+	}
+}
+
+// runTenants executes a multi-tenant scenario: one concurrent sub-run per
+// tenant, each through its own serving unit, assembled into a parent result
+// whose Counts/FinalAccuracy aggregate across the tenants (accuracy is the
+// unweighted tenant mean; throughput is total pushes over the longest
+// tenant's virtual duration).
+func (r *Runner) runTenants(ctx context.Context, sc Scenario) (*Result, error) {
+	if r.Transport != "" && r.Transport != TransportInProc {
+		return nil, fmt.Errorf("loadgen: multi-tenant scenarios require the in-process transport (got %q)", r.Transport)
+	}
+	if r.Mode != "" && r.Mode != ModeVirtual {
+		return nil, fmt.Errorf("loadgen: multi-tenant scenarios require virtual mode (got %q)", r.Mode)
+	}
+
+	type slot struct {
+		res  *Result
+		unit *tenant.Unit
+		err  error
+	}
+	slots := make([]slot, len(sc.Tenants))
+	wallStart := time.Now()
+	var wg sync.WaitGroup
+	for i, ts := range sc.Tenants {
+		wg.Add(1)
+		go func(i int, ts TenantSpec) {
+			defer wg.Done()
+			sub, seed := TenantSubScenario(sc, ts, r.Seed)
+			cfg := tenantUnitConfig(ts, sub, seed)
+			secret := []byte(cfg.Secret)
+			runner := &Runner{
+				Scenario:  sub,
+				Seed:      seed,
+				Transport: TransportInProc,
+				Mode:      ModeVirtual,
+				enforced: func(srv *server.Server) (func(int) service.Service, error) {
+					u, err := tenant.Attach(cfg, srv, tenant.Options{})
+					if err != nil {
+						return nil, err
+					}
+					slots[i].unit = u
+					return func(workerID int) service.Service {
+						id := workerID
+						if id < 0 {
+							// The final stats caller borrows worker 0's
+							// token: Stats carries no worker identity, so
+							// any valid tenant token authenticates it.
+							id = 0
+						}
+						return credClient{inner: u.Service(), creds: service.Credentials{
+							Tenant: ts.Name,
+							Token:  tenant.MintToken(secret, ts.Name, id),
+						}}
+					}, nil
+				},
+			}
+			res, err := runner.Run(ctx)
+			if err != nil {
+				slots[i].err = fmt.Errorf("loadgen: tenant %s: %w", ts.Name, err)
+				return
+			}
+			// The parent carries the run's only wallclock block; sub-results
+			// stay fully deterministic for the replay and solo-twin gates.
+			res.Wallclock = nil
+			slots[i].res = res
+		}(i, ts)
+	}
+	wg.Wait()
+
+	res := &Result{
+		Scenario:    sc.Name,
+		Description: sc.Description,
+		Seed:        r.Seed,
+		Mode:        string(ModeVirtual),
+		Transport:   string(TransportInProc),
+		Rounds:      sc.Rounds,
+		Config:      sc,
+	}
+	var accSum, scaleSum float64
+	for i, ts := range sc.Tenants {
+		if slots[i].err != nil {
+			return nil, slots[i].err
+		}
+		sub := slots[i].res
+		res.Workers += sub.Workers
+		res.Counts.add(sub.Counts)
+		if sub.VirtualDurationSec > res.VirtualDurationSec {
+			res.VirtualDurationSec = sub.VirtualDurationSec
+		}
+		accSum += sub.FinalAccuracy
+		scaleSum += sub.MeanScale * float64(sub.Counts.Pushes)
+		res.Tenants = append(res.Tenants, &TenantResult{
+			Name:   ts.Name,
+			Seed:   sub.Seed,
+			Result: sub,
+			Stats:  slots[i].unit.StatsBlock(),
+		})
+	}
+	res.FinalAccuracy = accSum / float64(len(sc.Tenants))
+	if res.Counts.Pushes > 0 {
+		res.MeanScale = scaleSum / float64(res.Counts.Pushes)
+	}
+	if res.VirtualDurationSec > 0 {
+		res.ThroughputPerSec = float64(res.Counts.Pushes) / res.VirtualDurationSec
+	}
+	res.Wallclock = &WallclockBlock{ElapsedSec: time.Since(wallStart).Seconds()}
+	return res, nil
+}

@@ -36,6 +36,13 @@ const (
 	CodeUnsupportedMedia ErrorCode = "unsupported_media"
 	// CodeUnavailable reports a transport-level failure reaching the server.
 	CodeUnavailable ErrorCode = "unavailable"
+	// CodeUnauthenticated rejects a call with a missing or invalid tenant
+	// bearer token (including cross-tenant token replay).
+	CodeUnauthenticated ErrorCode = "unauthenticated"
+	// CodeBudgetExhausted rejects a push against a tenant whose differential
+	// privacy epsilon budget is spent; the tenant is read-only until the
+	// operator raises the budget.
+	CodeBudgetExhausted ErrorCode = "budget_exhausted"
 	// CodeInternal reports an unexpected server-side failure.
 	CodeInternal ErrorCode = "internal"
 )
@@ -70,6 +77,10 @@ var codeStatus = map[ErrorCode]int{
 	CodeMethodNotAllowed:  http.StatusMethodNotAllowed,
 	CodeUnsupportedMedia:  http.StatusUnsupportedMediaType,
 	CodeUnavailable:       http.StatusServiceUnavailable,
+	// Unauthenticated and budget_exhausted need distinct statuses so the
+	// non-JSON fallback in ErrorFromHTTP round-trips them unambiguously.
+	CodeUnauthenticated: http.StatusUnauthorized,
+	CodeBudgetExhausted: http.StatusForbidden,
 }
 
 // HTTPStatus maps the error code onto an HTTP status.

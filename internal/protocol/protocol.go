@@ -199,6 +199,37 @@ type Stats struct {
 	// exactly when a tree is in front of this server. Equal to GradientsIn
 	// on a flat topology (omitted when zero for old payloads).
 	LeafGradients int `json:"leaf_gradients,omitempty"`
+	// Tenant is the per-tenant block a multi-tenant deployment's serving
+	// unit injects into its own stats (internal/tenant): identity, worker
+	// population, policy rejects and the DP budget position. Nil on
+	// untenanted servers, so old payloads decode unchanged.
+	Tenant *TenantStats `json:"tenant,omitempty"`
+}
+
+// TenantStats is the per-tenant slice of a Stats snapshot: everything the
+// tenant layer enforces on top of the serving unit it isolates.
+type TenantStats struct {
+	// Name is the tenant's registry key.
+	Name string `json:"name"`
+	// Workers is the distinct worker identities admitted so far;
+	// MaxWorkers is the per-tenant worker quota (0: unlimited).
+	Workers    int `json:"workers"`
+	MaxWorkers int `json:"max_workers,omitempty"`
+	// AuthRejects counts calls refused as unauthenticated (missing,
+	// malformed or cross-tenant tokens); WorkerCapRejects counts worker
+	// identities refused by the per-tenant quota; BudgetRejects counts
+	// pushes refused because the DP budget was spent.
+	AuthRejects      int64 `json:"auth_rejects,omitempty"`
+	WorkerCapRejects int64 `json:"worker_cap_rejects,omitempty"`
+	BudgetRejects    int64 `json:"budget_rejects,omitempty"`
+	// The DP epsilon budget position (moments-accountant composition over
+	// the tenant pipeline's dp stage): the configured budget, the ε spent
+	// by the charged pushes, how many pushes were charged, and whether the
+	// tenant has gone read-only. All zero when no budget is configured.
+	EpsilonBudget   float64 `json:"epsilon_budget,omitempty"`
+	EpsilonSpent    float64 `json:"epsilon_spent,omitempty"`
+	BudgetCharges   int     `json:"budget_charges,omitempty"`
+	BudgetExhausted bool    `json:"budget_exhausted,omitempty"`
 }
 
 // Encode writes v to w as a gzip-compressed gob stream — the default wire

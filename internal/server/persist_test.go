@@ -138,6 +138,7 @@ func TestPeriodicCheckpointCadence(t *testing.T) {
 	}
 	s := newTestServer(t, Config{Checkpointer: ckpt, CheckpointEvery: 2})
 	pushN(t, s, 6)
+	s.Flush() // barrier: the background writer owns the durability lag
 	stats, _ := s.Stats(context.Background())
 	if stats.Checkpoints != 3 {
 		t.Fatalf("6 pushes at every=2: %d checkpoints, want 3", stats.Checkpoints)
@@ -298,7 +299,7 @@ func TestStaleCheckpointWriteSkipped(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The delayed writer from an earlier drain finally runs.
-	s.writeCheckpoint(ckptCore{version: 1, params: s.snap.Load().params})
+	s.saveState(s.captureState(ckptCore{version: 1, params: s.snap.Load().params}))
 	st, _, err := persist.LoadLatest(dir)
 	if err != nil {
 		t.Fatal(err)

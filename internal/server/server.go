@@ -125,17 +125,17 @@ type Config struct {
 	// RestoreLatest.
 	Checkpointer *persist.Checkpointer
 	// CheckpointEvery is the periodic cadence in aggregation windows
-	// (model updates): every N-th drain schedules a checkpoint, written
-	// outside the model lock by the push that completed the window. 0
+	// (model updates): every N-th drain schedules a checkpoint. 0
 	// disables periodic checkpoints (explicit Checkpoint still works).
 	//
-	// The write is synchronous on that one push (encode + fsync land in
-	// its latency): a deliberate tradeoff — the durability point is then
-	// a deterministic function of the push sequence, which the replayable
-	// restart scenarios rely on, and the cadence amortizes the cost over
-	// N·K pushes. A background writer (with a flush barrier for restores)
-	// is the follow-on if the spike ever matters at production model
-	// sizes; see ROADMAP.
+	// The captured core is handed to a background writer goroutine, so
+	// the encode + fsync spike never lands in a push's latency — with one
+	// server per tenant, N fleets checkpointing would otherwise each
+	// stall a pusher at their own cadence. Durability stays bounded: the
+	// queue is small and enqueueing blocks when it is full, and Flush
+	// (or Close) is the barrier that makes everything captured so far
+	// durable — restores and graceful shutdowns call it first, which is
+	// also what keeps the replayable restart scenarios deterministic.
 	CheckpointEvery int
 	// Seed initializes the global model.
 	Seed int64
@@ -253,6 +253,16 @@ type Server struct {
 	ckptVersion int
 	checkpoints atomic.Int64
 	ckptErrors  atomic.Int64
+
+	// The background checkpoint writer (nil channels when no Checkpointer
+	// is configured): drain-captured cores queue on ckptQ and are written
+	// off the pushing goroutine. ckptQuit tells the writer to drain and
+	// exit (Close); ckptDone closes when it has. closeOnce makes Close
+	// idempotent.
+	ckptQ     chan ckptReq
+	ckptQuit  chan struct{}
+	ckptDone  chan struct{}
+	closeOnce sync.Once
 }
 
 // ckptCore is the model-critical slice of a checkpoint, captured atomically
@@ -265,6 +275,22 @@ type ckptCore struct {
 	leafGradients int
 	staleSum      float64
 }
+
+// ckptReq is one unit of work for the background checkpoint writer: a
+// fully captured state to persist, or (nil state) a flush barrier
+// acknowledged once everything queued before it has been written. The
+// state is captured on the push goroutine at enqueue time — capturing at
+// write time would snapshot AdaSGD/label/profiler state that later pushes
+// already advanced, making the durable bytes timing-dependent and breaking
+// replayable restarts.
+type ckptReq struct {
+	st      *persist.State
+	barrier chan struct{}
+}
+
+// ckptQueueDepth bounds the background writer's backlog; a full queue
+// blocks the enqueueing push (backpressure), never drops durability.
+const ckptQueueDepth = 4
 
 // New builds a server with a freshly initialized global model.
 func New(cfg Config) (*Server, error) {
@@ -334,6 +360,12 @@ func New(cfg Config) (*Server, error) {
 		epoch:      cfg.BootEpoch,
 	}
 	s.snap.Store(&modelSnapshot{version: 0, params: model.ParamVector()})
+	if cfg.Checkpointer != nil {
+		s.ckptQ = make(chan ckptReq, ckptQueueDepth)
+		s.ckptQuit = make(chan struct{})
+		s.ckptDone = make(chan struct{})
+		go s.ckptWriter()
+	}
 	return s, nil
 }
 
@@ -580,12 +612,94 @@ func (s *Server) PushGradient(ctx context.Context, push *protocol.GradientPush) 
 		}
 	}
 	if due != nil {
-		// The periodic checkpoint the drain scheduled: written here, after
-		// the model lock is released, so concurrent pushes never stall on
-		// disk I/O.
-		s.writeCheckpoint(*due)
+		// The periodic checkpoint the drain scheduled: the full state is
+		// captured here, on the push goroutine with the model lock already
+		// released — the same cut the synchronous writer took — and only
+		// the encode+fsync is deferred to the background writer.
+		s.enqueueCheckpoint(s.captureState(*due))
 	}
 	return ack, nil
+}
+
+// ckptWriter is the background checkpoint goroutine: it encodes and fsyncs
+// queued cores off the push path, acknowledges flush barriers, and on Close
+// drains whatever is already queued before exiting.
+func (s *Server) ckptWriter() {
+	defer close(s.ckptDone)
+	serve := func(req ckptReq) {
+		if req.st != nil {
+			s.saveState(req.st)
+		}
+		if req.barrier != nil {
+			close(req.barrier)
+		}
+	}
+	for {
+		select {
+		case req := <-s.ckptQ:
+			serve(req)
+		case <-s.ckptQuit:
+			for {
+				select {
+				case req := <-s.ckptQ:
+					serve(req)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// enqueueCheckpoint hands a captured state to the background writer. The
+// queue is small and the send blocks when it is full — backpressure, never
+// dropped durability. A push racing Close (the writer already gone) falls
+// back to writing synchronously, preserving the pre-Close guarantee.
+func (s *Server) enqueueCheckpoint(st *persist.State) {
+	select {
+	case s.ckptQ <- ckptReq{st: st}:
+	case <-s.ckptDone:
+		s.saveState(st)
+	}
+}
+
+// Flush is the checkpoint barrier: it returns once every core captured
+// before the call is durable (or failed and was counted — same as the
+// synchronous path). A server without a Checkpointer returns immediately.
+// Restores and graceful shutdowns flush first, so "what was due before the
+// cut" is exactly what a restore will find — the property the replayable
+// restart scenarios assert bit-for-bit.
+func (s *Server) Flush() {
+	if s.ckptQ == nil {
+		return
+	}
+	barrier := make(chan struct{})
+	select {
+	case s.ckptQ <- ckptReq{barrier: barrier}:
+		select {
+		case <-barrier:
+		case <-s.ckptDone:
+		}
+	case <-s.ckptDone:
+	}
+}
+
+// Close flushes the checkpoint queue and stops the background writer.
+// Idempotent; a server without a Checkpointer has nothing to do. Close does
+// not take a final checkpoint — callers wanting one (graceful shutdown)
+// call Checkpoint first. The server remains usable for serving after Close
+// (late periodic checkpoints degrade to synchronous writes), but the
+// intended order is: quiesce, Checkpoint if desired, Close.
+func (s *Server) Close() error {
+	if s.ckptQ == nil {
+		return nil
+	}
+	s.closeOnce.Do(func() {
+		s.Flush()
+		close(s.ckptQuit)
+		<-s.ckptDone
+	})
+	return nil
 }
 
 // OnSnapshot registers fn to be called after every drain that publishes a
@@ -708,21 +822,21 @@ func (s *Server) captureState(core ckptCore) *persist.State {
 	return st
 }
 
-// writeCheckpoint persists one captured core; failures are counted (and
-// visible in Stats.CheckpointErrors), never propagated onto the push path.
-// A core older than what is already durable is dropped: writing it would
-// register as the newest checkpoint and roll a future restore backwards.
-func (s *Server) writeCheckpoint(core ckptCore) {
+// saveState persists one captured state; failures are counted (and visible
+// in Stats.CheckpointErrors), never propagated onto the push path. A state
+// older than what is already durable is dropped: writing it would register
+// as the newest checkpoint and roll a future restore backwards.
+func (s *Server) saveState(st *persist.State) {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
-	if core.version < s.ckptVersion {
+	if st.Version < s.ckptVersion {
 		return
 	}
-	if _, err := s.cfg.Checkpointer.Save(s.captureState(core)); err != nil {
+	if _, err := s.cfg.Checkpointer.Save(st); err != nil {
 		s.ckptErrors.Add(1)
 		return
 	}
-	s.ckptVersion = core.version
+	s.ckptVersion = st.Version
 	s.checkpoints.Add(1)
 }
 

@@ -36,6 +36,11 @@ type Client struct {
 	WorkerID int
 	// Subscribe asks the server for model announcements on this session.
 	Subscribe bool
+	// Tenant and Token are the session's multi-tenant credentials, sent in
+	// the hello frame: the tenant this worker serves ("" aliases to the
+	// default tenant) and the bearer token minted for (tenant, worker).
+	Tenant string
+	Token  string
 	// DialTimeout bounds session establishment, handshake included
 	// (0: 10s).
 	DialTimeout time.Duration
@@ -312,6 +317,8 @@ func (c *Client) dial(ctx context.Context) (*clientSession, error) {
 		WorkerID:    c.WorkerID,
 		ContentType: sess.codec.ContentType(),
 		Subscribe:   c.Subscribe,
+		Tenant:      c.Tenant,
+		Token:       c.Token,
 	})
 	_ = conn.SetDeadline(time.Now().Add(c.dialTimeout()))
 	if err := sess.write(frame{typ: fHello, corr: 1, payload: hello}); err != nil {

@@ -32,16 +32,16 @@ func TestAnnounceOverflowCoalesces(t *testing.T) {
 	sess := &session{srv: s, annReady: make(chan struct{}, 1), done: make(chan struct{})}
 
 	for v := 1; v <= announceBuffer; v++ {
-		sess.enqueueAnnounce(chainedAnn(v))
+		sess.enqueueAnnounce(annEntry{ann: chainedAnn(v)})
 	}
-	sess.enqueueAnnounce(chainedAnn(announceBuffer + 1))
+	sess.enqueueAnnounce(annEntry{ann: chainedAnn(announceBuffer + 1)})
 
 	sess.annMu.Lock()
 	defer sess.annMu.Unlock()
 	if len(sess.annQueue) != announceBuffer {
 		t.Fatalf("queue depth %d after overflow, want %d", len(sess.annQueue), announceBuffer)
 	}
-	head := sess.annQueue[0]
+	head := sess.annQueue[0].ann
 	if head.ModelVersion != 2 || head.DeltaBase != 0 {
 		t.Fatalf("head after coalesce spans %d→%d, want 0→2", head.DeltaBase, head.ModelVersion)
 	}
@@ -54,7 +54,8 @@ func TestAnnounceOverflowCoalesces(t *testing.T) {
 	// The rest of the chain is untouched and still consecutive off the
 	// coalesced head.
 	prev := head.ModelVersion
-	for _, ann := range sess.annQueue[1:] {
+	for _, entry := range sess.annQueue[1:] {
+		ann := entry.ann
 		if ann.DeltaBase != prev {
 			t.Fatalf("chain broken after coalesce: base %d follows version %d", ann.DeltaBase, prev)
 		}
@@ -70,17 +71,17 @@ func TestAnnounceOverflowDropsUncomposable(t *testing.T) {
 	sess := &session{srv: s, annReady: make(chan struct{}, 1), done: make(chan struct{})}
 
 	for v := 1; v <= announceBuffer; v++ {
-		sess.enqueueAnnounce(protocol.ModelAnnounce{ModelVersion: v}) // delta-less
+		sess.enqueueAnnounce(annEntry{ann: protocol.ModelAnnounce{ModelVersion: v}}) // delta-less
 	}
-	sess.enqueueAnnounce(protocol.ModelAnnounce{ModelVersion: announceBuffer + 1})
+	sess.enqueueAnnounce(annEntry{ann: protocol.ModelAnnounce{ModelVersion: announceBuffer + 1}})
 
 	sess.annMu.Lock()
 	defer sess.annMu.Unlock()
 	if len(sess.annQueue) != announceBuffer {
 		t.Fatalf("queue depth %d after overflow, want %d", len(sess.annQueue), announceBuffer)
 	}
-	if sess.annQueue[0].ModelVersion != 2 {
-		t.Fatalf("head version %d, want 2 (oldest dropped)", sess.annQueue[0].ModelVersion)
+	if sess.annQueue[0].ann.ModelVersion != 2 {
+		t.Fatalf("head version %d, want 2 (oldest dropped)", sess.annQueue[0].ann.ModelVersion)
 	}
 	if got := s.Coalesced(); got != 0 {
 		t.Fatalf("Coalesced() = %d, want 0 for an uncomposable pair", got)

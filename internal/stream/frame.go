@@ -218,6 +218,13 @@ type helloPayload struct {
 	ContentType string `json:"content_type,omitempty"`
 	// Subscribe asks for model announcements on this session.
 	Subscribe bool `json:"subscribe,omitempty"`
+	// Tenant names the tenant this session serves on multi-tenant
+	// deployments ("" aliases to the default tenant); Token is the bearer
+	// token minted for (tenant, worker). Both ride every dispatched call
+	// as service.Credentials, so the tenant interceptor validates them
+	// exactly like the HTTP transport's header-borne credentials.
+	Tenant string `json:"tenant,omitempty"`
+	Token  string `json:"token,omitempty"`
 }
 
 // welcomePayload is the server's session-setup reply (always JSON).

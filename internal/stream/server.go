@@ -24,6 +24,12 @@ type Options struct {
 	// Logf, when non-nil, receives one line per session lifecycle event
 	// and protocol violation (fmt.Printf-style).
 	Logf func(format string, args ...interface{})
+	// Resolver, on multi-tenant deployments, maps the hello frame's tenant
+	// name onto the service serving that tenant plus the canonical tenant
+	// label used for announce fan-out (the empty name aliases to the
+	// default tenant). nil serves every session with the constructor's
+	// service under the empty label — the single-tenant posture.
+	Resolver func(tenant string) (service.Service, string, error)
 }
 
 // DefaultIdleTimeout is the session idle timeout when Options doesn't set
@@ -130,17 +136,51 @@ func (s *Server) Coalesced() int64 { return s.coalesced.Load() }
 // or a delta-less drain in between — is the oldest dropped, and the client
 // detects the gap and pulls. Safe for concurrent use; the parameter server
 // invokes it from its snapshot-publish hook (Server.OnSnapshot).
+//
+// The announce payload is encoded once per negotiated codec and the bytes
+// shared across every target session, so a fleet of N gob+gzip subscribers
+// costs one gzip pass per drain instead of N (see BenchmarkBroadcast).
 func (s *Server) Broadcast(ann protocol.ModelAnnounce) {
+	s.fanOut("", false, ann)
+}
+
+// BroadcastTenant fans an announcement out to the subscribed sessions of
+// one tenant only — the per-tenant sibling of Broadcast that multi-tenant
+// deployments wire to each tenant unit's snapshot hook, so tenant A's model
+// updates never reach tenant B's workers. The label is the canonical tenant
+// name the Resolver returned at handshake.
+func (s *Server) BroadcastTenant(tenant string, ann protocol.ModelAnnounce) {
+	s.fanOut(tenant, true, ann)
+}
+
+// fanOut enqueues ann on every subscribed session (filtered to one tenant
+// label when byTenant), pre-encoding the payload once per distinct session
+// codec so the bytes are shared.
+func (s *Server) fanOut(tenant string, byTenant bool, ann protocol.ModelAnnounce) {
 	s.mu.Lock()
 	targets := make([]*session, 0, len(s.sessions))
 	for sess := range s.sessions {
-		if sess.subscribe {
+		if sess.subscribe && (!byTenant || sess.tenant == tenant) {
 			targets = append(targets, sess)
 		}
 	}
 	s.mu.Unlock()
+	encoded := make(map[string][]byte, 2)
 	for _, sess := range targets {
-		sess.enqueueAnnounce(ann)
+		ct := sess.codec.ContentType()
+		payload, done := encoded[ct]
+		if !done {
+			var buf bytes.Buffer
+			if err := sess.codec.Encode(&buf, &ann); err != nil {
+				// Leave payload nil: the announce loop will retry the
+				// encode per session and log there.
+				s.logf("stream: encode announce (%s): %v", ct, err)
+			} else {
+				payload = buf.Bytes()
+			}
+			encoded[ct] = payload
+		}
+		sess.enqueueAnnounce(annEntry{ann: ann, payload: payload})
 		s.broadcasts.Add(1)
 	}
 }
@@ -212,6 +252,14 @@ type session struct {
 	workerID  int
 	subscribe bool
 
+	// svc serves this session's calls: the tenant unit the Resolver picked
+	// at handshake, or the server-wide service on single-tenant
+	// deployments. tenant is the canonical fan-out label; creds ride every
+	// dispatched call so the tenant interceptor re-validates per call.
+	svc    service.Service
+	tenant string
+	creds  service.Credentials
+
 	writeMu sync.Mutex // serializes frames onto the connection
 
 	// annQueue buffers pending announcements for the dedicated writer
@@ -219,10 +267,20 @@ type session struct {
 	// entries into one composed delta when they chain, and drops the
 	// oldest otherwise. annReady (capacity 1) wakes the writer.
 	annMu    sync.Mutex
-	annQueue []protocol.ModelAnnounce
+	annQueue []annEntry
 	annReady chan struct{}
 	done     chan struct{}
 	once     sync.Once
+}
+
+// annEntry is one queued announcement. payload holds the frame body
+// pre-encoded by the broadcaster in this session's codec — shared bytes
+// across all same-codec sessions; it is nil for coalesced entries (the
+// merge invalidates the shared bytes), which the announce loop encodes per
+// session instead.
+type annEntry struct {
+	ann     protocol.ModelAnnounce
+	payload []byte
 }
 
 // announceBuffer is the per-session announce queue depth. Deep enough that
@@ -332,9 +390,30 @@ func (s *Server) handshake(conn net.Conn) (*session, bool) {
 	sess.codec = codec
 	sess.workerID = hello.WorkerID
 	sess.subscribe = hello.Subscribe
+	sess.svc = s.svc
+	sess.creds = service.Credentials{Tenant: hello.Tenant, Token: hello.Token}
+	if s.opts.Resolver != nil {
+		svc, tenant, err := s.opts.Resolver(hello.Tenant)
+		if err != nil {
+			sess.writeError(f.corr, err)
+			return nil, false
+		}
+		sess.svc = svc
+		sess.tenant = tenant
+	}
 
 	welcome := welcomePayload{ContentType: codec.ContentType()}
-	if stats, err := s.svc.Stats(s.ctx); err == nil {
+	stats, err := sess.svc.Stats(sess.callCtx())
+	if err != nil {
+		// The welcome's stats probe is the session's first enforced call:
+		// a bad or replayed token fails here, so the dial errors with the
+		// structured unauthenticated error instead of opening a session
+		// that rejects every frame.
+		if protocol.IsCode(err, protocol.CodeUnauthenticated) {
+			sess.writeError(f.corr, err)
+			return nil, false
+		}
+	} else {
 		welcome.ModelVersion = stats.ModelVersion
 		welcome.ServerEpoch = stats.ServerEpoch
 	}
@@ -368,14 +447,14 @@ func (sess *session) handle(f frame) {
 }
 
 func (sess *session) dispatch(f frame) (frame, error) {
-	ctx := sess.srv.ctx
+	ctx := sess.callCtx()
 	switch f.typ {
 	case fTask:
 		var req protocol.TaskRequest
 		if err := sess.decode(f.payload, &req); err != nil {
 			return frame{}, err
 		}
-		resp, err := sess.srv.svc.RequestTask(ctx, &req)
+		resp, err := sess.svc.RequestTask(ctx, &req)
 		if err != nil {
 			return frame{}, err
 		}
@@ -385,19 +464,28 @@ func (sess *session) dispatch(f frame) (frame, error) {
 		if err := sess.decode(f.payload, &push); err != nil {
 			return frame{}, err
 		}
-		ack, err := sess.srv.svc.PushGradient(ctx, &push)
+		ack, err := sess.svc.PushGradient(ctx, &push)
 		if err != nil {
 			return frame{}, err
 		}
 		return sess.encode(fPushAck, f.corr, ack)
 	case fStats:
-		stats, err := sess.srv.svc.Stats(ctx)
+		stats, err := sess.svc.Stats(ctx)
 		if err != nil {
 			return frame{}, err
 		}
 		return sess.encode(fStatsResp, f.corr, stats)
 	}
 	return frame{}, protocol.Errorf(protocol.CodeInvalidArgument, "stream: unexpected %s frame", f.typ)
+}
+
+// callCtx is the context dispatched calls run under: the server's lifecycle
+// context, plus the session's hello-frame credentials when any were sent.
+func (sess *session) callCtx() context.Context {
+	if sess.creds == (service.Credentials{}) {
+		return sess.srv.ctx
+	}
+	return service.WithCredentials(sess.srv.ctx, sess.creds)
 }
 
 func (sess *session) decode(payload []byte, v interface{}) error {
@@ -444,7 +532,7 @@ func (sess *session) sendGoAway(reason string) {
 // sees stays intact, just batched — and only drops the oldest when the pair
 // cannot compose (epoch change or delta-less announce in between; the
 // client then detects the gap and falls back to a pull).
-func (sess *session) enqueueAnnounce(ann protocol.ModelAnnounce) {
+func (sess *session) enqueueAnnounce(entry annEntry) {
 	select {
 	case <-sess.done:
 		return
@@ -452,13 +540,16 @@ func (sess *session) enqueueAnnounce(ann protocol.ModelAnnounce) {
 	}
 	sess.annMu.Lock()
 	for len(sess.annQueue) >= announceBuffer {
-		if merged, ok := coalesceAnnounces(sess.annQueue[0], sess.annQueue[1]); ok {
-			sess.annQueue[1] = merged
+		if merged, ok := coalesceAnnounces(sess.annQueue[0].ann, sess.annQueue[1].ann); ok {
+			// The merged delta is unique to this session's backlog, so the
+			// broadcaster's shared payload no longer applies; the announce
+			// loop re-encodes it per session.
+			sess.annQueue[1] = annEntry{ann: merged}
 			sess.srv.coalesced.Add(1)
 		}
 		sess.annQueue = append(sess.annQueue[:0], sess.annQueue[1:]...)
 	}
-	sess.annQueue = append(sess.annQueue, ann)
+	sess.annQueue = append(sess.annQueue, entry)
 	sess.annMu.Unlock()
 	select {
 	case sess.annReady <- struct{}{}:
@@ -502,13 +593,19 @@ func (sess *session) announceLoop() {
 				sess.annMu.Unlock()
 				break
 			}
-			ann := sess.annQueue[0]
+			entry := sess.annQueue[0]
 			sess.annQueue = append(sess.annQueue[:0], sess.annQueue[1:]...)
 			sess.annMu.Unlock()
-			f, err := sess.encode(fAnnounce, 0, &ann)
-			if err != nil {
-				sess.srv.logf("stream: worker %d: encode announce: %v", sess.workerID, err)
-				continue
+			f := frame{typ: fAnnounce, payload: entry.payload}
+			if entry.payload == nil {
+				// Coalesced (or broadcaster-encode-failed) entry: encode
+				// this session's private copy.
+				var err error
+				f, err = sess.encode(fAnnounce, 0, &entry.ann)
+				if err != nil {
+					sess.srv.logf("stream: worker %d: encode announce: %v", sess.workerID, err)
+					continue
+				}
 			}
 			if err := sess.write(f); err != nil {
 				sess.close()

@@ -1,0 +1,68 @@
+package tenant
+
+import (
+	"net/http"
+	"strings"
+
+	"fleet/internal/protocol"
+	"fleet/internal/server"
+	"fleet/internal/service"
+)
+
+// tenantRoutePrefix scopes the tenant-addressed wire routes:
+// /v1/t/<tenant>/task, /v1/t/<tenant>/gradient, /v1/t/<tenant>/stats.
+const tenantRoutePrefix = "/v1/t/"
+
+// Handler exposes the whole registry over HTTP. Tenant-scoped routes
+// (/v1/t/<tenant>/...) resolve the named unit and delegate to its own wire
+// handler with the path's tenant segment stripped, so each unit serves the
+// exact protocol surface server.NewHandler defines; every other path —
+// including the legacy unversioned dialect — aliases to the default tenant.
+// The handler only attaches credentials (tenant segment + Authorization
+// bearer token) to the request context; enforcement happens in the unit's
+// interceptor, shared with the stream transport.
+func (r *Registry) Handler() http.Handler {
+	handlers := make(map[string]http.Handler, len(r.units))
+	for _, u := range r.units {
+		handlers[u.name] = server.NewHandler(u.Service())
+	}
+	def := handlers[r.def.name]
+
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		creds := service.Credentials{Token: bearerToken(req)}
+		if rest, ok := strings.CutPrefix(req.URL.Path, tenantRoutePrefix); ok {
+			name, sub, ok := strings.Cut(rest, "/")
+			if !ok || name == "" {
+				protocol.WriteError(w, protocol.Errorf(protocol.CodeInvalidArgument,
+					"tenant route wants %s<tenant>/task|gradient|stats", tenantRoutePrefix))
+				return
+			}
+			h, found := handlers[name]
+			if !found {
+				// Same shape as Registry.Resolve: don't confirm tenant
+				// names to unauthenticated probers.
+				protocol.WriteError(w, protocol.Errorf(protocol.CodeUnauthenticated, "unknown tenant"))
+				return
+			}
+			creds.Tenant = name
+			// Delegate with the tenant segment stripped so the unit's mux
+			// sees its canonical /v1/<method> routes. Clone first: the
+			// original URL may be shared with httptest callers.
+			req2 := req.Clone(service.WithCredentials(req.Context(), creds))
+			req2.URL.Path = "/v1/" + sub
+			h.ServeHTTP(w, req2)
+			return
+		}
+		def.ServeHTTP(w, req.Clone(service.WithCredentials(req.Context(), creds)))
+	})
+}
+
+// bearerToken extracts the RFC 6750 bearer token from the Authorization
+// header ("" when absent).
+func bearerToken(req *http.Request) string {
+	auth := req.Header.Get("Authorization")
+	if tok, ok := strings.CutPrefix(auth, "Bearer "); ok {
+		return tok
+	}
+	return ""
+}

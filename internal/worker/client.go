@@ -26,6 +26,13 @@ type Client struct {
 	// Wire, when non-nil, tallies encoded payload bytes in both directions
 	// (request and response bodies; HTTP header overhead is not counted).
 	Wire *protocol.WireCounter
+	// Tenant routes calls through the tenant-scoped /v1/t/<tenant>/ route
+	// space on multi-tenant servers ("" keeps the un-tenanted routes, which
+	// alias to the server's default tenant). Ignored in Legacy mode.
+	Tenant string
+	// Token is the bearer token minted for (tenant, worker), sent as the
+	// Authorization header on every call.
+	Token string
 }
 
 var _ service.Service = (*Client)(nil)
@@ -56,6 +63,7 @@ func (c *Client) Stats(ctx context.Context) (*protocol.Stats, error) {
 	}
 	codec := c.codec()
 	httpReq.Header.Set("Accept", codec.ContentType())
+	c.authorize(httpReq)
 	resp, err := c.httpClient().Do(httpReq)
 	if err != nil {
 		return nil, protocol.Errorf(protocol.CodeUnavailable, "worker: stats: %v", err)
@@ -84,6 +92,7 @@ func (c *Client) post(ctx context.Context, path string, in, out interface{}) err
 	}
 	httpReq.Header.Set("Content-Type", codec.ContentType())
 	httpReq.Header.Set("Accept", codec.ContentType())
+	c.authorize(httpReq)
 	resp, err := c.httpClient().Do(httpReq)
 	if err != nil {
 		return protocol.Errorf(protocol.CodeUnavailable, "worker: POST %s: %v", path, err)
@@ -122,12 +131,23 @@ func (c *Client) readError(resp *http.Response) error {
 	return protocol.ErrorFromHTTP(resp.StatusCode, resp.Header.Get("Content-Type"), body)
 }
 
-// route maps a logical path onto the versioned or legacy route space.
+// route maps a logical path onto the versioned, tenant-scoped or legacy
+// route space.
 func (c *Client) route(path string) string {
 	if c.Legacy {
 		return path
 	}
+	if c.Tenant != "" {
+		return "/v1/t/" + c.Tenant + path
+	}
 	return "/v1" + path
+}
+
+// authorize attaches the bearer token when one is configured.
+func (c *Client) authorize(req *http.Request) {
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
 }
 
 func (c *Client) codec() protocol.Codec {
