@@ -63,6 +63,8 @@ type benchOptions struct {
 	stages    string
 	agg       string
 	admission string
+	compress  string
+	codec     string
 
 	// Assertions on the run's result.
 	minAccuracy       float64
@@ -86,6 +88,7 @@ type benchOptions struct {
 	identical       bool
 	maxRegression   float64
 	maxAccuracyDrop float64
+	maxUplinkGrowth float64
 }
 
 // parseBench parses args without touching the process-global flag set, so
@@ -109,6 +112,8 @@ func parseBench(args []string, stderr io.Writer) (*benchOptions, error) {
 	fs.StringVar(&o.stages, "stages", "", "override the update-pipeline stage specs")
 	fs.StringVar(&o.agg, "aggregator", "", "override the window-aggregator spec")
 	fs.StringVar(&o.admission, "admission", "", "override the admission-chain spec")
+	fs.StringVar(&o.compress, "compress", "", `override the scenario's uplink compression chain (e.g. "topk(12),q8"; "dense" clears it)`)
+	fs.StringVar(&o.codec, "codec", "", "override the scenario's wire codec: gob, json or flat")
 	fs.Float64Var(&o.minAccuracy, "min-accuracy", 0, "fail unless final accuracy reaches this (0 disables)")
 	fs.IntVar(&o.maxProtocolErrors, "max-protocol-errors", -1, "fail when protocol errors exceed this (-1 disables; CI uses 0)")
 	fs.StringVar(&o.compareTransport, "compare-transport", "", "also run the scenario over this twin transport (same seed) and embed the poll-vs-push comparison")
@@ -121,6 +126,7 @@ func parseBench(args []string, stderr io.Writer) (*benchOptions, error) {
 	fs.BoolVar(&o.identical, "identical", false, "with -compare: require bit-for-bit equality modulo wallclock")
 	fs.Float64Var(&o.maxRegression, "max-regression", 0.2, "with -compare: max fractional throughput regression")
 	fs.Float64Var(&o.maxAccuracyDrop, "max-accuracy-drop", 0.1, "with -compare: max absolute final-accuracy drop")
+	fs.Float64Var(&o.maxUplinkGrowth, "max-uplink-growth", 0.1, "with -compare: max fractional wire-uplink-bytes growth over the baseline (wire transports only)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -189,6 +195,19 @@ func buildRunner(o *benchOptions) (*loadgen.Runner, error) {
 	}
 	if o.admission != "" {
 		sc.Server.Admission = o.admission
+	}
+	if o.compress != "" {
+		// "dense" turns compression off outright — the uncompressed twin the
+		// uplink-bytes headline is measured against.
+		sc.CompressK = 0
+		if o.compress == "dense" {
+			sc.CompressSpec = ""
+		} else {
+			sc.CompressSpec = o.compress
+		}
+	}
+	if o.codec != "" {
+		sc.Codec = o.codec
 	}
 	return &loadgen.Runner{
 		Scenario:  sc,
@@ -370,6 +389,7 @@ func runCompare(o *benchOptions, stdout, stderr io.Writer) int {
 	rep := loadgen.Compare(baseline, current, loadgen.CompareOptions{
 		MaxThroughputRegression: o.maxRegression,
 		MaxAccuracyDrop:         o.maxAccuracyDrop,
+		MaxUplinkBytesGrowth:    o.maxUplinkGrowth,
 	})
 	fmt.Fprint(stdout, rep.String())
 	if rep.Failed {

@@ -194,6 +194,7 @@ func buildServer(args []string, stderr io.Writer) (*serverSetup, error) {
 		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
 		transport  = fs.String("transport", "http", `served transports: "http" (per-request v1 wire protocol), "stream" (persistent sessions with server-pushed model announces) or "both"`)
 		streamAddr = fs.String("stream-addr", ":8081", "stream-transport listen address (with -transport stream|both)")
+		f16Ann     = fs.Bool("f16-announce", false, "attach a half-precision full-parameter image to model announces whose exact delta went dense, so dense-gradient deployments keep absorbable announces (subscribers trade exactness for freshness)")
 		verbose    = fs.Bool("verbose", false, "log every request")
 
 		ckptDir     = fs.String("checkpoint-dir", "", "durable checkpoint directory; empty disables crash safety")
@@ -246,6 +247,7 @@ func buildServer(args []string, stderr io.Writer) (*serverSetup, error) {
 		LearningRate: *lr,
 		K:            *k,
 		Pipeline:     pipe,
+		F16Announce:  *f16Ann,
 		Seed:         *seed,
 	}
 

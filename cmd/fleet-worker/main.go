@@ -67,8 +67,9 @@ func buildWorker(args []string, stderr io.Writer) (*workerSetup, error) {
 		rounds     = fs.Int("rounds", 50, "learning-task rounds to run")
 		interval   = fs.Duration("interval", 200*time.Millisecond, "pause between rounds")
 		seed       = fs.Int64("seed", 7, "local data + sampling seed")
-		codecName  = fs.String("codec", "gob", "wire codec: gob or json")
-		compressK  = fs.Int("compress-k", 0, "top-k sparse uplink coordinates (0 sends dense gradients)")
+		codecName  = fs.String("codec", "gob", "wire codec: gob, json or flat")
+		compressK  = fs.Int("compress-k", 0, "top-k sparse uplink coordinates (0 sends dense gradients); deprecated spelling of -compress 'topk(k)'")
+		compress   = fs.String("compress", "", `uplink compression chain, e.g. "topk(16)", "topk(16),q8", "topk(16),f16" (empty sends dense gradients; supersedes -compress-k)`)
 		fullPull   = fs.Bool("full-pull", false, "always download the full model (disable delta pulls)")
 		legacy     = fs.Bool("legacy", false, "speak the unversioned pre-v1 routes")
 		timeout    = fs.Duration("timeout", 30*time.Second, "per-round deadline")
@@ -88,8 +89,10 @@ func buildWorker(args []string, stderr io.Writer) (*workerSetup, error) {
 		codec = protocol.GobGzip
 	case "json":
 		codec = protocol.JSON
+	case "flat":
+		codec = protocol.Flat
 	default:
-		return nil, fmt.Errorf("unknown codec %q (want gob or json)", *codecName)
+		return nil, fmt.Errorf("unknown codec %q (want gob, json or flat)", *codecName)
 	}
 	if *legacy && *codecName != "gob" {
 		return nil, fmt.Errorf("-legacy speaks the pre-v1 gob+gzip dialect only; drop -codec or -legacy")
@@ -101,6 +104,9 @@ func buildWorker(args []string, stderr io.Writer) (*workerSetup, error) {
 	}
 	if *transport == "stream" && *legacy {
 		return nil, fmt.Errorf("-legacy speaks the pre-v1 HTTP routes; the stream transport has no legacy dialect")
+	}
+	if *legacy && *compress != "" {
+		return nil, fmt.Errorf("-legacy speaks the pre-v1 dialect, which predates tagged compression chains; use -compress-k or drop -legacy")
 	}
 	if *legacy && (*tenantName != "" || *token != "") {
 		return nil, fmt.Errorf("-legacy speaks the pre-v1 routes, which carry no tenant credentials; drop -tenant/-token or -legacy")
@@ -133,6 +139,8 @@ func buildWorker(args []string, stderr io.Writer) (*workerSetup, error) {
 		Local:        local,
 		Device:       device.New(model, simrand.New(*seed+1)),
 		Rng:          simrand.New(*seed + 2),
+		Compress:     *compress,
+		CompressRng:  simrand.New(*seed + 3),
 		CompressK:    *compressK,
 		FullPullOnly: *fullPull,
 	})

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"fleet/internal/aggtree"
+	"fleet/internal/compress"
 	"fleet/internal/core"
 	"fleet/internal/data"
 	"fleet/internal/device"
@@ -201,6 +202,51 @@ func CodecGobGzip() Codec { return protocol.GobGzip }
 
 // CodecJSON returns the interoperable, curl-friendly wire codec.
 func CodecJSON() Codec { return protocol.JSON }
+
+// CodecFlat returns the flat binary wire codec: fixed header,
+// little-endian arrays, pooled buffers and zero-copy sparse decode — the
+// leanest representation for gradient traffic.
+func CodecFlat() Codec { return protocol.Flat }
+
+// ---------------------------------------------------------------------------
+// Uplink compression (internal/compress): registry-built chains of wire
+// stages — "topk(k)" sparsification with error feedback, "q8"/"f16"
+// quantization with unbiased stochastic rounding.
+
+// Compressor turns a dense gradient into its wire form. Build one from a
+// spec with BuildCompressor; workers apply it per computed gradient
+// (WorkerConfig.Compress builds one internally).
+type Compressor = compress.Compressor
+
+// CompressorStage is one link of a compression chain; register custom
+// stages with RegisterCompressor.
+type CompressorStage = compress.Stage
+
+// CompressorOptions parameterizes BuildCompressor: the model's parameter
+// count and the RNG stochastic quantizers draw from.
+type CompressorOptions = compress.Options
+
+// GradientForm is a compressor's output: dense, top-k sparse, or a
+// quantized sparse variant, tagged with its wire encoding name.
+type GradientForm = compress.Form
+
+// BuildCompressor composes a compression chain from a spec like
+// "topk(16)", "topk(16),q8" or "topk(16),f16". The empty spec returns
+// (nil, nil): no compression.
+func BuildCompressor(specStr string, opts CompressorOptions) (Compressor, error) {
+	return compress.Build(specStr, opts)
+}
+
+// RegisterCompressor adds a named compression stage to the registry, making
+// it usable in every spec-driven surface (WorkerConfig.Compress,
+// fleet-worker -compress, loadgen CompressSpec). It panics on duplicates,
+// like the pipeline and admission registries.
+func RegisterCompressor(name string, build func(args []float64, opts CompressorOptions) (CompressorStage, error)) {
+	compress.RegisterCompressor(name, build)
+}
+
+// Compressors lists the registered compression stage names, sorted.
+func Compressors() []string { return compress.Compressors() }
 
 // APIError is the structured error of the wire protocol; errors.As
 // recovers it from any Service call, local or remote.

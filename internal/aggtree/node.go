@@ -129,7 +129,11 @@ type Node struct {
 	classes    int
 	labels     *learning.LabelTracker
 	pipe       *pipeline.Pipeline
-	admit      sched.AdmissionPolicy
+	// sparseOK caches pipe.SparseCapable(): top-k leaf pushes scatter
+	// straight into the edge's window without densifying (same gate as the
+	// root server's).
+	sparseOK bool
+	admit    sched.AdmissionPolicy
 
 	// snap is the immutable cached upstream model, read lock-free by the
 	// leaf-serving paths; nil until the first sync.
@@ -220,6 +224,7 @@ func New(cfg Config) (*Node, error) {
 		classes:    cfg.Arch.Classes(),
 		labels:     learning.NewLabelTracker(cfg.Arch.Classes()),
 		pipe:       cfg.Pipeline,
+		sparseOK:   cfg.Pipeline.SparseCapable(),
 		admit:      cfg.Admission,
 		rejects:    map[string]int{},
 	}
@@ -331,27 +336,11 @@ func (n *Node) PushGradient(ctx context.Context, push *protocol.GradientPush) (*
 	if err != nil {
 		return nil, err
 	}
-	gradient := push.Gradient
-	if gradient == nil && len(push.SparseValues) > 0 {
-		if push.GradientLen != n.paramCount {
-			return nil, protocol.Errorf(protocol.CodeInvalidArgument,
-				"aggtree: sparse gradient of dense length %d, model has %d", push.GradientLen, n.paramCount)
-		}
-		if len(push.SparseIndices) != len(push.SparseValues) {
-			return nil, protocol.Errorf(protocol.CodeInvalidArgument,
-				"aggtree: sparse gradient with %d indices, %d values", len(push.SparseIndices), len(push.SparseValues))
-		}
-		sp := compress.Sparse{Len: push.GradientLen, Indices: push.SparseIndices, Values: push.SparseValues}
-		for _, id := range sp.Indices {
-			if id < 0 || int(id) >= sp.Len {
-				return nil, protocol.Errorf(protocol.CodeInvalidArgument, "aggtree: sparse index %d out of range", id)
-			}
-		}
-		gradient = sp.Dense()
-	}
-	if len(gradient) != n.paramCount {
-		return nil, protocol.Errorf(protocol.CodeInvalidArgument,
-			"aggtree: gradient has %d params, model has %d", len(gradient), n.paramCount)
+	// Every uplink dialect — dense, top-k, quantized top-k — decodes
+	// through the shared payload helper, exactly as at the root.
+	payload, err := protocol.DecodeGradientPayload(push, n.paramCount)
+	if err != nil {
+		return nil, err
 	}
 	if push.BatchSize <= 0 {
 		return nil, protocol.Errorf(protocol.CodeInvalidArgument,
@@ -396,8 +385,10 @@ func (n *Node) PushGradient(ctx context.Context, push *protocol.GradientPush) (*
 			"aggtree: gradient from future model version %d (edge at %d)", push.ModelVersion, snap.version)
 	}
 
+	// Sparse fast path, mirroring the root server: a validated ascending
+	// top-k view scatters straight into the edge window's shard
+	// accumulators; anything else densifies up front.
 	g := &pipeline.Gradient{
-		Vec: gradient,
 		Meta: learning.GradientMeta{
 			Staleness:  staleness,
 			Similarity: sim,
@@ -405,6 +396,13 @@ func (n *Node) PushGradient(ctx context.Context, push *protocol.GradientPush) (*
 			WorkerID:   push.WorkerID,
 		},
 		Scale: 1,
+	}
+	if payload.Sparse() && payload.Ascending && n.sparseOK {
+		g.Vec = payload.Values
+		g.Indices = payload.Indices
+		g.DenseLen = n.paramCount
+	} else {
+		g.Vec = payload.Densify(n.paramCount)
 	}
 	if err := n.pipe.Process(g); err != nil {
 		return nil, err
@@ -654,7 +652,11 @@ func (n *Node) publishLocked(version int, epoch int64, params []float64) {
 // RPC-free: only a delta chaining exactly onto the cache applies; anything
 // else — epoch change, chain gap, delta-less drain — flags the cache for
 // repair at the next upstream exchange. Returns whether the announce was
-// absorbed.
+// absorbed. Full half-precision announces (ModelAnnounce.ParamsF16) are
+// deliberately not absorbed here: the edge's cache is a delta base for its
+// own leaves, so quantized params would poison downstream patches — it
+// takes the needRefresh path and repairs with an exact pull instead
+// (absorbing f16 and re-announcing exactly is a follow-on).
 func (n *Node) AbsorbUpstreamAnnounce(ann protocol.ModelAnnounce) bool {
 	if !n.upMu.TryLock() {
 		// An upstream exchange is in flight — possibly on this very

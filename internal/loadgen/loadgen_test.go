@@ -412,6 +412,27 @@ func TestCompareGate(t *testing.T) {
 	if rep := Compare(base, otherSeed, CompareOptions{}); !rep.Failed {
 		t.Fatal("cross-seed comparison must fail as incomparable")
 	}
+
+	// The wire-uplink gate only fires between two wire runs: in-process
+	// results carry no transport stats, so it must stay silent here...
+	for _, c := range Compare(base, same, CompareOptions{}).Checks {
+		if c.Name == "wire_uplink_bytes" {
+			t.Fatal("uplink gate fired on in-process results with no transport stats")
+		}
+	}
+	// ...and fail when a wire run's uplink bytes grow past the limit.
+	wireBase := *base
+	wireBase.TransportStats = &TransportBlock{WireUplinkBytes: 1000}
+	fatUplink := *same
+	fatUplink.TransportStats = &TransportBlock{WireUplinkBytes: 1200}
+	if rep := Compare(&wireBase, &fatUplink, CompareOptions{MaxUplinkBytesGrowth: 0.1}); !rep.Failed {
+		t.Fatal("+20% uplink bytes passed a 10% gate")
+	}
+	leanUplink := *same
+	leanUplink.TransportStats = &TransportBlock{WireUplinkBytes: 500}
+	if rep := Compare(&wireBase, &leanUplink, CompareOptions{MaxUplinkBytesGrowth: 0.1}); rep.Failed {
+		t.Fatalf("halved uplink bytes failed the gate:\n%s", Compare(&wireBase, &leanUplink, CompareOptions{MaxUplinkBytesGrowth: 0.1}))
+	}
 }
 
 func TestResultFileRoundTrip(t *testing.T) {

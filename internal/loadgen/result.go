@@ -448,6 +448,11 @@ type CompareOptions struct {
 	// MaxAccuracyDrop fails when final accuracy fell by more than this
 	// (absolute). Default 0.1.
 	MaxAccuracyDrop float64
+	// MaxUplinkBytesGrowth fails when the current run's wire uplink bytes
+	// exceed baseline·(1+this). Default 0.1 (the CI gate's 10%). The check
+	// only fires when both results carry transport stats with a nonzero
+	// baseline uplink — in-process runs have no wire to regress.
+	MaxUplinkBytesGrowth float64
 }
 
 // Check is one comparison verdict.
@@ -490,6 +495,9 @@ func Compare(baseline, current *Result, opts CompareOptions) CompareReport {
 	}
 	if opts.MaxAccuracyDrop <= 0 {
 		opts.MaxAccuracyDrop = 0.1
+	}
+	if opts.MaxUplinkBytesGrowth <= 0 {
+		opts.MaxUplinkBytesGrowth = 0.1
 	}
 	var rep CompareReport
 	add := func(c Check) {
@@ -535,6 +543,17 @@ func Compare(baseline, current *Result, opts CompareOptions) CompareReport {
 			Current:  float64(current.Counts.ProtocolErrors),
 			OK:       current.Counts.ProtocolErrors <= baseline.Counts.ProtocolErrors,
 			Detail:   "must not increase",
+		})
+	}
+	if baseline.TransportStats != nil && current.TransportStats != nil &&
+		baseline.TransportStats.WireUplinkBytes > 0 {
+		bu := baseline.TransportStats.WireUplinkBytes
+		cu := current.TransportStats.WireUplinkBytes
+		growth := float64(cu-bu) / float64(bu)
+		add(Check{
+			Name: "wire_uplink_bytes", Baseline: float64(bu), Current: float64(cu),
+			OK:     growth <= opts.MaxUplinkBytesGrowth,
+			Detail: fmt.Sprintf("%+.1f%% (limit +%.0f%%)", growth*100, opts.MaxUplinkBytesGrowth*100),
 		})
 	}
 	return rep

@@ -228,6 +228,7 @@ func (f *srvFactory) config() (server.Config, error) {
 		K:                sc.Server.K,
 		DeltaHistory:     sc.Server.DeltaHistory,
 		DefaultBatchSize: sc.Server.DefaultBatchSize,
+		F16Announce:      sc.Server.F16Announce,
 		Seed:             f.seed,
 	}
 	var err error
@@ -443,6 +444,10 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	wireCodec, err := codecByName(sc.Codec)
+	if err != nil {
+		return nil, err
+	}
 
 	// Deterministic seed plumbing: every random stream is derived from the
 	// master in a fixed, documented order, so adding a worker or a knob
@@ -578,6 +583,7 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 		svc = service.Chain(&worker.Client{
 			BaseURL:    ts.URL,
 			HTTPClient: &http.Client{Transport: tr},
+			Codec:      wireCodec,
 			Wire:       wire,
 		}, service.Metrics(wall))
 	case TransportStream:
@@ -685,11 +691,16 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 		}
 		sw.dev = device.New(modelOf[i], simrand.New(base+5))
 		w, err := worker.New(worker.Config{
-			ID:                i,
-			Arch:              arch,
-			Local:             local,
-			Device:            sw.dev,
-			Rng:               simrand.New(base + 6),
+			ID:     i,
+			Arch:   arch,
+			Local:  local,
+			Device: sw.dev,
+			Rng:    simrand.New(base + 6),
+			// The compression chain draws from its own stream (base+7), so
+			// adding a stochastic quantizer never perturbs the training or
+			// environment draws of an existing scenario.
+			Compress:          sc.CompressSpec,
+			CompressRng:       simrand.New(base + 7),
 			CompressK:         sc.CompressK,
 			GradientTransform: transform,
 			FullPullOnly:      fullPull[i],
@@ -703,6 +714,7 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 				Addr:      streamAddr,
 				WorkerID:  i,
 				Subscribe: true,
+				Codec:     wireCodec,
 				Wire:      wire,
 				OnAnnounce: func(protocol.ModelAnnounce) {
 					announces.Add(1)
@@ -1278,6 +1290,21 @@ func flipLabels(samples []nn.Sample, classes int) []nn.Sample {
 		out[i] = s
 	}
 	return out
+}
+
+// codecByName maps a scenario's codec knob onto the protocol codec the
+// wire transports hand their clients. Nil for the default keeps the
+// clients' own fallback (gob+gzip) in charge.
+func codecByName(name string) (protocol.Codec, error) {
+	switch name {
+	case "", "gob":
+		return protocol.GobGzip, nil
+	case "json":
+		return protocol.JSON, nil
+	case "flat":
+		return protocol.Flat, nil
+	}
+	return nil, fmt.Errorf("loadgen: unknown codec %q (known: gob, json, flat)", name)
 }
 
 // admissionSLO extracts the SLO argument of the named policy from an

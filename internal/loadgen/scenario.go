@@ -161,6 +161,11 @@ type ServerSpec struct {
 	NonStragglerPct float64 `json:"non_straggler_pct,omitempty"`
 	// DefaultBatchSize is used when no I-Prof policy prescribes one.
 	DefaultBatchSize int `json:"default_batch_size,omitempty"`
+	// F16Announce attaches a full half-precision parameter image to model
+	// announces whose exact delta went dense — the quantized dense announce
+	// format (server.Config.F16Announce). Off by default: absorbing workers
+	// trade exactness for freshness.
+	F16Announce bool `json:"f16_announce,omitempty"`
 }
 
 // Scenario is one composable load profile. The zero values of most fields
@@ -186,7 +191,18 @@ type Scenario struct {
 	// ThinkTimeSec is the mean virtual idle time between a worker's rounds.
 	ThinkTimeSec float64 `json:"think_time_sec,omitempty"`
 	// CompressK enables the top-k sparse uplink (0: dense gradients).
+	// Deprecated: the one-knob spelling of CompressSpec "topk(k)", kept so
+	// pre-registry profiles keep running; CompressSpec supersedes it.
 	CompressK int `json:"compress_k,omitempty"`
+	// CompressSpec names a registry-built uplink compression chain through
+	// the internal/compress grammar — "topk(k)", "topk(k),q8",
+	// "topk(k),f16" — the same specs fleet-worker -compress accepts.
+	// Non-empty supersedes CompressK.
+	CompressSpec string `json:"compress_spec,omitempty"`
+	// Codec selects the wire representation for wire transports: "gob"
+	// (default gob+gzip), "json", or "flat" (the flat binary codec). The
+	// in-process transport has no wire and ignores it.
+	Codec string `json:"codec,omitempty"`
 	// FullPullFrac is the fraction of workers that never request delta
 	// pulls, mixing both downlink modes in one run.
 	FullPullFrac float64 `json:"full_pull_frac,omitempty"`
@@ -296,6 +312,11 @@ func (s Scenario) validate() error {
 	if s.FullPullFrac < 0 || s.FullPullFrac > 1 {
 		return fmt.Errorf("loadgen: full-pull fraction %g outside [0,1]", s.FullPullFrac)
 	}
+	switch s.Codec {
+	case "", "gob", "json", "flat":
+	default:
+		return fmt.Errorf("loadgen: unknown codec %q (known: gob, json, flat)", s.Codec)
+	}
 	if s.Churn.LeaveProb < 0 || s.Churn.LeaveProb > 1 {
 		return fmt.Errorf("loadgen: churn leave probability %g outside [0,1]", s.Churn.LeaveProb)
 	}
@@ -395,7 +416,7 @@ func init() {
 		Workers:       30,
 		Rounds:        8,
 		EvalEvery:     40,
-		CompressK:     12,
+		CompressSpec:  "topk(12)",
 		FullPullFrac:  0.25,
 		ShardsPerUser: 2,
 		Tiers: []Tier{
@@ -424,10 +445,13 @@ func init() {
 	Register(Scenario{
 		Name: "delta-mix",
 		Description: "downlink-focused profile: half the fleet delta-pulls against a deep delta history, " +
-			"half full-pulls, top-k sparse uplink keeping diffs wire-worthy",
-		Workers:      20,
-		Rounds:       10,
-		CompressK:    8,
+			"half full-pulls, top-k + f16 quantized sparse uplink keeping diffs wire-worthy",
+		Workers: 20,
+		Rounds:  10,
+		// Half-precision values on the top-k uplink: the indices dominate
+		// the arithmetic (the same coordinates step), so f16 costs almost
+		// no accuracy while halving the value bytes.
+		CompressSpec: "topk(8),f16",
 		FullPullFrac: 0.5,
 		Server:       ServerSpec{DeltaHistory: 8},
 	})
@@ -485,8 +509,12 @@ func init() {
 		// Top-k sparse uplink keeps each drain's version-to-version delta
 		// sparse enough to ride the announce frames; dense pushes would
 		// change more than half the coordinates per window and degrade every
-		// announce to a version-only notification.
-		CompressK: 12,
+		// announce to a version-only notification. The q8 stage rides along
+		// (one level byte per value instead of eight) and the flat binary
+		// codec carries the whole exchange — the uplink-bytes headline the
+		// wire-format work is gated on.
+		CompressSpec: "topk(12),q8",
+		Codec:        "flat",
 		// Sub-second RTTs with a connection setup that dominates them: the
 		// regime where a persistent session visibly beats per-request
 		// connections (the polling twin pays ConnSetupSec twice per round).
@@ -514,8 +542,8 @@ func init() {
 		// patchable deltas and the edges stay current between their own
 		// forwards — dense pushes would blind the edges to most drains and
 		// their forwards would arrive a version stale, re-damped by the root.
-		CompressK: 48,
-		Tree:      TreeSpec{Edges: 3, FanIn: 4},
+		CompressSpec: "topk(48)",
+		Tree:         TreeSpec{Edges: 3, FanIn: 4},
 		// Root K equals the edge count: one root window per sweep of edge
 		// pushes, mirroring the flat Edges×FanIn aggregate window. The delta
 		// history keeps relay announces sparse, so edges stay current without

@@ -37,7 +37,20 @@ type Gradient struct {
 	// pusher's slice, so stages that rewrite values must replace Vec with
 	// a transformed copy (see DP) — never mutate the caller's memory in
 	// place. Stages that only read Vec or adjust Scale need not copy.
+	//
+	// Sparse form: when Indices is non-nil, Vec holds only the values at
+	// those coordinates of a dense vector of length DenseLen — a top-k
+	// push travelling without densification. Only pipelines whose stages
+	// are all SparseSafe and whose aggregator implements SparseAdder see
+	// sparse gradients (the server gates on Pipeline.SparseCapable);
+	// everything else receives dense vectors exactly as before.
 	Vec []float64
+	// Indices are the dense coordinates of a sparse Vec (strictly
+	// ascending, validated at the wire boundary); nil for dense gradients.
+	Indices []int32
+	// DenseLen is the dense length a sparse Vec scatters into; 0 for
+	// dense gradients.
+	DenseLen int
 	// Meta carries the server-side metadata (staleness, similarity, batch
 	// size, worker id) stages scale or filter on.
 	Meta learning.GradientMeta
@@ -75,6 +88,25 @@ type WindowAggregator interface {
 	// no better addressee, so custom aggregators should reserve errors for
 	// windows that are genuinely unusable.
 	Drain(apply func(direction []float64)) error
+}
+
+// SparseSafe marks a Stage whose Process is correct when g carries a
+// sparse gradient (g.Indices non-nil, Vec holding only the nonzero
+// values). True for stages that only touch Scale (staleness) or whose
+// read of Vec is invariant under the zero coordinates (an L2 norm over
+// the nonzeros is the dense norm). Stages that rewrite or must see every
+// coordinate — DP noise touches all of them — do not implement it, and
+// the pipeline then receives densified vectors.
+type SparseSafe interface {
+	SparseSafe() bool
+}
+
+// SparseAdder is a WindowAggregator that can accumulate a sparse gradient
+// without densifying it: scale·vals[j] scattered into the window at
+// idx[j]. Implementations must match their Add bit-for-bit on the touched
+// coordinates (MeanWindow scatters into the same shard accumulators).
+type SparseAdder interface {
+	AddSparse(denseLen int, idx []int32, vals []float64, scale float64)
 }
 
 // Pipeline chains Stages in front of a WindowAggregator.
@@ -118,7 +150,41 @@ func (p *Pipeline) Process(g *Gradient) error {
 }
 
 // Add accumulates a processed gradient into the aggregation window.
-func (p *Pipeline) Add(g *Gradient) { p.agg.Add(g.Vec, g.Scale) }
+// Sparse gradients scatter directly into a SparseAdder aggregator; as a
+// safety net against callers that skipped the SparseCapable gate, they
+// densify in front of anything else.
+func (p *Pipeline) Add(g *Gradient) {
+	if g.Indices != nil {
+		if sa, ok := p.agg.(SparseAdder); ok {
+			sa.AddSparse(g.DenseLen, g.Indices, g.Vec, g.Scale)
+			return
+		}
+		dense := make([]float64, g.DenseLen)
+		for j, id := range g.Indices {
+			dense[id] = g.Vec[j]
+		}
+		p.agg.Add(dense, g.Scale)
+		return
+	}
+	p.agg.Add(g.Vec, g.Scale)
+}
+
+// SparseCapable reports whether this pipeline can carry sparse gradients
+// end-to-end: every stage implements SparseSafe and the aggregator
+// implements SparseAdder. The server checks it once at construction and
+// densifies top-k pushes up front when it is false.
+func (p *Pipeline) SparseCapable() bool {
+	if _, ok := p.agg.(SparseAdder); !ok {
+		return false
+	}
+	for _, st := range p.stages {
+		ss, ok := st.(SparseSafe)
+		if !ok || !ss.SparseSafe() {
+			return false
+		}
+	}
+	return true
+}
 
 // Drain folds the current window into the model via apply. Errors are
 // surfaced as invalid_argument protocol errors (the window is discarded).

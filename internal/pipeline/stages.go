@@ -39,6 +39,9 @@ func (s StalenessScale) Process(g *Gradient) error {
 	return nil
 }
 
+// SparseSafe implements SparseSafe: the stage never reads Vec.
+func (s StalenessScale) SparseSafe() bool { return true }
+
 // DP is the differential-privacy stage: per-gradient L2 clipping plus
 // Gaussian noise (dp.Perturb), with the noise std divided by the push's
 // mini-batch size. dp.Perturb's *rand.Rand is not safe for concurrent use,
@@ -132,3 +135,7 @@ func (f NormFilter) Process(g *Gradient) error {
 	}
 	return nil
 }
+
+// SparseSafe implements SparseSafe: the L2 norm over a sparse gradient's
+// stored values equals the dense norm (zeros contribute nothing).
+func (f NormFilter) SparseSafe() bool { return true }

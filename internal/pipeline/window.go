@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"fleet/internal/robust"
+	"fleet/internal/tensor"
 )
 
 // meanShard is one stripe of the sharded mean accumulator. The padding
@@ -58,6 +59,25 @@ func (m *MeanWindow) Add(vec []float64, scale float64) {
 	for i, g := range vec {
 		sh.accum[i] += scale * g
 	}
+	sh.dirty = true
+	sh.mu.Unlock()
+}
+
+// AddSparse implements SparseAdder: a top-k gradient scatters straight
+// into one shard's accumulator without ever materializing its dense form.
+// Bit-for-bit equivalent to Add on the densified vector — the same
+// coordinates receive the same scale·value adds in the same order, and
+// the untouched coordinates would only have received identity +0 adds —
+// while skipping the O(params) allocation and loop per push.
+func (m *MeanWindow) AddSparse(denseLen int, idx []int32, vals []float64, scale float64) {
+	m.alloc.Do(func() {
+		for i := range m.shards {
+			m.shards[i].accum = make([]float64, denseLen)
+		}
+	})
+	sh := &m.shards[m.cursor.Add(1)%uint64(len(m.shards))]
+	sh.mu.Lock()
+	tensor.ScatterAddScaled(sh.accum, idx, vals, scale)
 	sh.dirty = true
 	sh.mu.Unlock()
 }

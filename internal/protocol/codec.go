@@ -135,6 +135,8 @@ func CodecForContentType(contentType string) (Codec, error) {
 			return GobGzip, nil
 		case ContentTypeJSON:
 			return JSON, nil
+		case ContentTypeFlat:
+			return Flat, nil
 		}
 	}
 	return nil, Errorf(CodeUnsupportedMedia, "unsupported content type %q", contentType)

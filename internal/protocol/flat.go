@@ -1,0 +1,577 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"io"
+	"math"
+	"sync"
+	"unsafe"
+
+	"fleet/internal/compress"
+)
+
+// Flat binary wire codec: the allocation-free dialect for the two hot,
+// O(params) messages. Gob re-sends type descriptors on every message (each
+// encoder is per-request) and gzip burns CPU on payloads that are mostly
+// incompressible float bits; the flat codec instead writes a fixed header
+// and raw little-endian arrays, so a sparse push costs ~40 bytes of
+// framing plus 4–12 bytes per kept coordinate, encoded through a pooled
+// buffer and decoded zero-copy: array bytes are read straight off the wire
+// into the final []float64/[]int32/[]uint16 backing stores.
+//
+// Only GradientPush and TaskResponse get a flat layout (kinds 2 and 3);
+// every other message travels as a gob+gzip stream behind the flat header
+// (kind 0), so the codec satisfies the full Codec contract and flat
+// sessions can still exchange acks, announces and stats. The layouts are
+// fixed field lists — adding a field requires bumping flatVersion, unlike
+// the self-describing gob/JSON dialects.
+
+// ContentTypeFlat is the negotiation token of the flat binary codec.
+const ContentTypeFlat = "application/x-fleet-flat"
+
+// Flat is the flat binary codec.
+var Flat Codec = flatCodec{}
+
+const (
+	flatMagic   = "FLT1"
+	flatVersion = 1
+
+	flatKindGob          = 0 // gob+gzip stream follows the header
+	flatKindTaskResponse = 2
+	flatKindPush         = 3
+
+	flatHeaderLen = 8 // magic(4) + version(1) + kind(1) + reserved(2)
+)
+
+// hostLittle reports the native byte order, checked once: on little-endian
+// hosts (every deployment target) array payloads are memcpy'd; the
+// big-endian fallback converts element-wise.
+var hostLittle = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+type flatCodec struct{}
+
+func (flatCodec) ContentType() string { return ContentTypeFlat }
+
+// flatBuf is a pooled encode scratch buffer; one message is built in
+// memory and written with a single w.Write.
+type flatBuf struct{ b []byte }
+
+var flatPool = sync.Pool{New: func() interface{} { return &flatBuf{b: make([]byte, 0, 4096)} }}
+
+func (f *flatBuf) u8(v uint8) { f.b = append(f.b, v) }
+func (f *flatBuf) u32(v uint32) {
+	f.b = binary.LittleEndian.AppendUint32(f.b, v)
+}
+func (f *flatBuf) i64(v int64) {
+	f.b = binary.LittleEndian.AppendUint64(f.b, uint64(v))
+}
+func (f *flatBuf) f64(v float64) {
+	f.b = binary.LittleEndian.AppendUint64(f.b, math.Float64bits(v))
+}
+func (f *flatBuf) bool(v bool) {
+	if v {
+		f.u8(1)
+	} else {
+		f.u8(0)
+	}
+}
+func (f *flatBuf) str(s string) {
+	f.u32(uint32(len(s)))
+	f.b = append(f.b, s...)
+}
+func (f *flatBuf) f64s(s []float64) {
+	f.u32(uint32(len(s)))
+	if len(s) == 0 {
+		return
+	}
+	if hostLittle {
+		f.b = append(f.b, unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)...)
+		return
+	}
+	for _, v := range s {
+		f.f64(v)
+	}
+}
+func (f *flatBuf) i32s(s []int32) {
+	f.u32(uint32(len(s)))
+	if len(s) == 0 {
+		return
+	}
+	if hostLittle {
+		f.b = append(f.b, unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)...)
+		return
+	}
+	for _, v := range s {
+		f.u32(uint32(v))
+	}
+}
+func (f *flatBuf) u16s(s []uint16) {
+	f.u32(uint32(len(s)))
+	if len(s) == 0 {
+		return
+	}
+	if hostLittle {
+		f.b = append(f.b, unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*2)...)
+		return
+	}
+	for _, v := range s {
+		f.b = binary.LittleEndian.AppendUint16(f.b, v)
+	}
+}
+func (f *flatBuf) u8s(s []uint8) {
+	f.u32(uint32(len(s)))
+	f.b = append(f.b, s...)
+}
+func (f *flatBuf) ints(s []int) {
+	f.u32(uint32(len(s)))
+	for _, v := range s {
+		f.i64(int64(v))
+	}
+}
+func (f *flatBuf) header(kind uint8) {
+	f.b = append(f.b, flatMagic...)
+	f.u8(flatVersion)
+	f.u8(kind)
+	f.u8(0)
+	f.u8(0)
+}
+
+func (flatCodec) Encode(w io.Writer, v interface{}) error {
+	switch m := v.(type) {
+	case *GradientPush:
+		return encodeFlatPush(w, m)
+	case GradientPush:
+		return encodeFlatPush(w, &m)
+	case *TaskResponse:
+		return encodeFlatTaskResponse(w, m)
+	case TaskResponse:
+		return encodeFlatTaskResponse(w, &m)
+	default:
+		// Cold-path messages: gob+gzip stream behind the flat header.
+		hdr := [flatHeaderLen]byte{flatMagic[0], flatMagic[1], flatMagic[2], flatMagic[3], flatVersion, flatKindGob}
+		if _, err := w.Write(hdr[:]); err != nil {
+			return Errorf(CodeUnavailable, "flat: write header: %v", err)
+		}
+		return GobGzip.Encode(w, v)
+	}
+}
+
+func flushFlat(w io.Writer, f *flatBuf) error {
+	_, err := w.Write(f.b)
+	f.b = f.b[:0]
+	flatPool.Put(f)
+	if err != nil {
+		return Errorf(CodeUnavailable, "flat: write: %v", err)
+	}
+	return nil
+}
+
+// encodeFlatPush lays out a GradientPush as kind 3. Field order is the
+// wire contract — change it only with a flatVersion bump.
+func encodeFlatPush(w io.Writer, p *GradientPush) error {
+	f := flatPool.Get().(*flatBuf)
+	f.header(flatKindPush)
+	f.i64(int64(p.WorkerID))
+	f.str(p.DeviceModel)
+	f.i64(int64(p.ModelVersion))
+	f.i64(p.ModelEpoch)
+	f.f64s(p.Gradient)
+	f.i64(int64(p.GradientLen))
+	f.i32s(p.SparseIndices)
+	f.f64s(p.SparseValues)
+	f.u16s(p.SparseF16)
+	f.u8s(p.SparseQ8Levels)
+	f.f64(p.SparseQ8Min)
+	f.f64(p.SparseQ8Max)
+	f.str(p.Encoding)
+	f.i64(int64(p.BatchSize))
+	f.ints(p.LabelCounts)
+	f.f64(p.CompTimeSec)
+	f.f64(p.EnergyPct)
+	f.f64s(p.TimeFeatures)
+	f.f64s(p.EnergyFeatures)
+	f.i64(int64(p.Contributing))
+	f.i64(int64(p.StalenessMin))
+	f.i64(int64(p.StalenessMax))
+	return flushFlat(w, f)
+}
+
+// encodeFlatTaskResponse lays out a TaskResponse as kind 2.
+func encodeFlatTaskResponse(w io.Writer, t *TaskResponse) error {
+	f := flatPool.Get().(*flatBuf)
+	f.header(flatKindTaskResponse)
+	f.bool(t.Accepted)
+	f.str(t.Reason)
+	f.i64(int64(t.ModelVersion))
+	f.f64s(t.Params)
+	f.i64(int64(t.BatchSize))
+	if t.ParamsDelta != nil {
+		f.u8(1)
+		f.i64(int64(t.ParamsDelta.Len))
+		f.i32s(t.ParamsDelta.Indices)
+		f.f64s(t.ParamsDelta.Values)
+	} else {
+		f.u8(0)
+	}
+	f.i64(int64(t.DeltaBase))
+	f.bool(t.Full)
+	f.i64(t.ServerEpoch)
+	return flushFlat(w, f)
+}
+
+// flatDec decodes one flat message from an io.Reader, tracking a byte
+// budget so a hostile header cannot demand gigabyte allocations: every
+// declared array length is charged against MaxDecodedBytes before its
+// backing store is allocated.
+type flatDec struct {
+	r       io.Reader
+	scratch [8]byte
+	budget  int64
+}
+
+func (d *flatDec) charge(n int64) error {
+	d.budget -= n
+	if d.budget < 0 {
+		return Errorf(CodePayloadTooLarge, "flat: message exceeds %d bytes", MaxDecodedBytes)
+	}
+	return nil
+}
+
+func (d *flatDec) fill(b []byte) error {
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		return Errorf(CodeInvalidArgument, "flat: truncated message: %v", err)
+	}
+	return nil
+}
+
+func (d *flatDec) u8() (uint8, error) {
+	if err := d.fill(d.scratch[:1]); err != nil {
+		return 0, err
+	}
+	return d.scratch[0], nil
+}
+func (d *flatDec) u32() (uint32, error) {
+	if err := d.fill(d.scratch[:4]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(d.scratch[:4]), nil
+}
+func (d *flatDec) i64() (int64, error) {
+	if err := d.fill(d.scratch[:8]); err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(d.scratch[:8])), nil
+}
+func (d *flatDec) f64() (float64, error) {
+	v, err := d.i64()
+	return math.Float64frombits(uint64(v)), err
+}
+func (d *flatDec) bool() (bool, error) {
+	v, err := d.u8()
+	if err != nil {
+		return false, err
+	}
+	if v > 1 {
+		return false, Errorf(CodeInvalidArgument, "flat: bool byte %d", v)
+	}
+	return v == 1, nil
+}
+
+// count reads an array length and charges its decoded size.
+func (d *flatDec) count(elemSize int64) (int, error) {
+	n, err := d.u32()
+	if err != nil {
+		return 0, err
+	}
+	if err := d.charge(int64(n) * elemSize); err != nil {
+		return 0, err
+	}
+	return int(n), nil
+}
+
+func (d *flatDec) str() (string, error) {
+	n, err := d.count(1)
+	if err != nil || n == 0 {
+		return "", err
+	}
+	b := make([]byte, n)
+	if err := d.fill(b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// f64s reads a float64 array zero-copy: the wire bytes land directly in
+// the returned slice's backing store (element-wise on big-endian hosts).
+func (d *flatDec) f64s() ([]float64, error) {
+	n, err := d.count(8)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	out := make([]float64, n)
+	if err := d.fill(unsafe.Slice((*byte)(unsafe.Pointer(&out[0])), n*8)); err != nil {
+		return nil, err
+	}
+	if !hostLittle {
+		for i := range out {
+			raw := *(*uint64)(unsafe.Pointer(&out[i]))
+			out[i] = math.Float64frombits(swap64(raw))
+		}
+	}
+	return out, nil
+}
+
+func (d *flatDec) i32s() ([]int32, error) {
+	n, err := d.count(4)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	out := make([]int32, n)
+	if err := d.fill(unsafe.Slice((*byte)(unsafe.Pointer(&out[0])), n*4)); err != nil {
+		return nil, err
+	}
+	if !hostLittle {
+		for i := range out {
+			out[i] = int32(swap32(uint32(out[i])))
+		}
+	}
+	return out, nil
+}
+
+func (d *flatDec) u16s() ([]uint16, error) {
+	n, err := d.count(2)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	out := make([]uint16, n)
+	if err := d.fill(unsafe.Slice((*byte)(unsafe.Pointer(&out[0])), n*2)); err != nil {
+		return nil, err
+	}
+	if !hostLittle {
+		for i := range out {
+			out[i] = out[i]<<8 | out[i]>>8
+		}
+	}
+	return out, nil
+}
+
+func (d *flatDec) u8s() ([]uint8, error) {
+	n, err := d.count(1)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	out := make([]uint8, n)
+	if err := d.fill(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (d *flatDec) ints() ([]int, error) {
+	n, err := d.count(8)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	out := make([]int, n)
+	for i := range out {
+		v, err := d.i64()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+func swap64(v uint64) uint64 {
+	return v<<56 | v>>56 |
+		(v&0xff00)<<40 | (v>>40)&0xff00 |
+		(v&0xff0000)<<24 | (v>>24)&0xff0000 |
+		(v&0xff000000)<<8 | (v>>8)&0xff000000
+}
+func swap32(v uint32) uint32 {
+	return v<<24 | v>>24 | (v&0xff00)<<8 | (v>>8)&0xff00
+}
+
+// eof verifies the message has no trailing garbage (flat kinds are
+// exactly-sized; extra bytes mean a framing bug or a tampered payload).
+func (d *flatDec) eof() error {
+	if _, err := io.ReadFull(d.r, d.scratch[:1]); err != io.EOF {
+		return Errorf(CodeInvalidArgument, "flat: trailing bytes after message")
+	}
+	return nil
+}
+
+func (flatCodec) Decode(r io.Reader, v interface{}) error {
+	var hdr [flatHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Errorf(CodeInvalidArgument, "flat: truncated header: %v", err)
+	}
+	if string(hdr[:4]) != flatMagic {
+		return Errorf(CodeInvalidArgument, "flat: bad magic %q", hdr[:4])
+	}
+	if hdr[4] != flatVersion {
+		return Errorf(CodeInvalidArgument, "flat: unsupported version %d", hdr[4])
+	}
+	if hdr[6] != 0 || hdr[7] != 0 {
+		return Errorf(CodeInvalidArgument, "flat: nonzero reserved bytes")
+	}
+	switch kind := hdr[5]; kind {
+	case flatKindGob:
+		return GobGzip.Decode(r, v)
+	case flatKindPush:
+		p, ok := v.(*GradientPush)
+		if !ok {
+			return Errorf(CodeInvalidArgument, "flat: gradient-push frame decoded into %T", v)
+		}
+		return decodeFlatPush(r, p)
+	case flatKindTaskResponse:
+		t, ok := v.(*TaskResponse)
+		if !ok {
+			return Errorf(CodeInvalidArgument, "flat: task-response frame decoded into %T", v)
+		}
+		return decodeFlatTaskResponse(r, t)
+	default:
+		return Errorf(CodeInvalidArgument, "flat: unknown message kind %d", kind)
+	}
+}
+
+func decodeFlatPush(r io.Reader, p *GradientPush) error {
+	d := flatDec{r: r, budget: MaxDecodedBytes}
+	var out GradientPush
+	var v int64
+	var err error
+	read := func(dst *int64) {
+		if err == nil {
+			*dst, err = d.i64()
+		}
+	}
+	read(&v)
+	out.WorkerID = int(v)
+	if err == nil {
+		out.DeviceModel, err = d.str()
+	}
+	read(&v)
+	out.ModelVersion = int(v)
+	read(&out.ModelEpoch)
+	if err == nil {
+		out.Gradient, err = d.f64s()
+	}
+	read(&v)
+	out.GradientLen = int(v)
+	if err == nil {
+		out.SparseIndices, err = d.i32s()
+	}
+	if err == nil {
+		out.SparseValues, err = d.f64s()
+	}
+	if err == nil {
+		out.SparseF16, err = d.u16s()
+	}
+	if err == nil {
+		out.SparseQ8Levels, err = d.u8s()
+	}
+	if err == nil {
+		out.SparseQ8Min, err = d.f64()
+	}
+	if err == nil {
+		out.SparseQ8Max, err = d.f64()
+	}
+	if err == nil {
+		out.Encoding, err = d.str()
+	}
+	read(&v)
+	out.BatchSize = int(v)
+	if err == nil {
+		out.LabelCounts, err = d.ints()
+	}
+	if err == nil {
+		out.CompTimeSec, err = d.f64()
+	}
+	if err == nil {
+		out.EnergyPct, err = d.f64()
+	}
+	if err == nil {
+		out.TimeFeatures, err = d.f64s()
+	}
+	if err == nil {
+		out.EnergyFeatures, err = d.f64s()
+	}
+	read(&v)
+	out.Contributing = int(v)
+	read(&v)
+	out.StalenessMin = int(v)
+	read(&v)
+	out.StalenessMax = int(v)
+	if err != nil {
+		return err
+	}
+	if err := d.eof(); err != nil {
+		return err
+	}
+	*p = out
+	return nil
+}
+
+func decodeFlatTaskResponse(r io.Reader, t *TaskResponse) error {
+	d := flatDec{r: r, budget: MaxDecodedBytes}
+	var out TaskResponse
+	var v int64
+	var err error
+	if err == nil {
+		out.Accepted, err = d.bool()
+	}
+	if err == nil {
+		out.Reason, err = d.str()
+	}
+	if err == nil {
+		v, err = d.i64()
+		out.ModelVersion = int(v)
+	}
+	if err == nil {
+		out.Params, err = d.f64s()
+	}
+	if err == nil {
+		v, err = d.i64()
+		out.BatchSize = int(v)
+	}
+	if err == nil {
+		var present uint8
+		present, err = d.u8()
+		if err == nil && present > 1 {
+			err = Errorf(CodeInvalidArgument, "flat: delta presence byte %d", present)
+		}
+		if err == nil && present == 1 {
+			sp := &compress.Sparse{}
+			if v, err = d.i64(); err == nil {
+				sp.Len = int(v)
+				sp.Indices, err = d.i32s()
+			}
+			if err == nil {
+				sp.Values, err = d.f64s()
+			}
+			out.ParamsDelta = sp
+		}
+	}
+	if err == nil {
+		v, err = d.i64()
+		out.DeltaBase = int(v)
+	}
+	if err == nil {
+		out.Full, err = d.bool()
+	}
+	if err == nil {
+		out.ServerEpoch, err = d.i64()
+	}
+	if err != nil {
+		return err
+	}
+	if err := d.eof(); err != nil {
+		return err
+	}
+	*t = out
+	return nil
+}

@@ -1,0 +1,480 @@
+package protocol
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"fleet/internal/compress"
+)
+
+// randPush builds a random GradientPush. Slices are nil or non-empty —
+// the flat layout does not distinguish nil from empty (both encode as
+// count 0 and decode as nil), matching omitempty semantics.
+func randPush(rng *rand.Rand) *GradientPush {
+	p := &GradientPush{
+		WorkerID:     rng.Intn(1000),
+		DeviceModel:  []string{"", "Galaxy S7", "Pixel 4", "mid-range"}[rng.Intn(4)],
+		ModelVersion: rng.Intn(1 << 20),
+		ModelEpoch:   int64(rng.Intn(5)),
+		BatchSize:    1 + rng.Intn(128),
+		CompTimeSec:  rng.Float64() * 10,
+		EnergyPct:    rng.Float64(),
+		Contributing: rng.Intn(3),
+		StalenessMin: rng.Intn(4),
+		StalenessMax: rng.Intn(9),
+		Encoding:     []string{"", "dense", "topk", "topk+q8", "topk+f16"}[rng.Intn(5)],
+	}
+	if rng.Intn(2) == 0 {
+		p.LabelCounts = randInts(rng, 1+rng.Intn(10))
+	}
+	if rng.Intn(2) == 0 {
+		p.TimeFeatures = randFloats(rng, 1+rng.Intn(6))
+		p.EnergyFeatures = randFloats(rng, 1+rng.Intn(6))
+	}
+	switch rng.Intn(4) {
+	case 0:
+		p.Gradient = randFloats(rng, 1+rng.Intn(200))
+	case 1:
+		k := 1 + rng.Intn(32)
+		p.GradientLen = 1000
+		p.SparseIndices = randIndices(rng, k)
+		p.SparseValues = randFloats(rng, k)
+	case 2:
+		k := 1 + rng.Intn(32)
+		p.GradientLen = 1000
+		p.SparseIndices = randIndices(rng, k)
+		p.SparseF16 = randU16s(rng, k)
+	default:
+		k := 1 + rng.Intn(32)
+		p.GradientLen = 1000
+		p.SparseIndices = randIndices(rng, k)
+		p.SparseQ8Levels = randBytes(rng, k)
+		p.SparseQ8Min = -rng.Float64()
+		p.SparseQ8Max = rng.Float64()
+	}
+	return p
+}
+
+func randTaskResponse(rng *rand.Rand) *TaskResponse {
+	t := &TaskResponse{
+		Accepted:     rng.Intn(2) == 0,
+		ModelVersion: rng.Intn(1 << 20),
+		BatchSize:    rng.Intn(256),
+		DeltaBase:    rng.Intn(100),
+		Full:         rng.Intn(2) == 0,
+		ServerEpoch:  int64(rng.Intn(4)),
+	}
+	if !t.Accepted {
+		t.Reason = "controller: worker rejected"
+	}
+	switch rng.Intn(3) {
+	case 0:
+		t.Params = randFloats(rng, 1+rng.Intn(500))
+	case 1:
+		k := 1 + rng.Intn(40)
+		t.ParamsDelta = &compress.Sparse{Len: 1000, Indices: randIndices(rng, k), Values: randFloats(rng, k)}
+	}
+	return t
+}
+
+func randFloats(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+func randInts(rng *rand.Rand, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(100)
+	}
+	return out
+}
+func randIndices(rng *rand.Rand, n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = rng.Int31n(1000)
+	}
+	return out
+}
+func randU16s(rng *rand.Rand, n int) []uint16 {
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = uint16(rng.Intn(1 << 16))
+	}
+	return out
+}
+func randBytes(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	rng.Read(out)
+	return out
+}
+
+// TestFlatRoundTripPush proves exact reconstruction: 500 seeded random
+// pushes survive encode→decode bit-for-bit.
+func TestFlatRoundTripPush(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		in := randPush(rng)
+		var buf bytes.Buffer
+		if err := Flat.Encode(&buf, in); err != nil {
+			t.Fatalf("encode %d: %v", i, err)
+		}
+		var out GradientPush
+		if err := Flat.Decode(&buf, &out); err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(*in, out) {
+			t.Fatalf("round trip %d:\n in: %+v\nout: %+v", i, *in, out)
+		}
+	}
+}
+
+func TestFlatRoundTripTaskResponse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		in := randTaskResponse(rng)
+		var buf bytes.Buffer
+		if err := Flat.Encode(&buf, in); err != nil {
+			t.Fatalf("encode %d: %v", i, err)
+		}
+		var out TaskResponse
+		if err := Flat.Decode(&buf, &out); err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(*in, out) {
+			t.Fatalf("round trip %d:\n in: %+v\nout: %+v", i, *in, out)
+		}
+	}
+}
+
+// TestFlatSpecialFloats checks the bit-exactness claim on the values that
+// break approximate codecs: NaN payloads, infinities, signed zero,
+// subnormals.
+func TestFlatSpecialFloats(t *testing.T) {
+	in := &GradientPush{
+		GradientLen:   6,
+		SparseIndices: []int32{0, 1, 2, 3, 4, 5},
+		SparseValues: []float64{
+			math.NaN(), math.Inf(1), math.Inf(-1),
+			math.Copysign(0, -1), 5e-324, math.MaxFloat64,
+		},
+		BatchSize: 1,
+	}
+	var buf bytes.Buffer
+	if err := Flat.Encode(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out GradientPush
+	if err := Flat.Decode(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range in.SparseValues {
+		if math.Float64bits(v) != math.Float64bits(out.SparseValues[i]) {
+			t.Errorf("value %d: bits %x != %x", i, math.Float64bits(v), math.Float64bits(out.SparseValues[i]))
+		}
+	}
+}
+
+// TestFlatGobFallback: every non-flat message kind still travels through
+// the codec (gob behind the header), so flat sessions can exchange acks,
+// announces and stats.
+func TestFlatGobFallback(t *testing.T) {
+	in := &ModelAnnounce{
+		ModelVersion: 9, ServerEpoch: 2,
+		Delta:     &compress.Sparse{Len: 4, Indices: []int32{1, 3}, Values: []float64{0.5, -0.25}},
+		DeltaBase: 8,
+		ParamsF16: []uint16{0x3C00, 0x4000},
+	}
+	var buf bytes.Buffer
+	if err := Flat.Encode(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out ModelAnnounce
+	if err := Flat.Decode(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*in, out) {
+		t.Fatalf("announce round trip:\n in: %+v\nout: %+v", *in, out)
+	}
+}
+
+// TestFlatTruncated: every strict prefix of a valid message must be
+// rejected with an error, never a panic or a silent partial decode.
+func TestFlatTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := randPush(rng)
+	var buf bytes.Buffer
+	if err := Flat.Encode(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for n := 0; n < len(raw); n++ {
+		var out GradientPush
+		if err := Flat.Decode(bytes.NewReader(raw[:n]), &out); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", n, len(raw))
+		}
+	}
+}
+
+// TestFlatTrailingGarbage: extra bytes after a flat message are a framing
+// error, not silently ignored.
+func TestFlatTrailingGarbage(t *testing.T) {
+	in := &GradientPush{Gradient: []float64{1, 2}, BatchSize: 1}
+	var buf bytes.Buffer
+	if err := Flat.Encode(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(0xFF)
+	var out GradientPush
+	if err := Flat.Decode(&buf, &out); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+// TestFlatStructuralRejects: garbage headers, wrong kinds, hostile array
+// lengths and type confusion all fail structurally.
+func TestFlatStructuralRejects(t *testing.T) {
+	oversized := []byte{'F', 'L', 'T', '1', 1, flatKindPush}
+	oversized = append(oversized, 0, 0)                               // reserved
+	oversized = append(oversized, 1, 0, 0, 0, 0, 0, 0, 0)             // WorkerID
+	oversized = append(oversized, 0xFF, 0xFF, 0xFF, 0xFF)             // DeviceModel len 4GiB
+	oversized = append(oversized, bytes.Repeat([]byte{'x'}, 1024)...) // not that many follow
+
+	cases := []struct {
+		name string
+		raw  []byte
+		into interface{}
+	}{
+		{"empty", nil, &GradientPush{}},
+		{"bad magic", []byte("XXXXXXXXXXXX"), &GradientPush{}},
+		{"bad version", []byte{'F', 'L', 'T', '1', 99, flatKindPush, 0, 0}, &GradientPush{}},
+		{"reserved bytes", []byte{'F', 'L', 'T', '1', 1, flatKindPush, 7, 0}, &GradientPush{}},
+		{"unknown kind", []byte{'F', 'L', 'T', '1', 1, 42, 0, 0}, &GradientPush{}},
+		{"oversized count", oversized, &GradientPush{}},
+		{"kind/type confusion", []byte{'F', 'L', 'T', '1', 1, flatKindPush, 0, 0}, &TaskResponse{}},
+	}
+	for _, tc := range cases {
+		if err := Flat.Decode(bytes.NewReader(tc.raw), tc.into); err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+		}
+	}
+}
+
+// TestFlatConcurrent hammers the pooled encode/decode path from many
+// goroutines — run with -race (as CI does) this proves the sync.Pool
+// buffers are never shared across in-flight messages.
+func TestFlatConcurrent(t *testing.T) {
+	const goroutines = 8
+	const iters = 300
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				in := randPush(rng)
+				var buf bytes.Buffer
+				if err := Flat.Encode(&buf, in); err != nil {
+					errs <- err
+					return
+				}
+				var out GradientPush
+				if err := Flat.Decode(&buf, &out); err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(*in, out) {
+					errs <- Errorf(CodeInternal, "goroutine %d iter %d: corrupted round trip", seed, i)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// FuzzFlatDecodePush: arbitrary input must never panic, and any input
+// that decodes must re-encode to a stable canonical form (encode∘decode
+// idempotent on its image — byte comparison, so NaN payloads are handled).
+func FuzzFlatDecodePush(f *testing.F) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 8; i++ {
+		var buf bytes.Buffer
+		_ = Flat.Encode(&buf, randPush(rng))
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("FLT1"))
+	f.Add([]byte{'F', 'L', 'T', '1', 1, flatKindPush, 0, 0, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var msg GradientPush
+		if err := Flat.Decode(bytes.NewReader(data), &msg); err != nil {
+			return
+		}
+		var b2 bytes.Buffer
+		if err := Flat.Encode(&b2, &msg); err != nil {
+			t.Fatalf("re-encode of decoded message failed: %v", err)
+		}
+		var msg2 GradientPush
+		if err := Flat.Decode(bytes.NewReader(b2.Bytes()), &msg2); err != nil {
+			t.Fatalf("decode of re-encoded message failed: %v", err)
+		}
+		var b3 bytes.Buffer
+		if err := Flat.Encode(&b3, &msg2); err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(b2.Bytes(), b3.Bytes()) {
+			t.Fatalf("unstable canonical form")
+		}
+	})
+}
+
+// TestGradientPushDecodesPreTagBytes proves wire compatibility with
+// payloads encoded before the Encoding tag and the quantized value fields
+// existed: a gob stream of the old field set decodes into today's struct
+// with the new fields zero.
+func TestGradientPushDecodesPreTagBytes(t *testing.T) {
+	// The exact field set of the pre-tag GradientPush. Gob matches struct
+	// fields by name, so this stand-in reproduces an old client's bytes.
+	type oldGradientPush struct {
+		WorkerID       int
+		DeviceModel    string
+		ModelVersion   int
+		ModelEpoch     int64
+		Gradient       []float64
+		GradientLen    int
+		SparseIndices  []int32
+		SparseValues   []float64
+		BatchSize      int
+		LabelCounts    []int
+		CompTimeSec    float64
+		EnergyPct      float64
+		TimeFeatures   []float64
+		EnergyFeatures []float64
+		Contributing   int
+		StalenessMin   int
+		StalenessMax   int
+	}
+	old := oldGradientPush{
+		WorkerID: 3, DeviceModel: "Galaxy S7", ModelVersion: 17, ModelEpoch: 1,
+		GradientLen: 100, SparseIndices: []int32{2, 50}, SparseValues: []float64{0.5, -1.5},
+		BatchSize: 16, LabelCounts: []int{4, 0, 2},
+		CompTimeSec: 0.25, EnergyPct: 0.01,
+		TimeFeatures: []float64{1, 2}, EnergyFeatures: []float64{3},
+	}
+	var buf bytes.Buffer
+	if err := GobGzip.Encode(&buf, &old); err != nil {
+		t.Fatal(err)
+	}
+	var got GradientPush
+	if err := GobGzip.Decode(&buf, &got); err != nil {
+		t.Fatalf("pre-tag payload failed to decode: %v", err)
+	}
+	want := GradientPush{
+		WorkerID: 3, DeviceModel: "Galaxy S7", ModelVersion: 17, ModelEpoch: 1,
+		GradientLen: 100, SparseIndices: []int32{2, 50}, SparseValues: []float64{0.5, -1.5},
+		BatchSize: 16, LabelCounts: []int{4, 0, 2},
+		CompTimeSec: 0.25, EnergyPct: 0.01,
+		TimeFeatures: []float64{1, 2}, EnergyFeatures: []float64{3},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("pre-tag decode:\n got: %+v\nwant: %+v", got, want)
+	}
+	if got.Encoding != "" || got.SparseF16 != nil || got.SparseQ8Levels != nil {
+		t.Fatalf("new fields must be zero on pre-tag payloads: %+v", got)
+	}
+
+	// And the converse: a tagged payload with no quantized fields decodes
+	// through the old field set unharmed (old servers ignore the tag).
+	tagged := GradientPush{Encoding: "topk", GradientLen: 10, SparseIndices: []int32{1}, SparseValues: []float64{2}, BatchSize: 1}
+	buf.Reset()
+	if err := GobGzip.Encode(&buf, &tagged); err != nil {
+		t.Fatal(err)
+	}
+	var oldGot oldGradientPush
+	if err := GobGzip.Decode(&buf, &oldGot); err != nil {
+		t.Fatalf("tagged payload failed to decode into pre-tag struct: %v", err)
+	}
+	if oldGot.GradientLen != 10 || len(oldGot.SparseIndices) != 1 {
+		t.Fatalf("tagged payload mangled in pre-tag struct: %+v", oldGot)
+	}
+}
+
+func benchPush(paramCount, k int) *GradientPush {
+	rng := rand.New(rand.NewSource(7))
+	return &GradientPush{
+		WorkerID: 1, DeviceModel: "Galaxy S7", ModelVersion: 100,
+		GradientLen:   paramCount,
+		SparseIndices: ascendingIndices(k),
+		SparseValues:  randFloats(rng, k),
+		BatchSize:     16, LabelCounts: []int{1, 2, 3},
+		TimeFeatures: randFloats(rng, 4), EnergyFeatures: randFloats(rng, 4),
+	}
+}
+
+func ascendingIndices(k int) []int32 {
+	out := make([]int32, k)
+	for i := range out {
+		out[i] = int32(i * 3)
+	}
+	return out
+}
+
+// BenchmarkFlatCodecEncode / Decode: the hot wire path (sparse k=64 push).
+func BenchmarkFlatCodecEncode(b *testing.B) {
+	p := benchPush(10000, 64)
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Flat.Encode(&buf, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlatCodecDecode(b *testing.B) {
+	p := benchPush(10000, 64)
+	var buf bytes.Buffer
+	if err := Flat.Encode(&buf, p); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var out GradientPush
+		if err := Flat.Decode(bytes.NewReader(raw), &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGobCodecDecode is the same payload through the default codec,
+// for comparing the flat win locally (gob re-sends type descriptors and
+// gzips per message).
+func BenchmarkGobCodecDecode(b *testing.B) {
+	p := benchPush(10000, 64)
+	var buf bytes.Buffer
+	if err := GobGzip.Encode(&buf, p); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var out GradientPush
+		if err := GobGzip.Decode(bytes.NewReader(raw), &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

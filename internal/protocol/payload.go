@@ -1,0 +1,95 @@
+package protocol
+
+import "fleet/internal/compress"
+
+// GradientPayload is the decoded uplink gradient of one push: either Dense
+// is set, or Indices/Values hold the sparse view (quantized value forms
+// already expanded to float64). Shared by every gradient sink — the root
+// server and the aggtree edges — so the wire dialects stay in one place.
+type GradientPayload struct {
+	Dense   []float64
+	Indices []int32
+	Values  []float64
+	// Ascending reports that Indices are strictly ascending (the shape
+	// every TopK/Diff output has). It is the precondition for
+	// scatter-accumulating the view in place: with duplicate indices the
+	// legacy densify path applies overwrite semantics (last value wins),
+	// so receivers must fall back to it when Ascending is false.
+	Ascending bool
+}
+
+// Sparse reports whether the payload carries the sparse view.
+func (p GradientPayload) Sparse() bool { return p.Dense == nil }
+
+// DecodeGradientPayload validates push's gradient against the receiver's
+// parameter count and decodes it into a dense vector or a sparse
+// index/value view. The Encoding tag, when present, must agree with the
+// populated fields; pre-tag payloads (empty Encoding) are inferred from
+// the fields alone, exactly as before the tag existed.
+func DecodeGradientPayload(push *GradientPush, paramCount int) (GradientPayload, error) {
+	var vals []float64
+	var enc string
+	switch {
+	case push.Gradient != nil:
+		enc = compress.EncodingDense
+		if push.Encoding != "" && push.Encoding != enc {
+			return GradientPayload{}, Errorf(CodeInvalidArgument,
+				"gradient push tagged %q carries a dense gradient", push.Encoding)
+		}
+		if len(push.Gradient) != paramCount {
+			return GradientPayload{}, Errorf(CodeInvalidArgument,
+				"gradient length %d, model has %d params", len(push.Gradient), paramCount)
+		}
+		return GradientPayload{Dense: push.Gradient}, nil
+	case len(push.SparseF16) > 0:
+		enc = compress.EncodingTopKF16
+		vals = compress.UnpackF16(push.SparseF16)
+	case len(push.SparseQ8Levels) > 0:
+		enc = compress.EncodingTopKQ8
+		q := compress.SparseQ8{
+			Len: push.GradientLen, Indices: push.SparseIndices,
+			Min: push.SparseQ8Min, Max: push.SparseQ8Max, Levels: push.SparseQ8Levels,
+		}
+		vals = q.Sparse().Values
+	case len(push.SparseValues) > 0:
+		enc = compress.EncodingTopK
+		vals = push.SparseValues
+	default:
+		return GradientPayload{}, Errorf(CodeInvalidArgument,
+			"gradient length 0, model has %d params", paramCount)
+	}
+	if push.Encoding != "" && push.Encoding != enc {
+		return GradientPayload{}, Errorf(CodeInvalidArgument,
+			"gradient push tagged %q carries a %s gradient", push.Encoding, enc)
+	}
+	if push.GradientLen != paramCount {
+		return GradientPayload{}, Errorf(CodeInvalidArgument,
+			"sparse gradient of dense length %d, model has %d", push.GradientLen, paramCount)
+	}
+	if len(push.SparseIndices) != len(vals) {
+		return GradientPayload{}, Errorf(CodeInvalidArgument,
+			"sparse gradient with %d indices, %d values", len(push.SparseIndices), len(vals))
+	}
+	out := GradientPayload{Indices: push.SparseIndices, Values: vals, Ascending: true}
+	prev := int32(-1)
+	for _, id := range out.Indices {
+		if id < 0 || int(id) >= paramCount {
+			return GradientPayload{}, Errorf(CodeInvalidArgument, "sparse index %d out of range", id)
+		}
+		if id <= prev {
+			out.Ascending = false
+		}
+		prev = id
+	}
+	return out, nil
+}
+
+// Densify materializes the dense vector of a sparse payload with the
+// legacy overwrite semantics (last value wins on duplicate indices).
+func (p GradientPayload) Densify(paramCount int) []float64 {
+	if p.Dense != nil {
+		return p.Dense
+	}
+	sp := compress.Sparse{Len: paramCount, Indices: p.Indices, Values: p.Values}
+	return sp.Dense()
+}

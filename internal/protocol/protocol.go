@@ -102,8 +102,24 @@ type GradientPush struct {
 	GradientLen   int       `json:"gradient_len,omitempty"`
 	SparseIndices []int32   `json:"sparse_indices,omitempty"`
 	SparseValues  []float64 `json:"sparse_values,omitempty"`
-	BatchSize     int       `json:"batch_size"`
-	LabelCounts   []int     `json:"label_counts"`
+	// Quantized sparse values (compress chain stages "q8" / "f16"): at most
+	// one of SparseValues, SparseF16 or SparseQ8Levels carries the values
+	// for SparseIndices. SparseF16 holds IEEE 754 binary16 bit patterns;
+	// SparseQ8Levels holds 8-bit uniform levels over [SparseQ8Min,
+	// SparseQ8Max]. All omitempty, so pre-quantization payloads decode
+	// unchanged.
+	SparseF16      []uint16 `json:"sparse_f16,omitempty"`
+	SparseQ8Levels []uint8  `json:"sparse_q8_levels,omitempty"`
+	SparseQ8Min    float64  `json:"sparse_q8_min,omitempty"`
+	SparseQ8Max    float64  `json:"sparse_q8_max,omitempty"`
+	// Encoding is the self-describing wire tag of the gradient form (the
+	// compress.Encoding* constants: "dense", "topk", "topk+q8",
+	// "topk+f16"). Empty on pre-tag payloads — receivers then infer the
+	// form from which fields are populated, exactly as before the tag
+	// existed; when set it must agree with the populated fields.
+	Encoding    string `json:"encoding,omitempty"`
+	BatchSize   int    `json:"batch_size"`
+	LabelCounts []int  `json:"label_counts"`
 	// Measured execution cost of the learning task.
 	CompTimeSec    float64   `json:"comp_time_sec"`
 	EnergyPct      float64   `json:"energy_pct"`
@@ -154,6 +170,16 @@ type ModelAnnounce struct {
 	// drain rewrote too much of the vector to be worth sparsifying.
 	Delta     *compress.Sparse `json:"delta,omitempty"`
 	DeltaBase int              `json:"delta_base,omitempty"`
+	// ParamsF16, when non-empty, is the complete parameter vector at
+	// ModelVersion quantized to binary16 (compress.PackF16). Servers with
+	// F16Announce enabled attach it when no exact sparse delta is
+	// available — dense-gradient deployments rewrite most coordinates per
+	// drain, blowing compress.Diff's half-vector bound, and previously
+	// fell back to delta-less announces. Overwrite semantics: the vector
+	// is self-contained (no base needed), so absorbing it costs one f16
+	// rounding of the current model and never accumulates error across
+	// announces. Omitempty, so pre-f16 payloads decode unchanged.
+	ParamsF16 []uint16 `json:"params_f16,omitempty"`
 }
 
 // Stats is the server's diagnostic snapshot.
@@ -204,6 +230,13 @@ type Stats struct {
 	// population, policy rejects and the DP budget position. Nil on
 	// untenanted servers, so old payloads decode unchanged.
 	Tenant *TenantStats `json:"tenant,omitempty"`
+	// WireUplinkByCodec / WireDownlinkByCodec break the HTTP /v1 routes'
+	// request-body and response-body bytes down by negotiated wire codec
+	// (content type), measured at the handler after transport framing.
+	// Stamped by the HTTP layer, absent on in-process calls and on pre-v1
+	// servers; omitempty, so old payloads decode unchanged.
+	WireUplinkByCodec   map[string]int64 `json:"wire_uplink_by_codec,omitempty"`
+	WireDownlinkByCodec map[string]int64 `json:"wire_downlink_by_codec,omitempty"`
 }
 
 // TenantStats is the per-tenant slice of a Stats snapshot: everything the

@@ -6,6 +6,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"sync"
 
 	"fleet/internal/protocol"
 	"fleet/internal/service"
@@ -32,9 +33,10 @@ var MaxRequestBytes int64 = 64 << 20
 // original gob+gzip-only, text-error dialect for pre-v1 clients.
 func NewHandler(svc service.Service) http.Handler {
 	mux := http.NewServeMux()
+	tally := newWireTally()
 
 	mux.HandleFunc("/v1/task", func(w http.ResponseWriter, r *http.Request) {
-		v1Call(w, r, func(ctx context.Context, codec protocol.Codec) (interface{}, error) {
+		v1Call(w, r, tally, func(ctx context.Context, codec protocol.Codec) (interface{}, error) {
 			var req protocol.TaskRequest
 			if err := codec.Decode(r.Body, &req); err != nil {
 				return nil, decodeError(err)
@@ -43,7 +45,7 @@ func NewHandler(svc service.Service) http.Handler {
 		})
 	})
 	mux.HandleFunc("/v1/gradient", func(w http.ResponseWriter, r *http.Request) {
-		v1Call(w, r, func(ctx context.Context, codec protocol.Codec) (interface{}, error) {
+		v1Call(w, r, tally, func(ctx context.Context, codec protocol.Codec) (interface{}, error) {
 			var push protocol.GradientPush
 			if err := codec.Decode(r.Body, &push); err != nil {
 				return nil, decodeError(err)
@@ -66,7 +68,12 @@ func NewHandler(svc service.Service) http.Handler {
 			protocol.WriteError(w, err)
 			return
 		}
-		writeV1(w, codec, stats)
+		// The Stats value is freshly built per call, so stamping the
+		// handler's wire tally into it mutates no shared state.
+		tally.stamp(stats)
+		cw := &countingWriter{ResponseWriter: w}
+		writeV1(cw, codec, stats)
+		tally.addDown(codec.ContentType(), cw.n)
 	})
 
 	// Legacy dialect: gob+gzip only, plain-text error bodies. Statuses
@@ -158,7 +165,9 @@ func writeLegacyError(w http.ResponseWriter, err error) {
 
 // v1Call runs one negotiated POST exchange: pick the codec from the request
 // Content-Type, let call decode and serve, and reply in the same codec.
-func v1Call(w http.ResponseWriter, r *http.Request, call func(context.Context, protocol.Codec) (interface{}, error)) {
+// Request and response payload bytes are tallied per codec (wire-level:
+// exactly what traveled, compression included) into the handler's tally.
+func v1Call(w http.ResponseWriter, r *http.Request, tally *wireTally, call func(context.Context, protocol.Codec) (interface{}, error)) {
 	if r.Method != http.MethodPost {
 		protocol.WriteError(w, protocol.Errorf(protocol.CodeMethodNotAllowed, "POST required"))
 		return
@@ -168,13 +177,95 @@ func v1Call(w http.ResponseWriter, r *http.Request, call func(context.Context, p
 		protocol.WriteError(w, err)
 		return
 	}
-	r.Body = http.MaxBytesReader(w, r.Body, MaxRequestBytes)
+	body := &countingBody{rc: http.MaxBytesReader(w, r.Body, MaxRequestBytes)}
+	r.Body = body
 	out, err := call(r.Context(), codec)
+	tally.addUp(codec.ContentType(), body.n)
 	if err != nil {
 		protocol.WriteError(w, err)
 		return
 	}
-	writeV1(w, codec, out)
+	cw := &countingWriter{ResponseWriter: w}
+	writeV1(cw, codec, out)
+	tally.addDown(codec.ContentType(), cw.n)
+}
+
+// wireTally accumulates wire bytes per codec content type across a
+// handler's v1 routes: uplink counts every request body byte actually read
+// (decoded payloads and rejected ones alike), downlink counts the encoded
+// reply bodies (structured error bodies are not payload traffic and are
+// excluded). The legacy routes predate the tally and stay uncounted.
+type wireTally struct {
+	mu   sync.Mutex
+	up   map[string]int64
+	down map[string]int64
+}
+
+func newWireTally() *wireTally {
+	return &wireTally{up: map[string]int64{}, down: map[string]int64{}}
+}
+
+func (t *wireTally) addUp(codec string, n int64) {
+	if n == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.up[codec] += n
+	t.mu.Unlock()
+}
+
+func (t *wireTally) addDown(codec string, n int64) {
+	if n == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.down[codec] += n
+	t.mu.Unlock()
+}
+
+// stamp copies the tally into a freshly built Stats value.
+func (t *wireTally) stamp(st *protocol.Stats) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.up) > 0 {
+		st.WireUplinkByCodec = make(map[string]int64, len(t.up))
+		for k, v := range t.up {
+			st.WireUplinkByCodec[k] = v
+		}
+	}
+	if len(t.down) > 0 {
+		st.WireDownlinkByCodec = make(map[string]int64, len(t.down))
+		for k, v := range t.down {
+			st.WireDownlinkByCodec[k] = v
+		}
+	}
+}
+
+// countingBody wraps a request body, counting the bytes the decoder
+// actually consumed off the wire.
+type countingBody struct {
+	rc io.ReadCloser
+	n  int64
+}
+
+func (c *countingBody) Read(p []byte) (int, error) {
+	n, err := c.rc.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingBody) Close() error { return c.rc.Close() }
+
+// countingWriter wraps a ResponseWriter, counting encoded reply bytes.
+type countingWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.ResponseWriter.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func writeV1(w http.ResponseWriter, codec protocol.Codec, v interface{}) {

@@ -109,6 +109,15 @@ type Config struct {
 	// label similarity exceeds it are rejected as redundant. 0 disables.
 	// Ignored when Admission is set.
 	MaxSimilarity float64
+	// F16Announce, when true, attaches a full half-precision parameter
+	// vector (ModelAnnounce.ParamsF16) to snapshot announces whose exact
+	// sparse delta went dense (or was never kept) — the dense-gradient
+	// deployments that previously fell back to delta-less announces.
+	// Subscribed workers overwrite their cache with the dequantized params
+	// (bounded f16 rounding error, never accumulating: the next exact pull
+	// or delta restores full precision per coordinate). Off by default —
+	// announces are bit-exact unless a deployment opts in.
+	F16Announce bool
 	// DeltaHistory is how many recent model versions the server keeps
 	// exact sparse deltas for, enabling version-aware pulls: a worker at
 	// version t−τ (τ ≤ DeltaHistory) downloads the delta instead of the
@@ -180,6 +189,10 @@ type Server struct {
 	// pipe is the update pipeline (immutable after New); its aggregator
 	// guards its own window state, so Process/Add run outside mu.
 	pipe *pipeline.Pipeline
+	// sparseOK caches pipe.SparseCapable(): whether a validated top-k push
+	// may travel the pipeline as an index/value view and scatter straight
+	// into the aggregator, skipping the O(params) densify per push.
+	sparseOK bool
 	// admit is the admission chain (immutable after New); stateful
 	// policies synchronize themselves.
 	admit sched.AdmissionPolicy
@@ -355,6 +368,7 @@ func New(cfg Config) (*Server, error) {
 		model:      model,
 		labels:     learning.NewLabelTracker(cfg.Arch.Classes()),
 		pipe:       cfg.Pipeline,
+		sparseOK:   cfg.Pipeline.SparseCapable(),
 		admit:      cfg.Admission,
 		rejects:    map[string]int{},
 		epoch:      cfg.BootEpoch,
@@ -455,29 +469,13 @@ func (s *Server) PushGradient(ctx context.Context, push *protocol.GradientPush) 
 		return nil, protocol.AsError(err)
 	}
 	// Validation and sparse decoding touch only the immutable paramCount,
-	// so they run outside every lock.
-	gradient := push.Gradient
-	if gradient == nil && len(push.SparseValues) > 0 {
-		// Top-k compressed uplink (internal/compress): decode to dense.
-		if push.GradientLen != s.paramCount {
-			return nil, protocol.Errorf(protocol.CodeInvalidArgument,
-				"server: sparse gradient of dense length %d, model has %d", push.GradientLen, s.paramCount)
-		}
-		if len(push.SparseIndices) != len(push.SparseValues) {
-			return nil, protocol.Errorf(protocol.CodeInvalidArgument,
-				"server: sparse gradient with %d indices, %d values", len(push.SparseIndices), len(push.SparseValues))
-		}
-		sp := compress.Sparse{Len: push.GradientLen, Indices: push.SparseIndices, Values: push.SparseValues}
-		for _, id := range sp.Indices {
-			if id < 0 || int(id) >= sp.Len {
-				return nil, protocol.Errorf(protocol.CodeInvalidArgument, "server: sparse index %d out of range", id)
-			}
-		}
-		gradient = sp.Dense()
-	}
-	if len(gradient) != s.paramCount {
-		return nil, protocol.Errorf(protocol.CodeInvalidArgument,
-			"server: gradient has %d params, model has %d", len(gradient), s.paramCount)
+	// so they run outside every lock. The shared payload decoder handles
+	// every uplink dialect — dense, top-k, and the quantized top-k forms —
+	// and reports whether the indices are strictly ascending (the
+	// precondition for the zero-copy scatter path below).
+	payload, err := protocol.DecodeGradientPayload(push, s.paramCount)
+	if err != nil {
+		return nil, err
 	}
 	if push.BatchSize <= 0 {
 		return nil, protocol.Errorf(protocol.CodeInvalidArgument,
@@ -536,8 +534,14 @@ func (s *Server) PushGradient(ctx context.Context, push *protocol.GradientPush) 
 	// Pipeline stages: staleness scaling, DP perturbation, filters — the
 	// O(params) work stays outside s.mu. A stage rejection (e.g. the norm
 	// filter) surfaces before the gradient is counted or accumulated.
+	//
+	// Sparse fast path: a validated, strictly-ascending top-k view travels
+	// the pipeline as-is and scatters straight into the shard accumulators
+	// (pipeline.SparseAdder) — zero O(params) allocations per push. Gated
+	// on sparseOK (every stage SparseSafe, aggregator a SparseAdder) and on
+	// Ascending: with duplicate indices the legacy densify applies
+	// overwrite semantics, which a scatter-add would change.
 	g := &pipeline.Gradient{
-		Vec: gradient,
 		Meta: learning.GradientMeta{
 			Staleness:  staleness,
 			Similarity: sim,
@@ -545,6 +549,13 @@ func (s *Server) PushGradient(ctx context.Context, push *protocol.GradientPush) 
 			WorkerID:   push.WorkerID,
 		},
 		Scale: 1,
+	}
+	if payload.Sparse() && payload.Ascending && s.sparseOK {
+		g.Vec = payload.Values
+		g.Indices = payload.Indices
+		g.DenseLen = s.paramCount
+	} else {
+		g.Vec = payload.Densify(s.paramCount)
 	}
 	if err := s.pipe.Process(g); err != nil {
 		return nil, err
@@ -767,6 +778,12 @@ func (s *Server) drainLocked() error {
 		if d, ok := next.deltas[old.version]; ok {
 			s.announceDue.Delta = d
 			s.announceDue.DeltaBase = old.version
+		} else if s.cfg.F16Announce {
+			// No exact delta retained (dense-gradient deployments hit
+			// Diff's half-vector bound every window): attach the full
+			// model in half precision so subscribers still absorb the
+			// announce instead of falling back to a delta-less ping.
+			s.announceDue.ParamsF16 = compress.PackF16(next.params)
 		}
 	}
 

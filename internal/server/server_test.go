@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"math/rand"
 	"sync"
 	"testing"
 
+	"fleet/internal/compress"
 	"fleet/internal/learning"
 	"fleet/internal/nn"
 	"fleet/internal/pipeline"
@@ -393,12 +396,229 @@ func benchmarkPushWindow(b *testing.B, aggSpec string, k int) {
 	})
 }
 
+// benchmarkPushSparse measures the top-k uplink: with ascending indices
+// the push scatters straight into the shard accumulators (zero O(params)
+// work); with non-ascending indices it falls back to the legacy
+// densify-then-add path — the before/after of the sparse accumulate
+// redesign, visible in allocs/op.
+func benchmarkPushSparse(b *testing.B, shards int, ascending bool) {
+	ctx := context.Background()
+	s := newTestServer(b, Config{K: 64, Shards: shards, Algorithm: learning.SSGD{}, Arch: nn.ArchTinyMNIST})
+	paramCount := nn.ArchTinyMNIST.Build(simrand.New(0)).ParamCount()
+	const k = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		idx := make([]int32, k)
+		vals := make([]float64, k)
+		for i := range idx {
+			idx[i] = int32(i * (paramCount / k))
+			vals[i] = 1e-6
+		}
+		if !ascending {
+			idx[0], idx[1] = idx[1], idx[0] // trips the densify fallback
+		}
+		push := &protocol.GradientPush{
+			ModelVersion: 0, GradientLen: paramCount, SparseIndices: idx, SparseValues: vals,
+			BatchSize: 10, LabelCounts: []int{1},
+		}
+		for pb.Next() {
+			if _, err := s.PushGradient(ctx, push); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkPushGradient(b *testing.B) {
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) { benchmarkPush(b, shards) })
 	}
 	for _, k := range []int{8, 64} {
 		b.Run(fmt.Sprintf("window=%d", k), func(b *testing.B) { benchmarkPushWindow(b, "median", k) })
+	}
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("sparse/shards=%d", shards), func(b *testing.B) { benchmarkPushSparse(b, shards, true) })
+		b.Run(fmt.Sprintf("sparse-densify/shards=%d", shards), func(b *testing.B) { benchmarkPushSparse(b, shards, false) })
+	}
+}
+
+// TestSparseAccumulateMatchesDensify drives the same gradient stream
+// through two identically seeded servers — one receiving top-k pushes
+// (which travel the zero-copy scatter path: the default pipeline is
+// staleness → sharded mean, both sparse-capable), the other receiving the
+// densified form of each push — and requires bit-for-bit equal final
+// models. The scatter path must be arithmetically invisible.
+func TestSparseAccumulateMatchesDensify(t *testing.T) {
+	ctx := context.Background()
+	sparse := newTestServer(t, Config{K: 3, Shards: 4, Algorithm: learning.SSGD{}})
+	dense := newTestServer(t, Config{K: 3, Shards: 4, Algorithm: learning.SSGD{}})
+	if !sparse.sparseOK {
+		t.Fatal("default pipeline must be sparse-capable")
+	}
+	paramCount := sparse.paramCount
+	rng := rand.New(rand.NewSource(7))
+
+	for i := 0; i < 12; i++ {
+		const k = 16
+		idx := make([]int32, 0, k)
+		seen := map[int32]bool{}
+		for len(idx) < k {
+			id := rng.Int31n(int32(paramCount))
+			if !seen[id] {
+				seen[id] = true
+				idx = append(idx, id)
+			}
+		}
+		// The wire contract: strictly ascending indices (TopK's shape).
+		for a := 1; a < len(idx); a++ {
+			for b := a; b > 0 && idx[b] < idx[b-1]; b-- {
+				idx[b], idx[b-1] = idx[b-1], idx[b]
+			}
+		}
+		vals := make([]float64, k)
+		for j := range vals {
+			vals[j] = rng.NormFloat64() * 1e-3
+		}
+		sp := compress.Sparse{Len: paramCount, Indices: idx, Values: vals}
+
+		_, v := sparse.Model()
+		if _, err := sparse.PushGradient(ctx, &protocol.GradientPush{
+			ModelVersion: v, GradientLen: paramCount, SparseIndices: idx, SparseValues: vals,
+			Encoding: compress.EncodingTopK, BatchSize: 5, LabelCounts: []int{1, 1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dense.PushGradient(ctx, &protocol.GradientPush{
+			ModelVersion: v, Gradient: sp.Dense(), BatchSize: 5, LabelCounts: []int{1, 1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p1, v1 := sparse.Model()
+	p2, v2 := dense.Model()
+	if v1 != v2 {
+		t.Fatalf("versions diverged: %d vs %d", v1, v2)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("param %d diverged: %v vs %v", i, p1[i], p2[i])
+		}
+	}
+}
+
+// TestQuantizedPushMatchesDequantized proves the quantized uplink forms
+// are pure wire encodings: pushing a q8 (or f16) top-k gradient applies
+// exactly the same update as pushing the server-side dequantized values.
+func TestQuantizedPushMatchesDequantized(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(3))
+	for _, enc := range []string{compress.EncodingTopKQ8, compress.EncodingTopKF16} {
+		quant := newTestServer(t, Config{Algorithm: learning.SSGD{}})
+		plain := newTestServer(t, Config{Algorithm: learning.SSGD{}})
+		paramCount := quant.paramCount
+		idx := []int32{1, 5, 99, int32(paramCount - 1)}
+		vals := make([]float64, len(idx))
+		for j := range vals {
+			vals[j] = rng.NormFloat64()
+		}
+		sp := compress.Sparse{Len: paramCount, Indices: idx, Values: vals}
+		push := &protocol.GradientPush{
+			ModelVersion: 0, GradientLen: paramCount, SparseIndices: idx,
+			Encoding: enc, BatchSize: 5, LabelCounts: []int{1, 1},
+		}
+		var dequant []float64
+		if enc == compress.EncodingTopKQ8 {
+			q := compress.QuantizeSparseQ8(rng, sp)
+			push.SparseQ8Levels = q.Levels
+			push.SparseQ8Min = q.Min
+			push.SparseQ8Max = q.Max
+			dequant = q.Sparse().Values
+		} else {
+			f := compress.QuantizeSparseF16(rng, sp)
+			push.SparseF16 = f.Values
+			dequant = f.Sparse().Values
+		}
+		if _, err := quant.PushGradient(ctx, push); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := plain.PushGradient(ctx, &protocol.GradientPush{
+			ModelVersion: 0, GradientLen: paramCount, SparseIndices: idx, SparseValues: dequant,
+			BatchSize: 5, LabelCounts: []int{1, 1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		p1, _ := quant.Model()
+		p2, _ := plain.Model()
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				t.Fatalf("%s: param %d diverged: %v vs %v", enc, i, p1[i], p2[i])
+			}
+		}
+	}
+}
+
+// TestMismatchedEncodingTagRejected: a push whose Encoding tag disagrees
+// with its populated fields is structurally invalid.
+func TestMismatchedEncodingTagRejected(t *testing.T) {
+	ctx := context.Background()
+	s := newTestServer(t, Config{})
+	grad := make([]float64, s.paramCount)
+	var apiErr *protocol.Error
+	_, err := s.PushGradient(ctx, &protocol.GradientPush{
+		ModelVersion: 0, Gradient: grad, Encoding: compress.EncodingTopK,
+		BatchSize: 5, LabelCounts: []int{1},
+	})
+	if !errors.As(err, &apiErr) || apiErr.Code != protocol.CodeInvalidArgument {
+		t.Fatalf("want invalid_argument for tag/field mismatch, got %v", err)
+	}
+}
+
+// TestF16AnnounceFallback: with F16Announce on and the delta history
+// disabled, every published announce must carry the full model in half
+// precision, dequantizing to the published params within f16 rounding.
+func TestF16AnnounceFallback(t *testing.T) {
+	ctx := context.Background()
+	s := newTestServer(t, Config{Algorithm: learning.SSGD{}, DeltaHistory: -1, F16Announce: true})
+	var got protocol.ModelAnnounce
+	s.OnSnapshot(func(a protocol.ModelAnnounce) { got = a })
+
+	grad := make([]float64, s.paramCount)
+	grad[0] = 1
+	if _, err := s.PushGradient(ctx, &protocol.GradientPush{
+		ModelVersion: 0, Gradient: grad, BatchSize: 5, LabelCounts: []int{1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got.ModelVersion != 1 {
+		t.Fatalf("announce version %d, want 1", got.ModelVersion)
+	}
+	if got.Delta != nil {
+		t.Fatal("delta history disabled, yet announce carries a delta")
+	}
+	if len(got.ParamsF16) != s.paramCount {
+		t.Fatalf("announce carries %d f16 params, want %d", len(got.ParamsF16), s.paramCount)
+	}
+	params, _ := s.Model()
+	back := compress.UnpackF16(got.ParamsF16)
+	for i := range params {
+		// Half precision: ~2^-11 relative error.
+		if diff := math.Abs(back[i] - params[i]); diff > math.Abs(params[i])*1e-3+1e-6 {
+			t.Fatalf("param %d: f16 announce %v vs model %v", i, back[i], params[i])
+		}
+	}
+
+	// Without the opt-in the fallback stays off: announces are delta-less.
+	s2 := newTestServer(t, Config{Algorithm: learning.SSGD{}, DeltaHistory: -1})
+	var got2 protocol.ModelAnnounce
+	s2.OnSnapshot(func(a protocol.ModelAnnounce) { got2 = a })
+	if _, err := s2.PushGradient(ctx, &protocol.GradientPush{
+		ModelVersion: 0, Gradient: grad, BatchSize: 5, LabelCounts: []int{1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got2.ParamsF16 != nil {
+		t.Fatal("ParamsF16 attached without F16Announce")
 	}
 }
 

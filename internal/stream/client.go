@@ -126,7 +126,10 @@ func (c *Client) Close() error {
 // every announcement since the last take whose deltas chain gap-free up to
 // the latest announced version. A chain broken by a dropped announce, an
 // epoch change or a delta-less drain resets to the announcements after the
-// break — callers absorb what applies and pull for the rest.
+// break — callers absorb what applies and pull for the rest. An announce
+// carrying a half-precision full model (ParamsF16, the server's dense-drain
+// fallback) is complete on its own: it restarts the chain rather than
+// breaking it, and later deltas chain off its version.
 func (c *Client) TakeAnnounces() []protocol.ModelAnnounce {
 	c.annMu.Lock()
 	defer c.annMu.Unlock()
@@ -184,7 +187,10 @@ func (c *Client) noteAnnounce(ann protocol.ModelAnnounce) {
 	if !chained {
 		c.annRun = c.annRun[:0]
 	}
-	if ann.Delta != nil {
+	if ann.Delta != nil || len(ann.ParamsF16) > 0 {
+		// A ParamsF16 announce needs no base (it overwrites the whole
+		// cache), so it starts a fresh run; the reset above already
+		// dropped anything pending.
 		c.annRun = append(c.annRun, ann)
 	}
 	c.annSeen = true

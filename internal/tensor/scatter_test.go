@@ -1,0 +1,77 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestScatterAddScaledMatchesDense: scattering a sparse vector must be
+// bit-for-bit equal to densifying it and running the dense accumulate
+// loop — the equivalence the server's sparse push path rests on.
+func TestScatterAddScaledMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n, k = 512, 37
+	for trial := 0; trial < 50; trial++ {
+		idx := make([]int32, 0, k)
+		seen := map[int32]bool{}
+		for len(idx) < k {
+			id := rng.Int31n(n)
+			if !seen[id] {
+				seen[id] = true
+				idx = append(idx, id)
+			}
+		}
+		vals := make([]float64, k)
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+		}
+		scale := rng.Float64()*2 - 1
+
+		base := make([]float64, n)
+		for i := range base {
+			base[i] = rng.NormFloat64()
+		}
+		sparse := append([]float64(nil), base...)
+		dense := append([]float64(nil), base...)
+
+		ScatterAddScaled(sparse, idx, vals, scale)
+
+		full := make([]float64, n)
+		for j, id := range idx {
+			full[id] = vals[j]
+		}
+		for i, g := range full {
+			dense[i] += scale * g
+		}
+		for i := range dense {
+			if sparse[i] != dense[i] {
+				t.Fatalf("trial %d coord %d: scatter %v != dense %v", trial, i, sparse[i], dense[i])
+			}
+		}
+	}
+}
+
+func TestScatterAddScaledShortIdx(t *testing.T) {
+	dst := make([]float64, 4)
+	// More indices than values: the extra indices are ignored rather than
+	// read out of bounds.
+	ScatterAddScaled(dst, []int32{0, 1, 2}, []float64{1, 2}, 1)
+	if dst[0] != 1 || dst[1] != 2 || dst[2] != 0 {
+		t.Fatalf("got %v", dst)
+	}
+}
+
+func BenchmarkScatterAddScaled(b *testing.B) {
+	const n, k = 100000, 64
+	dst := make([]float64, n)
+	idx := make([]int32, k)
+	vals := make([]float64, k)
+	for i := range idx {
+		idx[i] = int32(i * (n / k))
+		vals[i] = float64(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ScatterAddScaled(dst, idx, vals, 0.5)
+	}
+}

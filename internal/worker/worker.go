@@ -36,10 +36,22 @@ type Config struct {
 	Device *device.Device
 	// Rng drives mini-batch sampling.
 	Rng *rand.Rand
+	// Compress names an uplink compression chain from the internal/compress
+	// registry — "topk(8)", "topk(12),q8", "topk(64),f16" — built per
+	// worker at New (chains are stateful: error feedback, quantizer RNG).
+	// Pushes built through a chain carry the self-describing Encoding tag.
+	// Non-empty Compress supersedes CompressK; empty falls back to it.
+	Compress string
+	// CompressRng drives the chain's stochastic rounding (required when
+	// the chain includes q8 or f16). Give each worker its own stream so
+	// quantization never perturbs the batch-sampling Rng.
+	CompressRng *rand.Rand
 	// CompressK, when positive, transmits only the K largest-magnitude
 	// gradient coordinates per push, with client-side error feedback (the
 	// dropped mass is carried into the next gradient). 0 sends dense
-	// gradients.
+	// gradients. Deprecated in favor of Compress ("topk(k)"); kept as the
+	// pre-tag wire dialect — pushes it builds carry no Encoding tag,
+	// exactly as before the tag existed.
 	CompressK int
 	// GradientTransform, when non-nil, mutates each computed dense
 	// gradient in place before compression and push. The load harness
@@ -67,6 +79,7 @@ type Worker struct {
 	net         *nn.Network
 	labelCounts []int
 	feedback    *compress.ErrorFeedback
+	compressor  compress.Compressor
 	// params/version/epoch cache the last pulled model so subsequent task
 	// requests can advertise KnownVersion (and the server incarnation it
 	// belongs to) and download a sparse delta instead of the full vector,
@@ -116,7 +129,13 @@ func New(cfg Config) (*Worker, error) {
 		net:         net,
 		labelCounts: data.LabelCounts(cfg.Local, cfg.Arch.Classes()),
 	}
-	if cfg.CompressK > 0 {
+	if cfg.Compress != "" {
+		c, err := compress.Build(cfg.Compress, compress.Options{Length: net.ParamCount(), Rng: cfg.CompressRng})
+		if err != nil {
+			return nil, fmt.Errorf("worker: %w", err)
+		}
+		w.compressor = c
+	} else if cfg.CompressK > 0 {
 		w.feedback = compress.NewErrorFeedback(net.ParamCount(), cfg.CompressK)
 	}
 	return w, nil
@@ -231,12 +250,17 @@ func (w *Worker) Compute(resp *protocol.TaskResponse) *Prepared {
 		BatchSize:    batchSize,
 		LabelCounts:  data.LabelCounts(batch, w.cfg.Arch.Classes()),
 	}
-	if w.feedback != nil {
+	switch {
+	case w.compressor != nil:
+		applyForm(push, w.compressor.Compress(grad))
+	case w.feedback != nil:
+		// Legacy pre-tag dialect: untagged top-k, bit-identical to every
+		// release before the Encoding tag existed.
 		sparse := w.feedback.Compress(grad)
 		push.GradientLen = sparse.Len
 		push.SparseIndices = sparse.Indices
 		push.SparseValues = sparse.Values
-	} else {
+	default:
 		push.Gradient = grad
 	}
 	out := &Prepared{Push: push}
@@ -249,6 +273,30 @@ func (w *Worker) Compute(resp *protocol.TaskResponse) *Prepared {
 		push.EnergyFeatures = iprof.FeaturesOf(w.cfg.Device, iprof.KindEnergy)
 	}
 	return out
+}
+
+// applyForm maps a compression chain's wire Form onto the push message,
+// stamping the self-describing Encoding tag.
+func applyForm(push *protocol.GradientPush, f compress.Form) {
+	push.Encoding = f.Encoding
+	switch f.Kind {
+	case compress.FormSparse:
+		push.GradientLen = f.Sparse.Len
+		push.SparseIndices = f.Sparse.Indices
+		push.SparseValues = f.Sparse.Values
+	case compress.FormSparseQ8:
+		push.GradientLen = f.Q8.Len
+		push.SparseIndices = f.Q8.Indices
+		push.SparseQ8Levels = f.Q8.Levels
+		push.SparseQ8Min = f.Q8.Min
+		push.SparseQ8Max = f.Q8.Max
+	case compress.FormSparseF16:
+		push.GradientLen = f.F16.Len
+		push.SparseIndices = f.F16.Indices
+		push.SparseF16 = f.F16.Values
+	default:
+		push.Gradient = f.Dense
+	}
 }
 
 // Push sends a prepared gradient, step (5). A version_conflict rejection
@@ -297,12 +345,36 @@ func (w *Worker) CachedVersion() (version int, epoch int64, ok bool) {
 // the cache (the worker missed an announce; its next pull recovers via
 // the ordinary delta/full path). A patch failure invalidates the cache
 // exactly like a poisoned delta pull would.
+//
+// An announce carrying the full model in half precision (ParamsF16 — the
+// server's fallback when no exact delta was worth the wire) overwrites the
+// cache outright: it is complete, so it needs no cached base, applies
+// across incarnations, and even adopts into a cold cache. The f16 rounding
+// error is bounded and never accumulates — every coordinate is overwritten,
+// and the next exact pull or delta restores full precision.
 func (w *Worker) AbsorbAnnounce(ann protocol.ModelAnnounce) bool {
-	if !w.cached || w.cfg.FullPullOnly {
+	if w.cfg.FullPullOnly {
 		return false
 	}
-	if ann.ServerEpoch == w.epoch && ann.ModelVersion <= w.version {
+	if w.cached && ann.ServerEpoch == w.epoch && ann.ModelVersion <= w.version {
 		return true // stale: the cache already covers this version
+	}
+	if len(ann.ParamsF16) > 0 {
+		if len(ann.ParamsF16) != w.net.ParamCount() {
+			return false
+		}
+		if w.params == nil {
+			w.params = make([]float64, len(ann.ParamsF16))
+		}
+		copy(w.params, compress.UnpackF16(ann.ParamsF16))
+		w.version = ann.ModelVersion
+		w.epoch = ann.ServerEpoch
+		w.cached = true
+		w.Refreshes++
+		return true
+	}
+	if !w.cached {
+		return false
 	}
 	// ModelVersion may be more than version+1 ahead: a coalesced announce
 	// (stream-transport queue overflow) spans several drains in one delta.

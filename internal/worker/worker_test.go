@@ -3,6 +3,7 @@ package worker
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http/httptest"
 	"testing"
 
@@ -529,5 +530,139 @@ func TestAbsorbAnnounceChainSemantics(t *testing.T) {
 	w.ResetModelCache()
 	if w.AbsorbAnnounce(protocol.ModelAnnounce{ModelVersion: ver, ServerEpoch: epoch}) {
 		t.Error("cold-cache announce absorbed")
+	}
+}
+
+// TestCompressorChainTagsPush builds workers over every registered chain
+// shape and checks the pushes they produce: self-describing Encoding tag,
+// the right payload fields, and server acceptance end-to-end.
+func TestCompressorChainTagsPush(t *testing.T) {
+	ctx := context.Background()
+	ds := data.TinyMNIST(4, 12, 4)
+	srv := newServer(t, server.Config{})
+	cases := []struct {
+		spec string
+		enc  string
+	}{
+		{"topk(16)", "topk"},
+		{"topk(16),q8", "topk+q8"},
+		{"topk(16),f16", "topk+f16"},
+	}
+	for i, tc := range cases {
+		w, err := New(Config{
+			ID: i, Arch: nn.ArchSoftmaxMNIST, Local: ds.Train,
+			Rng:      simrand.New(int64(400 + i)),
+			Compress: tc.spec, CompressRng: simrand.New(int64(500 + i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := w.Pull(ctx, srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		push := w.Compute(resp).Push
+		if push.Encoding != tc.enc {
+			t.Fatalf("%s: push tagged %q, want %q", tc.spec, push.Encoding, tc.enc)
+		}
+		if push.Gradient != nil || push.GradientLen != srvParamCount() || len(push.SparseIndices) != 16 {
+			t.Fatalf("%s: malformed sparse push: len=%d idx=%d", tc.spec, push.GradientLen, len(push.SparseIndices))
+		}
+		switch tc.enc {
+		case "topk":
+			if len(push.SparseValues) != 16 {
+				t.Fatalf("topk: %d values", len(push.SparseValues))
+			}
+		case "topk+q8":
+			if len(push.SparseQ8Levels) != 16 || push.SparseQ8Min >= push.SparseQ8Max {
+				t.Fatalf("q8: levels=%d range=[%v,%v]", len(push.SparseQ8Levels), push.SparseQ8Min, push.SparseQ8Max)
+			}
+		case "topk+f16":
+			if len(push.SparseF16) != 16 {
+				t.Fatalf("f16: %d values", len(push.SparseF16))
+			}
+		}
+		if _, err := w.Push(ctx, srv, push); err != nil {
+			t.Fatalf("%s: server rejected chain push: %v", tc.spec, err)
+		}
+	}
+}
+
+// TestQuantizedUplinkTrains: a q8-quantized top-k uplink must still learn —
+// stochastic rounding keeps the quantization noise zero-mean, so it washes
+// out across the K-window instead of drifting the model.
+func TestQuantizedUplinkTrains(t *testing.T) {
+	ctx := context.Background()
+	ds := data.TinyMNIST(8, 24, 8)
+	srv := newServer(t, server.Config{})
+	rng := simrand.New(9)
+	parts := data.PartitionNonIID(rng, ds.Train, 8, 2)
+	paramCount := srvParamCount()
+
+	var workers []*Worker
+	for i := 0; i < 8; i++ {
+		w, err := New(Config{
+			ID: i, Arch: nn.ArchSoftmaxMNIST, Local: parts[i],
+			Rng:      simrand.New(int64(300 + i)),
+			Compress: fmt.Sprintf("topk(%d),q8", paramCount/10), CompressRng: simrand.New(int64(600 + i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+	}
+	for round := 0; round < 40; round++ {
+		for _, w := range workers {
+			if _, err := w.Step(ctx, srv); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	scratch := nn.ArchSoftmaxMNIST.Build(simrand.New(10))
+	if acc := srv.Evaluate(scratch, ds.Test); acc < 0.4 {
+		t.Fatalf("quantized training accuracy %v, want >= 0.4", acc)
+	}
+}
+
+// TestAbsorbF16Announce: a full half-precision announce overwrites the
+// cache — even a cold one, and across incarnations — while wrong-length
+// payloads are refused.
+func TestAbsorbF16Announce(t *testing.T) {
+	ds := data.TinyMNIST(3, 8, 4)
+	srv := newServer(t, server.Config{})
+	w := newWorkers(t, 1, ds)[0]
+	params, _ := srv.Model()
+	f16 := compress.PackF16(params)
+
+	// Cold cache: the full f16 model adopts outright.
+	if !w.AbsorbAnnounce(protocol.ModelAnnounce{ModelVersion: 5, ServerEpoch: 2, ParamsF16: f16}) {
+		t.Fatal("cold-cache f16 announce refused")
+	}
+	if v, e, ok := w.CachedVersion(); !ok || v != 5 || e != 2 {
+		t.Fatalf("cache at (v%d, e%d, %v), want (5, 2, true)", v, e, ok)
+	}
+	if w.Refreshes != 1 {
+		t.Fatalf("refreshes %d, want 1", w.Refreshes)
+	}
+	// Stale f16 announce: chain continues, nothing re-applied.
+	if !w.AbsorbAnnounce(protocol.ModelAnnounce{ModelVersion: 5, ServerEpoch: 2, ParamsF16: f16}) {
+		t.Fatal("stale f16 announce broke the chain")
+	}
+	if w.Refreshes != 1 {
+		t.Fatalf("stale announce counted as refresh: %d", w.Refreshes)
+	}
+	// Cross-incarnation: a full model needs no shared base — it applies.
+	if !w.AbsorbAnnounce(protocol.ModelAnnounce{ModelVersion: 2, ServerEpoch: 3, ParamsF16: f16}) {
+		t.Fatal("cross-incarnation f16 announce refused")
+	}
+	if v, e, _ := w.CachedVersion(); v != 2 || e != 3 {
+		t.Fatalf("cache at (v%d, e%d), want (2, 3)", v, e)
+	}
+	// Wrong length: structurally refused, cache untouched.
+	if w.AbsorbAnnounce(protocol.ModelAnnounce{ModelVersion: 9, ServerEpoch: 3, ParamsF16: f16[:4]}) {
+		t.Fatal("truncated f16 announce absorbed")
+	}
+	if v, _, ok := w.CachedVersion(); !ok || v != 2 {
+		t.Fatalf("cache corrupted by refused announce: v%d ok=%v", v, ok)
 	}
 }
