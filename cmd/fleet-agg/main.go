@@ -26,7 +26,9 @@
 // On SIGINT/SIGTERM the edge drains gracefully: listeners stop accepting,
 // in-flight leaf pushes commit, stream sessions get a goaway frame, and a
 // partial aggregation window is flushed upstream so no acked leaf gradient
-// is stranded.
+// is stranded. The flags translate one-to-one into a node.Spec; assembly
+// and the drain/flush lifecycle live in internal/node, shared with
+// fleet-server.
 package main
 
 import (
@@ -37,23 +39,15 @@ import (
 	"io"
 	"log"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
 	"fleet/internal/aggtree"
-	"fleet/internal/learning"
-	"fleet/internal/nn"
-	"fleet/internal/pipeline"
-	"fleet/internal/protocol"
-	"fleet/internal/sched"
-	"fleet/internal/server"
+	"fleet/internal/node"
 	"fleet/internal/service"
 	"fleet/internal/stream"
-	"fleet/internal/worker"
 )
 
 func main() {
@@ -90,9 +84,9 @@ type aggSetup struct {
 	streamReady chan<- net.Addr
 }
 
-// buildAgg parses args and composes the edge node: architecture, local
-// update pipeline, admission chain and the upstream client — all through
-// the same spec registries as fleet-server.
+// buildAgg parses args into an edge node.Spec and compiles it: the local
+// update pipeline, admission chain and upstream client all assemble in
+// internal/node through the same spec registries as fleet-server.
 func buildAgg(args []string, stderr io.Writer) (*aggSetup, error) {
 	fs := flag.NewFlagSet("fleet-agg", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -122,187 +116,82 @@ func buildAgg(args []string, stderr io.Writer) (*aggSetup, error) {
 	if fs.NArg() > 0 {
 		return nil, fmt.Errorf("unexpected arguments %v", fs.Args())
 	}
-	if *upstream == "" {
-		return nil, fmt.Errorf("-upstream is required")
-	}
-	switch *transport {
-	case "http", "stream", "both":
-	default:
-		return nil, fmt.Errorf("unknown -transport %q (want http, stream or both)", *transport)
-	}
 
-	arch, err := nn.ArchByName(*archName)
-	if err != nil {
-		return nil, err
-	}
-	algo := learning.NewAdaSGD(learning.AdaSGDConfig{NonStragglerPct: *sPct, BootstrapSteps: 50})
-	pipe, err := pipeline.Build(*stages, *agg, pipeline.BuildOptions{
-		Algorithm: algo,
-		Shards:    *shards,
-		Seed:      *seed,
+	rt, err := node.FromSpec(node.Spec{
+		Role:             node.RoleEdge,
+		Name:             "fleet-agg",
+		Arch:             *archName,
+		K:                *k,
+		NonStragglerPct:  *sPct,
+		Seed:             *seed,
+		Shards:           *shards,
+		DeltaHistory:     *deltaHist,
+		DefaultBatchSize: *batchSize,
+		Stages:           *stages,
+		Aggregator:       *agg,
+		Admission:        *admission,
+		Verbose:          *verbose,
+		ID:               *id,
+		Upstream: node.UpstreamSpec{
+			Target:    *upstream,
+			Transport: *upTransport,
+		},
+		Bind: node.BindSpec{
+			Transport:  *transport,
+			Addr:       *addr,
+			StreamAddr: *streamAddr,
+			Drain:      *drain,
+		},
 	})
 	if err != nil {
-		return nil, fmt.Errorf("%w\nknown stages: %s; known aggregators: %s",
-			err, strings.Join(pipeline.Stages(), ", "), strings.Join(pipeline.Aggregators(), ", "))
-	}
-	chain, err := sched.Build(*admission, sched.BuildOptions{})
-	if err != nil {
-		return nil, fmt.Errorf("%w\nknown admission policies: %s", err, strings.Join(sched.Policies(), ", "))
-	}
-
-	cfg := aggtree.Config{
-		Arch:             arch,
-		Algorithm:        algo,
-		K:                *k,
-		Pipeline:         pipe,
-		Admission:        chain,
-		DefaultBatchSize: *batchSize,
-		DeltaHistory:     *deltaHist,
-		ID:               *id,
-	}
-	var upClient *stream.Client
-	switch *upTransport {
-	case "http":
-		cfg.Upstream = &worker.Client{BaseURL: strings.TrimSuffix(*upstream, "/")}
-	case "stream":
-		upClient = &stream.Client{Addr: *upstream, WorkerID: *id, Subscribe: true}
-		cfg.Upstream = upClient
-	default:
-		return nil, fmt.Errorf("unknown -upstream-transport %q (want http or stream)", *upTransport)
-	}
-
-	node, err := aggtree.New(cfg)
-	if err != nil {
 		return nil, err
 	}
-	if upClient != nil {
-		// Server-pushed model announces refresh the edge cache (and relay
-		// downstream) without a pull round trip.
-		upClient.OnAnnounce = func(ann protocol.ModelAnnounce) { node.AbsorbUpstreamAnnounce(ann) }
-	}
-
-	interceptors := []service.Interceptor{service.Recovery()}
-	if *verbose {
-		interceptors = append(interceptors, service.Logging(nil))
-	}
-
-	setup := &aggSetup{
+	asm := rt.Assembly()
+	return &aggSetup{
 		addr:       *addr,
 		drain:      *drain,
-		node:       node,
-		svc:        service.Chain(node, interceptors...),
+		node:       asm.EdgeNode,
+		svc:        asm.Service,
 		transport:  *transport,
 		streamAddr: *streamAddr,
-		upstream:   upClient,
-		banner: fmt.Sprintf("FLeet edge aggregator on %s (upstream=%s via %s, arch=%s, K=%d, pipeline: %s, admission: [%s])",
-			*addr, *upstream, *upTransport, arch, *k, pipe, strings.Join(chain.Names(), " -> ")),
-		logf: log.Printf,
-	}
-	if *transport != "http" {
-		setup.banner += fmt.Sprintf(", stream sessions on %s", *streamAddr)
-	}
-	return setup, nil
+		upstream:   asm.UpstreamStream,
+		banner:     asm.Banner,
+		logf:       log.Printf,
+	}, nil
 }
 
-// serve runs the edge until ctx is cancelled (SIGINT/SIGTERM in main), then
-// drains gracefully: listeners close, in-flight leaf requests — gradient
-// pushes included — run to completion, stream sessions get a final goaway,
-// and a partial aggregation window is flushed upstream before exit.
+// serve hands the setup to the shared node runtime and runs it until ctx
+// is cancelled (SIGINT/SIGTERM in main). The runtime syncs with the
+// upstream before the listeners bind (an edge that cannot reach its
+// upstream refuses to serve leaves a model it does not have), then owns
+// the canonical teardown: stream goaway, HTTP shutdown, partial-window
+// flush upstream, upstream close — bounded by the drain deadline.
 func serve(ctx context.Context, st *aggSetup, ready chan<- net.Addr) int {
-	logf := st.logf
-	if logf == nil {
-		logf = log.Printf
+	asm := node.Assembly{
+		Name:        "fleet-agg",
+		Service:     st.svc,
+		Transport:   st.transport,
+		Addr:        st.addr,
+		StreamAddr:  st.streamAddr,
+		Drain:       st.drain,
+		Banner:      st.banner,
+		Logf:        st.logf,
+		HTTPReady:   st.httpReady,
+		StreamReady: st.streamReady,
 	}
-	transport := st.transport
-	if transport == "" {
-		transport = "http"
-	}
-	// Fail fast: an edge that cannot reach its upstream refuses to serve
-	// leaves a model it does not have.
-	if err := st.node.Sync(ctx); err != nil {
-		logf("fleet-agg: upstream sync: %v", err)
-		return 1
-	}
-	errc := make(chan error, 2)
-	var httpSrv *http.Server
-	var boundAddr net.Addr
-	if transport != "stream" {
-		ln, err := net.Listen("tcp", st.addr)
-		if err != nil {
-			logf("fleet-agg: %v", err)
-			return 1
-		}
-		httpSrv = &http.Server{
-			Handler:           server.NewHandler(st.svc),
-			ReadHeaderTimeout: 10 * time.Second,
-		}
-		go func() { errc <- httpSrv.Serve(ln) }()
-		boundAddr = ln.Addr()
-		if st.httpReady != nil {
-			st.httpReady <- ln.Addr()
+	if st.node != nil {
+		asm.EdgeNode = st.node
+		asm.Sync = st.node.Sync
+		asm.Announce = st.node.OnAnnounce
+		asm.Flush = st.node.Flush
+		nd := st.node
+		asm.DrainedMsg = func() string {
+			return fmt.Sprintf("drained cleanly (%d windows forwarded, %d lost)",
+				nd.UpstreamPushes(), nd.LostWindows())
 		}
 	}
-	var streamSrv *stream.Server
-	if transport != "http" {
-		sln, err := net.Listen("tcp", st.streamAddr)
-		if err != nil {
-			logf("fleet-agg: %v", err)
-			return 1
-		}
-		streamSrv = stream.NewServer(st.svc, stream.Options{Logf: logf})
-		// Every edge model refresh relays downstream as an announce to
-		// subscribed leaf sessions — the push half of the tree.
-		st.node.OnAnnounce(streamSrv.Broadcast)
-		go func() { errc <- streamSrv.Serve(sln) }()
-		if boundAddr == nil {
-			boundAddr = sln.Addr()
-		}
-		if st.streamReady != nil {
-			st.streamReady <- sln.Addr()
-		}
+	if st.upstream != nil {
+		asm.CloseUpstream = st.upstream.Close
 	}
-	if st.banner != "" {
-		logf("%s", st.banner)
-	}
-	if ready != nil {
-		ready <- boundAddr
-	}
-	select {
-	case err := <-errc:
-		logf("fleet-agg: %v", err)
-		return 1
-	case <-ctx.Done():
-		logf("fleet-agg: shutting down, draining in-flight requests (deadline %s)", st.drain)
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), st.drain)
-		defer cancel()
-		code := 0
-		if streamSrv != nil {
-			// Leaf sessions drain first, each told "server draining" with a
-			// final goaway frame, so leaves reconnect instead of timing out.
-			if err := streamSrv.Shutdown(shutdownCtx); err != nil {
-				logf("fleet-agg: stream drain deadline exceeded: %v", err)
-				code = 1
-			}
-		}
-		if httpSrv != nil {
-			if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-				logf("fleet-agg: drain deadline exceeded: %v", err)
-				code = 1
-			}
-		}
-		// Every leaf push is committed now; flush the partial window so its
-		// acked gradients reach the root.
-		if err := st.node.Flush(shutdownCtx); err != nil {
-			logf("fleet-agg: final window flush: %v", err)
-			code = 1
-		}
-		if st.upstream != nil {
-			_ = st.upstream.Close()
-		}
-		if code == 0 {
-			logf("fleet-agg: drained cleanly (%d windows forwarded, %d lost)",
-				st.node.UpstreamPushes(), st.node.LostWindows())
-		}
-		return code
-	}
+	return node.New(asm).Run(ctx, ready)
 }

@@ -41,6 +41,10 @@
 // -checkpoint-dir: the server restores the newest durable state as a new
 // incarnation and live workers resync on their own (see internal/worker).
 //
+// The flags translate one-to-one into a node.Spec; assembly and the
+// drain/checkpoint/flush lifecycle live in internal/node, shared with
+// fleet-agg and the loadgen harness.
+//
 // Workers (cmd/fleet-worker) connect with matching -arch.
 package main
 
@@ -60,18 +64,9 @@ import (
 	"syscall"
 	"time"
 
-	"fleet/internal/device"
-	"fleet/internal/iprof"
-	"fleet/internal/learning"
-	"fleet/internal/nn"
-	"fleet/internal/persist"
-	"fleet/internal/pipeline"
+	"fleet/internal/node"
 	"fleet/internal/protocol"
-	"fleet/internal/sched"
-	"fleet/internal/server"
 	"fleet/internal/service"
-	"fleet/internal/simrand"
-	"fleet/internal/stream"
 	"fleet/internal/tenant"
 )
 
@@ -126,8 +121,8 @@ func mintTenantToken(cfgs []tenant.Config, spec string) (string, error) {
 }
 
 // serverSetup is everything buildServer derives from the command line: the
-// composed service plus the HTTP-serving knobs. serve consumes it, and
-// tests construct doctored ones.
+// composed service plus the serving knobs. serve consumes it, and tests
+// construct doctored ones.
 type serverSetup struct {
 	addr  string
 	drain time.Duration
@@ -142,9 +137,9 @@ type serverSetup struct {
 	banner     string
 	logf       func(format string, args ...interface{})
 	// checkpoint writes a durable state snapshot (nil when -checkpoint-dir
-	// is unset). serve calls it on SIGINT/SIGTERM before draining, and
-	// again after a clean drain so the very last committed pushes are
-	// durable too.
+	// is unset). The node runtime calls it on SIGINT/SIGTERM before
+	// draining, and again after a clean drain so the very last committed
+	// pushes are durable too.
 	checkpoint func() (string, error)
 	// closer flushes and stops background checkpoint writers after the
 	// final checkpoint (nil when there is nothing to flush).
@@ -167,9 +162,9 @@ type serverSetup struct {
 	printOnly string
 }
 
-// buildServer parses args and composes the server: architecture, update
-// pipeline, I-Prof profilers, admission chain and interceptor stack — all
-// through the shared spec registries.
+// buildServer parses args into a node.Spec and compiles it: architecture,
+// update pipeline, I-Prof profilers, admission chain and interceptor stack
+// all assemble in internal/node through the shared spec registries.
 func buildServer(args []string, stderr io.Writer) (*serverSetup, error) {
 	fs := flag.NewFlagSet("fleet-server", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -215,423 +210,114 @@ func buildServer(args []string, stderr io.Writer) (*serverSetup, error) {
 	if fs.NArg() > 0 {
 		return nil, fmt.Errorf("unexpected arguments %v", fs.Args())
 	}
-	switch *transport {
-	case "http", "stream", "both":
-	default:
-		return nil, fmt.Errorf("unknown -transport %q (want http, stream or both)", *transport)
+
+	var cfgs []tenant.Config
+	if *tenantsFile != "" {
+		loaded, err := tenant.LoadFile(*tenantsFile)
+		if err != nil {
+			return nil, err
+		}
+		cfgs = loaded
+	}
+	for _, s := range tenantSpecs {
+		tc, err := tenant.ParseSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		cfgs = append(cfgs, tc)
+	}
+	if *mintToken != "" {
+		if len(cfgs) == 0 {
+			return nil, fmt.Errorf("-mint-token needs the tenant fleet declared alongside it (-tenant/-tenants): tokens are minted against a declared tenant's secret")
+		}
+		out, err := mintTenantToken(cfgs, *mintToken)
+		if err != nil {
+			return nil, err
+		}
+		return &serverSetup{printOnly: out}, nil
 	}
 
-	arch, err := nn.ArchByName(*archName)
+	rt, err := node.FromSpec(node.Spec{
+		Role:            node.RoleRoot,
+		Name:            "fleet-server",
+		Arch:            *archName,
+		LearningRate:    *lr,
+		K:               *k,
+		NonStragglerPct: *sPct,
+		Seed:            *seed,
+		Shards:          *shards,
+		F16Announce:     *f16Ann,
+		Stages:          *stages,
+		Aggregator:      *agg,
+		Admission:       *admission,
+		TimeSLO:         *timeSLO,
+		EnergySLO:       *energySLO,
+		MinBatch:        *minBatch,
+		MaxSimilarity:   *maxSim,
+		Verbose:         *verbose,
+		RateLimit:       *rateLimit,
+		RateBurst:       *rateBurst,
+		Deadline:        *deadline,
+		Checkpoint: node.CheckpointSpec{
+			Dir:      *ckptDir,
+			NonceDir: *nonceDir,
+			Every:    *ckptEvery,
+			Keep:     *ckptKeep,
+			Recover:  *ckptRecover,
+		},
+		Bind: node.BindSpec{
+			Transport:  *transport,
+			Addr:       *addr,
+			StreamAddr: *streamAddr,
+			Drain:      *drain,
+		},
+		Tenants:       cfgs,
+		DefaultTenant: *defaultTenant,
+	})
 	if err != nil {
 		return nil, err
 	}
-
-	algo := learning.NewAdaSGD(learning.AdaSGDConfig{NonStragglerPct: *sPct, BootstrapSteps: 50})
-
-	// Compose the update pipeline from the registry: per-gradient stages
-	// (staleness scaling, DP, filters) in front of the window aggregator
-	// (sharded mean, or a Byzantine-resilient rule retaining the window).
-	pipe, err := pipeline.Build(*stages, *agg, pipeline.BuildOptions{
-		Algorithm: algo,
-		Shards:    *shards,
-		Seed:      *seed,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("%w\nknown stages: %s; known aggregators: %s",
-			err, strings.Join(pipeline.Stages(), ", "), strings.Join(pipeline.Aggregators(), ", "))
-	}
-
-	cfg := server.Config{
-		Arch:         arch,
-		Algorithm:    algo,
-		LearningRate: *lr,
-		K:            *k,
-		Pipeline:     pipe,
-		F16Announce:  *f16Ann,
-		Seed:         *seed,
-	}
-
-	// Pre-train I-Prof on the simulated training fleet (§3.3). The
-	// profilers are built before the admission chain: its batch-sizing
-	// policies wrap them.
-	rng := simrand.New(*seed)
-	trainers := device.Catalogue()[:8]
-	if *timeSLO > 0 {
-		data := iprof.Collect(rng, trainers, iprof.KindTime, *timeSLO)
-		prof, err := iprof.New(iprof.Config{Epsilon: 2e-4, RetrainEvery: 100}, data.Observations)
-		if err != nil {
-			return nil, err
-		}
-		cfg.TimeProfiler = prof
-	}
-	if *energySLO > 0 {
-		data := iprof.Collect(rng, trainers, iprof.KindEnergy, *energySLO)
-		prof, err := iprof.New(iprof.Config{Epsilon: 6e-5, RetrainEvery: 100}, data.Observations)
-		if err != nil {
-			return nil, err
-		}
-		cfg.EnergyProfiler = prof
-	}
-
-	// Compose the interceptor chain wrapped around the serving surface:
-	// recovery outermost, then observability, then policy. Shared by the
-	// single-tenant path and (per unit) the multi-tenant registry.
-	interceptors := []service.Interceptor{service.Recovery()}
-	if *verbose {
-		interceptors = append(interceptors, service.Logging(nil))
-	}
-	if *deadline > 0 {
-		interceptors = append(interceptors, service.Deadline(*deadline))
-	}
-	if *rateLimit > 0 {
-		interceptors = append(interceptors, service.RateLimit(*rateLimit, *rateBurst))
-	}
-
-	// Multi-tenant mode: the declared tenants replace the single-server
-	// model/pipeline flags entirely — each unit builds its own from its
-	// config — while the transport, drain, interceptor and checkpoint flags
-	// apply deployment-wide.
-	if len(tenantSpecs) > 0 || *tenantsFile != "" {
-		var cfgs []tenant.Config
-		if *tenantsFile != "" {
-			cfgs, err = tenant.LoadFile(*tenantsFile)
-			if err != nil {
-				return nil, err
-			}
-		}
-		for _, s := range tenantSpecs {
-			tc, err := tenant.ParseSpec(s)
-			if err != nil {
-				return nil, err
-			}
-			cfgs = append(cfgs, tc)
-		}
-		if *mintToken != "" {
-			out, err := mintTenantToken(cfgs, *mintToken)
-			if err != nil {
-				return nil, err
-			}
-			return &serverSetup{printOnly: out}, nil
-		}
-		topts := tenant.Options{
-			Default:         *defaultTenant,
-			CheckpointDir:   *ckptDir,
-			CheckpointEvery: *ckptEvery,
-			CheckpointKeep:  *ckptKeep,
-			Interceptors:    interceptors,
-		}
-		if cfg.TimeProfiler != nil {
-			topts.TimeProfiler = cfg.TimeProfiler
-		}
-		if cfg.EnergyProfiler != nil {
-			topts.EnergyProfiler = cfg.EnergyProfiler
-		}
-		reg, err := tenant.NewRegistry(cfgs, topts)
-		if err != nil {
-			return nil, err
-		}
-		names := make([]string, 0, len(reg.Units()))
-		for _, u := range reg.Units() {
-			names = append(names, u.Name())
-		}
-		setup := &serverSetup{
-			addr:       *addr,
-			drain:      *drain,
-			svc:        reg.Default().Service(),
-			transport:  *transport,
-			streamAddr: *streamAddr,
-			handler:    reg.Handler(),
-			resolver: func(name string) (service.Service, string, error) {
-				u, err := reg.Resolve(name)
-				if err != nil {
-					return nil, "", err
-				}
-				return u.Service(), u.Name(), nil
-			},
-			announceTenants: func(broadcast func(string, protocol.ModelAnnounce)) {
-				for _, u := range reg.Units() {
-					name := u.Name()
-					u.Server().OnSnapshot(func(ann protocol.ModelAnnounce) { broadcast(name, ann) })
-				}
-			},
-			closer: reg.Close,
-			banner: fmt.Sprintf("FLeet multi-tenant server listening on %s (tenants: %s; default %s)",
-				*addr, strings.Join(names, ", "), reg.Default().Name()),
-			logf: log.Printf,
-		}
-		if *transport != "http" {
-			setup.banner += fmt.Sprintf(", stream sessions on %s", *streamAddr)
-		}
-		if *ckptDir != "" {
-			setup.checkpoint = func() (string, error) { return *ckptDir, reg.CheckpointAll() }
-			setup.banner += fmt.Sprintf(", per-tenant checkpoints under %s every %d windows", *ckptDir, *ckptEvery)
-		}
-		return setup, nil
-	}
-
-	if *mintToken != "" {
-		return nil, fmt.Errorf("-mint-token needs the tenant fleet declared alongside it (-tenant/-tenants): tokens are minted against a declared tenant's secret")
-	}
-
-	// Compose the admission chain from the registry. Every Figure-2
-	// controller knob routes through the same spec grammar as -stages:
-	// an explicit -admission wins, otherwise the legacy flags synthesize
-	// the equivalent chain.
-	admissionSpec := *admission
-	if admissionSpec == "" {
-		var parts []string
-		if cfg.TimeProfiler != nil {
-			parts = append(parts, fmt.Sprintf("iprof-time(%g)", *timeSLO))
-		}
-		if cfg.EnergyProfiler != nil {
-			parts = append(parts, fmt.Sprintf("iprof-energy(%g)", *energySLO))
-		}
-		if *minBatch > 0 {
-			parts = append(parts, fmt.Sprintf("min-batch(%d)", *minBatch))
-		}
-		if *maxSim > 0 {
-			parts = append(parts, fmt.Sprintf("similarity(%g)", *maxSim))
-		}
-		admissionSpec = strings.Join(parts, ",")
-	}
-	schedOpts := sched.BuildOptions{}
-	if cfg.TimeProfiler != nil {
-		schedOpts.TimeProfiler = cfg.TimeProfiler
-	}
-	if cfg.EnergyProfiler != nil {
-		schedOpts.EnergyProfiler = cfg.EnergyProfiler
-	}
-	chain, err := sched.Build(admissionSpec, schedOpts)
-	if err != nil {
-		return nil, fmt.Errorf("%w\nknown admission policies: %s", err, strings.Join(sched.Policies(), ", "))
-	}
-	cfg.Admission = chain
-
-	// Crash safety: wire the checkpointer in, then boot from durable state
-	// per the recovery policy. A missing checkpoint is a first boot — that
-	// must be said out loud (-checkpoint-recover=fresh), never silently
-	// decided; a corrupt-only directory always refuses (the operator
-	// deletes or repairs, the server does not guess).
-	// The boot nonce covers the restart paths checkpoints do not: a boot
-	// that ends up with a freshly initialized model (no -checkpoint-dir,
-	// or -checkpoint-recover=fresh on an empty directory) still bumps the
-	// incarnation epoch, so workers that cached state from a previous
-	// instance resync instead of colliding on epoch 0. freshConfig
-	// consults (and advances) the persisted counter only when the fresh
-	// path is actually taken — a checkpoint restore derives its epoch from
-	// the checkpoint itself.
-	bootDir := *nonceDir
-	if bootDir == "" {
-		bootDir = *ckptDir
-	}
-	freshConfig := func() (server.Config, error) {
-		if bootDir == "" {
-			return cfg, nil
-		}
-		nonce, err := persist.BootNonce(bootDir, *seed)
-		if err != nil {
-			return cfg, err
-		}
-		fresh := cfg
-		fresh.BootEpoch = nonce
-		return fresh, nil
-	}
-
-	var srv *server.Server
-	if *ckptDir != "" {
-		ckpt, err := persist.NewCheckpointer(*ckptDir, *ckptKeep)
-		if err != nil {
-			return nil, err
-		}
-		cfg.Checkpointer = ckpt
-		cfg.CheckpointEvery = *ckptEvery
-		switch *ckptRecover {
-		case "latest":
-			srv, err = server.RestoreLatest(cfg, *ckptDir)
-			if errors.Is(err, persist.ErrNoCheckpoint) {
-				return nil, fmt.Errorf("%w (first boot? pass -checkpoint-recover=fresh to initialize a new model)", err)
-			}
-			if err != nil {
-				return nil, err
-			}
-		case "fresh":
-			srv, err = server.RestoreLatest(cfg, *ckptDir)
-			if errors.Is(err, persist.ErrNoCheckpoint) {
-				var fresh server.Config
-				fresh, err = freshConfig()
-				if err == nil {
-					srv, err = server.New(fresh)
-				}
-			}
-			if err != nil {
-				return nil, err
-			}
-		default:
-			return nil, fmt.Errorf("unknown -checkpoint-recover %q (want latest or fresh)", *ckptRecover)
-		}
-	} else {
-		fresh, err := freshConfig()
-		if err != nil {
-			return nil, err
-		}
-		srv, err = server.New(fresh)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	setup := &serverSetup{
-		addr:       *addr,
-		drain:      *drain,
-		svc:        service.Chain(srv, interceptors...),
-		transport:  *transport,
-		streamAddr: *streamAddr,
-		announce:   srv.OnSnapshot,
-		banner: fmt.Sprintf("FLeet server listening on %s (arch=%s, lr=%g, K=%d, pipeline: %s, admission: [%s])",
-			*addr, arch, *lr, *k, pipe, strings.Join(chain.Names(), " -> ")),
-		logf: log.Printf,
-	}
-	if *transport != "http" {
-		setup.banner += fmt.Sprintf(", stream sessions on %s", *streamAddr)
-	}
-	if *ckptDir != "" {
-		setup.checkpoint = srv.Checkpoint
-		// Close flushes the background checkpoint writer at exit so the
-		// final enqueued cores are durable before the process dies.
-		setup.closer = srv.Close
-		setup.banner += fmt.Sprintf(", checkpoints: %s every %d windows, incarnation %d at version %d",
-			*ckptDir, *ckptEvery, srv.Epoch(), srv.RestoredVersion())
-	}
-	return setup, nil
+	asm := rt.Assembly()
+	return &serverSetup{
+		addr:            *addr,
+		drain:           *drain,
+		svc:             asm.Service,
+		transport:       *transport,
+		streamAddr:      *streamAddr,
+		announce:        asm.Announce,
+		banner:          asm.Banner,
+		logf:            log.Printf,
+		checkpoint:      asm.Checkpoint,
+		closer:          asm.Closer,
+		handler:         asm.Handler,
+		resolver:        asm.Resolver,
+		announceTenants: asm.AnnounceTenants,
+	}, nil
 }
 
-// serve runs the HTTP server until ctx is cancelled (SIGINT/SIGTERM in
-// main), then shuts down gracefully: the listener closes, in-flight
-// requests — gradient pushes included — run to completion, and only then
-// does the process exit, bounded by the drain deadline. ready, when
-// non-nil, receives the bound address once the listener is up (tests bind
-// ":0").
+// serve hands the setup to the shared node runtime and runs it until ctx
+// is cancelled (SIGINT/SIGTERM in main). The runtime owns the canonical
+// teardown — pre-drain checkpoint, stream goaway, HTTP shutdown, final
+// checkpoint, close — bounded by the drain deadline. ready, when non-nil,
+// receives the bound address once the listener is up (tests bind ":0").
 func serve(ctx context.Context, st *serverSetup, ready chan<- net.Addr) int {
-	logf := st.logf
-	if logf == nil {
-		logf = log.Printf
-	}
-	transport := st.transport
-	if transport == "" {
-		transport = "http"
-	}
-	errc := make(chan error, 2)
-	var httpSrv *http.Server
-	var boundAddr net.Addr
-	if transport != "stream" {
-		ln, err := net.Listen("tcp", st.addr)
-		if err != nil {
-			logf("fleet-server: %v", err)
-			return 1
-		}
-		handler := st.handler
-		if handler == nil {
-			handler = server.NewHandler(st.svc)
-		}
-		httpSrv = &http.Server{
-			Handler:           handler,
-			ReadHeaderTimeout: 10 * time.Second,
-		}
-		go func() { errc <- httpSrv.Serve(ln) }()
-		boundAddr = ln.Addr()
-	}
-	var streamSrv *stream.Server
-	if transport != "http" {
-		sln, err := net.Listen("tcp", st.streamAddr)
-		if err != nil {
-			logf("fleet-server: %v", err)
-			return 1
-		}
-		streamSrv = stream.NewServer(st.svc, stream.Options{Logf: logf, Resolver: st.resolver})
-		if st.announce != nil {
-			// Drain-time model snapshots broadcast to every subscribed
-			// session — the push half of the streaming transport.
-			st.announce(streamSrv.Broadcast)
-		}
-		if st.announceTenants != nil {
-			// Multi-tenant: each unit's snapshots fan out only to the
-			// sessions of its own tenant.
-			st.announceTenants(streamSrv.BroadcastTenant)
-		}
-		go func() { errc <- streamSrv.Serve(sln) }()
-		if boundAddr == nil {
-			boundAddr = sln.Addr()
-		}
-		if st.streamReady != nil {
-			st.streamReady <- sln.Addr()
-		}
-	}
-	if st.banner != "" {
-		logf("%s", st.banner)
-	}
-	if ready != nil {
-		ready <- boundAddr
-	}
-	select {
-	case err := <-errc:
-		// Serve only returns on listener failure here; ErrServerClosed
-		// cannot arrive before a Shutdown call.
-		logf("fleet-server: %v", err)
-		return 1
-	case <-ctx.Done():
-		// Checkpoint before draining: if the drain deadline is exceeded
-		// (or the process is killed mid-drain) the state as of the signal
-		// is already durable.
-		if st.checkpoint != nil {
-			if path, err := st.checkpoint(); err != nil {
-				logf("fleet-server: pre-drain checkpoint failed: %v", err)
-			} else {
-				logf("fleet-server: checkpointed to %s", path)
-			}
-		}
-		logf("fleet-server: shutting down, draining in-flight requests (deadline %s)", st.drain)
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), st.drain)
-		defer cancel()
-		if streamSrv != nil {
-			// Streaming sessions drain first, each told "server draining"
-			// with a final goaway frame, so workers reconnect to the next
-			// incarnation instead of timing out on a dead socket.
-			if err := streamSrv.Shutdown(shutdownCtx); err != nil {
-				logf("fleet-server: stream drain deadline exceeded: %v", err)
-				st.closeUnits(logf)
-				return 1
-			}
-		}
-		if httpSrv != nil {
-			if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-				logf("fleet-server: drain deadline exceeded: %v", err)
-				st.closeUnits(logf)
-				return 1
-			}
-		}
-		// Re-checkpoint after the drain so the pushes that committed
-		// during it are durable too.
-		if st.checkpoint != nil {
-			path, err := st.checkpoint()
-			if err != nil {
-				logf("fleet-server: post-drain checkpoint failed: %v", err)
-				st.closeUnits(logf)
-				return 1
-			}
-			logf("fleet-server: final checkpoint %s", path)
-		}
-		st.closeUnits(logf)
-		logf("fleet-server: drained cleanly")
-		return 0
-	}
-}
-
-// closeUnits flushes background checkpoint writers at exit (best effort).
-func (st *serverSetup) closeUnits(logf func(format string, args ...interface{})) {
-	if st.closer == nil {
-		return
-	}
-	if err := st.closer(); err != nil {
-		logf("fleet-server: closing checkpoint writers: %v", err)
-	}
+	rt := node.New(node.Assembly{
+		Name:               "fleet-server",
+		Service:            st.svc,
+		Transport:          st.transport,
+		Addr:               st.addr,
+		StreamAddr:         st.streamAddr,
+		Drain:              st.drain,
+		Handler:            st.handler,
+		Resolver:           st.resolver,
+		Announce:           st.announce,
+		AnnounceTenants:    st.announceTenants,
+		PreDrainCheckpoint: st.checkpoint != nil,
+		Checkpoint:         st.checkpoint,
+		Closer:             st.closer,
+		Banner:             st.banner,
+		Logf:               st.logf,
+		StreamReady:        st.streamReady,
+	})
+	return rt.Run(ctx, ready)
 }

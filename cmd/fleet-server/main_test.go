@@ -530,3 +530,60 @@ func TestMultiTenantBuild(t *testing.T) {
 		t.Fatalf("resolver(ghost): got %v, want unauthenticated", err)
 	}
 }
+
+// TestBootNonceBumpsEpochOnCheckpointLessRestarts covers the flag-level
+// contract of -boot-nonce-dir: restarts that never restore a checkpoint
+// — whether there is no -checkpoint-dir at all, or -checkpoint-recover
+// fresh found an empty one — must come up with a new incarnation epoch
+// after the very first boot, so workers caching state from the dead
+// instance resync instead of colliding on epoch 0.
+func TestBootNonceBumpsEpochOnCheckpointLessRestarts(t *testing.T) {
+	epochOf := func(t *testing.T, args []string) int64 {
+		t.Helper()
+		setup, err := buildServer(args, io.Discard)
+		if err != nil {
+			t.Fatalf("buildServer(%v): %v", args, err)
+		}
+		if setup.closer != nil {
+			defer func() { _ = setup.closer() }()
+		}
+		stats, err := setup.svc.Stats(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.ServerEpoch
+	}
+
+	// Checkpoint-less deployment: only the nonce directory persists.
+	nonceDir := t.TempDir()
+	args := []string{"-arch", "softmax-mnist", "-time-slo", "0", "-boot-nonce-dir", nonceDir}
+	if e := epochOf(t, args); e != 0 {
+		t.Fatalf("first checkpoint-less boot epoch = %d, want 0", e)
+	}
+	second := epochOf(t, args)
+	if second == 0 {
+		t.Fatal("checkpoint-less restart reused epoch 0; delta caches from the dead instance would poison")
+	}
+	if third := epochOf(t, args); third == 0 || third == second {
+		t.Fatalf("third boot epoch %d must be nonzero and differ from %d", third, second)
+	}
+
+	// -recover fresh with a checkpoint dir that stays empty: the nonce
+	// defaults to the checkpoint directory itself, no extra flag needed.
+	ckptDir := t.TempDir()
+	fresh := []string{"-arch", "softmax-mnist", "-time-slo", "0",
+		"-checkpoint-dir", ckptDir, "-checkpoint-recover", "fresh"}
+	if e := epochOf(t, fresh); e != 0 {
+		t.Fatalf("first fresh boot epoch = %d, want 0", e)
+	}
+	if e := epochOf(t, fresh); e == 0 {
+		t.Fatal("-checkpoint-recover=fresh restart on an empty dir reused epoch 0")
+	}
+
+	// Without either directory there is nothing to persist a count in:
+	// every boot is epoch 0 (the pre-nonce posture, and the harness's).
+	bare := []string{"-arch", "softmax-mnist", "-time-slo", "0"}
+	if e := epochOf(t, bare); e != 0 {
+		t.Fatalf("nonce-less boot epoch = %d, want 0", e)
+	}
+}

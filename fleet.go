@@ -44,6 +44,7 @@ import (
 	"fleet/internal/loadgen"
 	"fleet/internal/metrics"
 	"fleet/internal/nn"
+	"fleet/internal/node"
 	"fleet/internal/persist"
 	"fleet/internal/pipeline"
 	"fleet/internal/protocol"
@@ -364,6 +365,52 @@ func MintTenantToken(secret []byte, tenantName string, workerID int) string {
 func VerifyTenantToken(secret []byte, tenantName, token string) (int, error) {
 	return tenant.VerifyToken(secret, tenantName, token)
 }
+
+// ---------------------------------------------------------------------------
+// Node runtime (internal/node): declarative deployments.
+
+// NodeSpec declares one FLeet node — root parameter server or edge
+// aggregator — as data: model, pipeline, admission chain, checkpoint
+// policy, transport bindings, tenants. NewNode compiles it through the
+// same spec grammar and registries as the fleet-server/fleet-agg flags
+// (which are thin translators onto this type).
+type NodeSpec = node.Spec
+
+// NodeRuntime owns one compiled node: the assembled service, both
+// listeners, the checkpointer, and the canonical lifecycle
+// Start → Serve → Drain → Checkpoint → Flush → Close. The drain ordering
+// (stream goaway first, then HTTP shutdown, then window flush, then
+// upstream close) is defined here once for every role.
+type NodeRuntime = node.Runtime
+
+// NodeState is a runtime's position in the canonical lifecycle.
+type NodeState = node.State
+
+// Node lifecycle and role constants.
+const (
+	// NodeRoot is the parameter-server role.
+	NodeRoot = node.RoleRoot
+	// NodeEdge is the hierarchical-aggregation-tier role.
+	NodeEdge = node.RoleEdge
+)
+
+// NodeCheckpointSpec declares a node's durability policy (directory,
+// cadence, retention, recover posture, boot-nonce directory).
+type NodeCheckpointSpec = node.CheckpointSpec
+
+// NodeBindSpec declares a node's listeners (transport, addresses, drain
+// deadline).
+type NodeBindSpec = node.BindSpec
+
+// NodeUpstreamSpec declares an edge node's upstream (target, transport,
+// or an in-process Service override).
+type NodeUpstreamSpec = node.UpstreamSpec
+
+// NewNode compiles a NodeSpec into a NodeRuntime. Compilation is a pure
+// function of the Spec, so rebuilding a killed node from the same Spec
+// reproduces it exactly — the property restart harnesses and hot
+// standbys lean on.
+func NewNode(spec NodeSpec) (*NodeRuntime, error) { return node.FromSpec(spec) }
 
 // ---------------------------------------------------------------------------
 // Learning algorithms (§2.3).

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"fleet"
 	"fleet/internal/loadgen"
@@ -430,5 +431,49 @@ func TestPublicAPICrashSafety(t *testing.T) {
 	// The empty-dir failure mode is a typed sentinel.
 	if _, err := fleet.RestoreServerLatest(mkCfg(), t.TempDir()); !errors.Is(err, fleet.ErrNoCheckpoint) {
 		t.Fatalf("empty dir: %v, want fleet.ErrNoCheckpoint", err)
+	}
+}
+
+// TestPublicAPINodeRuntime compiles a declarative NodeSpec into a serving
+// runtime and drives the canonical lifecycle through the facade — the
+// same path the fleet-server flags translate onto.
+func TestPublicAPINodeRuntime(t *testing.T) {
+	ctx := context.Background()
+	rt, err := fleet.NewNode(fleet.NodeSpec{
+		Role:            fleet.NodeRoot,
+		LearningRate:    0.1,
+		NonStragglerPct: 99.7,
+		K:               1,
+		Stages:          "staleness",
+		Aggregator:      "mean",
+		Checkpoint:      fleet.NodeCheckpointSpec{Dir: t.TempDir(), Every: 1, Recover: "fresh"},
+		Bind:            fleet.NodeBindSpec{Transport: "http", Addr: "127.0.0.1:0", Drain: time.Second},
+		Logf:            func(string, ...interface{}) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Addr() == nil {
+		t.Fatal("no bound address after Start")
+	}
+	w, err := fleet.NewWorker(fleet.WorkerConfig{
+		ID: 1, Arch: fleet.ArchTinyMNIST,
+		Local: fleet.TinyMNIST(2, 12, 4).Train, Rng: simrand.New(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := &fleet.Client{BaseURL: "http://" + rt.Addr().String()}
+	if _, err := w.Step(ctx, svc); err != nil {
+		t.Fatalf("step against the runtime's listener: %v", err)
+	}
+	if code := rt.Shutdown(ctx); code != 0 {
+		t.Fatalf("Shutdown = %d, want 0", code)
+	}
+	if got := rt.State(); got.String() != "closed" {
+		t.Fatalf("state after Shutdown = %s, want closed", got)
 	}
 }

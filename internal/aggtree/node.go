@@ -387,7 +387,9 @@ func (n *Node) PushGradient(ctx context.Context, push *protocol.GradientPush) (*
 
 	// Sparse fast path, mirroring the root server: a validated ascending
 	// top-k view scatters straight into the edge window's shard
-	// accumulators; anything else densifies up front.
+	// accumulators; anything else densifies up front. Decoded payloads
+	// always arrive Ascending (the decoder canonicalizes duplicates with
+	// densify's last-value-wins semantics).
 	g := &pipeline.Gradient{
 		Meta: learning.GradientMeta{
 			Staleness:  staleness,

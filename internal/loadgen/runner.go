@@ -20,10 +20,8 @@ import (
 	"fleet/internal/learning"
 	"fleet/internal/metrics"
 	"fleet/internal/nn"
-	"fleet/internal/persist"
-	"fleet/internal/pipeline"
+	"fleet/internal/node"
 	"fleet/internal/protocol"
-	"fleet/internal/sched"
 	"fleet/internal/server"
 	"fleet/internal/service"
 	"fleet/internal/simrand"
@@ -183,28 +181,29 @@ func (s *swapService) Stats(ctx context.Context) (*protocol.Stats, error) {
 }
 
 // srvFactory builds the scenario's server — and rebuilds it for the
-// restored instance after a RestartSpec kill. Stateful components (the
-// pipeline's aggregator windows, admission quota buckets, AdaSGD, the
-// profilers) must be fresh per instance, so every call constructs new
-// ones; the I-Prof pretraining observations are collected exactly once
-// (the sweep consumes the master-derived iprof RNG), so a rebuild is a
+// restored instance after a RestartSpec kill — through the shared
+// node.Spec compiler, the same assembly path a fleet-server deployment
+// boots through. Stateful components (the pipeline's aggregator windows,
+// admission quota buckets, AdaSGD, the profilers) must be fresh per
+// instance, so every call compiles anew; the I-Prof pretraining
+// observations are collected exactly once (the sweep consumes the
+// master-derived iprof RNG) and passed into the Spec, so a rebuild is a
 // pure function of the scenario and seed — determinism survives the
 // restart.
 type srvFactory struct {
 	sc        Scenario
 	seed      int64
-	arch      nn.Arch
 	timeObs   []iprof.Observation
 	energyObs []iprof.Observation
 	now       func() time.Time
-	// ckptDir, when set, wires a persist.Checkpointer into every built
-	// instance (cadence Restart.CheckpointEvery) and is where restore
-	// loads the latest valid checkpoint from.
+	// ckptDir, when set, wires a checkpointer into every built instance
+	// (cadence Restart.CheckpointEvery) and is where restore loads the
+	// latest valid checkpoint from.
 	ckptDir string
 }
 
-func newSrvFactory(sc Scenario, seed int64, arch nn.Arch, iprofRng *rand.Rand, fleetModels []device.Model, now func() time.Time) *srvFactory {
-	f := &srvFactory{sc: sc, seed: seed, arch: arch, now: now}
+func newSrvFactory(sc Scenario, seed int64, iprofRng *rand.Rand, fleetModels []device.Model, now func() time.Time) *srvFactory {
+	f := &srvFactory{sc: sc, seed: seed, now: now}
 	// The offline sweep runs over the fleet's own (tier-scaled) device
 	// models; MaxBatch bounds it so an extreme fast tier cannot drag the
 	// pretraining into huge mini-batches.
@@ -218,78 +217,51 @@ func newSrvFactory(sc Scenario, seed int64, arch nn.Arch, iprofRng *rand.Rand, f
 	return f
 }
 
-// config assembles one fresh server configuration.
-func (f *srvFactory) config() (server.Config, error) {
+// spec declares one instance: an embedded root with no listeners. The
+// recovery policy is the only field that differs between the initial
+// boot ("" — always a fresh model, no boot nonce, so replayed runs keep
+// epoch 0) and the post-kill successor ("latest").
+func (f *srvFactory) spec(recover string) node.Spec {
 	sc := f.sc
-	cfg := server.Config{
-		Arch:             f.arch,
-		Algorithm:        learning.NewAdaSGD(learning.AdaSGDConfig{NonStragglerPct: sc.Server.NonStragglerPct, BootstrapSteps: 50}),
-		LearningRate:     sc.Server.LearningRate,
-		K:                sc.Server.K,
-		DeltaHistory:     sc.Server.DeltaHistory,
-		DefaultBatchSize: sc.Server.DefaultBatchSize,
-		F16Announce:      sc.Server.F16Announce,
-		Seed:             f.seed,
-	}
-	var err error
-	cfg.Pipeline, err = pipeline.Build(sc.Server.Stages, sc.Server.Aggregator, pipeline.BuildOptions{
-		Algorithm: cfg.Algorithm,
-		Shards:    sc.Server.Shards,
-		Seed:      f.seed,
-	})
-	if err != nil {
-		return server.Config{}, err
-	}
-	if sc.Server.Admission != "" {
-		opts := sched.BuildOptions{Now: f.now}
-		if f.timeObs != nil {
-			prof, err := iprof.New(iprof.Config{Epsilon: 2e-4, RetrainEvery: 100}, f.timeObs)
-			if err != nil {
-				return server.Config{}, err
-			}
-			opts.TimeProfiler = prof
-			cfg.TimeProfiler = prof
-		}
-		if f.energyObs != nil {
-			prof, err := iprof.New(iprof.Config{Epsilon: 6e-5, RetrainEvery: 100}, f.energyObs)
-			if err != nil {
-				return server.Config{}, err
-			}
-			opts.EnergyProfiler = prof
-			cfg.EnergyProfiler = prof
-		}
-		cfg.Admission, err = sched.Build(sc.Server.Admission, opts)
-		if err != nil {
-			return server.Config{}, err
-		}
+	sp := node.Spec{
+		Role:               node.RoleRoot,
+		Name:               "loadgen",
+		Arch:               sc.Server.Arch,
+		LearningRate:       sc.Server.LearningRate,
+		K:                  sc.Server.K,
+		NonStragglerPct:    sc.Server.NonStragglerPct,
+		Seed:               f.seed,
+		Shards:             sc.Server.Shards,
+		DeltaHistory:       sc.Server.DeltaHistory,
+		DefaultBatchSize:   sc.Server.DefaultBatchSize,
+		F16Announce:        sc.Server.F16Announce,
+		Stages:             sc.Server.Stages,
+		Aggregator:         sc.Server.Aggregator,
+		Admission:          sc.Server.Admission,
+		TimeObservations:   f.timeObs,
+		EnergyObservations: f.energyObs,
+		Now:                f.now,
+		Bind:               node.BindSpec{Transport: "none"},
 	}
 	if f.ckptDir != "" {
-		ckpt, err := persist.NewCheckpointer(f.ckptDir, 0)
-		if err != nil {
-			return server.Config{}, err
+		sp.Checkpoint = node.CheckpointSpec{
+			Dir:     f.ckptDir,
+			Every:   sc.Restart.CheckpointEvery,
+			Recover: recover,
 		}
-		cfg.Checkpointer = ckpt
-		cfg.CheckpointEvery = sc.Restart.CheckpointEvery
 	}
-	return cfg, nil
+	return sp
 }
 
-// fresh builds the scenario's initial server.
-func (f *srvFactory) fresh() (*server.Server, error) {
-	cfg, err := f.config()
-	if err != nil {
-		return nil, err
-	}
-	return server.New(cfg)
+// fresh compiles the scenario's initial instance.
+func (f *srvFactory) fresh() (*node.Runtime, error) {
+	return node.FromSpec(f.spec(""))
 }
 
-// restore builds the post-kill server from the latest valid checkpoint.
-func (f *srvFactory) restore() (*server.Server, error) {
-	cfg, err := f.config()
-	if err != nil {
-		return nil, err
-	}
-	return server.RestoreLatest(cfg, f.ckptDir)
+// restore compiles the post-kill successor from the latest valid
+// checkpoint.
+func (f *srvFactory) restore() (*node.Runtime, error) {
+	return node.FromSpec(f.spec("latest"))
 }
 
 // run is the mutable state of one execution.
@@ -301,8 +273,11 @@ type run struct {
 	test      []nn.Sample
 	sims      []*simWorker
 
-	// Restart machinery (virtual mode): the factory rebuilds the server,
-	// swap reroutes the fleet to it, clock feeds virtual time to admission.
+	// Restart machinery (virtual mode): the factory rebuilds the server
+	// through node.FromSpec, swap reroutes the fleet to it, clock feeds
+	// virtual time to admission. rt is the current instance's runtime —
+	// doRestart kills it and compiles a successor from the same Spec.
+	rt        *node.Runtime
 	factory   *srvFactory
 	swap      *swapService
 	clock     *vclock
@@ -507,7 +482,7 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 		clock = &vclock{}
 		now = clock.Now
 	}
-	factory := newSrvFactory(sc, r.Seed, arch, iprofRng, fleetModels, now)
+	factory := newSrvFactory(sc, r.Seed, iprofRng, fleetModels, now)
 	if sc.Restart.AtSec > 0 {
 		if mode != ModeVirtual {
 			return nil, fmt.Errorf("loadgen: server restart requires virtual mode (the kill lands at a deterministic virtual instant)")
@@ -519,10 +494,11 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 		defer func() { _ = os.RemoveAll(ckptDir) }()
 		factory.ckptDir = ckptDir
 	}
-	srv, err := factory.fresh()
+	rt, err := factory.fresh()
 	if err != nil {
 		return nil, err
 	}
+	srv := rt.Server()
 
 	// The tenant enforcement layer wraps the freshly built server before
 	// any traffic routes: auth, quota and budget see every call exactly as
@@ -761,6 +737,7 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 		stale:        metrics.NewIntHist(),
 		pullStale:    metrics.NewIntHist(),
 		wall:         wall,
+		rt:           rt,
 		factory:      factory,
 		swap:         swap,
 		clock:        clock,
@@ -952,17 +929,19 @@ func (r *Runner) runVirtual(ctx context.Context, rn *run, sims []*simWorker) err
 // valid checkpoint. A missing checkpoint fails the run: the scenario's
 // cadence put the first checkpoint after the kill, a profile bug.
 func (rn *run) doRestart() error {
-	// Close the doomed instance first: its background checkpoint writer
+	// Kill the doomed instance first: its background checkpoint writer
 	// drains, so exactly the cores that fell due before the kill are
 	// durable — the same durability point the synchronous writer had,
 	// which is what keeps this scenario's replay bit-for-bit. (A real
 	// SIGKILL could lose the queued tail; the harness models the
 	// conservative cut deterministically.)
-	_ = rn.srv.Close()
-	srv, err := rn.factory.restore()
+	_ = rn.rt.Kill()
+	rt, err := rn.factory.restore()
 	if err != nil {
 		return fmt.Errorf("loadgen: server restart at t=%gs: %w", rn.sc.Restart.AtSec, err)
 	}
+	srv := rt.Server()
+	rn.rt = rt
 	rn.srv = srv
 	rn.swap.set(srv)
 	if rn.streamSrv != nil {

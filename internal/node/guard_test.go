@@ -1,0 +1,54 @@
+package node
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCmdMainsDoNotOwnListeners is the structural guard behind the node
+// refactor: the cmd binaries are flag→Spec translators, and the listener
+// and teardown machinery lives in internal/node ONLY. If a main (or any
+// non-test file under cmd/) reacquires a direct http.Server,
+// stream.NewServer, net.Listen or a Shutdown call, the drain ordering has
+// forked again — the drift this package exists to end. Move the logic
+// into internal/node instead.
+func TestCmdMainsDoNotOwnListeners(t *testing.T) {
+	forbidden := []string{
+		"http.Server{",
+		"stream.NewServer(",
+		"net.Listen(",
+		".Shutdown(",
+		"httputil.NewSingleHostReverseProxy(",
+	}
+	cmdDir := filepath.Join("..", "..", "cmd")
+	err := filepath.Walk(cmdDir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(raw), "\n") {
+			code := line
+			if idx := strings.Index(code, "//"); idx >= 0 {
+				code = code[:idx]
+			}
+			for _, pat := range forbidden {
+				if strings.Contains(code, pat) {
+					t.Errorf("%s:%d: %q — lifecycle machinery belongs in internal/node, not cmd (line: %s)",
+						path, i+1, pat, strings.TrimSpace(line))
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking %s: %v", cmdDir, err)
+	}
+}

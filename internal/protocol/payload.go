@@ -1,6 +1,10 @@
 package protocol
 
-import "fleet/internal/compress"
+import (
+	"sort"
+
+	"fleet/internal/compress"
+)
 
 // GradientPayload is the decoded uplink gradient of one push: either Dense
 // is set, or Indices/Values hold the sparse view (quantized value forms
@@ -11,10 +15,12 @@ type GradientPayload struct {
 	Indices []int32
 	Values  []float64
 	// Ascending reports that Indices are strictly ascending (the shape
-	// every TopK/Diff output has). It is the precondition for
-	// scatter-accumulating the view in place: with duplicate indices the
-	// legacy densify path applies overwrite semantics (last value wins),
-	// so receivers must fall back to it when Ascending is false.
+	// every TopK/Diff output has), the precondition for
+	// scatter-accumulating the view in place. DecodeGradientPayload
+	// always returns it true: out-of-order or duplicate-index wire
+	// payloads are canonicalized on decode (sorted, duplicates merged
+	// with the last value winning, matching the legacy densify overwrite
+	// semantics). The field remains so hand-built payloads can opt out.
 	Ascending bool
 }
 
@@ -71,17 +77,48 @@ func DecodeGradientPayload(push *GradientPush, paramCount int) (GradientPayload,
 			"sparse gradient with %d indices, %d values", len(push.SparseIndices), len(vals))
 	}
 	out := GradientPayload{Indices: push.SparseIndices, Values: vals, Ascending: true}
+	canonical := true
 	prev := int32(-1)
 	for _, id := range out.Indices {
 		if id < 0 || int(id) >= paramCount {
 			return GradientPayload{}, Errorf(CodeInvalidArgument, "sparse index %d out of range", id)
 		}
 		if id <= prev {
-			out.Ascending = false
+			canonical = false
 		}
 		prev = id
 	}
+	if !canonical {
+		out.Indices, out.Values = canonicalizeSparse(out.Indices, out.Values)
+	}
 	return out, nil
+}
+
+// canonicalizeSparse sorts a sparse view into strictly-ascending index
+// order and merges duplicate indices with the last value (in wire order)
+// winning — exactly the overwrite semantics compress.Sparse.Dense applies,
+// so canonicalize-then-scatter and densify agree bit for bit. It writes
+// into fresh slices: the inputs may alias the wire buffer (the flat codec
+// decodes zero-copy), which a receiver must never reorder in place.
+func canonicalizeSparse(indices []int32, values []float64) ([]int32, []float64) {
+	order := make([]int, len(indices))
+	for i := range order {
+		order[i] = i
+	}
+	// Stable on the wire position: within a run of equal indices the last
+	// element of the run is the last occurrence on the wire.
+	sort.SliceStable(order, func(a, b int) bool { return indices[order[a]] < indices[order[b]] })
+	outI := make([]int32, 0, len(indices))
+	outV := make([]float64, 0, len(values))
+	for _, p := range order {
+		if n := len(outI); n > 0 && outI[n-1] == indices[p] {
+			outV[n-1] = values[p]
+			continue
+		}
+		outI = append(outI, indices[p])
+		outV = append(outV, values[p])
+	}
+	return outI, outV
 }
 
 // Densify materializes the dense vector of a sparse payload with the

@@ -538,9 +538,10 @@ func (s *Server) PushGradient(ctx context.Context, push *protocol.GradientPush) 
 	// Sparse fast path: a validated, strictly-ascending top-k view travels
 	// the pipeline as-is and scatters straight into the shard accumulators
 	// (pipeline.SparseAdder) — zero O(params) allocations per push. Gated
-	// on sparseOK (every stage SparseSafe, aggregator a SparseAdder) and on
-	// Ascending: with duplicate indices the legacy densify applies
-	// overwrite semantics, which a scatter-add would change.
+	// on sparseOK (every stage SparseSafe, aggregator a SparseAdder).
+	// Decoded payloads always arrive Ascending (the decoder canonicalizes
+	// out-of-order and duplicate indices with densify's last-value-wins
+	// semantics); the gate remains for hand-built payloads.
 	g := &pipeline.Gradient{
 		Meta: learning.GradientMeta{
 			Staleness:  staleness,
